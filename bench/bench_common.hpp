@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the experiment harnesses (bench_e*).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace qols::bench {
+
+/// Environment override for sweep depth: QOLS_MAX_K=8 widens the sweeps.
+inline unsigned max_k(unsigned def) {
+  if (const char* env = std::getenv("QOLS_MAX_K")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 10) return static_cast<unsigned>(v);
+  }
+  return def;
+}
+
+/// Environment override for Monte-Carlo trial counts.
+inline int trials(int def) {
+  if (const char* env = std::getenv("QOLS_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return def;
+}
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace qols::bench

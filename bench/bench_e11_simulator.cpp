@@ -1,0 +1,102 @@
+// E11 — systems microbenchmarks of the state-vector substrate (google-
+// benchmark): gate kernels across register sizes, serial vs thread pool,
+// and the A3 fast paths whose O(1)-per-input-bit cost makes the streaming
+// simulation linear in the input.
+#include <benchmark/benchmark.h>
+
+#include "qols/quantum/state_vector.hpp"
+#include "qols/util/rng.hpp"
+#include "qols/util/thread_pool.hpp"
+
+namespace {
+
+using qols::quantum::StateVector;
+
+void BM_Hadamard(benchmark::State& state) {
+  const unsigned qubits = static_cast<unsigned>(state.range(0));
+  StateVector sv(qubits);
+  unsigned q = 0;
+  for (auto _ : state) {
+    sv.apply_h(q);
+    q = (q + 1) % qubits;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_Hadamard)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_Cnot(benchmark::State& state) {
+  const unsigned qubits = static_cast<unsigned>(state.range(0));
+  StateVector sv(qubits);
+  sv.apply_h_range(0, qubits);
+  for (auto _ : state) {
+    sv.apply_cnot(0, qubits - 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_Cnot)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_ReflectZero(benchmark::State& state) {
+  const unsigned qubits = static_cast<unsigned>(state.range(0));
+  StateVector sv(qubits);
+  sv.apply_h_range(0, qubits);
+  for (auto _ : state) {
+    sv.apply_reflect_zero(0, qubits - 2);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_ReflectZero)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+// The A3 streaming fast path: cost per input bit must be O(1), independent
+// of register size (compare across Arg values: flat, not exponential).
+void BM_IndexedOracle(benchmark::State& state) {
+  const unsigned qubits = static_cast<unsigned>(state.range(0));
+  StateVector sv(qubits);
+  sv.apply_h_range(0, qubits - 2);
+  qols::util::Rng rng(1);
+  const std::uint64_t mask = (std::uint64_t{1} << (qubits - 2)) - 1;
+  for (auto _ : state) {
+    sv.apply_x_on_index(0, qubits - 2, rng.next() & mask, qubits - 2);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IndexedOracle)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+// A full Grover iteration (oracle + diffusion) at the paper's register
+// shape 2k+2: the per-repetition cost of procedure A3.
+void BM_GroverIteration(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  const unsigned qubits = 2 * k + 2;
+  StateVector sv(qubits);
+  sv.apply_h_range(0, 2 * k);
+  qols::util::Rng rng(2);
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  for (auto _ : state) {
+    sv.apply_z_on_index(0, 2 * k, rng.next() & (m - 1), 2 * k);
+    sv.apply_h_range(0, 2 * k);
+    sv.apply_reflect_zero(0, 2 * k);
+    sv.apply_h_range(0, 2 * k);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_GroverIteration)->DenseRange(2, 9);
+
+void BM_ProbabilityReadout(benchmark::State& state) {
+  const unsigned qubits = static_cast<unsigned>(state.range(0));
+  StateVector sv(qubits);
+  sv.apply_h_range(0, qubits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.probability_one(qubits - 1));
+  }
+}
+BENCHMARK(BM_ProbabilityReadout)->Arg(10)->Arg(16)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// E13 (ablation) — adaptive BBHT vs the streaming fixed-j compromise.
+//
+// Procedure A3 cannot adapt: the one-way input gives it 2^k repetitions and
+// it must pick j BEFORE seeing outcomes, yielding a constant >= 1/4 success
+// per pass. Offline BBHT (reference [8]) adapts m geometrically and finds a
+// witness in expected O(sqrt(N/t)) oracle calls. This table quantifies what
+// the streaming restriction costs.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "qols/grover/analysis.hpp"
+#include "qols/grover/bbht.hpp"
+#include "qols/util/table.hpp"
+
+int main() {
+  using namespace qols;
+  bench::header(
+      "E13 (ablation): adaptive BBHT vs fixed-j streaming search",
+      "The offline algorithm adapts its iteration bound and succeeds with "
+      "certainty in expected O(sqrt(N/t)) iterations; the streaming variant "
+      "pays a constant failure probability instead.");
+
+  util::Rng rng(13);
+  const std::uint64_t n = 1024;  // = 2^{2k}, k = 5
+  const std::uint64_t rounds = 32;  // 2^k
+
+  util::Table table({"t", "BBHT mean iters", "BBHT found rate",
+                     "sqrt(N/t)", "fixed-j P[success/pass]",
+                     "fixed-j passes for 2/3"});
+  const int trials = bench::trials(50);
+  for (std::uint64_t t : {1ULL, 2ULL, 4ULL, 16ULL, 64ULL, 256ULL}) {
+    double iters = 0.0;
+    int found = 0;
+    for (int i = 0; i < trials; ++i) {
+      auto oracle = [t](std::uint64_t idx) { return idx < t; };
+      util::Rng r(9000 + i);
+      const auto res = grover::bbht_search(n, oracle, r);
+      iters += static_cast<double>(res.oracle_calls);
+      if (res.found) ++found;
+    }
+    const double fixed = grover::average_success(rounds, grover::angle(t, n));
+    table.add_row({std::to_string(t), util::fmt_f(iters / trials, 1),
+                   util::fmt_f(found / double(trials), 3),
+                   util::fmt_f(std::sqrt(double(n) / double(t)), 1),
+                   util::fmt_f(fixed, 4),
+                   std::to_string(grover::repetitions_for_error(fixed, 1.0 / 3.0))});
+  }
+  table.print(std::cout, "N = 1024 marked-t search:");
+  std::cout
+      << "\nReading: adaptive search converges to the witness in ~sqrt(N/t) "
+         "iterations with success ~1; the streaming machine's fixed draw "
+         "keeps success near 1/2 per pass and buys certainty only through "
+         "independent repetitions (Corollary 3.5), as the paper accepts.\n";
+  return 0;
+}

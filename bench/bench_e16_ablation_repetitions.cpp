@@ -1,0 +1,55 @@
+// E16 (ablation) — why the language repeats the input exactly 2^k = sqrt(m)
+// times (Definition 3.3: "as sqrt(2^{2k}) = 2^k rounds are needed in the
+// worst case for the quantum protocol ... we concatenate the inputs 2^k
+// times").
+//
+// With R repetitions the machine can run at most R-1 Grover iterations, so
+// its averaged rejection probability on the hardest input (t = 1) is
+// average_success(R, theta(1, m)). The sweep shows the bound collapsing for
+// R << sqrt(m) and saturating beyond sqrt(m) — sqrt(m) is the knee.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "qols/grover/analysis.hpp"
+#include "qols/util/table.hpp"
+
+int main() {
+  using namespace qols;
+  bench::header(
+      "E16 (ablation): repetition count in the language definition",
+      "Rejection probability of the t = 1 hardest case as a function of the "
+      "number R of (x#y#x#) repetitions available to the streaming machine.");
+
+  util::Table table({"k", "m", "R = sqrt(m)/8", "R = sqrt(m)/4",
+                     "R = sqrt(m)/2", "R = sqrt(m) (paper)", "R = 2 sqrt(m)",
+                     "worst-t min at sqrt(m)"});
+  for (unsigned k = 3; k <= 10; ++k) {
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    const std::uint64_t sqrt_m = std::uint64_t{1} << k;
+    const double theta1 = grover::angle(1, m);
+    auto rej = [&](std::uint64_t rounds) {
+      return rounds == 0 ? 0.0 : grover::average_success(rounds, theta1);
+    };
+    // Minimum over all t at the paper's R = sqrt(m).
+    double worst = 1.0;
+    for (std::uint64_t t = 1; t <= m; t = t < 8 ? t + 1 : t * 2) {
+      worst = std::min(worst, grover::average_success(sqrt_m,
+                                                      grover::angle(t, m)));
+    }
+    table.add_row({std::to_string(k), util::fmt_g(m),
+                   util::fmt_f(rej(std::max<std::uint64_t>(1, sqrt_m / 8)), 4),
+                   util::fmt_f(rej(std::max<std::uint64_t>(1, sqrt_m / 4)), 4),
+                   util::fmt_f(rej(std::max<std::uint64_t>(1, sqrt_m / 2)), 4),
+                   util::fmt_f(rej(sqrt_m), 4),
+                   util::fmt_f(rej(2 * sqrt_m), 4), util::fmt_f(worst, 4)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: with fewer than sqrt(m) repetitions the t = 1 rejection "
+         "probability decays like (R/sqrt(m))^2 * const — the one-sided 1/4 "
+         "guarantee dies; at sqrt(m) it locks in >= 1/4 for EVERY t "
+         "(last column), and extra repetitions buy nothing. sqrt(m) is "
+         "exactly the right amount of redundancy.\n";
+  return 0;
+}

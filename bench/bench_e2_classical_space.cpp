@@ -1,0 +1,82 @@
+// E2 — Proposition 3.7: the optimal classical machine uses Theta(n^{1/3}).
+//
+// Sweeps k over the block machine (Prop 3.7) and the full-storage baseline.
+// "full run" rows verify decisions end to end; "probe" rows (see E1) read
+// the space report after parsing the prefix only. The block machine's space
+// must track n^{1/3} = Theta(2^k); full storage tracks n^{2/3} = Theta(2^{2k}).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/util/table.hpp"
+
+namespace {
+
+double word_length(unsigned k) {
+  return k + 1.0 + std::pow(2.0, k) * 3.0 * (std::pow(2.0, 2.0 * k) + 1.0);
+}
+
+qols::machine::SpaceReport probe_space(qols::machine::OnlineRecognizer& rec,
+                                       unsigned k) {
+  rec.reset(k);
+  for (unsigned i = 0; i < k; ++i) rec.feed(qols::stream::Symbol::kOne);
+  rec.feed(qols::stream::Symbol::kSep);
+  return rec.space_used();
+}
+
+}  // namespace
+
+int main() {
+  using namespace qols;
+  bench::header("E2: classical online space",
+                "Claim (Prop 3.7): the block-streaming machine decides "
+                "L_DISJ in O(n^{1/3}) bits; full storage needs n^{2/3}.");
+
+  util::Rng rng(2);
+  util::Table table({"k", "n", "mode", "block bits", "block/n^(1/3)",
+                     "full bits", "full/n^(2/3)"});
+  const unsigned kmax_run = bench::max_k(7);
+  for (unsigned k = 1; k <= 12; ++k) {
+    core::ClassicalBlockRecognizer block(k);
+    core::ClassicalFullRecognizer full(k);
+    std::string mode;
+    if (k <= kmax_run && k <= 10) {
+      auto inst = lang::LDisjInstance::make_disjoint(k, rng);
+      {
+        auto s = inst.stream();
+        if (!machine::run_stream(*s, block)) {
+          std::cerr << "block machine rejected a member at k=" << k << "\n";
+          return 1;
+        }
+      }
+      {
+        auto s = inst.stream();
+        if (!machine::run_stream(*s, full)) {
+          std::cerr << "full machine rejected a member at k=" << k << "\n";
+          return 1;
+        }
+      }
+      mode = "full run";
+    } else {
+      probe_space(block, k);
+      probe_space(full, k);
+      mode = "probe";
+    }
+    const double n = word_length(k);
+    const double n13 = std::cbrt(n);
+    const double n23 = std::pow(n, 2.0 / 3.0);
+    table.add_row(
+        {std::to_string(k), util::fmt_g(static_cast<std::uint64_t>(n)), mode,
+         util::fmt_g(block.space_used().classical_bits),
+         util::fmt_f(block.space_used().classical_bits / n13, 3),
+         util::fmt_g(full.space_used().classical_bits),
+         util::fmt_f(full.space_used().classical_bits / n23, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: block/n^(1/3) and full/n^(2/3) approach "
+               "constants (~0.7 and ~0.48) — the Theta() claims of Prop 3.7.\n";
+  return 0;
+}

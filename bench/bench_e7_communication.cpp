@@ -1,0 +1,71 @@
+// E7 — Theorem 3.1 (BCW) vs Theorem 3.2 (classical Omega(m)):
+// quantum O(sqrt(m) log m) qubits against classical Theta(m) bits for
+// bounded-error disjointness, with measured correctness on both sides.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "qols/comm/protocols.hpp"
+#include "qols/util/table.hpp"
+
+int main() {
+  using namespace qols;
+  bench::header(
+      "E7: communication complexity of DISJ_m",
+      "Claims: quantum protocol costs O(sqrt(m) log m) qubits (Thm 3.1); "
+      "any bounded-error classical protocol needs Omega(m) bits (Thm 3.2).");
+
+  util::Rng rng(7);
+  util::Table table({"m", "trivial bits", "BCW mean qubits", "BCW worst-case",
+                     "sqrt(m)*log2(m)", "BCW P[correct]",
+                     "sampling bits", "sampling P[correct]"});
+  const unsigned kmax = bench::max_k(6);
+  for (unsigned k = 1; k <= kmax; ++k) {
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    // Hard instance: exactly one common index.
+    util::BitVec x = util::BitVec::random(m, rng);
+    util::BitVec y = util::BitVec::random(m, rng);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      if (x.get(i) && y.get(i)) y.set(i, false);
+    }
+    const std::uint64_t common = rng.below(m);
+    x.set(common, true);
+    y.set(common, true);
+
+    const int runs = bench::trials(std::max(8, 512 >> (2 * k)) + 24);
+    std::uint64_t trivial_bits = 0;
+    double bcw_qubits = 0.0;
+    int bcw_correct = 0;
+    std::uint64_t sampling_bits = 0;
+    int sampling_correct = 0;
+    const std::uint64_t probes = std::uint64_t{1} << k;  // sqrt(m) probes
+    for (int i = 0; i < runs; ++i) {
+      trivial_bits = comm::disj_trivial(x, y, rng).cost.classical_bits;
+      auto bq = comm::disj_bcw_amplified(x, y, 4, rng);
+      bcw_qubits += static_cast<double>(bq.cost.qubits);
+      if (!bq.declared_disjoint) ++bcw_correct;
+      auto sp = comm::disj_sampling(x, y, probes, rng);
+      sampling_bits = sp.cost.classical_bits;
+      if (!sp.declared_disjoint) ++sampling_correct;
+    }
+    const double sqrtmlogm =
+        std::sqrt(static_cast<double>(m)) * std::log2(static_cast<double>(m));
+    table.add_row({util::fmt_g(m), util::fmt_g(trivial_bits),
+                   util::fmt_f(bcw_qubits / runs, 0),
+                   util::fmt_g(4 * comm::bcw_worst_case_qubits(k)),
+                   util::fmt_f(sqrtmlogm, 0),
+                   util::fmt_f(bcw_correct / double(runs), 3),
+                   util::fmt_g(sampling_bits),
+                   util::fmt_f(sampling_correct / double(runs), 3)});
+  }
+  table.print(std::cout, "Instance: single planted intersection; BCW with 4 "
+                         "attempts (bounded error), sampling with sqrt(m) "
+                         "probes:");
+  std::cout
+      << "\nShape check: BCW qubits track sqrt(m)*log(m) (crossing below the "
+         "trivial m-bit cost as m grows) while holding P[correct] >= 2/3;\n"
+         "the classical protocol at comparable sublinear cost collapses "
+         "toward chance — the quadratic communication separation of [BCW98].\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E8 — Corollary 3.5: amplification from one-sided error <= 3/4 to any
+// constant, with space scaling linearly in the number of copies.
+//
+// For the hardest non-member (t = 1) the table reports the measured
+// false-accept probability of r parallel copies against the (3/4)^r theory
+// curve, plus the measured space. r = 4 crosses the 1/3 bounded-error line:
+// L_DISJ (and its complement) land in OQBPL.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "qols/core/amplified.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/util/table.hpp"
+
+int main() {
+  using namespace qols;
+  bench::header(
+      "E8: amplification (Corollary 3.5)",
+      "Claim: r independent copies accept a non-member with probability "
+      "<= (3/4)^r while members stay at probability 1; space grows as r.");
+
+  util::Rng rng(8);
+  const unsigned k = 3;
+  auto nonmember = lang::LDisjInstance::make_with_intersections(k, 1, rng);
+  auto member = lang::LDisjInstance::make_disjoint(k, rng);
+
+  auto factory = [](std::uint64_t seed) {
+    return std::make_unique<core::QuantumOnlineRecognizer>(seed);
+  };
+
+  util::Table table({"copies r", "P[accept nonmember]", "(3/4)^r",
+                     "P[accept member]", "classical bits", "qubits",
+                     "below 1/3 ?"});
+  const int runs = bench::trials(400);
+  for (std::uint64_t r : {1ULL, 2ULL, 3ULL, 4ULL, 6ULL, 8ULL, 12ULL, 16ULL}) {
+    int accept_non = 0;
+    int accept_mem = 0;
+    machine::SpaceReport space;
+    for (int i = 0; i < runs; ++i) {
+      core::AmplifiedRecognizer rec(factory, r, 40000 + i);
+      auto s = nonmember.stream();
+      if (machine::run_stream(*s, rec)) ++accept_non;
+      space = rec.space_used();
+      if (i < runs / 4) {  // members are deterministic-accept; sample fewer
+        rec.reset(50000 + i);
+        auto s2 = member.stream();
+        if (machine::run_stream(*s2, rec)) ++accept_mem;
+      }
+    }
+    const double p_non = accept_non / static_cast<double>(runs);
+    const double theory = std::pow(0.75, static_cast<double>(r));
+    table.add_row({std::to_string(r), util::fmt_f(p_non, 4),
+                   util::fmt_f(theory, 4),
+                   util::fmt_f(accept_mem / double(runs / 4), 3),
+                   std::to_string(space.classical_bits),
+                   std::to_string(space.qubits),
+                   p_non <= 1.0 / 3.0 + 0.03 ? "yes" : "no"});
+  }
+  table.print(std::cout, "k = 3, non-member with t = 1 (hardest case):");
+  std::cout << "\nShape check: the measured error hugs (3/4)^r from below "
+               "(per-run rejection is often > 1/4), members never flip, and "
+               "space is r x the single-copy footprint — still O(log n) for "
+               "constant r.\n";
+  return 0;
+}

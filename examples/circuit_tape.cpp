@@ -1,0 +1,81 @@
+// Definition 2.3, literally: run the online machine in gate-emission mode so
+// it writes its one-way output tape a1#b1#c1#...#ar#br#cr over the universal
+// set {G0=H, G1=T, G2=CNOT}; then parse that tape back, replay the circuit on
+// |0...0>, measure, and compare with the operator-level machine.
+//
+//   ./circuit_tape [k] [t] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "qols/core/grover_streamer.hpp"
+#include "qols/gates/builder.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/quantum/circuit.hpp"
+#include "qols/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned k = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
+  const std::uint64_t t = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+  if (k > 3) {
+    std::cerr << "gate-level replay is practical for k <= 3 (" << (4 * k + 2)
+              << " qubits at k=" << k << ")\n";
+    return 1;
+  }
+
+  qols::util::Rng rng(seed);
+  auto inst = qols::lang::LDisjInstance::make_with_intersections(k, t, rng);
+
+  // Pass 1: operator-level reference.
+  qols::core::GroverStreamer op{qols::util::Rng(seed)};
+  {
+    auto s = inst.stream();
+    while (auto sym = s->next()) op.feed(*sym);
+  }
+
+  // Pass 2: gate emission onto the output tape.
+  qols::gates::TapeWriterSink tape;
+  qols::core::GroverStreamer::Options opts;
+  opts.simulate = false;
+  opts.gate_sink = &tape;
+  qols::core::GroverStreamer gate{qols::util::Rng(seed), opts};
+  {
+    auto s = inst.stream();
+    while (auto sym = s->next()) gate.feed(*sym);
+  }
+
+  auto circuit = qols::quantum::Circuit::from_tape(tape.tape());
+  if (!circuit) {
+    std::cerr << "internal error: emitted tape failed to parse\n";
+    return 1;
+  }
+  const auto counts = circuit->counts();
+
+  std::cout << "instance: k=" << k << " t=" << t << "  (j drawn: "
+            << *gate.chosen_j() << ")\n"
+            << "output tape: " << qols::util::fmt_g(tape.tape().size())
+            << " characters, " << qols::util::fmt_g(circuit->size())
+            << " gates  [H=" << counts.h << " T=" << counts.t
+            << " CNOT=" << counts.cnot << "]\n"
+            << "qubits: " << circuit->qubits_spanned() << " ("
+            << 2 * k + 2 << " data + " << gate.ancilla_qubits_used()
+            << " compiler ancillas)\n";
+
+  if (tape.tape().size() < 400) {
+    std::cout << "\ntape: " << tape.tape() << "\n";
+  } else {
+    std::cout << "\ntape (first 160 chars): " << tape.tape().substr(0, 160)
+              << "...\n";
+  }
+
+  // Replay the tape on |0...0> and compare measurement statistics.
+  qols::quantum::StateVector replayed(circuit->qubits_spanned());
+  circuit->apply_to(replayed);
+  const double p_gate = replayed.probability_one(2 * k + 1);
+  const double p_op = op.probability_output_zero();
+  std::cout << "\nP[measure l = 1]  operator-level: " << qols::util::fmt_f(p_op, 6)
+            << "   tape replay: " << qols::util::fmt_f(p_gate, 6)
+            << "   |diff| = " << qols::util::fmt_sci(std::abs(p_gate - p_op))
+            << "\n";
+  return std::abs(p_gate - p_op) < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Theorem 3.6 in action: converting an online machine into a one-way
+// communication protocol whose messages are configurations.
+//
+// We survey the reachable configurations of three deterministic machines at
+// every block boundary of the stream and print the implied message sizes.
+// The fingerprint machine (O(log n) space) has a tiny configuration space;
+// the block machine's messages are exactly its 2^k-bit buffer — the
+// Omega(n^{1/3}) the theorem proves unavoidable; the full-storage machine
+// pays 2^{2k}.
+//
+//   ./lower_bound_demo [k] [sampled_pairs]
+#include <cstdlib>
+#include <iostream>
+
+#include "qols/reduction/config_census.hpp"
+#include "qols/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned k = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
+  const std::uint64_t pairs =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+  if (k > 3) {
+    std::cerr << "config census is practical for k <= 3\n";
+    return 1;
+  }
+
+  qols::util::Rng rng(5);
+  qols::reduction::DetFingerprintMachine fp(k, 7);
+  qols::reduction::DetBlockMachine block(k);
+  qols::reduction::DetFullMachine full(k);
+
+  auto cfp = qols::reduction::survey_configurations(fp, k, pairs, rng);
+  auto cbl = qols::reduction::survey_configurations(block, k, pairs, rng);
+  auto cfu = qols::reduction::survey_configurations(full, k, pairs, rng);
+
+  std::cout << "k=" << k << "  (m=" << (1u << (2 * k)) << ", boundaries="
+            << cbl.distinct_configs.size() << ", survey "
+            << (cbl.exhaustive ? "exhaustive" : "sampled") << " over "
+            << qols::util::fmt_g(cbl.inputs_surveyed) << " input pairs)\n\n";
+
+  qols::util::Table table({"boundary", "|C_i| fingerprint", "|C_i| block",
+                           "|C_i| full", "bits fp", "bits block", "bits full"});
+  for (std::size_t b = 0; b < cbl.distinct_configs.size(); ++b) {
+    table.add_row({std::to_string(b + 1),
+                   qols::util::fmt_g(cfp.distinct_configs[b]),
+                   qols::util::fmt_g(cbl.distinct_configs[b]),
+                   qols::util::fmt_g(cfu.distinct_configs[b]),
+                   std::to_string(cfp.message_bits[b]),
+                   std::to_string(cbl.message_bits[b]),
+                   std::to_string(cfu.message_bits[b])});
+  }
+  table.print(std::cout, "Reachable configurations per boundary:");
+
+  std::cout << "\nprotocol totals: fingerprint " << cfp.total_bits
+            << " bits, block " << cbl.total_bits << " bits, full "
+            << cfu.total_bits << " bits\n"
+            << "Theorem 3.6 floor (c=1): some message needs >= "
+            << qols::util::fmt_f(
+                   qols::reduction::theorem36_min_message_bits(k, 1.0), 1)
+            << " bits => work space Omega(2^k).\n"
+            << "The fingerprint machine ducks under the floor because it\n"
+            << "decides only consistency, not disjointness — illustrating\n"
+            << "why any machine that DOES decide L_DISJ must pay Omega(2^k).\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// The paper's motivating scenario: two enormous bit strings (think: key
+// presence bitmaps from two databases) stream past a device whose memory is
+// far too small to store them. The streams alternate sqrt(m) times; the
+// device must decide whether any key is present in both.
+//
+// This example runs the quantum machine against every classical strategy in
+// the library on the same stream and prints decision quality + space, the
+// exponential-separation story in one table.
+//
+//   ./streaming_intersection [k] [trials]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "qols/core/amplified.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/util/table.hpp"
+
+namespace {
+
+using qols::lang::LDisjInstance;
+using qols::machine::OnlineRecognizer;
+using qols::machine::run_stream;
+
+struct Row {
+  std::string name;
+  int correct_member = 0;
+  int correct_nonmember = 0;
+  qols::machine::SpaceReport space;
+};
+
+Row evaluate(OnlineRecognizer& rec, const LDisjInstance& member,
+             const LDisjInstance& nonmember, int trials) {
+  Row row;
+  row.name = rec.name();
+  for (int i = 0; i < trials; ++i) {
+    rec.reset(1000 + i);
+    auto s = member.stream();
+    if (run_stream(*s, rec)) ++row.correct_member;
+    rec.reset(2000 + i);
+    auto s2 = nonmember.stream();
+    if (!run_stream(*s2, rec)) ++row.correct_nonmember;
+  }
+  row.space = rec.space_used();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned k = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  qols::util::Rng rng(7);
+  auto member = LDisjInstance::make_disjoint(k, rng);
+  auto nonmember = LDisjInstance::make_with_intersections(k, 1, rng);
+
+  std::cout << "Scenario: m = " << member.m() << " bits per string, "
+            << member.repetitions() << " alternations, word length "
+            << qols::util::fmt_g(member.word_length()) << " symbols.\n"
+            << "Non-member has a single common key (hardest case).\n\n";
+
+  std::vector<Row> rows;
+
+  qols::core::QuantumOnlineRecognizer quantum(1);
+  rows.push_back(evaluate(quantum, member, nonmember, trials));
+
+  qols::core::AmplifiedRecognizer quantum4(
+      [](std::uint64_t seed) {
+        return std::make_unique<qols::core::QuantumOnlineRecognizer>(seed);
+      },
+      4, 1);
+  rows.push_back(evaluate(quantum4, member, nonmember, trials));
+
+  qols::core::ClassicalBlockRecognizer block(1);
+  rows.push_back(evaluate(block, member, nonmember, trials));
+
+  qols::core::ClassicalFullRecognizer full(1);
+  rows.push_back(evaluate(full, member, nonmember, trials));
+
+  qols::core::ClassicalSamplingRecognizer sample(1, 2 * k);  // O(log m) budget
+  rows.push_back(evaluate(sample, member, nonmember, trials));
+
+  qols::core::ClassicalBloomRecognizer bloom(1, 4 * k, 2);  // O(log m) bits
+  rows.push_back(evaluate(bloom, member, nonmember, trials));
+
+  qols::util::Table table({"machine", "P[accept|member]", "P[reject|non-member]",
+                           "classical bits", "qubits"});
+  for (const auto& row : rows) {
+    table.add_row({row.name,
+                   qols::util::fmt_f(row.correct_member / double(trials), 3),
+                   qols::util::fmt_f(row.correct_nonmember / double(trials), 3),
+                   std::to_string(row.space.classical_bits),
+                   std::to_string(row.space.qubits)});
+  }
+  table.print(std::cout,
+              "Decision quality vs space (" + std::to_string(trials) +
+                  " trials per cell):");
+  std::cout
+      << "\nReading: the quantum machine matches the reliable classical\n"
+         "machines while using exponentially less memory; every classical\n"
+         "strategy at comparable (logarithmic) space fails one column.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+// Exact one-way communication complexity (deterministic case).
+//
+// A deterministic one-way protocol for f : {0,1}^m x {0,1}^m -> {0,1} with a
+// c-bit message exists iff the rows of f's communication matrix (one row per
+// Alice input x) take at most 2^c distinct values: Alice sends the row
+// class, Bob evaluates his column. Hence
+//
+//     D1(f) = ceil(log2 #distinct rows).
+//
+// For Disjointness every pair of distinct supports is separated by a
+// singleton y, so DISJ_m has 2^m distinct rows and D1(DISJ_m) = m, exactly —
+// the deterministic shadow of Theorem 3.2's randomized Omega(m), and the
+// quantity Theorem 3.6's reduction ultimately charges against machine
+// configurations. Exhaustive and exact for m <= ~14 (2^m rows of 2^m bits).
+
+#include <cstdint>
+#include <functional>
+
+namespace qols::comm {
+
+/// f(x, y) over m-bit inputs given as a callable on packed integers.
+using BooleanPredicate =
+    std::function<bool(std::uint64_t x, std::uint64_t y)>;
+
+/// Number of distinct rows of the 2^m x 2^m communication matrix of f.
+/// Cost O(4^m) evaluations; m must be <= 14.
+std::uint64_t distinct_rows(const BooleanPredicate& f, unsigned m);
+
+/// D1(f) = ceil(log2 distinct_rows(f)): the exact deterministic one-way
+/// communication complexity in bits.
+unsigned one_way_det_cc(const BooleanPredicate& f, unsigned m);
+
+/// Ready-made predicates.
+bool disj_predicate(std::uint64_t x, std::uint64_t y);      ///< x & y == 0
+bool eq_predicate(std::uint64_t x, std::uint64_t y);        ///< x == y
+bool ip_predicate(std::uint64_t x, std::uint64_t y);        ///< parity of x & y
+/// INDEX: Bob's input selects one of Alice's bits (uses y mod m as index).
+bool index_predicate_m(std::uint64_t x, std::uint64_t y, unsigned m);
+
+}  // namespace qols::comm

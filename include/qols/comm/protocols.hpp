@@ -1,0 +1,93 @@
+#pragma once
+// Two-party communication protocols for Disjointness and Equality.
+//
+// This module reproduces the communication-complexity side of the paper:
+//   - Theorem 3.1 (Buhrman-Cleve-Wigderson): a quantum protocol for DISJ_m
+//     costing O(sqrt(m) log m) qubits. We implement the Grover-based
+//     register-passing protocol in the exact shape procedure A3 streams
+//     (V_x by Alice, W_y by Bob, diffusion by Alice, final R_y and
+//     measurement by Bob), over a metered simulated quantum channel.
+//   - Theorem 3.2 (Kalyanasundaram-Schnitger / Razborov): R(DISJ_m) =
+//     Omega(m). A lower bound cannot be executed, so the classical side
+//     fields the protocols that exist: the trivial m-bit protocol (correct,
+//     cost Theta(m)) and a sublinear sampling protocol whose measured error
+//     shows why cheaper is not possible.
+//   - The O(log m) fingerprint protocol for (non-)Equality used to justify
+//     procedure A2 (Kushilevitz-Nisan Example 3.5 style).
+//
+// Every run returns its exact message ledger so the E7 bench can print
+// qubits/bits/rounds side by side.
+
+#include <cstdint>
+#include <string>
+
+#include "qols/util/bitvec.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::comm {
+
+/// Message ledger of one protocol execution.
+struct CommCost {
+  std::uint64_t classical_bits = 0;
+  std::uint64_t qubits = 0;
+  std::uint64_t messages = 0;  // one-way messages (a round trip counts as 2)
+
+  void add_classical(std::uint64_t bits) {
+    classical_bits += bits;
+    ++messages;
+  }
+  void add_quantum(std::uint64_t q) {
+    qubits += q;
+    ++messages;
+  }
+};
+
+/// Outcome of one DISJ protocol execution.
+struct DisjOutcome {
+  bool declared_disjoint = false;
+  CommCost cost;
+};
+
+/// Alice sends all of x; Bob answers with the result bit. Always correct;
+/// cost m + 1 bits — the shape the Omega(m) lower bound says is necessary.
+DisjOutcome disj_trivial(const util::BitVec& x, const util::BitVec& y,
+                         util::Rng& rng);
+
+/// Alice sends `samples` random (index, bit) pairs of x's support; Bob
+/// reports whether any collides with a 1 of y. One-sided (never wrongly
+/// declares "intersecting"), but misses intersections with probability
+/// about (1 - t/m)^samples — sublinear cost buys unbounded error.
+DisjOutcome disj_sampling(const util::BitVec& x, const util::BitVec& y,
+                          std::uint64_t samples, util::Rng& rng);
+
+/// The BCW quantum protocol (one attempt, random iteration count drawn by
+/// BBHT from {0,...,sqrt(m)-1}): register-passing Grover search over the
+/// shared index space. Requires |x| = |y| = m a power of 4 (the language's
+/// m = 2^{2k}). One-sided: disjoint inputs are NEVER declared intersecting;
+/// intersecting inputs are caught with probability >= 1/4.
+DisjOutcome disj_bcw_quantum(const util::BitVec& x, const util::BitVec& y,
+                             util::Rng& rng);
+
+/// `attempts` independent BCW runs; declares "intersecting" if any attempt
+/// finds a witness. attempts = 4 reaches the 2/3 bounded-error threshold.
+DisjOutcome disj_bcw_amplified(const util::BitVec& x, const util::BitVec& y,
+                               unsigned attempts, util::Rng& rng);
+
+/// Worst-case qubit cost formula for the BCW protocol at m = 2^{2k}:
+/// (3 * 2^k + 2) register transfers of (2k + 2) qubits each.
+std::uint64_t bcw_worst_case_qubits(unsigned k) noexcept;
+
+/// Outcome of one EQ protocol execution.
+struct EqOutcome {
+  bool declared_equal = false;
+  CommCost cost;
+};
+
+/// Fingerprint protocol for Equality: Alice sends (p, t, F_x(t)); Bob
+/// compares with F_y(t). O(log m) bits; err probability < 2^{-2k} when
+/// p in (2^{4k}, 2^{4k+1}) and |x| = 2^{2k} (one-sided: equal strings are
+/// never declared unequal).
+EqOutcome eq_fingerprint(const util::BitVec& x, const util::BitVec& y,
+                         util::Rng& rng);
+
+}  // namespace qols::comm

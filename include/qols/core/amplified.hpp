@@ -1,0 +1,46 @@
+#pragma once
+// Corollary 3.5: amplification from one-sided error 1/4 to any constant.
+//
+// The quantum machine accepts members with probability 1 and non-members
+// with probability at most 3/4. Running r independent copies in parallel on
+// the same stream (space scales by r — still O(log n) for constant r) and
+// accepting only if EVERY copy accepts keeps perfect completeness and drives
+// the false-accept probability to (3/4)^r:  r = 4 already achieves the 2/3
+// bounded-error threshold for both L_DISJ and its complement, placing
+// L_DISJ in OQBPL.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "qols/machine/online_recognizer.hpp"
+
+namespace qols::core {
+
+/// Runs `copies` independent instances of a recognizer in lockstep on the
+/// same stream; accepts iff all copies accept (preserves perfect
+/// completeness; exponentiates one-sided error on the reject side).
+class AmplifiedRecognizer final : public machine::OnlineRecognizer {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<machine::OnlineRecognizer>(std::uint64_t seed)>;
+
+  AmplifiedRecognizer(Factory factory, std::uint64_t copies,
+                      std::uint64_t seed);
+
+  void feed(stream::Symbol s) override;
+  bool finish() override;
+  void reset(std::uint64_t seed) override;
+  machine::SpaceReport space_used() const override;
+  std::string name() const override;
+
+  std::uint64_t copies() const noexcept { return inner_.size(); }
+
+ private:
+  Factory factory_;
+  std::uint64_t requested_copies_;
+  std::vector<std::unique_ptr<machine::OnlineRecognizer>> inner_;
+};
+
+}  // namespace qols::core

@@ -1,0 +1,161 @@
+#pragma once
+// Classical online recognizers for L_DISJ.
+//
+// ClassicalBlockRecognizer is Proposition 3.7's machine: it is the optimal
+// classical strategy, using Theta(2^k) = Theta(n^{1/3}) bits. The others
+// bracket it: ClassicalFullRecognizer stores a whole m-bit string
+// (Theta(n^{2/3})), and the sampling/Bloom recognizers live below the
+// Omega(n^{1/3}) lower bound of Theorem 3.6 — the lower bound predicts they
+// must fail, and experiment E10 measures exactly how.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qols/fingerprint/equality_checker.hpp"
+#include "qols/lang/structure_validator.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/util/bitvec.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::core {
+
+/// Proposition 3.7: in repetition i the machine buffers block [x]_i (the
+/// 2^k bits of x at offsets [i*2^k, (i+1)*2^k)) while streaming the x-block,
+/// then matches them against the same offsets of the y-block. Repetition i
+/// certifies block i; after all 2^k repetitions every index was checked.
+/// Structure/consistency are validated by the same A1/A2 as the quantum
+/// machine ("the same classical techniques", per the proof).
+///
+/// Error: one-sided, <= 2^{-2k} (only A2 can err). Space: Theta(2^k) bits.
+class ClassicalBlockRecognizer final : public machine::OnlineRecognizer {
+ public:
+  explicit ClassicalBlockRecognizer(std::uint64_t seed);
+
+  void feed(stream::Symbol s) override;
+  bool finish() override;
+  void reset(std::uint64_t seed) override;
+  machine::SpaceReport space_used() const override;
+  std::string name() const override { return "classical-block"; }
+
+  bool intersection_found() const noexcept { return found_; }
+
+ private:
+  void on_body_symbol(stream::Symbol s);
+
+  lang::StructureValidator a1_;
+  std::unique_ptr<fingerprint::EqualityChecker> a2_;
+
+  bool in_prefix_ = true;
+  unsigned k_ = 0;
+  bool active_ = false;
+  std::uint64_t m_ = 0;
+  std::uint64_t block_len_ = 0;  // 2^k
+  std::uint64_t rep_ = 0;
+  unsigned block_ = 0;
+  std::uint64_t off_ = 0;
+  util::BitVec buffer_;  // the 2^k buffered bits of block [x]_rep
+  bool found_ = false;
+};
+
+/// Baseline that stores all of x(1) (m = 2^{2k} bits = Theta(n^{2/3})) and
+/// checks y(1) against it directly; A1/A2 still validate the rest.
+class ClassicalFullRecognizer final : public machine::OnlineRecognizer {
+ public:
+  explicit ClassicalFullRecognizer(std::uint64_t seed);
+
+  void feed(stream::Symbol s) override;
+  bool finish() override;
+  void reset(std::uint64_t seed) override;
+  machine::SpaceReport space_used() const override;
+  std::string name() const override { return "classical-full"; }
+
+ private:
+  lang::StructureValidator a1_;
+  std::unique_ptr<fingerprint::EqualityChecker> a2_;
+
+  bool in_prefix_ = true;
+  unsigned k_ = 0;
+  bool active_ = false;
+  std::uint64_t m_ = 0;
+  std::uint64_t rep_ = 0;
+  unsigned block_ = 0;
+  std::uint64_t off_ = 0;
+  util::BitVec x_;
+  bool found_ = false;
+};
+
+/// Small-space strategy #1: per repetition, sample `budget` uniformly random
+/// indices, remember x's bits there, and compare against y's bits at the
+/// same indices. Space O(budget * log m). Misses an intersection of size t
+/// with probability about (1 - t/m)^{budget * 2^k} — for budget = O(log m)
+/// this tends to 1, as Theorem 3.6 demands of any o(sqrt m)-space machine.
+class ClassicalSamplingRecognizer final : public machine::OnlineRecognizer {
+ public:
+  ClassicalSamplingRecognizer(std::uint64_t seed, std::uint64_t budget);
+
+  void feed(stream::Symbol s) override;
+  bool finish() override;
+  void reset(std::uint64_t seed) override;
+  machine::SpaceReport space_used() const override;
+  std::string name() const override { return "classical-sample"; }
+
+ private:
+  void draw_indices();
+
+  util::Rng rng_;
+  std::uint64_t budget_;
+  lang::StructureValidator a1_;
+  std::unique_ptr<fingerprint::EqualityChecker> a2_;
+
+  bool in_prefix_ = true;
+  unsigned k_ = 0;
+  bool active_ = false;
+  std::uint64_t m_ = 0;
+  std::uint64_t rep_ = 0;
+  unsigned block_ = 0;
+  std::uint64_t off_ = 0;
+  std::vector<std::uint64_t> indices_;  // sorted sample for this repetition
+  std::vector<bool> xbits_;             // x's bits at those indices
+  std::size_t cursor_ = 0;              // sweep position into indices_
+  bool found_ = false;
+};
+
+/// Small-space strategy #2: a Bloom filter over the 1-positions of x(1);
+/// every 1-position of y(1) is tested against it. No false negatives, so
+/// intersecting inputs are ALWAYS rejected; but at o(sqrt m) bits the false
+/// positive rate approaches 1 and disjoint inputs get rejected too — the
+/// machine trades soundness for completeness and still fails the
+/// bounded-error requirement, again as the lower bound predicts.
+class ClassicalBloomRecognizer final : public machine::OnlineRecognizer {
+ public:
+  ClassicalBloomRecognizer(std::uint64_t seed, std::uint64_t filter_bits,
+                           unsigned num_hashes);
+
+  void feed(stream::Symbol s) override;
+  bool finish() override;
+  void reset(std::uint64_t seed) override;
+  machine::SpaceReport space_used() const override;
+  std::string name() const override { return "classical-bloom"; }
+
+ private:
+  std::uint64_t hash(std::uint64_t index, unsigned which) const noexcept;
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t filter_bits_;
+  unsigned num_hashes_;
+  lang::StructureValidator a1_;
+  std::unique_ptr<fingerprint::EqualityChecker> a2_;
+
+  bool in_prefix_ = true;
+  unsigned k_ = 0;
+  bool active_ = false;
+  std::uint64_t m_ = 0;
+  std::uint64_t rep_ = 0;
+  unsigned block_ = 0;
+  std::uint64_t off_ = 0;
+  util::BitVec filter_;
+  bool hit_ = false;
+};
+
+}  // namespace qols::core

@@ -1,0 +1,77 @@
+#pragma once
+// Reusable experiment driver: the measure-acceptance-with-confidence loop
+// that every harness needs, packaged for downstream users reproducing or
+// extending the paper's experiments.
+//
+//   auto r = measure_acceptance(
+//       [&] { return inst.stream(); },
+//       [](std::uint64_t seed) { return std::make_unique<QuantumOnlineRecognizer>(seed); },
+//       {.trials = 500, .seed_base = 1});
+//   r.rate(), r.wilson(), r.space   // acceptance, 95% CI, space report
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/stats.hpp"
+
+namespace qols::core {
+
+struct ExperimentOptions {
+  std::uint64_t trials = 100;
+  std::uint64_t seed_base = 1;
+  /// Normal quantile for the confidence interval (1.96 ~ 95%).
+  double z = 1.96;
+};
+
+struct ExperimentResult {
+  std::uint64_t trials = 0;
+  std::uint64_t accepts = 0;
+  machine::SpaceReport space;  ///< from the last trial (space is seed-stable)
+
+  double rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(accepts) /
+                             static_cast<double>(trials);
+  }
+  util::Interval wilson(double z = 1.96) const noexcept {
+    return trials == 0 ? util::Interval{}
+                       : util::wilson_interval(accepts, trials, z);
+  }
+};
+
+using StreamFactory = std::function<std::unique_ptr<stream::SymbolStream>()>;
+using RecognizerFactory =
+    std::function<std::unique_ptr<machine::OnlineRecognizer>(std::uint64_t)>;
+
+/// Runs `opts.trials` independent trials: recognizer seeded with
+/// seed_base + i, fed a fresh stream, decision recorded.
+ExperimentResult measure_acceptance(const StreamFactory& make_stream,
+                                    const RecognizerFactory& make_recognizer,
+                                    const ExperimentOptions& opts);
+
+/// Convenience: acceptance on a member stream and rejection on a non-member
+/// stream, same recognizer family — the two columns every comparison table
+/// shows.
+struct QualityProfile {
+  ExperimentResult on_member;
+  ExperimentResult on_nonmember;
+
+  /// Worst-case error against ground truth (member must accept, non-member
+  /// must reject).
+  double max_error() const noexcept {
+    const double e1 = 1.0 - on_member.rate();
+    const double e2 = on_nonmember.rate();
+    return e1 > e2 ? e1 : e2;
+  }
+  bool bounded_error() const noexcept { return max_error() < 1.0 / 3.0; }
+};
+
+QualityProfile measure_quality(const StreamFactory& member_stream,
+                               const StreamFactory& nonmember_stream,
+                               const RecognizerFactory& make_recognizer,
+                               const ExperimentOptions& opts);
+
+}  // namespace qols::core

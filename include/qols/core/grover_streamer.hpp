@@ -1,0 +1,110 @@
+#pragma once
+// Procedure A3 (proof of Theorem 3.4): the quantum heart of the online
+// machine. Streams the Buhrman-Cleve-Wigderson protocol over the repeated
+// input:
+//
+//   1. |phi> <- H^{x2k} |0>  (uniform superposition on the 2k index qubits)
+//   2. pick j uniform in {0, ..., 2^k - 1}
+//   3. for repetitions i = 1..j:  |phi> <- U_k S_k U_k V_z(i) W_y(i) V_x(i)
+//      (one Grover iteration per repetition; V/W gates are emitted bit by
+//      bit as the input streams past)
+//   4. on repetition j+1:  |phi> <- R_y(j+1) V_x(j+1)
+//   5. measure the last qubit; output 1 - outcome.
+//
+// Register layout: qubits [0, 2k) = index register, qubit 2k = h (the oracle
+// workspace), qubit 2k+1 = l (the AND result R_y writes). Because each
+// streamed bit fixes the *entire* index register, its gate touches O(1)
+// amplitudes — the per-symbol cost of the simulation is constant and the
+// per-repetition diffusion costs O(2^{2k}).
+//
+// Gate-level mode: the same per-bit schedule is additionally lowered to the
+// paper's {H, T, CNOT} alphabet through a CircuitBuilder writing to any
+// GateSink (count, tape, or immediate application), with 2k compiler
+// ancillas above the data register. This realizes Definition 2.3's output
+// tape literally.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "qols/gates/builder.hpp"
+#include "qols/quantum/state_vector.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::core {
+
+class GroverStreamer {
+ public:
+  struct Options {
+    /// Simulate the state vector (needed for decisions/probabilities).
+    bool simulate = true;
+    /// If set, also lower every operation to {H,T,CNOT} into this sink.
+    gates::GateSink* gate_sink = nullptr;
+    /// Largest k the simulator will instantiate (2k+2 qubits).
+    unsigned max_sim_k = 10;
+  };
+
+  explicit GroverStreamer(util::Rng rng);
+  GroverStreamer(util::Rng rng, Options opts);
+
+  /// Consumes one symbol of the word (same stream as A1/A2).
+  void feed(stream::Symbol s);
+
+  /// A3's output: 1 if the measured ancilla was 0 ("looks disjoint"),
+  /// 0 otherwise. Performs the projective measurement using this streamer's
+  /// RNG. Call once, after the stream ends.
+  int finish_output();
+
+  /// Exact P[measuring l yields 1] for this run's j — i.e. this run's
+  /// rejection probability on consistent intersecting inputs, equal to
+  /// sin^2((2j+1) theta). Available before finish_output().
+  double probability_output_zero() const;
+
+  /// The Grover iteration count drawn in step 2 (after the prefix is read).
+  std::optional<std::uint64_t> chosen_j() const noexcept {
+    return active_ ? std::optional<std::uint64_t>(j_) : std::nullopt;
+  }
+
+  /// Qubits of the data register (2k+2), excluding compiler ancillas.
+  std::uint64_t qubits_used() const noexcept {
+    return active_ ? 2ULL * k_ + 2 : 0;
+  }
+  /// Compiler ancillas on top (gate-level mode only).
+  std::uint64_t ancilla_qubits_used() const noexcept;
+
+  /// Classical work bits: the prefix counter, j, repetition and offset
+  /// counters — O(k) total.
+  std::uint64_t classical_bits_used() const noexcept;
+
+  /// Total {H,T,CNOT} gates emitted (gate-level mode only).
+  std::uint64_t gates_emitted() const noexcept;
+
+  /// Read-only view of the simulated register (tests).
+  const quantum::StateVector* state() const noexcept { return state_.get(); }
+
+ private:
+  void on_bit(bool bit);
+  void on_sep();
+  void apply_diffusion();
+
+  util::Rng rng_;
+  Options opts_;
+
+  bool in_prefix_ = true;
+  unsigned k_ = 0;
+  bool active_ = false;   // simulating (shape plausible, k within range)
+  bool overflow_ = false; // k exceeded max_sim_k: cannot simulate honestly
+
+  std::uint64_t m_ = 0;     // 2^{2k}
+  std::uint64_t j_ = 0;     // Grover iterations to run
+  std::uint64_t rep_ = 0;   // 0-based repetition index
+  unsigned block_ = 0;      // 0 = x, 1 = y, 2 = z
+  std::uint64_t off_ = 0;   // offset within the current block
+  bool done_ = false;       // step 4 finished; ignore the rest
+
+  std::unique_ptr<quantum::StateVector> state_;
+  std::unique_ptr<gates::CircuitBuilder> builder_;
+};
+
+}  // namespace qols::core

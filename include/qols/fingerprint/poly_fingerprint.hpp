@@ -1,0 +1,71 @@
+#pragma once
+// Streaming polynomial fingerprints over Z_p (the string-equality primitive
+// behind procedure A2).
+//
+// For w = w_0 w_1 ... w_{m-1} in {0,1}^m the fingerprint at evaluation point
+// t is  F_w(t) = sum_i w_i t^i mod p. Two distinct strings of length m agree
+// on a uniformly random t with probability at most (m-1)/p (a nonzero
+// polynomial of degree < m has < m roots). The paper takes p prime with
+// 2^{4k} < p < 2^{4k+1} and m = 2^{2k}, so the collision probability is
+// below 2^{-2k}.
+
+#include <cstdint>
+
+#include "qols/util/modmath.hpp"
+
+namespace qols::fingerprint {
+
+/// Incremental evaluator of F_w(t) mod p; feed bits left to right.
+/// Work memory: three field elements (accumulator, t^i, and t itself).
+class PolyFingerprint {
+ public:
+  PolyFingerprint(std::uint64_t p, std::uint64_t t) noexcept
+      : p_(p), t_(t % p), tpow_(1 % p) {}
+
+  /// Consumes the next bit w_i.
+  void feed(bool bit) noexcept {
+    if (bit) acc_ = util::addmod(acc_, tpow_, p_);
+    tpow_ = util::mulmod(tpow_, t_, p_);
+  }
+
+  /// Current value of F_{w_0..w_{i-1}}(t).
+  std::uint64_t value() const noexcept { return acc_; }
+
+  /// Number of bits consumed so far.
+  std::uint64_t length() const noexcept { return fed_; }
+
+  /// Restarts for a fresh string at the same (p, t).
+  void reset() noexcept {
+    acc_ = 0;
+    tpow_ = 1 % p_;
+    fed_ = 0;
+  }
+
+  /// Consumes the next bit and counts it (convenience used by A2's block
+  /// scanner, which also needs lengths).
+  void feed_counted(bool bit) noexcept {
+    feed(bit);
+    ++fed_;
+  }
+
+  std::uint64_t modulus() const noexcept { return p_; }
+  std::uint64_t point() const noexcept { return t_; }
+
+ private:
+  std::uint64_t p_;
+  std::uint64_t t_;
+  std::uint64_t tpow_;
+  std::uint64_t acc_ = 0;
+  std::uint64_t fed_ = 0;
+};
+
+/// One-shot fingerprint of a whole bit string (testing convenience).
+template <typename BitRange>
+std::uint64_t fingerprint_of(const BitRange& bits, std::uint64_t p,
+                             std::uint64_t t) noexcept {
+  PolyFingerprint f(p, t);
+  for (bool b : bits) f.feed(b);
+  return f.value();
+}
+
+}  // namespace qols::fingerprint

@@ -1,0 +1,163 @@
+#pragma once
+// Exact compilation to the paper's universal set {H, T, CNOT}.
+//
+// Definition 2.3 requires the online machine to describe its whole quantum
+// computation as a word over G = {G0=H, G1=T, G2=CNOT}. Every operator used
+// by procedure A3 (V_x, W_y, R_y, S_k, U_k) is at the Clifford+Toffoli level,
+// so the lowering here is *exact* — no Solovay-Kitaev approximation is ever
+// needed:
+//   T^2 = S, T^4 = Z, T^7 = T[dagger], H Z H = X,
+//   CZ = (I (x) H) CNOT (I (x) H),
+//   CCX = the standard 7-T / 6-CNOT / 2-H circuit,
+//   n-controlled X = Toffoli ladder over n-1 clean ancillas,
+//   S_k = 2|0><0| - I  =  (up to global phase) X^n . (n-controlled Z) . X^n.
+//
+// The builder emits into a GateSink so the same code path can (a) collect a
+// Circuit for replay, (b) stream the a#b#c output tape symbol by symbol like
+// the machine's one-way output tape, or (c) just count gates for the E12
+// accounting at sizes where materializing the circuit would be wasteful.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qols/quantum/circuit.hpp"
+
+namespace qols::gates {
+
+/// Receives compiled gates one at a time (the "output tape head").
+class GateSink {
+ public:
+  virtual ~GateSink() = default;
+  virtual void emit(const quantum::Gate& g) = 0;
+};
+
+/// Collects gates into a Circuit (replayable / serializable).
+class CircuitSink final : public GateSink {
+ public:
+  void emit(const quantum::Gate& g) override { circuit_.add(g); }
+  const quantum::Circuit& circuit() const noexcept { return circuit_; }
+  quantum::Circuit take() { return std::move(circuit_); }
+
+ private:
+  quantum::Circuit circuit_;
+};
+
+/// Counts gates without storing them.
+class CountingSink final : public GateSink {
+ public:
+  void emit(const quantum::Gate& g) override {
+    ++total_;
+    switch (g.kind) {
+      case quantum::GateKind::kH: ++h_; break;
+      case quantum::GateKind::kT: ++t_; break;
+      case quantum::GateKind::kCnot: ++cnot_; break;
+    }
+  }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t h() const noexcept { return h_; }
+  std::uint64_t t() const noexcept { return t_; }
+  std::uint64_t cnot() const noexcept { return cnot_; }
+
+ private:
+  std::uint64_t total_ = 0, h_ = 0, t_ = 0, cnot_ = 0;
+};
+
+/// Appends the paper's a#b#c encoding of each gate to a string, exactly as
+/// the OPTM writes its one-way output tape.
+class TapeWriterSink final : public GateSink {
+ public:
+  void emit(const quantum::Gate& g) override;
+  const std::string& tape() const noexcept { return tape_; }
+
+ private:
+  std::string tape_;
+};
+
+/// Applies gates immediately to a StateVector (no buffering) — the "apply
+/// the gates as soon as they are output" execution the paper describes.
+class ApplySink final : public GateSink {
+ public:
+  explicit ApplySink(quantum::StateVector& state) : state_(state) {}
+  void emit(const quantum::Gate& g) override { apply_gate(state_, g); }
+
+ private:
+  quantum::StateVector& state_;
+};
+
+/// Emits exact {H, T, CNOT} sequences for the derived gates above.
+///
+/// Qubit layout: the caller owns labels [0, data_qubits); the builder owns a
+/// stack of ancilla labels [data_qubits, data_qubits + ancilla_budget), all
+/// assumed |0> between public calls (every routine uncomputes what it
+/// borrows). ancillas_high_water() reports the deepest use.
+class CircuitBuilder {
+ public:
+  CircuitBuilder(GateSink& sink, unsigned data_qubits, unsigned ancilla_budget);
+
+  // -- primitives (tape alphabet) --
+  void h(unsigned q);
+  void t(unsigned q);
+  void cnot(unsigned c, unsigned t);
+
+  // -- exact one-qubit derivations --
+  void tdg(unsigned q);  ///< T^7
+  void s(unsigned q);    ///< T^2
+  void sdg(unsigned q);  ///< T^6
+  void z(unsigned q);    ///< T^4
+  void x(unsigned q);    ///< H T^4 H
+
+  // -- exact multi-qubit derivations --
+  void cz(unsigned a, unsigned b);
+  void ccx(unsigned c1, unsigned c2, unsigned target);
+  void ccz(unsigned c1, unsigned c2, unsigned c3);
+
+  /// X on target controlled on every listed qubit being |1>. Uses a Toffoli
+  /// ladder with max(0, n-1) clean ancillas for n >= 3 controls.
+  void mcx(std::span<const unsigned> controls, unsigned target);
+
+  /// Phase flip on the all-ones assignment of `qubits` (|1...1> -> -|1...1>).
+  void mcz(std::span<const unsigned> qubits);
+
+  /// X on target controlled on mixed-polarity terms (value==false controls
+  /// are conjugated with X).
+  void mcx_pattern(std::span<const quantum::ControlTerm> controls,
+                   unsigned target);
+
+  /// Phase flip on the basis assignment described by mixed-polarity terms.
+  void mcz_pattern(std::span<const quantum::ControlTerm> controls);
+
+  /// U_k: Hadamard on qubits [first, first+count).
+  void h_range(unsigned first, unsigned count);
+
+  /// S_k up to a global phase of -1: negates every basis state whose
+  /// [first, first+count) register is nonzero. (Global phase is
+  /// unobservable; tests compare states by fidelity.)
+  void reflect_zero(unsigned first, unsigned count);
+
+  unsigned data_qubits() const noexcept { return data_qubits_; }
+  unsigned ancilla_budget() const noexcept { return ancilla_budget_; }
+  /// Deepest simultaneous ancilla use so far.
+  unsigned ancillas_high_water() const noexcept { return anc_high_water_; }
+  std::uint64_t gates_emitted() const noexcept { return emitted_; }
+
+ private:
+  unsigned alloc_ancilla();
+  void free_ancilla(unsigned label);
+  void emit(quantum::GateKind kind, unsigned a, unsigned b);
+
+  GateSink& sink_;
+  unsigned data_qubits_;
+  unsigned ancilla_budget_;
+  unsigned anc_in_use_ = 0;
+  unsigned anc_high_water_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Ancillas needed by mcx/mcz_pattern with n control terms (ladder depth).
+constexpr unsigned mcx_ancillas_needed(unsigned n_controls) noexcept {
+  return n_controls >= 3 ? n_controls - 1 : 0;
+}
+
+}  // namespace qols::gates

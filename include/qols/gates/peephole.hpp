@@ -1,0 +1,44 @@
+#pragma once
+// Peephole optimization of {H, T, CNOT} tapes.
+//
+// The exact lowering of CircuitBuilder is deliberately local (each streamed
+// input bit compiles independently), which leaves easy algebraic wins on the
+// tape: T-runs collapse mod 8 (T^8 = I exactly, global-phase-free), H pairs
+// on the same qubit cancel (no intervening gate touching it), and identical
+// adjacent CNOTs annihilate. This module applies those EXACT identities —
+// every rewrite preserves the circuit's unitary action literally, which the
+// test suite asserts by state equality (not just fidelity).
+//
+// The ablation bench E15 measures how much of the machine's Definition 2.3
+// output tape this recovers.
+
+#include <cstdint>
+
+#include "qols/quantum/circuit.hpp"
+
+namespace qols::gates {
+
+struct PeepholeStats {
+  std::uint64_t gates_before = 0;
+  std::uint64_t gates_after = 0;
+  std::uint64_t identities_dropped = 0;   ///< a == b tape entries removed
+  std::uint64_t h_pairs_cancelled = 0;    ///< HH -> I events
+  std::uint64_t t_gates_cancelled = 0;    ///< T's removed by mod-8 folding
+  std::uint64_t cnot_pairs_cancelled = 0; ///< CNOT,CNOT -> I events
+  std::uint64_t passes = 0;               ///< fixpoint iterations
+
+  double reduction() const noexcept {
+    return gates_before == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(gates_after) /
+                           static_cast<double>(gates_before);
+  }
+};
+
+/// Rewrites `input` to an equivalent, usually shorter, tape. Iterates the
+/// rewrite rules to a fixpoint. The returned circuit computes exactly the
+/// same unitary (no global-phase slack).
+quantum::Circuit peephole_optimize(const quantum::Circuit& input,
+                                   PeepholeStats* stats = nullptr);
+
+}  // namespace qols::gates

@@ -1,0 +1,46 @@
+#pragma once
+// Closed-form analysis of Grover search with an unknown number of solutions
+// (Boyer, Brassard, Hoyer, Tapp 1998), as used in the proof of Theorem 3.4.
+//
+// With t marked items among N, let theta be the angle with
+// sin^2(theta) = t/N, 0 < theta < pi/2. After j Grover iterations starting
+// from the uniform superposition, measuring hits a marked item with
+// probability sin^2((2j+1) theta). Averaged over j uniform in {0,...,M-1}:
+//
+//   P_avg = 1/2 - sin(4 M theta) / (4 M sin(2 theta))
+//
+// and P_avg >= 1/4 whenever M >= 1/sin(2 theta). The paper instantiates
+// N = 2^{2k}, M = 2^k, where M = sqrt(N) >= 1/sin(2 theta) holds for every
+// 1 <= t <= N-1, giving procedure A3's one-sided error bound of 1/4.
+
+#include <cstdint>
+
+namespace qols::grover {
+
+/// theta with sin^2(theta) = t/N (requires 0 <= t <= N, N >= 1).
+double angle(std::uint64_t t, std::uint64_t n) noexcept;
+
+/// P[measurement finds a marked item after j Grover iterations]
+/// = sin^2((2j+1) theta).
+double success_after(std::uint64_t j, double theta) noexcept;
+
+/// Average of success_after(j, theta) for j uniform in {0,...,m_rounds-1}:
+/// the closed form 1/2 - sin(4 m theta)/(4 m sin(2 theta)). Degenerate
+/// cases: t=0 (theta=0) gives 0; t=N (theta=pi/2) gives the exact average of
+/// sin^2((2j+1) pi/2) = 1.
+double average_success(std::uint64_t m_rounds, double theta) noexcept;
+
+/// Same, computed by explicit summation (test oracle for the closed form).
+double average_success_by_sum(std::uint64_t m_rounds, double theta) noexcept;
+
+/// The paper's A3 rejection probability on a shape-valid, consistent input
+/// with t common indices: average_success(2^k, theta(t, 2^{2k})).
+/// For 1 <= t <= 2^{2k} this is >= 1/4 (proved in Section 3.2; also covered
+/// by a parameterized test sweep).
+double a3_rejection_probability(unsigned k, std::uint64_t t) noexcept;
+
+/// Smallest number of classical repetitions r such that one-sided error
+/// (1 - p_reject)^r <= eps, given per-run rejection probability >= p_reject.
+std::uint64_t repetitions_for_error(double p_reject, double eps) noexcept;
+
+}  // namespace qols::grover

@@ -1,0 +1,99 @@
+#pragma once
+// Instances of the paper's total language (Definition 3.3):
+//
+//   L_DISJ = { 1^k # (x#y#x#)^{2^k} : k >= 1, x,y in {0,1}^{2^{2k}},
+//              DISJ_{2^{2k}}(x, y) = 1 }
+//
+// where DISJ(x,y) = 1 iff no index i has x_i = y_i = 1. An instance is the
+// triple (k, x, y); its input word streams x and y alternately 2^k = sqrt(m)
+// times (m = 2^{2k}), which is exactly the number of rounds the BCW quantum
+// protocol needs in the worst case.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/bitvec.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::lang {
+
+/// A structurally well-formed input (k, x, y). Membership in L_DISJ then
+/// depends only on whether x and y intersect.
+class LDisjInstance {
+ public:
+  /// Requires k in [1, 10] (m = 2^{2k} caps at ~1M bits; the streamed word
+  /// caps at ~3.2 Gsymbols) and |x| = |y| = 2^{2k}.
+  LDisjInstance(unsigned k, util::BitVec x, util::BitVec y);
+
+  /// Random instance with DISJ(x, y) = 1 (a member of L_DISJ). Bits of x are
+  /// uniform; bits of y are uniform on the complement of x's support.
+  static LDisjInstance make_disjoint(unsigned k, util::Rng& rng);
+
+  /// Random instance with exactly `t` common indices (t = 0 gives a member;
+  /// t >= 1 gives a non-member). Requires t <= 2^{2k}.
+  static LDisjInstance make_with_intersections(unsigned k, std::uint64_t t,
+                                               util::Rng& rng);
+
+  unsigned k() const noexcept { return k_; }
+  /// m = 2^{2k}, the length of x and y.
+  std::uint64_t m() const noexcept { return std::uint64_t{1} << (2 * k_); }
+  /// sqrt(m) = 2^k, the number of (x#y#x#) repetitions.
+  std::uint64_t repetitions() const noexcept { return std::uint64_t{1} << k_; }
+
+  const util::BitVec& x() const noexcept { return x_; }
+  const util::BitVec& y() const noexcept { return y_; }
+
+  /// |{i : x_i = y_i = 1}|.
+  std::uint64_t intersections() const { return x_.and_popcount(y_); }
+  /// True iff the streamed word belongs to L_DISJ.
+  bool member() const { return intersections() == 0; }
+
+  /// Total length of the streamed word: k + 1 + 2^k * 3 * (m + 1).
+  std::uint64_t word_length() const noexcept;
+
+  /// Lazy one-way stream of the word 1^k#(x#y#x#)^{2^k}. The stream holds
+  /// only a reference-counted copy of (x, y) — never the expanded word.
+  std::unique_ptr<stream::SymbolStream> stream() const;
+
+  /// Materializes the full word (small k only; guarded against > 64 MiB).
+  std::string render() const;
+
+  /// Absolute stream position of `offset` within block `block` (0 = x,
+  /// 1 = y, 2 = z) of repetition `rep` (0-based). offset == m addresses the
+  /// block's trailing '#'.
+  std::uint64_t position_of(std::uint64_t rep, unsigned block,
+                            std::uint64_t offset) const noexcept;
+
+ private:
+  unsigned k_;
+  util::BitVec x_;
+  util::BitVec y_;
+};
+
+/// Ways to break a well-formed word, for failure-injection tests. The first
+/// two violate shape condition (i) (procedure A1 must reject); the next two
+/// violate consistency (ii)/(iii) (procedure A2 must reject with high
+/// probability); the last two are tape-level damage.
+enum class MutantKind {
+  kBadPrefix,        ///< prefix '1^k' corrupted (a '0' before the first '#')
+  kTrailingGarbage,  ///< extra symbols after the final '#'
+  kXZMismatch,       ///< one bit of a z-block flipped (x != z in some repetition)
+  kYDrift,           ///< one bit of a later y-block flipped (y changes between reps)
+  kTruncated,        ///< stream ends mid-word
+  kSepInsideBlock,   ///< a data bit replaced by '#'
+};
+
+/// Wraps the instance's stream so it produces the mutated word. The mutation
+/// site is chosen from `rng` (never repetition 0 for drift mutants, so the
+/// damage is genuinely "later in the stream").
+std::unique_ptr<stream::SymbolStream> make_mutant_stream(
+    const LDisjInstance& inst, MutantKind kind, util::Rng& rng);
+
+/// Offline reference oracle: full (non-streaming) check of membership in
+/// L_DISJ of an arbitrary word over {0,1,#}. Ground truth for tests.
+bool is_member_reference(const std::string& word);
+
+}  // namespace qols::lang

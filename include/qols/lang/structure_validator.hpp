@@ -1,0 +1,69 @@
+#pragma once
+// Procedure A1 (proof of Theorem 3.4): a deterministic streaming check of
+// shape condition (i) — the word is exactly
+//
+//   1^k # b_1 # b_2 # ... # b_{3*2^k} #      with each b_j in {0,1}^{2^{2k}}
+//
+// using O(k) = O(log n) bits of work memory: a prefix counter for k, a block
+// counter up to 3*2^k, and an in-block position counter up to 2^{2k}. The
+// validator never buffers input.
+
+#include <cstdint>
+#include <optional>
+
+#include "qols/stream/symbol_stream.hpp"
+
+namespace qols::lang {
+
+class StructureValidator {
+ public:
+  StructureValidator() = default;
+
+  /// Consumes one symbol. Safe to call after failure (stays failed).
+  void feed(stream::Symbol s);
+
+  /// Declares end of input and returns the verdict: true iff the consumed
+  /// word satisfied shape condition (i) exactly.
+  bool finish();
+
+  /// True once the word can no longer satisfy (i), regardless of what
+  /// follows. (Callers may keep feeding; the flag is sticky.)
+  bool failed() const noexcept { return failed_; }
+
+  /// k, available once the prefix '1^k#' has been consumed.
+  std::optional<unsigned> k() const noexcept {
+    return k_known_ ? std::optional<unsigned>(k_) : std::nullopt;
+  }
+
+  /// 0-based index of the block currently being read (x=0, y=1, z=2 of
+  /// repetition blocks_done()/3), defined while parsing the body.
+  std::uint64_t blocks_done() const noexcept { return blocks_done_; }
+
+  /// Work-memory footprint in bits, per the accounting in DESIGN.md:
+  /// prefix/k counter + block counter (k+2 bits) + position counter (2k+1
+  /// bits) + 2 control-state bits. Grows with k; callable any time.
+  std::uint64_t classical_bits_used() const noexcept;
+
+ private:
+  enum class Phase : std::uint8_t { kPrefix, kBlock, kFailed, kDone };
+
+  // The largest k this implementation supports; counters are 64-bit so the
+  // word length 2^{3k+2} must fit, and the library-wide instance guard is 10.
+  static constexpr unsigned kMaxK = 20;
+
+  Phase phase_ = Phase::kPrefix;
+  bool failed_ = false;
+  bool k_known_ = false;
+  unsigned k_ = 0;
+  std::uint64_t m_ = 0;             // 2^{2k}
+  std::uint64_t total_blocks_ = 0;  // 3 * 2^k
+  std::uint64_t blocks_done_ = 0;
+  std::uint64_t pos_in_block_ = 0;
+
+  void fail() noexcept {
+    failed_ = true;
+    phase_ = Phase::kFailed;
+  }
+};
+
+}  // namespace qols::lang

@@ -1,0 +1,47 @@
+#pragma once
+// Adversarial and structured workload families for robustness experiments.
+//
+// Theorem 3.4's guarantees are worst-case over (x, y), but measured error
+// rates can hide structure sensitivity. These generators place the
+// intersection and shape the densities adversarially:
+//   - first/last index intersections (stress stream positions),
+//   - block-boundary intersections (stress the classical block machine's
+//     window logic — the index right at a 2^k window edge),
+//   - density extremes (all-ones x against a single y bit and vice versa),
+//   - clustered intersections (all t witnesses inside one block).
+// The E17 bench sweeps the quantum machine (and the classical baselines in
+// its tests) across every family.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qols/lang/ldisj_instance.hpp"
+
+namespace qols::lang {
+
+enum class WorkloadFamily {
+  kUniformDisjoint,       ///< random member
+  kFirstIndex,            ///< single intersection at index 0
+  kLastIndex,             ///< single intersection at index m-1
+  kBlockBoundary,         ///< intersection at a 2^k window edge
+  kDenseXSparseY,         ///< x = all ones, y = a single bit
+  kSparseXDenseY,         ///< x = a single bit, y = all ones
+  kClusteredIntersections ///< several witnesses packed into one 2^k block
+};
+
+/// All families, for sweeps.
+std::vector<WorkloadFamily> all_workload_families();
+
+/// Human-readable family name for tables.
+std::string workload_family_name(WorkloadFamily family);
+
+/// True iff instances of the family belong to L_DISJ (are intersection-free).
+bool workload_family_is_member(WorkloadFamily family);
+
+/// Builds one instance of the family at scale k. Randomness only shapes the
+/// non-essential background bits.
+LDisjInstance make_workload_instance(WorkloadFamily family, unsigned k,
+                                     util::Rng& rng);
+
+}  // namespace qols::lang

@@ -1,0 +1,89 @@
+#pragma once
+// The online-machine abstraction shared by the quantum recognizer (Theorem
+// 3.4) and every classical baseline (Proposition 3.7 and the small-space
+// strategies of experiment E10).
+//
+// An OnlineRecognizer consumes the one-way input symbol by symbol and then
+// commits to accept/reject. Its SpaceReport is the *conceptual* work-memory
+// footprint of the machine it models — counters, fingerprints, buffers,
+// qubits — not the footprint of the host process (the simulator may use
+// scratch memory that a real machine would not, e.g. the dense state vector
+// standing in for physical qubits).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "qols/stream/symbol_stream.hpp"
+
+namespace qols::machine {
+
+/// Work-memory footprint of a recognizer, split per the paper's model:
+/// classical work-tape bits and quantum register qubits.
+struct SpaceReport {
+  std::uint64_t classical_bits = 0;
+  std::uint64_t qubits = 0;
+
+  std::uint64_t total() const noexcept { return classical_bits + qubits; }
+};
+
+/// One-pass streaming decision procedure.
+class OnlineRecognizer {
+ public:
+  virtual ~OnlineRecognizer() = default;
+
+  /// Consumes the next input symbol.
+  virtual void feed(stream::Symbol s) = 0;
+
+  /// Declares end of input; returns the accept/reject decision. May involve
+  /// the machine's final coin flips / measurement. Call at most once per
+  /// stream; reset() rearms the recognizer.
+  virtual bool finish() = 0;
+
+  /// Rearms for a fresh input with a fresh random seed.
+  virtual void reset(std::uint64_t seed) = 0;
+
+  /// Peak conceptual work memory used on the last input.
+  virtual SpaceReport space_used() const = 0;
+
+  /// Short human-readable identifier for tables ("quantum", "block", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Streams `input` through `rec` (which must be freshly reset) and returns
+/// the decision.
+bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec);
+
+/// Monte-Carlo acceptance probability over `trials` independent runs of the
+/// recognizer on the same input stream factory.
+struct AcceptanceStats {
+  std::uint64_t trials = 0;
+  std::uint64_t accepts = 0;
+  double rate() const noexcept {
+    return trials ? static_cast<double>(accepts) / static_cast<double>(trials)
+                  : 0.0;
+  }
+};
+
+template <typename StreamFactory>
+AcceptanceStats estimate_acceptance(StreamFactory&& make_stream,
+                                    OnlineRecognizer& rec,
+                                    std::uint64_t trials,
+                                    std::uint64_t seed_base) {
+  AcceptanceStats stats;
+  stats.trials = trials;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    rec.reset(seed_base + i);
+    auto s = make_stream();
+    if (run_stream(*s, rec)) ++stats.accepts;
+  }
+  return stats;
+}
+
+/// Fact 2.2: log2 of the number of distinct configurations an OPTM with
+/// |Sigma| tape symbols and |Q| control states can reach on inputs of length
+/// n using s work-tape cells:  log2(n * s * |Sigma|^s * |Q|).
+double log2_configuration_bound(double n, double s, double alphabet,
+                                double states) noexcept;
+
+}  // namespace qols::machine

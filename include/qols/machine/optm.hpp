@@ -1,0 +1,136 @@
+#pragma once
+// The paper's formal model, executable: an online (one-way) probabilistic
+// Turing machine (Section 2.1).
+//
+// An OPTM has a finite control, a ONE-WAY read-only input tape over
+// Sigma = {0, 1, #} and a read-write work tape over {0, 1, #, blank}. At
+// each step the machine reads (control state, input symbol under the head,
+// work symbol under the head), flips a fair coin, and performs the selected
+// action: switch state, write a work symbol, move the work head left/right/
+// stay, and optionally advance the input head (it can never move left).
+// Acceptance = halting in an accepting state; rejection = halting elsewhere
+// or exceeding the step budget (the "never halts" mode of rejection).
+//
+// The simulator meters exactly the quantities the paper's definitions use:
+// work cells touched (space, Definition 2.1(iii)) and the configuration
+// (state, head positions, work content — Fact 2.2). The census helpers at
+// the bottom make Fact 2.2 checkable: enumerate reachable configurations
+// and compare against n * s * |Sigma|^s * |Q|.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::machine {
+
+/// Work-tape alphabet: the input alphabet plus the blank.
+enum class WorkSym : std::uint8_t { kZero = 0, kOne = 1, kSep = 2, kBlank = 3 };
+
+/// Input view: the three symbols plus end-of-input.
+enum class InSym : std::uint8_t { kZero = 0, kOne = 1, kSep = 2, kEof = 3 };
+
+/// Work-head movement.
+enum class Move : std::int8_t { kLeft = -1, kStay = 0, kRight = 1 };
+
+/// One transition outcome.
+struct OptmAction {
+  std::uint32_t next_state = 0;
+  WorkSym write = WorkSym::kBlank;
+  Move move = Move::kStay;
+  bool advance_input = false;
+  bool halt = false;
+};
+
+/// A complete OPTM program: transition table over
+/// (state, input symbol, work symbol) -> {action on coin 0, action on coin 1}.
+/// Omitted triples halt-and-reject. Deterministic machines set both actions
+/// equal (set_transition does this for you).
+class OptmProgram {
+ public:
+  explicit OptmProgram(std::uint32_t num_states);
+
+  std::uint32_t num_states() const noexcept { return num_states_; }
+
+  void set_start(std::uint32_t state);
+  void set_accepting(std::uint32_t state, bool accepting = true);
+
+  /// Deterministic transition (both coin outcomes identical).
+  void set_transition(std::uint32_t state, InSym in, WorkSym work,
+                      const OptmAction& action);
+  /// Probabilistic transition (coin 0 / coin 1).
+  void set_transition(std::uint32_t state, InSym in, WorkSym work,
+                      const OptmAction& on_heads, const OptmAction& on_tails);
+
+  std::uint32_t start_state() const noexcept { return start_; }
+  bool is_accepting(std::uint32_t state) const noexcept;
+
+  /// Transition lookup; nullopt = undefined (halt and reject).
+  const std::pair<OptmAction, OptmAction>* lookup(std::uint32_t state, InSym in,
+                                                  WorkSym work) const noexcept;
+
+ private:
+  static std::size_t key(std::uint32_t state, InSym in, WorkSym work,
+                         std::uint32_t num_states) noexcept {
+    return (static_cast<std::size_t>(state) * 4 +
+            static_cast<std::size_t>(in)) *
+               4 +
+           static_cast<std::size_t>(work);
+  }
+
+  std::uint32_t num_states_;
+  std::uint32_t start_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::optional<std::pair<OptmAction, OptmAction>>> table_;
+};
+
+/// Outcome of one OPTM run.
+struct OptmRun {
+  bool accepted = false;
+  bool halted = false;        ///< false = step budget exhausted ("runs forever")
+  std::uint64_t steps = 0;
+  std::uint64_t work_cells = 0;  ///< distinct work cells ever written (space)
+  std::uint64_t coins = 0;       ///< coin flips consumed
+};
+
+/// Executes `program` on `input`. The work tape is unbounded to the right
+/// (cells materialize on first touch); `max_steps` bounds runaway programs.
+OptmRun run_optm(const OptmProgram& program, stream::SymbolStream& input,
+                 util::Rng& rng, std::uint64_t max_steps = 1'000'000);
+
+/// Monte-Carlo acceptance probability over independent runs.
+double optm_acceptance_rate(const OptmProgram& program,
+                            const std::string& input, std::uint64_t trials,
+                            std::uint64_t seed,
+                            std::uint64_t max_steps = 1'000'000);
+
+/// Fact 2.2 census: runs the program on every word in `inputs` (all coin
+/// paths explored breadth-first up to `max_coins` flips) and returns the
+/// number of distinct configurations (state, input pos, work pos, work
+/// content) seen with positive probability. Compare with
+/// log2_configuration_bound.
+std::uint64_t count_reachable_configurations(
+    const OptmProgram& program, const std::vector<std::string>& inputs,
+    std::uint64_t max_steps = 4096, unsigned max_coins = 12);
+
+// --- ready-made example programs -------------------------------------------
+
+/// Deterministic 2-state machine accepting words over {0,1} with an odd
+/// number of 1s (uses no work tape: space 0).
+OptmProgram make_parity_machine();
+
+/// Deterministic machine accepting exactly the words u#u with u over {0,1}:
+/// copies u to the work tape, rewinds, and compares. Space = |u| + O(1) —
+/// a genuinely space-hungry machine for census experiments.
+OptmProgram make_copy_compare_machine();
+
+/// Probabilistic machine that ignores its input and accepts with
+/// probability 1/2^flips (flips >= 1): a test fixture for the coin
+/// semantics.
+OptmProgram make_coin_machine(unsigned flips);
+
+}  // namespace qols::machine

@@ -1,0 +1,94 @@
+#pragma once
+// Gate-level IR in the paper's vocabulary.
+//
+// Definition 2.3 fixes the universal set G = {G0, G1, G2} with G0 = H,
+// G1 = T (pi/8 gate) and G2 = CNOT, and specifies the machine's output tape
+// format  a1#b1#c1#...#ar#br#cr  where (a, b) are qubit labels and
+// c in {0,1,2} selects the gate. The convention a == b denotes the identity.
+// This file implements exactly that IR: the Gate record, the Circuit
+// container, application to a StateVector, and (de)serialization of the
+// output-tape encoding.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qols/quantum/state_vector.hpp"
+
+namespace qols::quantum {
+
+/// The paper's gate alphabet.
+enum class GateKind : std::uint8_t {
+  kH = 0,     ///< G0: Hadamard on qubit a.
+  kT = 1,     ///< G1: T = diag(1, e^{i pi/4}) on qubit a.
+  kCnot = 2,  ///< G2: CNOT with control a, target b.
+};
+
+/// One tape entry G_c^{[a,b]}. For one-qubit gates b is carried along (the
+/// tape always records both labels); a == b means the identity gate.
+struct Gate {
+  GateKind kind;
+  std::uint32_t a;
+  std::uint32_t b;
+
+  bool is_identity() const noexcept { return a == b; }
+  bool operator==(const Gate&) const noexcept = default;
+};
+
+/// Sequence of gates, i.e. the content of the machine's output tape.
+class Circuit {
+ public:
+  Circuit() = default;
+
+  void add(Gate g) { gates_.push_back(g); }
+  void add_h(std::uint32_t q) { gates_.push_back({GateKind::kH, q, q == 0 ? 1u : 0u}); }
+  void add_t(std::uint32_t q) { gates_.push_back({GateKind::kT, q, q == 0 ? 1u : 0u}); }
+  void add_cnot(std::uint32_t c, std::uint32_t t) {
+    gates_.push_back({GateKind::kCnot, c, t});
+  }
+
+  std::size_t size() const noexcept { return gates_.size(); }
+  bool empty() const noexcept { return gates_.empty(); }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  const Gate& operator[](std::size_t i) const noexcept { return gates_[i]; }
+
+  void clear() { gates_.clear(); }
+  void append(const Circuit& other);
+
+  /// Applies every gate in order to `state` (identity-convention respected).
+  void apply_to(StateVector& state) const;
+
+  /// Number of non-identity gates of each kind, for gate-count accounting.
+  struct Counts {
+    std::size_t h = 0;
+    std::size_t t = 0;
+    std::size_t cnot = 0;
+    std::size_t identity = 0;
+    std::size_t total() const noexcept { return h + t + cnot + identity; }
+  };
+  Counts counts() const noexcept;
+
+  /// Largest qubit label mentioned plus one (0 for the empty circuit).
+  unsigned qubits_spanned() const noexcept;
+
+  /// Serializes to the paper's output-tape string a1#b1#c1#a2#b2#c2#...
+  /// (fields separated by '#'; no trailing separator).
+  std::string to_tape() const;
+
+  /// Parses an output-tape string. Returns nullopt on malformed input
+  /// (non-numeric fields, c outside {0,1,2}, wrong arity).
+  static std::optional<Circuit> from_tape(std::string_view tape);
+
+  bool operator==(const Circuit&) const noexcept = default;
+
+ private:
+  std::vector<Gate> gates_;
+};
+
+/// Applies a single tape entry to a state.
+void apply_gate(StateVector& state, const Gate& g);
+
+}  // namespace qols::quantum

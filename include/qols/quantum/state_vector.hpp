@@ -1,0 +1,141 @@
+#pragma once
+// Dense state-vector simulator.
+//
+// The paper's online machine touches only O(log n) qubits (2k+2 data qubits
+// plus O(k) compiler ancillas), so exact dense simulation is the faithful
+// substitute for physical hardware: every amplitude evolves exactly per the
+// unitary postulate and measurement statistics are computed from |amp|^2.
+//
+// Performance notes (hpc): amplitudes live in one contiguous aligned buffer;
+// gate kernels are data-parallel loops dispatched over the project ThreadPool
+// with a grain chosen so registers below ~2^14 amplitudes run serially
+// (avoids task overhead for the small registers at small k). The streaming
+// oracles of procedure A3 (V_x, W_y, R_y driven by single input bits) fix the
+// whole index register, so they touch O(1) amplitudes; dedicated fast paths
+// are provided for them.
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qols/util/rng.hpp"
+
+namespace qols::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// A control condition: `qubit` must be in basis state `value`.
+struct ControlTerm {
+  unsigned qubit;
+  bool value;
+};
+
+/// Exact n-qubit pure state, little-endian (qubit q is bit q of the basis
+/// index). Starts in |0...0>.
+class StateVector {
+ public:
+  /// Constructs |0...0> on `num_qubits` qubits. Supports up to 30 qubits
+  /// (16 GiB of amplitudes); the library never needs more than ~24.
+  explicit StateVector(unsigned num_qubits);
+
+  unsigned num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return amps_.size(); }
+
+  /// Read-only view of the amplitudes.
+  std::span<const Amplitude> amplitudes() const noexcept { return amps_; }
+
+  Amplitude amplitude(std::size_t basis) const noexcept { return amps_[basis]; }
+
+  /// Resets to |0...0>.
+  void reset();
+
+  /// Sets the state to |basis>.
+  void set_basis_state(std::size_t basis);
+
+  // --- one-qubit gates -----------------------------------------------------
+  void apply_h(unsigned q);
+  void apply_x(unsigned q);
+  void apply_z(unsigned q);
+  /// T = diag(1, e^{i pi/4}); the paper's G1.
+  void apply_t(unsigned q);
+  void apply_tdg(unsigned q);
+  void apply_s(unsigned q);
+  void apply_sdg(unsigned q);
+  /// diag(1, phase).
+  void apply_phase(unsigned q, Amplitude phase);
+  /// Arbitrary 2x2 unitary [[u00,u01],[u10,u11]].
+  void apply_single(unsigned q, Amplitude u00, Amplitude u01, Amplitude u10,
+                    Amplitude u11);
+
+  // --- two-qubit gates -----------------------------------------------------
+  void apply_cnot(unsigned control, unsigned target);
+  void apply_cz(unsigned a, unsigned b);
+  void apply_swap(unsigned a, unsigned b);
+
+  // --- multi-controlled gates (pattern controls) ---------------------------
+  /// X on `target` conditioned on every ControlTerm holding.
+  void apply_mcx(std::span<const ControlTerm> controls, unsigned target);
+  /// Phase flip (-1) on basis states satisfying every ControlTerm.
+  void apply_mcz(std::span<const ControlTerm> controls);
+
+  // --- structured operators used by the paper's procedure A3 ---------------
+  /// Hadamard on each qubit in [first, first+count): the paper's U_k when
+  /// applied to the index register.
+  void apply_h_range(unsigned first, unsigned count);
+
+  /// The paper's S_k on the index register [first, first+count):
+  ///   |i> -> -|i| for i != 0, |0> -> |0>   (i.e. 2|0><0| - I on that range).
+  void apply_reflect_zero(unsigned first, unsigned count);
+
+  /// Diagonal +-1 oracle given explicitly by its marked set: negates the
+  /// amplitude of every listed basis state. Cost O(|marked|).
+  void apply_phase_flip_set(std::span<const std::uint64_t> marked);
+
+  /// Fast path for V_x driven by one input bit: X on `target` conditioned on
+  /// the index register [first, first+count) being exactly |index>. Touches
+  /// 2^(num_qubits - count - 1) amplitude pairs; with the full index register
+  /// as control this is O(remaining qubits' subspace) = O(1) for A3.
+  void apply_x_on_index(unsigned first, unsigned count, std::uint64_t index,
+                        unsigned target);
+
+  /// Fast path for W_y: phase flip conditioned on index register == |index>
+  /// AND qubit `h` == 1.
+  void apply_z_on_index(unsigned first, unsigned count, std::uint64_t index,
+                        unsigned h);
+
+  /// Fast path for R_y: X on `target` conditioned on index register ==
+  /// |index> AND qubit `h` == 1.
+  void apply_cx_on_index(unsigned first, unsigned count, std::uint64_t index,
+                         unsigned h, unsigned target);
+
+  // --- measurement / inspection --------------------------------------------
+  /// P[measuring qubit q yields 1].
+  double probability_one(unsigned q) const;
+
+  /// Projective measurement of qubit q in the computational basis; collapses
+  /// and renormalizes the state. Returns the outcome.
+  bool measure(unsigned q, util::Rng& rng);
+
+  /// Samples a full computational-basis measurement without collapsing.
+  std::size_t sample_basis(util::Rng& rng) const;
+
+  /// L2 norm of the state (should be 1 up to rounding; tested invariant).
+  double norm() const;
+
+  /// <this|other>; both states must have equal dimension.
+  Amplitude inner_product(const StateVector& other) const;
+
+  /// |<this|other>|^2 — global-phase-insensitive agreement measure.
+  double fidelity(const StateVector& other) const;
+
+ private:
+  template <typename Fn>
+  void for_pairs(unsigned q, Fn&& fn);
+
+  unsigned num_qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+}  // namespace qols::quantum

@@ -1,0 +1,140 @@
+#pragma once
+// Theorem 3.6 machinery: converting an online machine into a one-way
+// communication protocol whose messages are machine configurations.
+//
+// The proof streams 1^k#(x#y#x#)^{2^k} through a (for this analysis,
+// deterministic) online machine and snapshots its configuration at the
+// 3*2^k - 1 block boundaries; Alice and Bob exchange exactly those
+// configurations. The communication cost is sum_i ceil(log2 |C_i|), where
+// C_i is the set of configurations reachable at boundary i across inputs.
+// Because R(DISJ_m) = Omega(m), some boundary must carry Omega(2^{2k}/2^k)
+// = Omega(2^k) bits, which by Fact 2.2 forces Omega(2^k) = Omega(n^{1/3})
+// work space.
+//
+// This module measures |C_i| empirically: exactly for k = 1 (all 2^m x 2^m
+// inputs) and by uniform sampling for larger k (sampling gives a lower
+// bound on |C_i|, which is the informative direction for the argument).
+//
+// The machines surveyed are deterministic cores with serializable
+// configurations (the randomized wrappers fix their coins to make the
+// reduction well defined, exactly as the proof conditions on a coin-flip
+// sequence).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/bitvec.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::reduction {
+
+/// A deterministic streaming machine with an observable configuration.
+class EnumerableMachine {
+ public:
+  virtual ~EnumerableMachine() = default;
+  virtual void reset() = 0;
+  virtual void feed(stream::Symbol s) = 0;
+  /// Serialized configuration (work-tape content + control state). Two
+  /// machines in the same configuration must return equal digests.
+  virtual std::string configuration() const = 0;
+  /// Accept/reject decision at end of stream.
+  virtual bool decide() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Proposition 3.7's deterministic core: repetition i buffers block [x]_i
+/// and matches it against [y]_i. Configuration = buffer + found-flag +
+/// position counters.
+class DetBlockMachine final : public EnumerableMachine {
+ public:
+  explicit DetBlockMachine(unsigned k);
+  void reset() override;
+  void feed(stream::Symbol s) override;
+  std::string configuration() const override;
+  bool decide() override;
+  std::string name() const override { return "block"; }
+
+ private:
+  unsigned k_;
+  std::uint64_t m_, block_len_;
+  std::uint64_t rep_ = 0, off_ = 0;
+  unsigned block_ = 0;
+  bool body_ = false;
+  util::BitVec buffer_;
+  bool found_ = false;
+};
+
+/// Full-storage machine: remembers all of x(1). Configuration = x + flag.
+class DetFullMachine final : public EnumerableMachine {
+ public:
+  explicit DetFullMachine(unsigned k);
+  void reset() override;
+  void feed(stream::Symbol s) override;
+  std::string configuration() const override;
+  bool decide() override;
+  std::string name() const override { return "full"; }
+
+ private:
+  unsigned k_;
+  std::uint64_t m_;
+  std::uint64_t rep_ = 0, off_ = 0;
+  unsigned block_ = 0;
+  bool body_ = false;
+  util::BitVec x_;
+  bool found_ = false;
+};
+
+/// A2's fingerprint core with the coin t FIXED (the reduction conditions on
+/// coins): configuration = a handful of field elements. Decides only
+/// consistency, not disjointness — included to show how small the
+/// configuration space of an O(log n)-space machine is.
+class DetFingerprintMachine final : public EnumerableMachine {
+ public:
+  DetFingerprintMachine(unsigned k, std::uint64_t t);
+  void reset() override;
+  void feed(stream::Symbol s) override;
+  std::string configuration() const override;
+  bool decide() override;
+  std::string name() const override { return "fingerprint"; }
+
+ private:
+  unsigned k_;
+  std::uint64_t m_, p_, t_;
+  std::uint64_t acc_ = 0, tpow_ = 1;
+  std::uint64_t cur_x_ = 0, cur_y_ = 0, prev_x_ = 0, prev_y_ = 0;
+  bool have_prev_ = false;
+  std::uint64_t block_index_ = 0;
+  bool body_ = false;
+  bool failed_ = false;
+};
+
+/// Census of reachable configurations at every block boundary.
+struct BoundaryCensus {
+  /// distinct_configs[i] = |C_{i+1}| observed at boundary i (0-based; the
+  /// boundaries are "after 1^k#x#", "after y#", "after x#", ...).
+  std::vector<std::uint64_t> distinct_configs;
+  /// Implied message lengths ceil(log2 |C_i|), and their sum (the one-way
+  /// protocol's total communication).
+  std::vector<std::uint64_t> message_bits;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_bits = 0;
+  std::uint64_t inputs_surveyed = 0;
+  bool exhaustive = false;
+};
+
+/// Runs the machine over input pairs (x, y) for parameter k and counts
+/// distinct configurations at the 3*2^k - 1 boundaries. If 4^m <= max_pairs
+/// (m = 2^{2k}) the survey is exhaustive; otherwise `max_pairs` uniform
+/// pairs are sampled (census values are then lower bounds).
+BoundaryCensus survey_configurations(EnumerableMachine& machine, unsigned k,
+                                     std::uint64_t max_pairs, util::Rng& rng);
+
+/// Theorem 3.6's prediction: with R(DISJ_m) >= c2k * m bits (c2k the
+/// constant from Theorem 3.2) spread over 3*2^k - 1 messages, some message
+/// carries at least c2k * 2^{2k} / (3*2^k - 1) bits.
+double theorem36_min_message_bits(unsigned k, double disj_constant) noexcept;
+
+}  // namespace qols::reduction

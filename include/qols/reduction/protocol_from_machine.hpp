@@ -1,0 +1,42 @@
+#pragma once
+// Theorem 3.6's conversion, executed literally as a two-party protocol.
+//
+// Alice holds x, Bob holds y. The word 1^k#(x#y#x#)^{2^k} decomposes into
+// 3*2^k segments; each player can generate exactly the segments built from
+// their own string. They simulate the online machine by turns: the owner of
+// the next segment resumes the machine from the received configuration,
+// feeds the segment, and sends the new configuration (step i is Bob's turn
+// iff i = 2 mod 3, as in the proof). The final holder announces the
+// machine's decision.
+//
+// With a deterministic machine this reproduces the machine's verdict
+// EXACTLY while communicating only configurations — which is the entire
+// content of the lower bound: if the machine is small, the messages are
+// small, and a small-message one-way protocol for DISJ cannot exist.
+
+#include <cstdint>
+
+#include "qols/reduction/config_census.hpp"
+#include "qols/util/bitvec.hpp"
+
+namespace qols::reduction {
+
+struct ReductionOutcome {
+  bool declared_disjoint = false;
+  std::uint64_t messages = 0;        ///< configurations sent (3*2^k - 1)
+  std::uint64_t alice_messages = 0;  ///< steps with i != 2 (mod 3)
+  std::uint64_t bob_messages = 0;    ///< steps with i == 2 (mod 3)
+  /// Total payload if configurations are shipped verbatim (8 bits/char of
+  /// the configuration serialization). The information-theoretic cost is
+  /// the census's sum of ceil(log2 |C_i|) — see survey_configurations.
+  std::uint64_t raw_payload_bits = 0;
+};
+
+/// Runs the protocol for parameter k on inputs x, y (|x| = |y| = 2^{2k}).
+/// The machine is reset first and must be deterministic (every machine in
+/// this module is).
+ReductionOutcome run_reduction_protocol(EnumerableMachine& machine, unsigned k,
+                                        const util::BitVec& x,
+                                        const util::BitVec& y);
+
+}  // namespace qols::reduction

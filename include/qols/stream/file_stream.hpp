@@ -1,0 +1,45 @@
+#pragma once
+// Disk-backed symbol streams: the "data from large databases" scenario of
+// the introduction. Words are stored as plain '0'/'1'/'#' text files and
+// streamed through a small read buffer, so a recognizer's host process can
+// scan inputs far larger than RAM while allocating only its work memory.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "qols/stream/symbol_stream.hpp"
+
+namespace qols::stream {
+
+/// One-way stream over a file of '0'/'1'/'#' characters. Foreign characters
+/// terminate the stream and set bad(); a trailing newline is tolerated.
+class FileStream final : public SymbolStream {
+ public:
+  /// Opens the file; throws std::runtime_error if it cannot be opened.
+  explicit FileStream(const std::string& path, std::size_t buffer_size = 1 << 16);
+
+  std::optional<Symbol> next() override;
+  std::optional<std::uint64_t> length_hint() const override;
+
+  /// True if a character outside the alphabet was encountered.
+  bool bad() const noexcept { return bad_; }
+
+ private:
+  bool refill();
+
+  std::ifstream file_;
+  std::uint64_t file_size_ = 0;
+  std::string buffer_;
+  std::size_t buffer_cap_;
+  std::size_t pos_ = 0;
+  bool bad_ = false;
+  bool done_ = false;
+};
+
+/// Writes a symbol stream to a file (plain text, no trailing newline).
+/// Returns the number of symbols written; throws on I/O failure.
+std::uint64_t write_stream_to_file(SymbolStream& stream,
+                                   const std::string& path);
+
+}  // namespace qols::stream

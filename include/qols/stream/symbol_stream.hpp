@@ -1,0 +1,126 @@
+#pragma once
+// One-way input streams over the paper's ternary alphabet {0, 1, #}.
+//
+// The whole point of online space complexity is that the input is read once,
+// left to right, and is too large to store. SymbolStream models exactly the
+// one-way input tape: a recognizer may only call next() and can never seek.
+// Generator-backed implementations below produce the language's inputs
+// lazily so experiments can stream inputs of hundreds of megabits while the
+// process allocates only the recognizer's work memory.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace qols::stream {
+
+/// The paper's tape alphabet Sigma = {0, 1, #}.
+enum class Symbol : std::uint8_t { kZero = 0, kOne = 1, kSep = 2 };
+
+/// char <-> Symbol conversions ('0','1','#'); returns nullopt on anything else.
+std::optional<Symbol> symbol_from_char(char c) noexcept;
+char symbol_to_char(Symbol s) noexcept;
+
+/// Abstract one-way input tape.
+class SymbolStream {
+ public:
+  virtual ~SymbolStream() = default;
+  /// Next symbol, or nullopt at end of input. Never rewinds.
+  virtual std::optional<Symbol> next() = 0;
+  /// Total length if known in advance (for reporting only; recognizers must
+  /// not rely on it — the paper's machines never know |w| a priori).
+  virtual std::optional<std::uint64_t> length_hint() const { return std::nullopt; }
+};
+
+/// Stream over an in-memory string of '0'/'1'/'#'. Throws std::invalid_argument
+/// at construction if the string contains other characters.
+class StringStream final : public SymbolStream {
+ public:
+  explicit StringStream(std::string text);
+  std::optional<Symbol> next() override;
+  std::optional<std::uint64_t> length_hint() const override {
+    return text_.size();
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// Stream produced by a callable (index -> optional<Symbol>); the callable is
+/// consulted with consecutive indices 0,1,2,... until it returns nullopt.
+class GeneratorStream final : public SymbolStream {
+ public:
+  using Fn = std::function<std::optional<Symbol>(std::uint64_t)>;
+  explicit GeneratorStream(Fn fn, std::optional<std::uint64_t> length = {})
+      : fn_(std::move(fn)), length_(length) {}
+  std::optional<Symbol> next() override {
+    auto s = fn_(pos_);
+    if (s) ++pos_;
+    return s;
+  }
+  std::optional<std::uint64_t> length_hint() const override { return length_; }
+
+ private:
+  Fn fn_;
+  std::uint64_t pos_ = 0;
+  std::optional<std::uint64_t> length_;
+};
+
+/// Failure injection: cuts an underlying stream after `keep` symbols
+/// (truncated inputs must be rejected by the structure validator).
+class TruncatedStream final : public SymbolStream {
+ public:
+  TruncatedStream(std::unique_ptr<SymbolStream> inner, std::uint64_t keep)
+      : inner_(std::move(inner)), remaining_(keep) {}
+  std::optional<Symbol> next() override {
+    if (remaining_ == 0) return std::nullopt;
+    --remaining_;
+    return inner_->next();
+  }
+
+ private:
+  std::unique_ptr<SymbolStream> inner_;
+  std::uint64_t remaining_;
+};
+
+/// Failure injection: replaces the symbol at absolute position `pos` with
+/// `replacement` (models single-symbol corruption of a well-formed input).
+class CorruptingStream final : public SymbolStream {
+ public:
+  CorruptingStream(std::unique_ptr<SymbolStream> inner, std::uint64_t pos,
+                   Symbol replacement)
+      : inner_(std::move(inner)), target_(pos), replacement_(replacement) {}
+  std::optional<Symbol> next() override {
+    auto s = inner_->next();
+    if (s && cursor_++ == target_) s = replacement_;
+    return s;
+  }
+
+ private:
+  std::unique_ptr<SymbolStream> inner_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t target_;
+  Symbol replacement_;
+};
+
+/// Appends extra symbols after an underlying stream ends (trailing-garbage
+/// failure injection).
+class AppendingStream final : public SymbolStream {
+ public:
+  AppendingStream(std::unique_ptr<SymbolStream> inner, std::string suffix);
+  std::optional<Symbol> next() override;
+
+ private:
+  std::unique_ptr<SymbolStream> inner_;
+  std::string suffix_;
+  std::size_t suffix_pos_ = 0;
+  bool inner_done_ = false;
+};
+
+/// Drains a stream into a std::string (tests/small inputs only).
+std::string materialize(SymbolStream& stream);
+
+}  // namespace qols::stream

@@ -1,0 +1,62 @@
+#pragma once
+// Packed bit vector used for the m-bit strings x, y of the disjointness
+// instances (m = 2^{2k} reaches 2^20 at k = 10; packing matters).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qols/util/rng.hpp"
+
+namespace qols::util {
+
+/// Fixed-length sequence of bits packed 64 per word.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool fill = false);
+
+  /// Parses a string of '0'/'1' characters.
+  static BitVec from_string(const std::string& s);
+
+  /// n independent uniform bits.
+  static BitVec random(std::size_t n, Rng& rng);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  /// Number of indices i with this->get(i) && other.get(i) — i.e. the size
+  /// of the intersection; DISJ(x, y) = 1 iff and_popcount(x, y) == 0.
+  std::size_t and_popcount(const BitVec& other) const noexcept;
+
+  /// Indices of set bits (ascending).
+  std::vector<std::size_t> ones() const;
+
+  /// Renders as a '0'/'1' string (index 0 first, matching the paper's
+  /// left-to-right streaming order x_0 x_1 ... x_{m-1}).
+  std::string to_string() const;
+
+  bool operator==(const BitVec& other) const noexcept = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace qols::util

@@ -1,0 +1,70 @@
+#pragma once
+// 64-bit modular arithmetic and primality, used by the fingerprint module.
+//
+// Procedure A2 of the paper evaluates polynomials over Z_p for a prime p in
+// the interval (2^{4k}, 2^{4k+1}). For k up to 15 that means p < 2^{61}, so
+// products need 128-bit intermediates; we use the compiler's __int128.
+
+#include <cstdint>
+#include <optional>
+
+namespace qols::util {
+
+/// (a + b) mod m, assuming a, b < m < 2^63.
+constexpr std::uint64_t addmod(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t m) noexcept {
+  const std::uint64_t s = a + b;
+  return s >= m ? s - m : s;
+}
+
+/// (a - b) mod m, assuming a, b < m.
+constexpr std::uint64_t submod(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t m) noexcept {
+  return a >= b ? a - b : a + (m - b);
+}
+
+/// (a * b) mod m via 128-bit intermediate.
+constexpr std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+/// a^e mod m by square-and-multiply.
+constexpr std::uint64_t powmod(std::uint64_t a, std::uint64_t e,
+                               std::uint64_t m) noexcept {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1ULL) result = mulmod(result, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+/// Deterministic Miller–Rabin for 64-bit integers (the standard 12-base set
+/// {2,3,5,7,11,13,17,19,23,29,31,37} is exact for all n < 3.3 * 10^24).
+bool is_prime_u64(std::uint64_t n) noexcept;
+
+/// Smallest prime p with lo < p < hi, or nullopt if none exists.
+/// This is the paper's "naive strategy consisting in trying all the numbers
+/// between 2^{4k} and 2^{4k+1}" — except each candidate is tested with
+/// Miller–Rabin rather than trial division.
+std::optional<std::uint64_t> first_prime_in_open_interval(
+    std::uint64_t lo, std::uint64_t hi) noexcept;
+
+/// The paper's specific interval: smallest prime in (2^{4k}, 2^{4k+1}).
+/// Requires 1 <= k <= 15 (so the interval fits in 64 bits). By Bertrand's
+/// postulate the interval always contains a prime.
+std::uint64_t fingerprint_prime(unsigned k) noexcept;
+
+/// Number of candidates examined by first_prime_in_open_interval before the
+/// returned prime (for the E6 prime-search-cost column).
+struct PrimeSearchStats {
+  std::uint64_t prime = 0;
+  std::uint64_t candidates_tested = 0;
+};
+PrimeSearchStats fingerprint_prime_stats(unsigned k) noexcept;
+
+}  // namespace qols::util

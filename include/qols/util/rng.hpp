@@ -1,0 +1,111 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomized components in qols (the probabilistic Turing machine's coin
+// flips, fingerprint evaluation points, planted-instance generators, Monte
+// Carlo drivers) draw from explicitly passed generators so that every
+// experiment in EXPERIMENTS.md is reproducible from its seed.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace qols::util {
+
+/// SplitMix64: a tiny, statistically solid 64-bit generator. Used mainly to
+/// expand a single user seed into the larger state of Xoshiro256StarStar.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: the project-wide workhorse generator.
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random> adapters,
+/// but the convenience members below avoid distribution-object overhead in
+/// hot loops.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64,
+  /// as recommended by the xoshiro authors.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x8f1e3a2bc45d9701ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Unbiased uniform integer in [0, bound) via Lemire's multiply-shift
+  /// rejection method. bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// One uniformly random bit.
+  bool coin() noexcept { return (next() & 1ULL) != 0; }
+
+  /// n independent uniform bits as a bool vector (handy for random inputs x,y).
+  std::vector<bool> bits(std::size_t n);
+
+  /// Equivalent of 2^128 next() calls; yields independent parallel streams.
+  void jump() noexcept;
+
+  /// Derives an independent child generator (seeded from this stream).
+  Xoshiro256StarStar split() noexcept { return Xoshiro256StarStar(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Default project RNG alias; experiments name seeds explicitly.
+using Rng = Xoshiro256StarStar;
+
+}  // namespace qols::util

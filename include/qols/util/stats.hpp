@@ -1,0 +1,47 @@
+#pragma once
+// Small statistics helpers for the experiment harnesses: streaming moments
+// and Wilson score intervals for the Monte-Carlo acceptance rates.
+
+#include <cstdint>
+
+namespace qols::util {
+
+/// Streaming mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double sem() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided Wilson score interval for a binomial proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double p) const noexcept { return lo <= p && p <= hi; }
+};
+
+/// successes out of trials, with normal quantile z (1.96 ~ 95%, 2.58 ~ 99%,
+/// 3.29 ~ 99.9%). trials must be >= 1.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96) noexcept;
+
+}  // namespace qols::util

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch for coarse experiment timing (benchmarks proper use
+// google-benchmark; this is for harness-level reporting).
+
+#include <chrono>
+
+namespace qols::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qols::util

@@ -1,0 +1,47 @@
+#pragma once
+// Console table writer for the experiment harness.
+//
+// Every bench binary prints its results as an aligned text table (the
+// "rows/series the paper reports"); Table also emits CSV so results can be
+// collected into EXPERIMENTS.md mechanically.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qols::util {
+
+/// Column-aligned text/CSV table. Cells are strings; use the fmt helpers
+/// below for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned, boxed rendering for terminals.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (no quoting needed: cells never contain commas).
+  std::string to_csv() const;
+
+  /// Prints to_text() to the stream with an optional caption line.
+  void print(std::ostream& os, const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.2500").
+std::string fmt_f(double v, int precision = 4);
+/// Integer with thousands separators ("1,048,576").
+std::string fmt_g(std::uint64_t v);
+/// Scientific-ish compact formatting for wide ranges.
+std::string fmt_sci(double v);
+
+}  // namespace qols::util

@@ -1,0 +1,66 @@
+#pragma once
+// Minimal fixed-size thread pool and a blocking parallel_for built on it.
+//
+// The state-vector kernels in qols::quantum are embarrassingly parallel over
+// contiguous amplitude ranges; parallel_for slices the index space into
+// per-worker chunks. We use explicit threads (rather than OpenMP pragmas) so
+// the scheduling is deterministic per (range, thread-count) pair, which keeps
+// floating-point reductions reproducible across runs.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qols::util {
+
+/// Fixed set of worker threads consuming a shared task queue.
+/// Tasks are std::function<void()>; submit() is thread-safe.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by any worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed with default size).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(begin, end) over [begin, end) split into contiguous chunks across
+/// the pool. Blocks until every chunk completes. Ranges smaller than
+/// `grain` run inline on the calling thread (avoids task overhead on the
+/// tiny registers used for small k).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Convenience overload on the global pool.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace qols::util

@@ -1,0 +1,44 @@
+#include "qols/comm/one_way.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace qols::comm {
+
+std::uint64_t distinct_rows(const BooleanPredicate& f, unsigned m) {
+  if (m > 14) {
+    throw std::invalid_argument("distinct_rows: m too large for exact census");
+  }
+  const std::uint64_t side = std::uint64_t{1} << m;
+  std::unordered_set<std::string> rows;
+  std::string row((side + 7) / 8, '\0');
+  for (std::uint64_t x = 0; x < side; ++x) {
+    std::fill(row.begin(), row.end(), '\0');
+    for (std::uint64_t y = 0; y < side; ++y) {
+      if (f(x, y)) row[y >> 3] |= static_cast<char>(1 << (y & 7));
+    }
+    rows.insert(row);
+  }
+  return rows.size();
+}
+
+unsigned one_way_det_cc(const BooleanPredicate& f, unsigned m) {
+  const std::uint64_t n = distinct_rows(f, m);
+  return n <= 1 ? 0 : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+bool disj_predicate(std::uint64_t x, std::uint64_t y) { return (x & y) == 0; }
+
+bool eq_predicate(std::uint64_t x, std::uint64_t y) { return x == y; }
+
+bool ip_predicate(std::uint64_t x, std::uint64_t y) {
+  return (std::popcount(x & y) & 1) != 0;
+}
+
+bool index_predicate_m(std::uint64_t x, std::uint64_t y, unsigned m) {
+  return ((x >> (y % m)) & 1) != 0;
+}
+
+}  // namespace qols::comm

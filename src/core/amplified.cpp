@@ -1,0 +1,49 @@
+#include "qols/core/amplified.hpp"
+
+#include "qols/util/rng.hpp"
+
+namespace qols::core {
+
+AmplifiedRecognizer::AmplifiedRecognizer(Factory factory, std::uint64_t copies,
+                                         std::uint64_t seed)
+    : factory_(std::move(factory)), requested_copies_(copies) {
+  reset(seed);
+}
+
+void AmplifiedRecognizer::reset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  inner_.clear();
+  inner_.reserve(requested_copies_);
+  for (std::uint64_t i = 0; i < requested_copies_; ++i) {
+    inner_.push_back(factory_(rng.next()));
+  }
+}
+
+void AmplifiedRecognizer::feed(stream::Symbol s) {
+  for (auto& rec : inner_) rec->feed(s);
+}
+
+bool AmplifiedRecognizer::finish() {
+  bool all = true;
+  for (auto& rec : inner_) {
+    if (!rec->finish()) all = false;  // still finish every copy (measurement)
+  }
+  return all;
+}
+
+machine::SpaceReport AmplifiedRecognizer::space_used() const {
+  machine::SpaceReport total;
+  for (const auto& rec : inner_) {
+    const auto r = rec->space_used();
+    total.classical_bits += r.classical_bits;
+    total.qubits += r.qubits;
+  }
+  return total;
+}
+
+std::string AmplifiedRecognizer::name() const {
+  const std::string base = inner_.empty() ? "?" : inner_.front()->name();
+  return base + "-x" + std::to_string(requested_copies_);
+}
+
+}  // namespace qols::core

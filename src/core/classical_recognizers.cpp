@@ -1,0 +1,390 @@
+#include "qols/core/classical_recognizers.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace qols::core {
+
+using stream::Symbol;
+
+namespace {
+
+// Shared prefix-parsing helper: returns true once '1^k#' has been consumed
+// and fills k. Returns false while still reading; sets *broken on malformed
+// prefixes (A1 rejects those words anyway).
+struct PrefixParser {
+  unsigned k = 0;
+  bool done = false;
+  bool broken = false;
+
+  void feed(Symbol s) {
+    if (done || broken) return;
+    if (s == Symbol::kOne && k < 20) {
+      ++k;
+      return;
+    }
+    if (s == Symbol::kSep && k >= 1) {
+      done = true;
+      return;
+    }
+    broken = true;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClassicalBlockRecognizer (Proposition 3.7)
+// ---------------------------------------------------------------------------
+
+ClassicalBlockRecognizer::ClassicalBlockRecognizer(std::uint64_t seed) {
+  reset(seed);
+}
+
+void ClassicalBlockRecognizer::reset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  a1_ = lang::StructureValidator();
+  a2_ = std::make_unique<fingerprint::EqualityChecker>(rng.split());
+  in_prefix_ = true;
+  k_ = 0;
+  active_ = false;
+  m_ = 0;
+  block_len_ = 0;
+  rep_ = 0;
+  block_ = 0;
+  off_ = 0;
+  buffer_ = util::BitVec();
+  found_ = false;
+}
+
+void ClassicalBlockRecognizer::feed(Symbol s) {
+  a1_.feed(s);
+  a2_->feed(s);
+  if (in_prefix_) {
+    if (s == Symbol::kOne && k_ < 20) {
+      ++k_;
+      return;
+    }
+    in_prefix_ = false;
+    if (s == Symbol::kSep && k_ >= 1 && k_ <= 15) {
+      active_ = true;
+      m_ = std::uint64_t{1} << (2 * k_);
+      block_len_ = std::uint64_t{1} << k_;
+      buffer_ = util::BitVec(block_len_);
+    }
+    return;
+  }
+  if (!active_) return;
+  on_body_symbol(s);
+}
+
+void ClassicalBlockRecognizer::on_body_symbol(Symbol s) {
+  if (s == Symbol::kSep) {
+    if (block_ == 2) {
+      ++rep_;
+      block_ = 0;
+    } else {
+      ++block_;
+    }
+    off_ = 0;
+    return;
+  }
+  const bool bit = (s == Symbol::kOne);
+  const std::uint64_t idx = off_++;
+  if (idx >= m_ || rep_ >= block_len_) return;  // malformed; A1 rejects
+  // Repetition r owns the index window [r*2^k, (r+1)*2^k).
+  const std::uint64_t window_lo = rep_ * block_len_;
+  if (idx < window_lo || idx >= window_lo + block_len_) return;
+  const std::uint64_t slot = idx - window_lo;
+  if (block_ == 0) {
+    buffer_.set(slot, bit);
+  } else if (block_ == 1) {
+    if (bit && buffer_.get(slot)) found_ = true;
+  }
+}
+
+bool ClassicalBlockRecognizer::finish() {
+  if (!a1_.finish()) return false;
+  if (!a2_->passed()) return false;
+  return !found_;
+}
+
+machine::SpaceReport ClassicalBlockRecognizer::space_used() const {
+  machine::SpaceReport r;
+  const std::uint64_t counters =
+      active_ ? (std::uint64_t{k_} + 1) + (2 * k_ + 1) + 4 : 8;
+  r.classical_bits = a1_.classical_bits_used() + a2_->classical_bits_used() +
+                     buffer_.size() + counters + 1;  // +1 found flag
+  r.qubits = 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ClassicalFullRecognizer
+// ---------------------------------------------------------------------------
+
+ClassicalFullRecognizer::ClassicalFullRecognizer(std::uint64_t seed) {
+  reset(seed);
+}
+
+void ClassicalFullRecognizer::reset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  a1_ = lang::StructureValidator();
+  a2_ = std::make_unique<fingerprint::EqualityChecker>(rng.split());
+  in_prefix_ = true;
+  k_ = 0;
+  active_ = false;
+  m_ = 0;
+  rep_ = 0;
+  block_ = 0;
+  off_ = 0;
+  x_ = util::BitVec();
+  found_ = false;
+}
+
+void ClassicalFullRecognizer::feed(Symbol s) {
+  a1_.feed(s);
+  a2_->feed(s);
+  if (in_prefix_) {
+    if (s == Symbol::kOne && k_ < 20) {
+      ++k_;
+      return;
+    }
+    in_prefix_ = false;
+    if (s == Symbol::kSep && k_ >= 1 && k_ <= 12) {
+      active_ = true;
+      m_ = std::uint64_t{1} << (2 * k_);
+      x_ = util::BitVec(m_);
+    }
+    return;
+  }
+  if (!active_) return;
+  if (s == Symbol::kSep) {
+    if (block_ == 2) {
+      ++rep_;
+      block_ = 0;
+    } else {
+      ++block_;
+    }
+    off_ = 0;
+    return;
+  }
+  const bool bit = (s == Symbol::kOne);
+  const std::uint64_t idx = off_++;
+  if (idx >= m_) return;
+  if (rep_ == 0 && block_ == 0) {
+    x_.set(idx, bit);
+  } else if (rep_ == 0 && block_ == 1) {
+    if (bit && x_.get(idx)) found_ = true;
+  }
+}
+
+bool ClassicalFullRecognizer::finish() {
+  if (!a1_.finish()) return false;
+  if (!a2_->passed()) return false;
+  return !found_;
+}
+
+machine::SpaceReport ClassicalFullRecognizer::space_used() const {
+  machine::SpaceReport r;
+  r.classical_bits = a1_.classical_bits_used() + a2_->classical_bits_used() +
+                     x_.size() + (2ULL * k_ + 1) + 4;
+  r.qubits = 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ClassicalSamplingRecognizer
+// ---------------------------------------------------------------------------
+
+ClassicalSamplingRecognizer::ClassicalSamplingRecognizer(std::uint64_t seed,
+                                                         std::uint64_t budget)
+    : rng_(seed), budget_(budget) {
+  reset(seed);
+}
+
+void ClassicalSamplingRecognizer::reset(std::uint64_t seed) {
+  rng_ = util::Rng(seed);
+  a1_ = lang::StructureValidator();
+  a2_ = std::make_unique<fingerprint::EqualityChecker>(rng_.split());
+  in_prefix_ = true;
+  k_ = 0;
+  active_ = false;
+  m_ = 0;
+  rep_ = 0;
+  block_ = 0;
+  off_ = 0;
+  indices_.clear();
+  xbits_.clear();
+  cursor_ = 0;
+  found_ = false;
+}
+
+void ClassicalSamplingRecognizer::draw_indices() {
+  indices_.clear();
+  for (std::uint64_t i = 0; i < budget_; ++i) indices_.push_back(rng_.below(m_));
+  std::sort(indices_.begin(), indices_.end());
+  indices_.erase(std::unique(indices_.begin(), indices_.end()), indices_.end());
+  xbits_.assign(indices_.size(), false);
+  cursor_ = 0;
+}
+
+void ClassicalSamplingRecognizer::feed(Symbol s) {
+  a1_.feed(s);
+  a2_->feed(s);
+  if (in_prefix_) {
+    if (s == Symbol::kOne && k_ < 20) {
+      ++k_;
+      return;
+    }
+    in_prefix_ = false;
+    if (s == Symbol::kSep && k_ >= 1 && k_ <= 15) {
+      active_ = true;
+      m_ = std::uint64_t{1} << (2 * k_);
+      draw_indices();
+    }
+    return;
+  }
+  if (!active_) return;
+  if (s == Symbol::kSep) {
+    if (block_ == 2) {
+      ++rep_;
+      block_ = 0;
+      draw_indices();  // fresh sample each repetition
+    } else {
+      ++block_;
+      cursor_ = 0;
+    }
+    off_ = 0;
+    return;
+  }
+  const bool bit = (s == Symbol::kOne);
+  const std::uint64_t idx = off_++;
+  if (idx >= m_) return;
+  if (block_ == 0) {
+    while (cursor_ < indices_.size() && indices_[cursor_] < idx) ++cursor_;
+    if (cursor_ < indices_.size() && indices_[cursor_] == idx) {
+      xbits_[cursor_] = bit;
+    }
+  } else if (block_ == 1) {
+    while (cursor_ < indices_.size() && indices_[cursor_] < idx) ++cursor_;
+    if (cursor_ < indices_.size() && indices_[cursor_] == idx) {
+      if (bit && xbits_[cursor_]) found_ = true;
+    }
+  }
+}
+
+bool ClassicalSamplingRecognizer::finish() {
+  if (!a1_.finish()) return false;
+  if (!a2_->passed()) return false;
+  return !found_;
+}
+
+machine::SpaceReport ClassicalSamplingRecognizer::space_used() const {
+  machine::SpaceReport r;
+  // Each sampled index costs 2k bits plus 1 remembered bit of x.
+  const std::uint64_t per_sample = 2ULL * k_ + 1;
+  r.classical_bits = a1_.classical_bits_used() + a2_->classical_bits_used() +
+                     budget_ * per_sample + (2ULL * k_ + 1) + 4;
+  r.qubits = 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ClassicalBloomRecognizer
+// ---------------------------------------------------------------------------
+
+ClassicalBloomRecognizer::ClassicalBloomRecognizer(std::uint64_t seed,
+                                                   std::uint64_t filter_bits,
+                                                   unsigned num_hashes)
+    : filter_bits_(filter_bits), num_hashes_(num_hashes) {
+  reset(seed);
+}
+
+void ClassicalBloomRecognizer::reset(std::uint64_t seed) {
+  seed_ = seed;
+  util::Rng rng(seed);
+  a1_ = lang::StructureValidator();
+  a2_ = std::make_unique<fingerprint::EqualityChecker>(rng.split());
+  in_prefix_ = true;
+  k_ = 0;
+  active_ = false;
+  m_ = 0;
+  rep_ = 0;
+  block_ = 0;
+  off_ = 0;
+  filter_ = util::BitVec();
+  hit_ = false;
+}
+
+std::uint64_t ClassicalBloomRecognizer::hash(std::uint64_t index,
+                                             unsigned which) const noexcept {
+  // Independent hash functions derived from the run seed via SplitMix64.
+  util::SplitMix64 h(seed_ ^ (index * 0x9e3779b97f4a7c15ULL) ^
+                     (std::uint64_t{which} << 32));
+  return h.next() % filter_bits_;
+}
+
+void ClassicalBloomRecognizer::feed(Symbol s) {
+  a1_.feed(s);
+  a2_->feed(s);
+  if (in_prefix_) {
+    if (s == Symbol::kOne && k_ < 20) {
+      ++k_;
+      return;
+    }
+    in_prefix_ = false;
+    if (s == Symbol::kSep && k_ >= 1 && k_ <= 15) {
+      active_ = true;
+      m_ = std::uint64_t{1} << (2 * k_);
+      filter_ = util::BitVec(filter_bits_);
+    }
+    return;
+  }
+  if (!active_) return;
+  if (s == Symbol::kSep) {
+    if (block_ == 2) {
+      ++rep_;
+      block_ = 0;
+    } else {
+      ++block_;
+    }
+    off_ = 0;
+    return;
+  }
+  const bool bit = (s == Symbol::kOne);
+  const std::uint64_t idx = off_++;
+  if (idx >= m_ || rep_ != 0) return;  // the filter is built once
+  if (block_ == 0) {
+    if (bit) {
+      for (unsigned h = 0; h < num_hashes_; ++h) filter_.set(hash(idx, h), true);
+    }
+  } else if (block_ == 1) {
+    if (bit) {
+      bool all = true;
+      for (unsigned h = 0; h < num_hashes_; ++h) {
+        if (!filter_.get(hash(idx, h))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) hit_ = true;
+    }
+  }
+}
+
+bool ClassicalBloomRecognizer::finish() {
+  if (!a1_.finish()) return false;
+  if (!a2_->passed()) return false;
+  return !hit_;
+}
+
+machine::SpaceReport ClassicalBloomRecognizer::space_used() const {
+  machine::SpaceReport r;
+  r.classical_bits = a1_.classical_bits_used() + a2_->classical_bits_used() +
+                     filter_.size() + (2ULL * k_ + 1) + 4;
+  r.qubits = 0;
+  return r;
+}
+
+}  // namespace qols::core

@@ -1,0 +1,32 @@
+#include "qols/core/experiment.hpp"
+
+namespace qols::core {
+
+ExperimentResult measure_acceptance(const StreamFactory& make_stream,
+                                    const RecognizerFactory& make_recognizer,
+                                    const ExperimentOptions& opts) {
+  ExperimentResult result;
+  result.trials = opts.trials;
+  for (std::uint64_t i = 0; i < opts.trials; ++i) {
+    auto rec = make_recognizer(opts.seed_base + i);
+    auto stream = make_stream();
+    if (machine::run_stream(*stream, *rec)) ++result.accepts;
+    result.space = rec->space_used();
+  }
+  return result;
+}
+
+QualityProfile measure_quality(const StreamFactory& member_stream,
+                               const StreamFactory& nonmember_stream,
+                               const RecognizerFactory& make_recognizer,
+                               const ExperimentOptions& opts) {
+  QualityProfile profile;
+  profile.on_member = measure_acceptance(member_stream, make_recognizer, opts);
+  ExperimentOptions shifted = opts;
+  shifted.seed_base += opts.trials;  // independent seeds for the second leg
+  profile.on_nonmember =
+      measure_acceptance(nonmember_stream, make_recognizer, shifted);
+  return profile;
+}
+
+}  // namespace qols::core

@@ -1,0 +1,185 @@
+#include "qols/core/grover_streamer.hpp"
+
+#include <bit>
+#include <cassert>
+#include <vector>
+
+namespace qols::core {
+
+using quantum::ControlTerm;
+using stream::Symbol;
+
+GroverStreamer::GroverStreamer(util::Rng rng)
+    : GroverStreamer(rng, Options{}) {}
+
+GroverStreamer::GroverStreamer(util::Rng rng, Options opts)
+    : rng_(rng), opts_(opts) {}
+
+void GroverStreamer::feed(Symbol s) {
+  if (in_prefix_) {
+    if (s == Symbol::kOne) {
+      ++k_;
+      return;
+    }
+    if (s == Symbol::kSep && k_ >= 1) {
+      in_prefix_ = false;
+      if (k_ > opts_.max_sim_k) {
+        overflow_ = true;
+        return;
+      }
+      m_ = std::uint64_t{1} << (2 * k_);
+      j_ = rng_.below(std::uint64_t{1} << k_);
+      const unsigned data_qubits = 2 * k_ + 2;
+      if (opts_.simulate) {
+        state_ = std::make_unique<quantum::StateVector>(data_qubits);
+        state_->apply_h_range(0, 2 * k_);
+      }
+      if (opts_.gate_sink != nullptr) {
+        // mcz_pattern over 2k+1 terms needs 2k ancillas.
+        builder_ = std::make_unique<gates::CircuitBuilder>(
+            *opts_.gate_sink, data_qubits, 2 * k_);
+        builder_->h_range(0, 2 * k_);
+      }
+      active_ = true;
+      return;
+    }
+    // Shape already broken; A1 rejects the word. Become inert.
+    in_prefix_ = false;
+    return;
+  }
+  if (!active_ || done_) return;
+  if (s == Symbol::kSep) {
+    on_sep();
+  } else {
+    on_bit(s == Symbol::kOne);
+  }
+}
+
+void GroverStreamer::on_bit(bool bit) {
+  if (off_ >= m_) {
+    // Overlong block: word is malformed, A1 rejects. Freeze the register.
+    done_ = true;
+    return;
+  }
+  const std::uint64_t idx = off_;
+  ++off_;
+  if (!bit) return;
+
+  const unsigned h = 2 * k_;
+  const unsigned l = 2 * k_ + 1;
+  const bool grover_phase = rep_ < j_;
+
+  if (grover_phase) {
+    // V_x / W_y / V_z, one streamed bit at a time.
+    if (block_ == 0 || block_ == 2) {
+      if (state_) state_->apply_x_on_index(0, 2 * k_, idx, h);
+      if (builder_) {
+        std::vector<ControlTerm> terms;
+        terms.reserve(2 * k_);
+        for (unsigned q = 0; q < 2 * k_; ++q) {
+          terms.push_back({q, ((idx >> q) & 1) != 0});
+        }
+        builder_->mcx_pattern(terms, h);
+      }
+    } else {
+      if (state_) state_->apply_z_on_index(0, 2 * k_, idx, h);
+      if (builder_) {
+        std::vector<ControlTerm> terms;
+        terms.reserve(2 * k_ + 1);
+        for (unsigned q = 0; q < 2 * k_; ++q) {
+          terms.push_back({q, ((idx >> q) & 1) != 0});
+        }
+        terms.push_back({h, true});
+        builder_->mcz_pattern(terms);
+      }
+    }
+    return;
+  }
+  // Step 4 (repetition j+1): V_x on the x-block, R_y on the y-block.
+  if (block_ == 0) {
+    if (state_) state_->apply_x_on_index(0, 2 * k_, idx, h);
+    if (builder_) {
+      std::vector<ControlTerm> terms;
+      terms.reserve(2 * k_);
+      for (unsigned q = 0; q < 2 * k_; ++q) {
+        terms.push_back({q, ((idx >> q) & 1) != 0});
+      }
+      builder_->mcx_pattern(terms, h);
+    }
+  } else if (block_ == 1) {
+    if (state_) state_->apply_cx_on_index(0, 2 * k_, idx, h, l);
+    if (builder_) {
+      std::vector<ControlTerm> terms;
+      terms.reserve(2 * k_ + 1);
+      for (unsigned q = 0; q < 2 * k_; ++q) {
+        terms.push_back({q, ((idx >> q) & 1) != 0});
+      }
+      terms.push_back({h, true});
+      builder_->mcx_pattern(terms, l);
+    }
+  }
+}
+
+void GroverStreamer::on_sep() {
+  // End of the current block.
+  const bool grover_phase = rep_ < j_;
+  if (!grover_phase && block_ == 1) {
+    // Step 4 complete: the register now carries sum beta_i |i>|x_i>|x_i&y_i>.
+    done_ = true;
+    return;
+  }
+  if (block_ == 2) {
+    // Completed a full (x#y#x#) repetition inside the Grover phase:
+    // apply the diffusion U_k S_k U_k.
+    if (grover_phase) apply_diffusion();
+    ++rep_;
+    block_ = 0;
+  } else {
+    ++block_;
+  }
+  off_ = 0;
+}
+
+void GroverStreamer::apply_diffusion() {
+  if (state_) {
+    state_->apply_h_range(0, 2 * k_);
+    state_->apply_reflect_zero(0, 2 * k_);
+    state_->apply_h_range(0, 2 * k_);
+  }
+  if (builder_) {
+    builder_->h_range(0, 2 * k_);
+    builder_->reflect_zero(0, 2 * k_);  // -S_k; global phase, unobservable
+    builder_->h_range(0, 2 * k_);
+  }
+}
+
+double GroverStreamer::probability_output_zero() const {
+  if (!state_) return 0.0;
+  return state_->probability_one(2 * k_ + 1);
+}
+
+int GroverStreamer::finish_output() {
+  if (overflow_) return 1;  // cannot simulate; treated as inert (documented)
+  if (!active_ || !state_) return 1;
+  const bool b = state_->measure(2 * k_ + 1, rng_);
+  return b ? 0 : 1;
+}
+
+std::uint64_t GroverStreamer::ancilla_qubits_used() const noexcept {
+  return builder_ ? builder_->ancillas_high_water() : 0;
+}
+
+std::uint64_t GroverStreamer::classical_bits_used() const noexcept {
+  if (!active_) return 8;
+  const std::uint64_t k = k_;
+  // k counter, j (k bits), repetition counter (k+1), block id (2), offset
+  // counter (2k+1), done/active flags.
+  return std::bit_width(std::uint64_t{k} + 1) + k + (k + 1) + 2 + (2 * k + 1) +
+         2;
+}
+
+std::uint64_t GroverStreamer::gates_emitted() const noexcept {
+  return builder_ ? builder_->gates_emitted() : 0;
+}
+
+}  // namespace qols::core

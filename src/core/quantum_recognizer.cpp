@@ -1,0 +1,52 @@
+#include "qols/core/quantum_recognizer.hpp"
+
+namespace qols::core {
+
+QuantumOnlineRecognizer::QuantumOnlineRecognizer(std::uint64_t seed)
+    : QuantumOnlineRecognizer(seed, Options{}) {}
+
+QuantumOnlineRecognizer::QuantumOnlineRecognizer(std::uint64_t seed,
+                                                 Options opts)
+    : opts_(opts) {
+  reset(seed);
+}
+
+void QuantumOnlineRecognizer::reset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  a1_ = lang::StructureValidator();
+  // Independent child generators: A2's evaluation point and A3's iteration
+  // count / measurement must not be correlated.
+  a2_ = std::make_unique<fingerprint::EqualityChecker>(rng.split());
+  a3_ = std::make_unique<GroverStreamer>(rng.split(), opts_.a3);
+  finished_ = false;
+}
+
+void QuantumOnlineRecognizer::feed(stream::Symbol s) {
+  a1_.feed(s);
+  a2_->feed(s);
+  a3_->feed(s);
+}
+
+bool QuantumOnlineRecognizer::finish() {
+  finished_ = true;
+  if (!a1_.finish()) return false;
+  if (!a2_->passed()) return false;
+  return a3_->finish_output() == 1;
+}
+
+double QuantumOnlineRecognizer::exact_acceptance_probability() {
+  finished_ = true;
+  if (!a1_.finish()) return 0.0;
+  if (!a2_->passed()) return 0.0;
+  return 1.0 - a3_->probability_output_zero();
+}
+
+machine::SpaceReport QuantumOnlineRecognizer::space_used() const {
+  machine::SpaceReport r;
+  r.classical_bits = a1_.classical_bits_used() + a2_->classical_bits_used() +
+                     a3_->classical_bits_used();
+  r.qubits = a3_->qubits_used() + a3_->ancilla_qubits_used();
+  return r;
+}
+
+}  // namespace qols::core

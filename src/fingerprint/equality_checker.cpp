@@ -1,0 +1,74 @@
+#include "qols/fingerprint/equality_checker.hpp"
+
+namespace qols::fingerprint {
+
+using stream::Symbol;
+
+void EqualityChecker::feed(Symbol s) {
+  if (in_prefix_) {
+    if (s == Symbol::kOne) {
+      if (k_ < 15) ++k_;  // beyond 15 the prime interval leaves 64 bits
+      return;
+    }
+    if (s == Symbol::kSep) {
+      in_prefix_ = false;
+      const unsigned q = field_exponent_ < 2 ? 2 : field_exponent_;
+      if (k_ >= 1 && q * k_ <= 60) {
+        if (q == 4) {
+          p_ = util::fingerprint_prime(k_);
+        } else {
+          const std::uint64_t lo = std::uint64_t{1} << (q * k_);
+          p_ = util::first_prime_in_open_interval(lo, lo << 1).value();
+        }
+        t_ = rng_.below(p_);
+        current_.emplace(p_, t_);
+        active_ = true;
+      }
+      return;
+    }
+    // '0' in the prefix: shape is broken; A1 rejects. Stay inert.
+    in_prefix_ = false;
+    return;
+  }
+  if (!active_ || failed_) return;
+  if (s == Symbol::kSep) {
+    on_block_end();
+    return;
+  }
+  current_->feed_counted(s == Symbol::kOne);
+}
+
+void EqualityChecker::on_block_end() {
+  const std::uint64_t fp = current_->value();
+  const unsigned kind = static_cast<unsigned>(block_index_ % 3);
+  switch (kind) {
+    case 0:  // an x-block
+      // Condition (ii) across repetitions: x(i) = x(i+1).
+      if (prev_x_ && fp != *prev_x_) failed_ = true;
+      cur_x_ = fp;
+      break;
+    case 1:  // a y-block
+      // Condition (iii): y(i) = y(i+1).
+      if (prev_y_ && fp != *prev_y_) failed_ = true;
+      cur_y_ = fp;
+      break;
+    case 2:  // a z-block
+      // Condition (ii) within the repetition: z(i) = x(i).
+      if (!cur_x_ || fp != *cur_x_) failed_ = true;
+      prev_x_ = cur_x_;
+      prev_y_ = cur_y_;
+      break;
+  }
+  ++block_index_;
+  current_->reset();
+}
+
+std::uint64_t EqualityChecker::classical_bits_used() const noexcept {
+  if (!active_) return 8;  // prefix counter only
+  const std::uint64_t field_bits =
+      static_cast<std::uint64_t>(field_exponent_) * k_ + 1;
+  // p, t, t^i, accumulator, cur_x, cur_y, prev_x, prev_y.
+  return 8 * field_bits + (k_ + 2) + 8;
+}
+
+}  // namespace qols::fingerprint

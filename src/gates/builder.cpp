@@ -1,0 +1,206 @@
+#include "qols/gates/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qols::gates {
+
+using quantum::ControlTerm;
+using quantum::Gate;
+using quantum::GateKind;
+
+void TapeWriterSink::emit(const Gate& g) {
+  if (!tape_.empty()) tape_.push_back('#');
+  tape_ += std::to_string(g.a);
+  tape_.push_back('#');
+  tape_ += std::to_string(g.b);
+  tape_.push_back('#');
+  tape_ += std::to_string(static_cast<unsigned>(g.kind));
+}
+
+CircuitBuilder::CircuitBuilder(GateSink& sink, unsigned data_qubits,
+                               unsigned ancilla_budget)
+    : sink_(sink), data_qubits_(data_qubits), ancilla_budget_(ancilla_budget) {}
+
+void CircuitBuilder::emit(GateKind kind, unsigned a, unsigned b) {
+  sink_.emit(Gate{kind, a, b});
+  ++emitted_;
+}
+
+unsigned CircuitBuilder::alloc_ancilla() {
+  if (anc_in_use_ >= ancilla_budget_) {
+    throw std::runtime_error("CircuitBuilder: ancilla budget exhausted");
+  }
+  const unsigned label = data_qubits_ + anc_in_use_;
+  ++anc_in_use_;
+  if (anc_in_use_ > anc_high_water_) anc_high_water_ = anc_in_use_;
+  return label;
+}
+
+void CircuitBuilder::free_ancilla(unsigned label) {
+  assert(anc_in_use_ > 0 && label == data_qubits_ + anc_in_use_ - 1 &&
+         "ancillas are stack-ordered");
+  (void)label;
+  --anc_in_use_;
+}
+
+void CircuitBuilder::h(unsigned q) { emit(GateKind::kH, q, q == 0 ? 1 : 0); }
+void CircuitBuilder::t(unsigned q) { emit(GateKind::kT, q, q == 0 ? 1 : 0); }
+void CircuitBuilder::cnot(unsigned c, unsigned tq) {
+  emit(GateKind::kCnot, c, tq);
+}
+
+void CircuitBuilder::tdg(unsigned q) {
+  for (int i = 0; i < 7; ++i) t(q);
+}
+
+void CircuitBuilder::s(unsigned q) {
+  t(q);
+  t(q);
+}
+
+void CircuitBuilder::sdg(unsigned q) {
+  for (int i = 0; i < 6; ++i) t(q);
+}
+
+void CircuitBuilder::z(unsigned q) {
+  for (int i = 0; i < 4; ++i) t(q);
+}
+
+void CircuitBuilder::x(unsigned q) {
+  h(q);
+  z(q);
+  h(q);
+}
+
+void CircuitBuilder::cz(unsigned a, unsigned b) {
+  h(b);
+  cnot(a, b);
+  h(b);
+}
+
+void CircuitBuilder::ccx(unsigned c1, unsigned c2, unsigned target) {
+  // Standard 7-T decomposition (Nielsen & Chuang fig. 4.9).
+  h(target);
+  cnot(c2, target);
+  tdg(target);
+  cnot(c1, target);
+  t(target);
+  cnot(c2, target);
+  tdg(target);
+  cnot(c1, target);
+  t(c2);
+  t(target);
+  h(target);
+  cnot(c1, c2);
+  t(c1);
+  tdg(c2);
+  cnot(c1, c2);
+}
+
+void CircuitBuilder::ccz(unsigned c1, unsigned c2, unsigned c3) {
+  h(c3);
+  ccx(c1, c2, c3);
+  h(c3);
+}
+
+void CircuitBuilder::mcx(std::span<const unsigned> controls, unsigned target) {
+  const std::size_t n = controls.size();
+  if (n == 0) {
+    x(target);
+    return;
+  }
+  if (n == 1) {
+    cnot(controls[0], target);
+    return;
+  }
+  if (n == 2) {
+    ccx(controls[0], controls[1], target);
+    return;
+  }
+  // AND-ladder: anc[0] = c0 & c1; anc[j] = anc[j-1] & c_{j+1}; CNOT into
+  // target from the last ancilla; uncompute in reverse so every borrowed
+  // ancilla returns to |0>.
+  std::vector<unsigned> ladder;
+  ladder.reserve(n - 1);
+  ladder.push_back(alloc_ancilla());
+  ccx(controls[0], controls[1], ladder.back());
+  for (std::size_t j = 2; j < n; ++j) {
+    const unsigned next = alloc_ancilla();
+    ccx(ladder.back(), controls[j], next);
+    ladder.push_back(next);
+  }
+  cnot(ladder.back(), target);
+  for (std::size_t j = n; j-- > 2;) {
+    const unsigned top = ladder.back();
+    ladder.pop_back();
+    ccx(ladder.back(), controls[j], top);
+    free_ancilla(top);
+  }
+  ccx(controls[0], controls[1], ladder.back());
+  free_ancilla(ladder.back());
+}
+
+void CircuitBuilder::mcz(std::span<const unsigned> qubits) {
+  const std::size_t n = qubits.size();
+  assert(n >= 1);
+  if (n == 1) {
+    z(qubits[0]);
+    return;
+  }
+  if (n == 2) {
+    cz(qubits[0], qubits[1]);
+    return;
+  }
+  // Z on the last qubit controlled on the rest: conjugate an mcx with H.
+  const unsigned target = qubits[n - 1];
+  h(target);
+  mcx(qubits.first(n - 1), target);
+  h(target);
+}
+
+void CircuitBuilder::mcx_pattern(std::span<const ControlTerm> controls,
+                                 unsigned target) {
+  for (const ControlTerm& c : controls) {
+    if (!c.value) x(c.qubit);
+  }
+  std::vector<unsigned> plain;
+  plain.reserve(controls.size());
+  for (const ControlTerm& c : controls) plain.push_back(c.qubit);
+  mcx(plain, target);
+  for (const ControlTerm& c : controls) {
+    if (!c.value) x(c.qubit);
+  }
+}
+
+void CircuitBuilder::mcz_pattern(std::span<const ControlTerm> controls) {
+  assert(!controls.empty());
+  for (const ControlTerm& c : controls) {
+    if (!c.value) x(c.qubit);
+  }
+  std::vector<unsigned> plain;
+  plain.reserve(controls.size());
+  for (const ControlTerm& c : controls) plain.push_back(c.qubit);
+  mcz(plain);
+  for (const ControlTerm& c : controls) {
+    if (!c.value) x(c.qubit);
+  }
+}
+
+void CircuitBuilder::h_range(unsigned first, unsigned count) {
+  for (unsigned q = first; q < first + count; ++q) h(q);
+}
+
+void CircuitBuilder::reflect_zero(unsigned first, unsigned count) {
+  assert(count >= 1);
+  // X-conjugated multi-controlled Z flips exactly the all-zero assignment,
+  // which equals -S_k; the global -1 is unobservable.
+  std::vector<unsigned> qubits;
+  qubits.reserve(count);
+  for (unsigned q = first; q < first + count; ++q) qubits.push_back(q);
+  for (unsigned q : qubits) x(q);
+  mcz(qubits);
+  for (unsigned q : qubits) x(q);
+}
+
+}  // namespace qols::gates

@@ -1,0 +1,126 @@
+#include "qols/gates/peephole.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace qols::gates {
+
+using quantum::Circuit;
+using quantum::Gate;
+using quantum::GateKind;
+
+namespace {
+
+// One rewrite pass. Returns the rewritten gate list and updates stats.
+// Strategy: scan left to right, keeping for every qubit the index of the
+// last surviving gate that touches it. A new gate can cancel against that
+// gate precisely when they match (HH, CNOT pair) because by construction no
+// surviving gate in between touches the shared qubits. T-runs are folded by
+// counting consecutive T's per qubit (T commutes with nothing else we track,
+// but "consecutive on this qubit" is exactly what last-touch gives us).
+std::vector<Gate> rewrite_pass(const std::vector<Gate>& in,
+                               PeepholeStats& stats, bool& changed) {
+  std::vector<std::optional<Gate>> out;
+  out.reserve(in.size());
+  // last_touch[q] = index into `out` of the latest surviving gate on qubit q.
+  std::unordered_map<std::uint32_t, std::size_t> last_touch;
+  // t_run[q] = indices in `out` of the current uninterrupted T-run on q.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> t_run;
+
+  auto touch = [&](std::uint32_t q, std::size_t idx) { last_touch[q] = idx; };
+  auto break_t_run = [&](std::uint32_t q) { t_run[q].clear(); };
+
+  for (const Gate& g : in) {
+    if (g.is_identity()) {
+      ++stats.identities_dropped;
+      changed = true;
+      continue;
+    }
+    switch (g.kind) {
+      case GateKind::kT: {
+        auto& run = t_run[g.a];
+        out.push_back(g);
+        run.push_back(out.size() - 1);
+        touch(g.a, out.size() - 1);
+        if (run.size() == 8) {  // T^8 = I exactly
+          for (std::size_t idx : run) out[idx].reset();
+          stats.t_gates_cancelled += 8;
+          run.clear();
+          changed = true;
+        }
+        break;
+      }
+      case GateKind::kH: {
+        const auto it = last_touch.find(g.a);
+        if (it != last_touch.end() && out[it->second].has_value()) {
+          const Gate& prev = *out[it->second];
+          if (prev.kind == GateKind::kH && prev.a == g.a) {
+            out[it->second].reset();
+            last_touch.erase(it);
+            ++stats.h_pairs_cancelled;
+            break_t_run(g.a);
+            changed = true;
+            break;
+          }
+        }
+        out.push_back(g);
+        touch(g.a, out.size() - 1);
+        break_t_run(g.a);
+        break;
+      }
+      case GateKind::kCnot: {
+        const auto ia = last_touch.find(g.a);
+        const auto ib = last_touch.find(g.b);
+        if (ia != last_touch.end() && ib != last_touch.end() &&
+            ia->second == ib->second && out[ia->second].has_value()) {
+          const Gate& prev = *out[ia->second];
+          if (prev.kind == GateKind::kCnot && prev.a == g.a && prev.b == g.b) {
+            out[ia->second].reset();
+            last_touch.erase(g.a);
+            last_touch.erase(g.b);
+            ++stats.cnot_pairs_cancelled;
+            break_t_run(g.a);
+            break_t_run(g.b);
+            changed = true;
+            break;
+          }
+        }
+        out.push_back(g);
+        touch(g.a, out.size() - 1);
+        touch(g.b, out.size() - 1);
+        break_t_run(g.a);
+        break_t_run(g.b);
+        break;
+      }
+    }
+  }
+
+  std::vector<Gate> compact;
+  compact.reserve(out.size());
+  for (const auto& slot : out) {
+    if (slot) compact.push_back(*slot);
+  }
+  return compact;
+}
+
+}  // namespace
+
+Circuit peephole_optimize(const Circuit& input, PeepholeStats* stats_out) {
+  PeepholeStats stats;
+  stats.gates_before = input.size();
+  std::vector<Gate> gates = input.gates();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    gates = rewrite_pass(gates, stats, changed);
+    ++stats.passes;
+  }
+  stats.gates_after = gates.size();
+  Circuit out;
+  for (const Gate& g : gates) out.add(g);
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+}  // namespace qols::gates

@@ -1,0 +1,52 @@
+#include "qols/grover/analysis.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace qols::grover {
+
+double angle(std::uint64_t t, std::uint64_t n) noexcept {
+  assert(n >= 1 && t <= n);
+  const double ratio = static_cast<double>(t) / static_cast<double>(n);
+  return std::asin(std::sqrt(ratio));
+}
+
+double success_after(std::uint64_t j, double theta) noexcept {
+  const double s = std::sin((2.0 * static_cast<double>(j) + 1.0) * theta);
+  return s * s;
+}
+
+double average_success(std::uint64_t m_rounds, double theta) noexcept {
+  assert(m_rounds >= 1);
+  if (theta <= 0.0) return 0.0;
+  const double sin2t = std::sin(2.0 * theta);
+  if (std::abs(sin2t) < 1e-15) {
+    // theta = pi/2 (t = N): every term sin^2((2j+1) pi/2) = 1.
+    return 1.0;
+  }
+  const double m = static_cast<double>(m_rounds);
+  return 0.5 - std::sin(4.0 * m * theta) / (4.0 * m * sin2t);
+}
+
+double average_success_by_sum(std::uint64_t m_rounds, double theta) noexcept {
+  double acc = 0.0;
+  for (std::uint64_t j = 0; j < m_rounds; ++j) acc += success_after(j, theta);
+  return acc / static_cast<double>(m_rounds);
+}
+
+double a3_rejection_probability(unsigned k, std::uint64_t t) noexcept {
+  const std::uint64_t n = std::uint64_t{1} << (2 * k);
+  const std::uint64_t m = std::uint64_t{1} << k;
+  return average_success(m, angle(t, n));
+}
+
+std::uint64_t repetitions_for_error(double p_reject, double eps) noexcept {
+  assert(p_reject > 0.0 && p_reject <= 1.0 && eps > 0.0 && eps < 1.0);
+  if (p_reject >= 1.0) return 1;
+  // (1 - p)^r <= eps  <=>  r >= log(eps) / log(1 - p).
+  const double r = std::log(eps) / std::log1p(-p_reject);
+  return static_cast<std::uint64_t>(std::ceil(r));
+}
+
+}  // namespace qols::grover

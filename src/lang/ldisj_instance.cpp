@@ -1,0 +1,188 @@
+#include "qols/lang/ldisj_instance.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace qols::lang {
+
+using stream::Symbol;
+
+LDisjInstance::LDisjInstance(unsigned k, util::BitVec x, util::BitVec y)
+    : k_(k), x_(std::move(x)), y_(std::move(y)) {
+  if (k < 1 || k > 10) {
+    throw std::invalid_argument("LDisjInstance: k must be in [1, 10]");
+  }
+  const std::uint64_t want = std::uint64_t{1} << (2 * k);
+  if (x_.size() != want || y_.size() != want) {
+    throw std::invalid_argument("LDisjInstance: |x| and |y| must equal 2^{2k}");
+  }
+}
+
+LDisjInstance LDisjInstance::make_disjoint(unsigned k, util::Rng& rng) {
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  util::BitVec x = util::BitVec::random(m, rng);
+  util::BitVec y = util::BitVec::random(m, rng);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (x.get(i) && y.get(i)) y.set(i, false);
+  }
+  return LDisjInstance(k, std::move(x), std::move(y));
+}
+
+LDisjInstance LDisjInstance::make_with_intersections(unsigned k,
+                                                     std::uint64_t t,
+                                                     util::Rng& rng) {
+  LDisjInstance inst = make_disjoint(k, rng);
+  const std::uint64_t m = inst.m();
+  if (t > m) {
+    throw std::invalid_argument("make_with_intersections: t exceeds m");
+  }
+  // Choose t distinct indices and force x_i = y_i = 1 there; everywhere else
+  // the instance stays disjoint, so the intersection count is exactly t.
+  std::unordered_set<std::uint64_t> chosen;
+  while (chosen.size() < t) chosen.insert(rng.below(m));
+  for (std::uint64_t i : chosen) {
+    inst.x_.set(i, true);
+    inst.y_.set(i, true);
+  }
+  assert(inst.intersections() == t);
+  return inst;
+}
+
+std::uint64_t LDisjInstance::word_length() const noexcept {
+  return k_ + 1 + repetitions() * 3 * (m() + 1);
+}
+
+std::uint64_t LDisjInstance::position_of(std::uint64_t rep, unsigned block,
+                                         std::uint64_t offset) const noexcept {
+  return (k_ + 1) + rep * 3 * (m() + 1) + block * (m() + 1) + offset;
+}
+
+std::unique_ptr<stream::SymbolStream> LDisjInstance::stream() const {
+  // Shared immutable payload so the stream outlives the instance if needed.
+  struct Payload {
+    unsigned k;
+    util::BitVec x, y;
+  };
+  auto payload = std::make_shared<Payload>(Payload{k_, x_, y_});
+  const std::uint64_t m = this->m();
+  const std::uint64_t reps = repetitions();
+  const std::uint64_t total = word_length();
+  const std::uint64_t prefix = k_ + 1;
+  auto fn = [payload, m, reps, prefix,
+             total](std::uint64_t pos) -> std::optional<Symbol> {
+    if (pos >= total) return std::nullopt;
+    if (pos < prefix) {
+      return pos + 1 == prefix ? Symbol::kSep : Symbol::kOne;
+    }
+    const std::uint64_t body = pos - prefix;
+    const std::uint64_t per_rep = 3 * (m + 1);
+    const std::uint64_t rep = body / per_rep;
+    (void)reps;
+    assert(rep < reps);
+    const std::uint64_t in_rep = body % per_rep;
+    const unsigned block = static_cast<unsigned>(in_rep / (m + 1));
+    const std::uint64_t off = in_rep % (m + 1);
+    if (off == m) return Symbol::kSep;
+    const bool bit =
+        (block == 1) ? payload->y.get(off) : payload->x.get(off);
+    return bit ? Symbol::kOne : Symbol::kZero;
+  };
+  return std::make_unique<stream::GeneratorStream>(std::move(fn), total);
+}
+
+std::string LDisjInstance::render() const {
+  if (word_length() > (std::uint64_t{64} << 20)) {
+    throw std::length_error("LDisjInstance::render: word exceeds 64 MiB");
+  }
+  auto s = stream();
+  return stream::materialize(*s);
+}
+
+std::unique_ptr<stream::SymbolStream> make_mutant_stream(
+    const LDisjInstance& inst, MutantKind kind, util::Rng& rng) {
+  auto base = inst.stream();
+  const std::uint64_t m = inst.m();
+  const std::uint64_t reps = inst.repetitions();
+  switch (kind) {
+    case MutantKind::kBadPrefix: {
+      // Replace one '1' of the prefix with '0' (keeps length, breaks (i)).
+      const std::uint64_t pos = inst.k() > 1 ? rng.below(inst.k()) : 0;
+      return std::make_unique<stream::CorruptingStream>(std::move(base), pos,
+                                                        Symbol::kZero);
+    }
+    case MutantKind::kTrailingGarbage: {
+      return std::make_unique<stream::AppendingStream>(std::move(base), "01");
+    }
+    case MutantKind::kXZMismatch: {
+      // Flip one bit inside some z-block: x != z in that repetition.
+      const std::uint64_t rep = rng.below(reps);
+      const std::uint64_t off = rng.below(m);
+      const bool orig = inst.x().get(off);
+      return std::make_unique<stream::CorruptingStream>(
+          std::move(base), inst.position_of(rep, 2, off),
+          orig ? Symbol::kZero : Symbol::kOne);
+    }
+    case MutantKind::kYDrift: {
+      // Flip one bit of a y-block in repetition >= 1 (needs reps >= 2, which
+      // holds for every k >= 1).
+      const std::uint64_t rep = 1 + rng.below(reps - 1);
+      const std::uint64_t off = rng.below(m);
+      const bool orig = inst.y().get(off);
+      return std::make_unique<stream::CorruptingStream>(
+          std::move(base), inst.position_of(rep, 1, off),
+          orig ? Symbol::kZero : Symbol::kOne);
+    }
+    case MutantKind::kTruncated: {
+      const std::uint64_t keep = 1 + rng.below(inst.word_length() - 1);
+      return std::make_unique<stream::TruncatedStream>(std::move(base), keep);
+    }
+    case MutantKind::kSepInsideBlock: {
+      const std::uint64_t rep = rng.below(reps);
+      const std::uint64_t off = rng.below(m);
+      return std::make_unique<stream::CorruptingStream>(
+          std::move(base), inst.position_of(rep, 0, off), Symbol::kSep);
+    }
+  }
+  return base;
+}
+
+bool is_member_reference(const std::string& word) {
+  // Parse 1^k '#'.
+  std::size_t pos = 0;
+  while (pos < word.size() && word[pos] == '1') ++pos;
+  const std::size_t k = pos;
+  if (k < 1 || pos >= word.size() || word[pos] != '#') return false;
+  if (k > 10) return false;  // same guard as LDisjInstance
+  ++pos;
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  const std::uint64_t blocks = 3 * (std::uint64_t{1} << k);
+  std::vector<std::string> block(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (pos + m + 1 > word.size()) return false;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const char c = word[pos + i];
+      if (c != '0' && c != '1') return false;
+    }
+    if (word[pos + m] != '#') return false;
+    block[b] = word.substr(pos, m);
+    pos += m + 1;
+  }
+  if (pos != word.size()) return false;
+  // Conditions (ii) and (iii): all x- and z-blocks equal the first x-block,
+  // all y-blocks equal the first y-block.
+  const std::string& x = block[0];
+  const std::string& y = block[1];
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::string& want = (b % 3 == 1) ? y : x;
+    if (block[b] != want) return false;
+  }
+  // Disjointness.
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (x[i] == '1' && y[i] == '1') return false;
+  }
+  return true;
+}
+
+}  // namespace qols::lang

@@ -1,0 +1,76 @@
+#include "qols/lang/structure_validator.hpp"
+
+#include <bit>
+
+namespace qols::lang {
+
+using stream::Symbol;
+
+void StructureValidator::feed(Symbol s) {
+  switch (phase_) {
+    case Phase::kFailed:
+      return;
+    case Phase::kDone:
+      // Any symbol after the final '#' breaks the exact-shape requirement.
+      fail();
+      return;
+    case Phase::kPrefix:
+      if (s == Symbol::kOne) {
+        if (k_ >= kMaxK) {
+          fail();
+          return;
+        }
+        ++k_;
+        return;
+      }
+      if (s == Symbol::kSep) {
+        if (k_ < 1) {
+          fail();
+          return;
+        }
+        k_known_ = true;
+        m_ = std::uint64_t{1} << (2 * k_);
+        total_blocks_ = 3 * (std::uint64_t{1} << k_);
+        phase_ = Phase::kBlock;
+        pos_in_block_ = 0;
+        return;
+      }
+      fail();  // '0' in the prefix
+      return;
+    case Phase::kBlock:
+      if (s == Symbol::kSep) {
+        if (pos_in_block_ != m_) {
+          fail();  // short block
+          return;
+        }
+        ++blocks_done_;
+        pos_in_block_ = 0;
+        if (blocks_done_ == total_blocks_) phase_ = Phase::kDone;
+        return;
+      }
+      // A data bit; overlong blocks fail as soon as they exceed m.
+      if (pos_in_block_ >= m_) {
+        fail();
+        return;
+      }
+      ++pos_in_block_;
+      return;
+  }
+}
+
+bool StructureValidator::finish() {
+  if (failed_) return false;
+  return phase_ == Phase::kDone;
+}
+
+std::uint64_t StructureValidator::classical_bits_used() const noexcept {
+  // Conceptual OPTM work-tape footprint. Before k is known only the prefix
+  // counter exists; afterwards the three counters sized by k.
+  const unsigned k = k_known_ ? k_ : (k_ == 0 ? 1 : k_);
+  const std::uint64_t k_counter = std::bit_width(std::uint64_t{k} + 1);
+  const std::uint64_t block_counter = k + 2;    // counts to 3*2^k
+  const std::uint64_t pos_counter = 2 * k + 1;  // counts to 2^{2k}
+  return k_counter + block_counter + pos_counter + 2;  // +2 control state
+}
+
+}  // namespace qols::lang

@@ -1,0 +1,112 @@
+#include "qols/lang/workloads.hpp"
+
+#include <cassert>
+
+namespace qols::lang {
+
+std::vector<WorkloadFamily> all_workload_families() {
+  return {WorkloadFamily::kUniformDisjoint,
+          WorkloadFamily::kFirstIndex,
+          WorkloadFamily::kLastIndex,
+          WorkloadFamily::kBlockBoundary,
+          WorkloadFamily::kDenseXSparseY,
+          WorkloadFamily::kSparseXDenseY,
+          WorkloadFamily::kClusteredIntersections};
+}
+
+std::string workload_family_name(WorkloadFamily family) {
+  switch (family) {
+    case WorkloadFamily::kUniformDisjoint:
+      return "uniform-disjoint";
+    case WorkloadFamily::kFirstIndex:
+      return "first-index";
+    case WorkloadFamily::kLastIndex:
+      return "last-index";
+    case WorkloadFamily::kBlockBoundary:
+      return "block-boundary";
+    case WorkloadFamily::kDenseXSparseY:
+      return "dense-x-sparse-y";
+    case WorkloadFamily::kSparseXDenseY:
+      return "sparse-x-dense-y";
+    case WorkloadFamily::kClusteredIntersections:
+      return "clustered";
+  }
+  return "?";
+}
+
+bool workload_family_is_member(WorkloadFamily family) {
+  return family == WorkloadFamily::kUniformDisjoint;
+}
+
+LDisjInstance make_workload_instance(WorkloadFamily family, unsigned k,
+                                     util::Rng& rng) {
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  const std::uint64_t block = std::uint64_t{1} << k;
+
+  auto disjoint_pair = [&](util::BitVec& x, util::BitVec& y) {
+    x = util::BitVec::random(m, rng);
+    y = util::BitVec::random(m, rng);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      if (x.get(i) && y.get(i)) y.set(i, false);
+    }
+  };
+
+  switch (family) {
+    case WorkloadFamily::kUniformDisjoint: {
+      return LDisjInstance::make_disjoint(k, rng);
+    }
+    case WorkloadFamily::kFirstIndex: {
+      util::BitVec x, y;
+      disjoint_pair(x, y);
+      x.set(0, true);
+      y.set(0, true);
+      return LDisjInstance(k, std::move(x), std::move(y));
+    }
+    case WorkloadFamily::kLastIndex: {
+      util::BitVec x, y;
+      disjoint_pair(x, y);
+      x.set(m - 1, true);
+      y.set(m - 1, true);
+      return LDisjInstance(k, std::move(x), std::move(y));
+    }
+    case WorkloadFamily::kBlockBoundary: {
+      util::BitVec x, y;
+      disjoint_pair(x, y);
+      // Last index of a random window: position (b+1)*2^k - 1.
+      const std::uint64_t b = rng.below(block);
+      const std::uint64_t pos = (b + 1) * block - 1;
+      x.set(pos, true);
+      y.set(pos, true);
+      return LDisjInstance(k, std::move(x), std::move(y));
+    }
+    case WorkloadFamily::kDenseXSparseY: {
+      util::BitVec x(m, true);
+      util::BitVec y(m);
+      y.set(rng.below(m), true);  // exactly one witness
+      return LDisjInstance(k, std::move(x), std::move(y));
+    }
+    case WorkloadFamily::kSparseXDenseY: {
+      util::BitVec x(m);
+      util::BitVec y(m, true);
+      x.set(rng.below(m), true);
+      return LDisjInstance(k, std::move(x), std::move(y));
+    }
+    case WorkloadFamily::kClusteredIntersections: {
+      util::BitVec x, y;
+      disjoint_pair(x, y);
+      // Pack min(4, 2^k) witnesses into one window.
+      const std::uint64_t b = rng.below(block);
+      const std::uint64_t count = std::min<std::uint64_t>(4, block);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t pos = b * block + i;
+        x.set(pos, true);
+        y.set(pos, true);
+      }
+      return LDisjInstance(k, std::move(x), std::move(y));
+    }
+  }
+  assert(false && "unknown workload family");
+  return LDisjInstance::make_disjoint(k, rng);
+}
+
+}  // namespace qols::lang

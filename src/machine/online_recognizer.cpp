@@ -1,0 +1,18 @@
+#include "qols/machine/online_recognizer.hpp"
+
+#include <cmath>
+
+namespace qols::machine {
+
+bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec) {
+  while (auto s = input.next()) rec.feed(*s);
+  return rec.finish();
+}
+
+double log2_configuration_bound(double n, double s, double alphabet,
+                                double states) noexcept {
+  return std::log2(n) + std::log2(s) + s * std::log2(alphabet) +
+         std::log2(states);
+}
+
+}  // namespace qols::machine

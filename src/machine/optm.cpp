@@ -1,0 +1,331 @@
+#include "qols/machine/optm.hpp"
+
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace qols::machine {
+
+namespace {
+
+InSym to_insym(std::optional<stream::Symbol> s) noexcept {
+  if (!s) return InSym::kEof;
+  switch (*s) {
+    case stream::Symbol::kZero:
+      return InSym::kZero;
+    case stream::Symbol::kOne:
+      return InSym::kOne;
+    case stream::Symbol::kSep:
+      return InSym::kSep;
+  }
+  return InSym::kEof;
+}
+
+}  // namespace
+
+OptmProgram::OptmProgram(std::uint32_t num_states)
+    : num_states_(num_states),
+      accepting_(num_states, false),
+      table_(static_cast<std::size_t>(num_states) * 4 * 4) {
+  if (num_states == 0) {
+    throw std::invalid_argument("OptmProgram: need at least one state");
+  }
+}
+
+void OptmProgram::set_start(std::uint32_t state) {
+  assert(state < num_states_);
+  start_ = state;
+}
+
+void OptmProgram::set_accepting(std::uint32_t state, bool accepting) {
+  assert(state < num_states_);
+  accepting_[state] = accepting;
+}
+
+void OptmProgram::set_transition(std::uint32_t state, InSym in, WorkSym work,
+                                 const OptmAction& action) {
+  set_transition(state, in, work, action, action);
+}
+
+void OptmProgram::set_transition(std::uint32_t state, InSym in, WorkSym work,
+                                 const OptmAction& on_heads,
+                                 const OptmAction& on_tails) {
+  assert(state < num_states_);
+  table_[key(state, in, work, num_states_)] = {on_heads, on_tails};
+}
+
+bool OptmProgram::is_accepting(std::uint32_t state) const noexcept {
+  return state < num_states_ && accepting_[state];
+}
+
+const std::pair<OptmAction, OptmAction>* OptmProgram::lookup(
+    std::uint32_t state, InSym in, WorkSym work) const noexcept {
+  const auto& slot = table_[key(state, in, work, num_states_)];
+  return slot ? &*slot : nullptr;
+}
+
+OptmRun run_optm(const OptmProgram& program, stream::SymbolStream& input,
+                 util::Rng& rng, std::uint64_t max_steps) {
+  OptmRun result;
+  std::uint32_t state = program.start_state();
+  InSym in = to_insym(input.next());
+  std::vector<WorkSym> tape(1, WorkSym::kBlank);
+  std::vector<bool> written(1, false);
+  std::size_t head = 0;
+
+  for (; result.steps < max_steps; ++result.steps) {
+    const auto* t = program.lookup(state, in, tape[head]);
+    if (t == nullptr) {
+      // Undefined transition: the machine halts in its current state.
+      result.halted = true;
+      result.accepted = program.is_accepting(state);
+      break;
+    }
+    const bool branching = !(t->first.next_state == t->second.next_state &&
+                             t->first.write == t->second.write &&
+                             t->first.move == t->second.move &&
+                             t->first.advance_input == t->second.advance_input &&
+                             t->first.halt == t->second.halt);
+    const OptmAction& a = branching ? (rng.coin() ? t->second : t->first)
+                                    : t->first;
+    if (branching) ++result.coins;
+
+    tape[head] = a.write;
+    if (!written[head]) {
+      written[head] = true;
+      ++result.work_cells;
+    }
+    if (a.move == Move::kLeft) {
+      if (head == 0) {  // fell off the left end: treated as a rejecting halt
+        result.halted = true;
+        result.accepted = false;
+        break;
+      }
+      --head;
+    } else if (a.move == Move::kRight) {
+      ++head;
+      if (head == tape.size()) {
+        tape.push_back(WorkSym::kBlank);
+        written.push_back(false);
+      }
+    }
+    if (a.advance_input) in = to_insym(input.next());
+    state = a.next_state;
+    if (a.halt) {
+      result.halted = true;
+      result.accepted = program.is_accepting(state);
+      ++result.steps;
+      break;
+    }
+  }
+  return result;
+}
+
+double optm_acceptance_rate(const OptmProgram& program,
+                            const std::string& input, std::uint64_t trials,
+                            std::uint64_t seed, std::uint64_t max_steps) {
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    util::Rng rng(seed + i);
+    stream::StringStream s(input);
+    if (run_optm(program, s, rng, max_steps).accepted) ++accepted;
+  }
+  return static_cast<double>(accepted) / static_cast<double>(trials);
+}
+
+std::uint64_t count_reachable_configurations(
+    const OptmProgram& program, const std::vector<std::string>& inputs,
+    std::uint64_t max_steps, unsigned max_coins) {
+  std::set<std::string> seen;
+
+  struct Node {
+    std::uint32_t state;
+    std::size_t input_pos;
+    std::size_t head;
+    std::string tape;  // one char per cell: '0','1','#','_'
+    std::uint64_t steps;
+    unsigned coins;
+  };
+  static constexpr char kChars[] = {'0', '1', '#', '_'};
+
+  for (const std::string& word : inputs) {
+    // Pruning must be per input word: the same configuration has different
+    // successors under different words (the input tape is part of the
+    // machine's environment, not of the configuration). The global `seen`
+    // set is only the census.
+    std::set<std::string> visited_this_word;
+    std::vector<Node> frontier;
+    frontier.push_back(Node{program.start_state(), 0, 0, "_", 0, 0});
+    while (!frontier.empty()) {
+      Node node = frontier.back();
+      frontier.pop_back();
+
+      std::string digest = std::to_string(node.state);
+      digest += ':';
+      digest += std::to_string(node.input_pos);
+      digest += ':';
+      digest += std::to_string(node.head);
+      digest += ':';
+      digest += node.tape;
+      seen.insert(digest);
+      if (!visited_this_word.insert(digest).second) {
+        continue;  // already explored under THIS word
+      }
+      if (node.steps >= max_steps) continue;
+
+      const InSym in = node.input_pos < word.size()
+                           ? to_insym(stream::symbol_from_char(word[node.input_pos]))
+                           : InSym::kEof;
+      const WorkSym work = static_cast<WorkSym>(
+          std::string_view("01#_").find(node.tape[node.head]));
+      const auto* t = program.lookup(node.state, in, work);
+      if (t == nullptr) continue;  // halts here
+
+      auto expand = [&](const OptmAction& a, unsigned coin_cost) {
+        if (node.coins + coin_cost > max_coins) return;
+        Node next = node;
+        next.coins += coin_cost;
+        next.steps += 1;
+        next.tape[next.head] = kChars[static_cast<unsigned>(a.write)];
+        if (a.move == Move::kLeft) {
+          if (next.head == 0) return;  // falls off: halt, no new config
+          --next.head;
+        } else if (a.move == Move::kRight) {
+          ++next.head;
+          if (next.head == next.tape.size()) next.tape.push_back('_');
+        }
+        if (a.advance_input && next.input_pos <= word.size()) ++next.input_pos;
+        next.state = a.next_state;
+        if (!a.halt) frontier.push_back(next);
+      };
+
+      const bool branching =
+          !(t->first.next_state == t->second.next_state &&
+            t->first.write == t->second.write && t->first.move == t->second.move &&
+            t->first.advance_input == t->second.advance_input &&
+            t->first.halt == t->second.halt);
+      if (branching) {
+        expand(t->first, 1);
+        expand(t->second, 1);
+      } else {
+        expand(t->first, 0);
+      }
+    }
+  }
+  return seen.size();
+}
+
+// ---------------------------------------------------------------------------
+// Example programs
+// ---------------------------------------------------------------------------
+
+OptmProgram make_parity_machine() {
+  // States: 0 = even so far, 1 = odd so far (accepting at EOF),
+  // 2 = explicit dead reject (reached on '#', which the language forbids —
+  // merely leaving the transition undefined would halt in the CURRENT state,
+  // wrongly accepting words like "1#").
+  OptmProgram p(3);
+  p.set_start(0);
+  p.set_accepting(1);
+  for (std::uint32_t s : {0u, 1u}) {
+    OptmAction keep{.next_state = s, .write = WorkSym::kBlank,
+                    .move = Move::kStay, .advance_input = true, .halt = false};
+    OptmAction flip{.next_state = 1 - s, .write = WorkSym::kBlank,
+                    .move = Move::kStay, .advance_input = true, .halt = false};
+    p.set_transition(s, InSym::kZero, WorkSym::kBlank, keep);
+    p.set_transition(s, InSym::kOne, WorkSym::kBlank, flip);
+    OptmAction stop{.next_state = s, .write = WorkSym::kBlank,
+                    .move = Move::kStay, .advance_input = false, .halt = true};
+    p.set_transition(s, InSym::kEof, WorkSym::kBlank, stop);
+    OptmAction die{.next_state = 2, .write = WorkSym::kBlank,
+                   .move = Move::kStay, .advance_input = false, .halt = true};
+    p.set_transition(s, InSym::kSep, WorkSym::kBlank, die);
+  }
+  return p;
+}
+
+OptmProgram make_copy_compare_machine() {
+  // States: 0 = init (plant the left-end marker), 1 = copy u to the work
+  // tape, 2 = rewind to the marker, 3 = compare, 4 = accept.
+  OptmProgram p(5);
+  p.set_start(0);
+  p.set_accepting(4);
+
+  // 0: write '#' marker at cell 0, move right, stay on the same input symbol.
+  for (InSym in : {InSym::kZero, InSym::kOne, InSym::kSep, InSym::kEof}) {
+    p.set_transition(0, in, WorkSym::kBlank,
+                     OptmAction{.next_state = 1, .write = WorkSym::kSep,
+                                .move = Move::kRight, .advance_input = false,
+                                .halt = false});
+  }
+  // 1: copy bits until the separator.
+  p.set_transition(1, InSym::kZero, WorkSym::kBlank,
+                   OptmAction{.next_state = 1, .write = WorkSym::kZero,
+                              .move = Move::kRight, .advance_input = true,
+                              .halt = false});
+  p.set_transition(1, InSym::kOne, WorkSym::kBlank,
+                   OptmAction{.next_state = 1, .write = WorkSym::kOne,
+                              .move = Move::kRight, .advance_input = true,
+                              .halt = false});
+  p.set_transition(1, InSym::kSep, WorkSym::kBlank,
+                   OptmAction{.next_state = 2, .write = WorkSym::kBlank,
+                              .move = Move::kLeft, .advance_input = true,
+                              .halt = false});
+  // 2: rewind left until the marker, then step right into compare.
+  for (WorkSym w : {WorkSym::kZero, WorkSym::kOne}) {
+    p.set_transition(2, InSym::kZero, w,
+                     OptmAction{.next_state = 2, .write = w, .move = Move::kLeft,
+                                .advance_input = false, .halt = false});
+    p.set_transition(2, InSym::kOne, w,
+                     OptmAction{.next_state = 2, .write = w, .move = Move::kLeft,
+                                .advance_input = false, .halt = false});
+    p.set_transition(2, InSym::kEof, w,
+                     OptmAction{.next_state = 2, .write = w, .move = Move::kLeft,
+                                .advance_input = false, .halt = false});
+  }
+  for (InSym in : {InSym::kZero, InSym::kOne, InSym::kEof}) {
+    p.set_transition(2, in, WorkSym::kSep,
+                     OptmAction{.next_state = 3, .write = WorkSym::kSep,
+                                .move = Move::kRight, .advance_input = false,
+                                .halt = false});
+  }
+  // 3: compare input bit with work bit, cell by cell.
+  p.set_transition(3, InSym::kZero, WorkSym::kZero,
+                   OptmAction{.next_state = 3, .write = WorkSym::kZero,
+                              .move = Move::kRight, .advance_input = true,
+                              .halt = false});
+  p.set_transition(3, InSym::kOne, WorkSym::kOne,
+                   OptmAction{.next_state = 3, .write = WorkSym::kOne,
+                              .move = Move::kRight, .advance_input = true,
+                              .halt = false});
+  // End: input exhausted exactly when the copied string is (blank cell).
+  p.set_transition(3, InSym::kEof, WorkSym::kBlank,
+                   OptmAction{.next_state = 4, .write = WorkSym::kBlank,
+                              .move = Move::kStay, .advance_input = false,
+                              .halt = true});
+  return p;
+}
+
+OptmProgram make_coin_machine(unsigned flips) {
+  assert(flips >= 1);
+  // States 0..flips-1 flip coins; state flips = accept; flips+1 = reject.
+  OptmProgram p(flips + 2);
+  p.set_start(0);
+  p.set_accepting(flips);
+  const std::uint32_t accept = flips;
+  const std::uint32_t reject = flips + 1;
+  for (std::uint32_t s = 0; s < flips; ++s) {
+    const std::uint32_t next = s + 1 == flips ? accept : s + 1;
+    for (InSym in : {InSym::kZero, InSym::kOne, InSym::kSep, InSym::kEof}) {
+      OptmAction lose{.next_state = reject, .write = WorkSym::kBlank,
+                      .move = Move::kStay, .advance_input = false, .halt = true};
+      OptmAction win{.next_state = next, .write = WorkSym::kBlank,
+                     .move = Move::kStay, .advance_input = false,
+                     .halt = next == accept};
+      p.set_transition(s, in, WorkSym::kBlank, lose, win);
+    }
+  }
+  return p;
+}
+
+}  // namespace qols::machine

@@ -1,0 +1,114 @@
+#include "qols/quantum/circuit.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace qols::quantum {
+
+void apply_gate(StateVector& state, const Gate& g) {
+  if (g.is_identity()) return;
+  switch (g.kind) {
+    case GateKind::kH:
+      state.apply_h(g.a);
+      break;
+    case GateKind::kT:
+      state.apply_t(g.a);
+      break;
+    case GateKind::kCnot:
+      state.apply_cnot(g.a, g.b);
+      break;
+  }
+}
+
+void Circuit::append(const Circuit& other) {
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+void Circuit::apply_to(StateVector& state) const {
+  for (const Gate& g : gates_) apply_gate(state, g);
+}
+
+Circuit::Counts Circuit::counts() const noexcept {
+  Counts c;
+  for (const Gate& g : gates_) {
+    if (g.is_identity()) {
+      ++c.identity;
+      continue;
+    }
+    switch (g.kind) {
+      case GateKind::kH:
+        ++c.h;
+        break;
+      case GateKind::kT:
+        ++c.t;
+        break;
+      case GateKind::kCnot:
+        ++c.cnot;
+        break;
+    }
+  }
+  return c;
+}
+
+unsigned Circuit::qubits_spanned() const noexcept {
+  std::uint32_t max_label = 0;
+  bool any = false;
+  for (const Gate& g : gates_) {
+    max_label = std::max({max_label, g.a, g.b});
+    any = true;
+  }
+  return any ? max_label + 1 : 0;
+}
+
+std::string Circuit::to_tape() const {
+  std::string out;
+  out.reserve(gates_.size() * 6);
+  bool first = true;
+  for (const Gate& g : gates_) {
+    if (!first) out.push_back('#');
+    first = false;
+    out += std::to_string(g.a);
+    out.push_back('#');
+    out += std::to_string(g.b);
+    out.push_back('#');
+    out += std::to_string(static_cast<unsigned>(g.kind));
+  }
+  return out;
+}
+
+std::optional<Circuit> Circuit::from_tape(std::string_view tape) {
+  Circuit circuit;
+  if (tape.empty()) return circuit;
+
+  std::vector<std::uint64_t> fields;
+  std::size_t pos = 0;
+  while (pos <= tape.size()) {
+    const std::size_t next = tape.find('#', pos);
+    const std::string_view token =
+        tape.substr(pos, next == std::string_view::npos ? tape.size() - pos
+                                                        : next - pos);
+    if (token.empty()) return std::nullopt;
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      return std::nullopt;
+    }
+    fields.push_back(value);
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+
+  if (fields.size() % 3 != 0) return std::nullopt;
+  for (std::size_t i = 0; i < fields.size(); i += 3) {
+    const std::uint64_t a = fields[i];
+    const std::uint64_t b = fields[i + 1];
+    const std::uint64_t c = fields[i + 2];
+    if (c > 2 || a > UINT32_MAX || b > UINT32_MAX) return std::nullopt;
+    circuit.add(Gate{static_cast<GateKind>(c), static_cast<std::uint32_t>(a),
+                     static_cast<std::uint32_t>(b)});
+  }
+  return circuit;
+}
+
+}  // namespace qols::quantum

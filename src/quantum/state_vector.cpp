@@ -1,0 +1,329 @@
+#include "qols/quantum/state_vector.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "qols/util/thread_pool.hpp"
+
+namespace qols::quantum {
+namespace {
+
+// Below this many amplitudes, kernels run serially: thread dispatch would
+// dominate for the tiny registers of small k.
+constexpr std::size_t kParallelGrain = std::size_t{1} << 14;
+
+}  // namespace
+
+StateVector::StateVector(unsigned num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > 30) {
+    throw std::invalid_argument("StateVector: qubit count must be in [1, 30]");
+  }
+  amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+  amps_[0] = Amplitude{1.0, 0.0};
+}
+
+void StateVector::reset() { set_basis_state(0); }
+
+void StateVector::set_basis_state(std::size_t basis) {
+  assert(basis < dim());
+  std::fill(amps_.begin(), amps_.end(), Amplitude{0.0, 0.0});
+  amps_[basis] = Amplitude{1.0, 0.0};
+}
+
+// Iterates over all (i0, i1) pairs differing only in bit q; fn(i0, i1) is
+// applied in parallel chunks. g enumerates dim/2 pair indices; the pair's
+// low index interleaves g around bit q.
+template <typename Fn>
+void StateVector::for_pairs(unsigned q, Fn&& fn) {
+  const std::size_t half = dim() >> 1;
+  const std::size_t low_mask = (std::size_t{1} << q) - 1;
+  const std::size_t bit = std::size_t{1} << q;
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t g = lo; g < hi; ++g) {
+      const std::size_t i0 = ((g & ~low_mask) << 1) | (g & low_mask);
+      fn(i0, i0 | bit);
+    }
+  };
+  if (half <= kParallelGrain) {
+    body(0, half);
+  } else {
+    util::parallel_for(0, half, kParallelGrain, body);
+  }
+}
+
+void StateVector::apply_h(unsigned q) {
+  assert(q < num_qubits_);
+  constexpr double inv_sqrt2 = std::numbers::sqrt2 / 2.0;
+  for_pairs(q, [&](std::size_t i0, std::size_t i1) {
+    const Amplitude a = amps_[i0];
+    const Amplitude b = amps_[i1];
+    amps_[i0] = (a + b) * inv_sqrt2;
+    amps_[i1] = (a - b) * inv_sqrt2;
+  });
+}
+
+void StateVector::apply_x(unsigned q) {
+  assert(q < num_qubits_);
+  for_pairs(q, [&](std::size_t i0, std::size_t i1) {
+    std::swap(amps_[i0], amps_[i1]);
+  });
+}
+
+void StateVector::apply_z(unsigned q) {
+  apply_phase(q, Amplitude{-1.0, 0.0});
+}
+
+void StateVector::apply_t(unsigned q) {
+  constexpr double c = std::numbers::sqrt2 / 2.0;
+  apply_phase(q, Amplitude{c, c});
+}
+
+void StateVector::apply_tdg(unsigned q) {
+  constexpr double c = std::numbers::sqrt2 / 2.0;
+  apply_phase(q, Amplitude{c, -c});
+}
+
+void StateVector::apply_s(unsigned q) { apply_phase(q, Amplitude{0.0, 1.0}); }
+
+void StateVector::apply_sdg(unsigned q) { apply_phase(q, Amplitude{0.0, -1.0}); }
+
+void StateVector::apply_phase(unsigned q, Amplitude phase) {
+  assert(q < num_qubits_);
+  for_pairs(q, [&](std::size_t /*i0*/, std::size_t i1) {
+    amps_[i1] *= phase;
+  });
+}
+
+void StateVector::apply_single(unsigned q, Amplitude u00, Amplitude u01,
+                               Amplitude u10, Amplitude u11) {
+  assert(q < num_qubits_);
+  for_pairs(q, [&](std::size_t i0, std::size_t i1) {
+    const Amplitude a = amps_[i0];
+    const Amplitude b = amps_[i1];
+    amps_[i0] = u00 * a + u01 * b;
+    amps_[i1] = u10 * a + u11 * b;
+  });
+}
+
+void StateVector::apply_cnot(unsigned control, unsigned target) {
+  assert(control < num_qubits_ && target < num_qubits_);
+  if (control == target) return;  // paper's a == b => identity convention
+  const std::size_t cbit = std::size_t{1} << control;
+  for_pairs(target, [&](std::size_t i0, std::size_t i1) {
+    if (i0 & cbit) std::swap(amps_[i0], amps_[i1]);
+  });
+}
+
+void StateVector::apply_cz(unsigned a, unsigned b) {
+  assert(a < num_qubits_ && b < num_qubits_);
+  if (a == b) return;
+  const std::size_t abit = std::size_t{1} << a;
+  for_pairs(b, [&](std::size_t /*i0*/, std::size_t i1) {
+    if (i1 & abit) amps_[i1] = -amps_[i1];
+  });
+}
+
+void StateVector::apply_swap(unsigned a, unsigned b) {
+  if (a == b) return;
+  apply_cnot(a, b);
+  apply_cnot(b, a);
+  apply_cnot(a, b);
+}
+
+void StateVector::apply_mcx(std::span<const ControlTerm> controls,
+                            unsigned target) {
+  assert(target < num_qubits_);
+  std::size_t mask = 0;
+  std::size_t want = 0;
+  for (const ControlTerm& c : controls) {
+    assert(c.qubit < num_qubits_ && c.qubit != target);
+    mask |= std::size_t{1} << c.qubit;
+    if (c.value) want |= std::size_t{1} << c.qubit;
+  }
+  for_pairs(target, [&](std::size_t i0, std::size_t i1) {
+    if ((i0 & mask) == want) std::swap(amps_[i0], amps_[i1]);
+  });
+}
+
+void StateVector::apply_mcz(std::span<const ControlTerm> controls) {
+  std::size_t mask = 0;
+  std::size_t want = 0;
+  for (const ControlTerm& c : controls) {
+    assert(c.qubit < num_qubits_);
+    mask |= std::size_t{1} << c.qubit;
+    if (c.value) want |= std::size_t{1} << c.qubit;
+  }
+  const std::size_t n = dim();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if ((i & mask) == want) amps_[i] = -amps_[i];
+    }
+  };
+  if (n <= kParallelGrain) {
+    body(0, n);
+  } else {
+    util::parallel_for(0, n, kParallelGrain, body);
+  }
+}
+
+void StateVector::apply_h_range(unsigned first, unsigned count) {
+  for (unsigned q = first; q < first + count; ++q) apply_h(q);
+}
+
+void StateVector::apply_reflect_zero(unsigned first, unsigned count) {
+  assert(first + count <= num_qubits_);
+  const std::size_t mask = ((std::size_t{1} << count) - 1) << first;
+  const std::size_t n = dim();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if ((i & mask) != 0) amps_[i] = -amps_[i];
+    }
+  };
+  if (n <= kParallelGrain) {
+    body(0, n);
+  } else {
+    util::parallel_for(0, n, kParallelGrain, body);
+  }
+}
+
+void StateVector::apply_phase_flip_set(std::span<const std::uint64_t> marked) {
+  for (std::uint64_t i : marked) {
+    assert(i < dim());
+    amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::apply_x_on_index(unsigned first, unsigned count,
+                                   std::uint64_t index, unsigned target) {
+  assert(first + count <= num_qubits_ && target < num_qubits_);
+  assert(index < (std::uint64_t{1} << count));
+  // Enumerate the free qubits (outside the index register and the target).
+  const std::size_t index_bits = static_cast<std::size_t>(index) << first;
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t fixed_mask =
+      (((std::size_t{1} << count) - 1) << first) | tbit;
+  const unsigned free_qubits = num_qubits_ - count - 1;
+  const std::size_t iterations = std::size_t{1} << free_qubits;
+  // Map a compact free-index f to a full basis index by depositing its bits
+  // into the positions not covered by fixed_mask.
+  for (std::size_t f = 0; f < iterations; ++f) {
+    std::size_t base = 0;
+    std::size_t rem = f;
+    for (unsigned q = 0; q < num_qubits_; ++q) {
+      const std::size_t qb = std::size_t{1} << q;
+      if (fixed_mask & qb) continue;
+      if (rem & 1) base |= qb;
+      rem >>= 1;
+    }
+    const std::size_t i0 = base | index_bits;
+    std::swap(amps_[i0], amps_[i0 | tbit]);
+  }
+}
+
+void StateVector::apply_z_on_index(unsigned first, unsigned count,
+                                   std::uint64_t index, unsigned h) {
+  assert(first + count <= num_qubits_ && h < num_qubits_);
+  const std::size_t index_bits = static_cast<std::size_t>(index) << first;
+  const std::size_t hbit = std::size_t{1} << h;
+  const std::size_t fixed_mask =
+      (((std::size_t{1} << count) - 1) << first) | hbit;
+  const unsigned free_qubits = num_qubits_ - count - 1;
+  const std::size_t iterations = std::size_t{1} << free_qubits;
+  for (std::size_t f = 0; f < iterations; ++f) {
+    std::size_t base = 0;
+    std::size_t rem = f;
+    for (unsigned q = 0; q < num_qubits_; ++q) {
+      const std::size_t qb = std::size_t{1} << q;
+      if (fixed_mask & qb) continue;
+      if (rem & 1) base |= qb;
+      rem >>= 1;
+    }
+    const std::size_t i = base | index_bits | hbit;
+    amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::apply_cx_on_index(unsigned first, unsigned count,
+                                    std::uint64_t index, unsigned h,
+                                    unsigned target) {
+  assert(first + count <= num_qubits_);
+  assert(h < num_qubits_ && target < num_qubits_ && h != target);
+  const std::size_t index_bits = static_cast<std::size_t>(index) << first;
+  const std::size_t hbit = std::size_t{1} << h;
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t fixed_mask =
+      (((std::size_t{1} << count) - 1) << first) | hbit | tbit;
+  const unsigned free_qubits = num_qubits_ - count - 2;
+  const std::size_t iterations = std::size_t{1} << free_qubits;
+  for (std::size_t f = 0; f < iterations; ++f) {
+    std::size_t base = 0;
+    std::size_t rem = f;
+    for (unsigned q = 0; q < num_qubits_; ++q) {
+      const std::size_t qb = std::size_t{1} << q;
+      if (fixed_mask & qb) continue;
+      if (rem & 1) base |= qb;
+      rem >>= 1;
+    }
+    const std::size_t i0 = base | index_bits | hbit;
+    std::swap(amps_[i0], amps_[i0 | tbit]);
+  }
+}
+
+double StateVector::probability_one(unsigned q) const {
+  assert(q < num_qubits_);
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (i & bit) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+bool StateVector::measure(unsigned q, util::Rng& rng) {
+  const double p1 = probability_one(q);
+  const bool outcome = rng.uniform01() < p1;
+  const std::size_t bit = std::size_t{1} << q;
+  const double keep_p = outcome ? p1 : 1.0 - p1;
+  const double scale = keep_p > 0.0 ? 1.0 / std::sqrt(keep_p) : 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one == outcome) {
+      amps_[i] *= scale;
+    } else {
+      amps_[i] = Amplitude{0.0, 0.0};
+    }
+  }
+  return outcome;
+}
+
+std::size_t StateVector::sample_basis(util::Rng& rng) const {
+  double r = rng.uniform01();
+  for (std::size_t i = 0; i < dim(); ++i) {
+    r -= std::norm(amps_[i]);
+    if (r <= 0.0) return i;
+  }
+  return dim() - 1;  // numeric tail; total mass ~1
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+  for (const Amplitude& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+Amplitude StateVector::inner_product(const StateVector& other) const {
+  assert(dim() == other.dim());
+  Amplitude acc{0.0, 0.0};
+  for (std::size_t i = 0; i < dim(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+}  // namespace qols::quantum

@@ -1,0 +1,265 @@
+#include "qols/reduction/config_census.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/util/modmath.hpp"
+
+namespace qols::reduction {
+
+using stream::Symbol;
+
+// ---------------------------------------------------------------------------
+// DetBlockMachine
+// ---------------------------------------------------------------------------
+
+DetBlockMachine::DetBlockMachine(unsigned k)
+    : k_(k),
+      m_(std::uint64_t{1} << (2 * k)),
+      block_len_(std::uint64_t{1} << k),
+      buffer_(block_len_) {}
+
+void DetBlockMachine::reset() {
+  rep_ = 0;
+  off_ = 0;
+  block_ = 0;
+  body_ = false;
+  buffer_ = util::BitVec(block_len_);
+  found_ = false;
+}
+
+void DetBlockMachine::feed(Symbol s) {
+  if (!body_) {
+    if (s == Symbol::kSep) body_ = true;  // end of the 1^k prefix
+    return;
+  }
+  if (s == Symbol::kSep) {
+    if (block_ == 2) {
+      ++rep_;
+      block_ = 0;
+    } else {
+      ++block_;
+    }
+    off_ = 0;
+    return;
+  }
+  const bool bit = (s == Symbol::kOne);
+  const std::uint64_t idx = off_++;
+  const std::uint64_t lo = rep_ * block_len_;
+  if (idx < lo || idx >= lo + block_len_ || rep_ >= block_len_) return;
+  const std::uint64_t slot = idx - lo;
+  if (block_ == 0) {
+    buffer_.set(slot, bit);
+  } else if (block_ == 1) {
+    if (bit && buffer_.get(slot)) found_ = true;
+  }
+}
+
+std::string DetBlockMachine::configuration() const {
+  std::string c = buffer_.to_string();
+  c.push_back(found_ ? 'F' : '.');
+  c += std::to_string(rep_);
+  c.push_back(':');
+  c += std::to_string(block_);
+  return c;
+}
+
+bool DetBlockMachine::decide() { return !found_; }
+
+// ---------------------------------------------------------------------------
+// DetFullMachine
+// ---------------------------------------------------------------------------
+
+DetFullMachine::DetFullMachine(unsigned k)
+    : k_(k), m_(std::uint64_t{1} << (2 * k)), x_(m_) {}
+
+void DetFullMachine::reset() {
+  rep_ = 0;
+  off_ = 0;
+  block_ = 0;
+  body_ = false;
+  x_ = util::BitVec(m_);
+  found_ = false;
+}
+
+void DetFullMachine::feed(Symbol s) {
+  if (!body_) {
+    if (s == Symbol::kSep) body_ = true;
+    return;
+  }
+  if (s == Symbol::kSep) {
+    if (block_ == 2) {
+      ++rep_;
+      block_ = 0;
+    } else {
+      ++block_;
+    }
+    off_ = 0;
+    return;
+  }
+  const bool bit = (s == Symbol::kOne);
+  const std::uint64_t idx = off_++;
+  if (idx >= m_) return;
+  if (rep_ == 0 && block_ == 0) {
+    x_.set(idx, bit);
+  } else if (rep_ == 0 && block_ == 1) {
+    if (bit && x_.get(idx)) found_ = true;
+  }
+}
+
+std::string DetFullMachine::configuration() const {
+  std::string c = x_.to_string();
+  c.push_back(found_ ? 'F' : '.');
+  return c;
+}
+
+bool DetFullMachine::decide() { return !found_; }
+
+// ---------------------------------------------------------------------------
+// DetFingerprintMachine
+// ---------------------------------------------------------------------------
+
+DetFingerprintMachine::DetFingerprintMachine(unsigned k, std::uint64_t t)
+    : k_(k),
+      m_(std::uint64_t{1} << (2 * k)),
+      p_(util::fingerprint_prime(k)),
+      t_(t % p_) {}
+
+void DetFingerprintMachine::reset() {
+  acc_ = 0;
+  tpow_ = 1;
+  cur_x_ = cur_y_ = prev_x_ = prev_y_ = 0;
+  have_prev_ = false;
+  block_index_ = 0;
+  body_ = false;
+  failed_ = false;
+}
+
+void DetFingerprintMachine::feed(Symbol s) {
+  if (!body_) {
+    if (s == Symbol::kSep) body_ = true;
+    return;
+  }
+  if (s == Symbol::kSep) {
+    const std::uint64_t fp = acc_;
+    switch (block_index_ % 3) {
+      case 0:
+        if (have_prev_ && fp != prev_x_) failed_ = true;
+        cur_x_ = fp;
+        break;
+      case 1:
+        if (have_prev_ && fp != prev_y_) failed_ = true;
+        cur_y_ = fp;
+        break;
+      case 2:
+        if (fp != cur_x_) failed_ = true;
+        prev_x_ = cur_x_;
+        prev_y_ = cur_y_;
+        have_prev_ = true;
+        break;
+    }
+    ++block_index_;
+    acc_ = 0;
+    tpow_ = 1;
+    return;
+  }
+  if (s == Symbol::kOne) acc_ = util::addmod(acc_, tpow_, p_);
+  tpow_ = util::mulmod(tpow_, t_, p_);
+}
+
+std::string DetFingerprintMachine::configuration() const {
+  std::string c;
+  c += std::to_string(cur_x_);
+  c.push_back(',');
+  c += std::to_string(cur_y_);
+  c.push_back(',');
+  c += std::to_string(prev_x_);
+  c.push_back(',');
+  c += std::to_string(prev_y_);
+  c.push_back(',');
+  c += std::to_string(block_index_);
+  c.push_back(failed_ ? 'F' : '.');
+  return c;
+}
+
+bool DetFingerprintMachine::decide() { return !failed_; }
+
+// ---------------------------------------------------------------------------
+// Census
+// ---------------------------------------------------------------------------
+
+BoundaryCensus survey_configurations(EnumerableMachine& machine, unsigned k,
+                                     std::uint64_t max_pairs, util::Rng& rng) {
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  const std::uint64_t boundaries = 3 * (std::uint64_t{1} << k) - 1;
+
+  BoundaryCensus census;
+  census.distinct_configs.assign(boundaries, 0);
+  census.message_bits.assign(boundaries, 0);
+
+  std::vector<std::unordered_set<std::string>> seen(boundaries);
+
+  // Exhaustive when 2^m * 2^m pairs fit the budget (k = 1: 256 pairs).
+  const bool exhaustive =
+      m <= 16 && (std::uint64_t{1} << (2 * m)) <= max_pairs;
+  census.exhaustive = exhaustive;
+  const std::uint64_t pairs =
+      exhaustive ? (std::uint64_t{1} << (2 * m)) : max_pairs;
+  census.inputs_surveyed = pairs;
+
+  for (std::uint64_t pair = 0; pair < pairs; ++pair) {
+    util::BitVec x(m), y(m);
+    if (exhaustive) {
+      for (std::uint64_t i = 0; i < m; ++i) {
+        x.set(i, (pair >> i) & 1);
+        y.set(i, (pair >> (m + i)) & 1);
+      }
+    } else {
+      x = util::BitVec::random(m, rng);
+      y = util::BitVec::random(m, rng);
+    }
+    lang::LDisjInstance inst(k, std::move(x), std::move(y));
+    auto stream = inst.stream();
+    machine.reset();
+
+    // Boundary b (0-based) sits after the (b+1)-th '#' following the
+    // prefix's '#'. Feed symbols and snapshot at each boundary.
+    std::uint64_t seps_seen = 0;
+    bool past_prefix = false;
+    while (auto s = stream->next()) {
+      machine.feed(*s);
+      if (*s == Symbol::kSep) {
+        if (!past_prefix) {
+          past_prefix = true;
+          continue;
+        }
+        if (seps_seen < boundaries) {
+          seen[seps_seen].insert(machine.configuration());
+        }
+        ++seps_seen;
+      }
+    }
+  }
+
+  for (std::uint64_t b = 0; b < boundaries; ++b) {
+    const std::uint64_t n = seen[b].size();
+    census.distinct_configs[b] = n;
+    const std::uint64_t bits =
+        n <= 1 ? 0 : static_cast<std::uint64_t>(
+                         std::ceil(std::log2(static_cast<double>(n))));
+    census.message_bits[b] = bits;
+    census.total_bits += bits;
+    census.max_bits = std::max(census.max_bits, bits);
+  }
+  return census;
+}
+
+double theorem36_min_message_bits(unsigned k, double disj_constant) noexcept {
+  const double m = std::pow(2.0, 2.0 * k);
+  const double rounds = 3.0 * std::pow(2.0, k) - 1.0;
+  return disj_constant * m / rounds;
+}
+
+}  // namespace qols::reduction

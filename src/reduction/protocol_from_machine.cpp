@@ -1,0 +1,50 @@
+#include "qols/reduction/protocol_from_machine.hpp"
+
+#include <cassert>
+
+#include "qols/lang/ldisj_instance.hpp"
+
+namespace qols::reduction {
+
+using stream::Symbol;
+
+ReductionOutcome run_reduction_protocol(EnumerableMachine& machine, unsigned k,
+                                        const util::BitVec& x,
+                                        const util::BitVec& y) {
+  // In this simulation the "two parties" share the machine object; what
+  // makes it a protocol is the accounting: at every boundary the
+  // configuration is serialized and charged as a message, and each segment
+  // is generated from one party's string only.
+  lang::LDisjInstance inst(k, x, y);
+  auto word = inst.stream();
+
+  ReductionOutcome out;
+  machine.reset();
+  const std::uint64_t boundaries = 3 * (std::uint64_t{1} << k) - 1;
+
+  bool past_prefix = false;
+  std::uint64_t step = 0;  // 1-based message index, as in the proof
+  while (auto s = word->next()) {
+    machine.feed(*s);
+    if (*s != Symbol::kSep) continue;
+    if (!past_prefix) {
+      past_prefix = true;  // the '#' closing 1^k: no message yet
+      continue;
+    }
+    ++step;
+    if (step > boundaries) break;  // after the final segment nothing is sent
+    const std::string config = machine.configuration();
+    out.raw_payload_bits += 8ULL * config.size();
+    ++out.messages;
+    if (step % 3 == 2) {
+      ++out.bob_messages;  // Bob just consumed a y-segment
+    } else {
+      ++out.alice_messages;
+    }
+  }
+  assert(out.messages == boundaries);
+  out.declared_disjoint = machine.decide();
+  return out;
+}
+
+}  // namespace qols::reduction

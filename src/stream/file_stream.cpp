@@ -1,0 +1,73 @@
+#include "qols/stream/file_stream.hpp"
+
+#include <stdexcept>
+
+namespace qols::stream {
+
+FileStream::FileStream(const std::string& path, std::size_t buffer_size)
+    : file_(path, std::ios::binary), buffer_cap_(buffer_size) {
+  if (!file_.is_open()) {
+    throw std::runtime_error("FileStream: cannot open " + path);
+  }
+  file_.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(file_.tellg());
+  file_.seekg(0, std::ios::beg);
+}
+
+bool FileStream::refill() {
+  buffer_.resize(buffer_cap_);
+  file_.read(buffer_.data(), static_cast<std::streamsize>(buffer_cap_));
+  buffer_.resize(static_cast<std::size_t>(file_.gcount()));
+  pos_ = 0;
+  return !buffer_.empty();
+}
+
+std::optional<Symbol> FileStream::next() {
+  if (done_) return std::nullopt;
+  if (pos_ >= buffer_.size() && !refill()) {
+    done_ = true;
+    return std::nullopt;
+  }
+  const char c = buffer_[pos_++];
+  if (c == '\n' && pos_ >= buffer_.size() && file_.peek() == EOF) {
+    done_ = true;  // tolerate one trailing newline at EOF
+    return std::nullopt;
+  }
+  const auto sym = symbol_from_char(c);
+  if (!sym) {
+    bad_ = true;
+    done_ = true;
+    return std::nullopt;
+  }
+  return sym;
+}
+
+std::optional<std::uint64_t> FileStream::length_hint() const {
+  return file_size_;
+}
+
+std::uint64_t write_stream_to_file(SymbolStream& stream,
+                                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    throw std::runtime_error("write_stream_to_file: cannot open " + path);
+  }
+  std::string buffer;
+  buffer.reserve(1 << 16);
+  std::uint64_t written = 0;
+  while (auto s = stream.next()) {
+    buffer.push_back(symbol_to_char(*s));
+    ++written;
+    if (buffer.size() == buffer.capacity()) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!out.good()) {
+    throw std::runtime_error("write_stream_to_file: write failure on " + path);
+  }
+  return written;
+}
+
+}  // namespace qols::stream

@@ -1,0 +1,72 @@
+#include "qols/stream/symbol_stream.hpp"
+
+#include <stdexcept>
+
+namespace qols::stream {
+
+std::optional<Symbol> symbol_from_char(char c) noexcept {
+  switch (c) {
+    case '0':
+      return Symbol::kZero;
+    case '1':
+      return Symbol::kOne;
+    case '#':
+      return Symbol::kSep;
+    default:
+      return std::nullopt;
+  }
+}
+
+char symbol_to_char(Symbol s) noexcept {
+  switch (s) {
+    case Symbol::kZero:
+      return '0';
+    case Symbol::kOne:
+      return '1';
+    case Symbol::kSep:
+      return '#';
+  }
+  return '?';
+}
+
+StringStream::StringStream(std::string text) : text_(std::move(text)) {
+  for (char c : text_) {
+    if (!symbol_from_char(c)) {
+      throw std::invalid_argument("StringStream: character outside {0,1,#}");
+    }
+  }
+}
+
+std::optional<Symbol> StringStream::next() {
+  if (pos_ >= text_.size()) return std::nullopt;
+  return symbol_from_char(text_[pos_++]);
+}
+
+AppendingStream::AppendingStream(std::unique_ptr<SymbolStream> inner,
+                                 std::string suffix)
+    : inner_(std::move(inner)), suffix_(std::move(suffix)) {
+  for (char c : suffix_) {
+    if (!symbol_from_char(c)) {
+      throw std::invalid_argument("AppendingStream: character outside {0,1,#}");
+    }
+  }
+}
+
+std::optional<Symbol> AppendingStream::next() {
+  if (!inner_done_) {
+    auto s = inner_->next();
+    if (s) return s;
+    inner_done_ = true;
+  }
+  if (suffix_pos_ >= suffix_.size()) return std::nullopt;
+  return symbol_from_char(suffix_[suffix_pos_++]);
+}
+
+std::string materialize(SymbolStream& s) {
+  std::string out;
+  if (auto hint = s.length_hint()) out.reserve(*hint);
+  while (auto sym = s.next()) out.push_back(symbol_to_char(*sym));
+  return out;
+}
+
+}  // namespace qols::stream

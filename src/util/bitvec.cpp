@@ -1,0 +1,72 @@
+#include "qols/util/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace qols::util {
+
+BitVec::BitVec(std::size_t n, bool fill)
+    : size_(n), words_((n + 63) / 64, fill ? ~0ULL : 0ULL) {
+  if (fill && (n & 63) != 0) {
+    // Clear the tail so equality and popcount are exact.
+    words_.back() &= (1ULL << (n & 63)) - 1;
+  }
+}
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      v.set(i, true);
+    } else if (s[i] != '0') {
+      throw std::invalid_argument("BitVec::from_string: non-binary character");
+    }
+  }
+  return v;
+}
+
+BitVec BitVec::random(std::size_t n, Rng& rng) {
+  BitVec v(n);
+  for (std::size_t w = 0; w < v.words_.size(); ++w) v.words_[w] = rng.next();
+  if ((n & 63) != 0) v.words_.back() &= (1ULL << (n & 63)) - 1;
+  return v;
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVec::and_popcount(const BitVec& other) const noexcept {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+std::vector<std::size_t> BitVec::ones() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      out.push_back(w * 64 + static_cast<std::size_t>(b));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+}  // namespace qols::util

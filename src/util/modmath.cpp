@@ -1,0 +1,72 @@
+#include "qols/util/modmath.hpp"
+
+#include <cassert>
+
+namespace qols::util {
+namespace {
+
+// One Miller-Rabin round: returns true iff n passes for witness a.
+bool miller_rabin_round(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                        int r) noexcept {
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1ULL) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin_round(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> first_prime_in_open_interval(
+    std::uint64_t lo, std::uint64_t hi) noexcept {
+  for (std::uint64_t c = lo + 1; c < hi; ++c) {
+    if (is_prime_u64(c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t fingerprint_prime(unsigned k) noexcept {
+  return fingerprint_prime_stats(k).prime;
+}
+
+PrimeSearchStats fingerprint_prime_stats(unsigned k) noexcept {
+  assert(k >= 1 && k <= 15);
+  const std::uint64_t lo = 1ULL << (4 * k);
+  const std::uint64_t hi = 1ULL << (4 * k + 1);
+  PrimeSearchStats stats;
+  for (std::uint64_t c = lo + 1; c < hi; ++c) {
+    ++stats.candidates_tested;
+    if (is_prime_u64(c)) {
+      stats.prime = c;
+      return stats;
+    }
+  }
+  // Unreachable: Bertrand's postulate guarantees a prime in (m, 2m).
+  assert(false && "no prime in (2^{4k}, 2^{4k+1})");
+  return stats;
+}
+
+}  // namespace qols::util

@@ -1,0 +1,53 @@
+#include "qols/util/rng.hpp"
+
+namespace qols::util {
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply-shift with rejection of the biased low band.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<bool> Xoshiro256StarStar::bits(std::size_t n) {
+  std::vector<bool> out(n);
+  std::uint64_t word = 0;
+  int have = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (have == 0) {
+      word = next();
+      have = 64;
+    }
+    out[i] = (word & 1ULL) != 0;
+    word >>= 1;
+    --have;
+  }
+  return out;
+}
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+}  // namespace qols::util

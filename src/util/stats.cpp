@@ -1,0 +1,32 @@
+#include "qols/util/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace qols::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return n_ == 0 ? 0.0 : std::sqrt(variance() / static_cast<double>(n_));
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) noexcept {
+  assert(trials >= 1 && successes <= trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval out;
+  out.lo = center - margin;
+  out.hi = center + margin;
+  if (out.lo < 0.0) out.lo = 0.0;
+  if (out.hi > 1.0) out.hi = 1.0;
+  return out;
+}
+
+}  // namespace qols::util

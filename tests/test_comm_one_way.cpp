@@ -1,0 +1,71 @@
+// Unit tests: exact deterministic one-way communication complexity.
+#include <gtest/gtest.h>
+
+#include "qols/comm/one_way.hpp"
+
+namespace {
+
+using namespace qols::comm;
+
+TEST(OneWayCC, ConstantFunctionIsFree) {
+  auto constant = [](std::uint64_t, std::uint64_t) { return true; };
+  EXPECT_EQ(distinct_rows(constant, 4), 1u);
+  EXPECT_EQ(one_way_det_cc(constant, 4), 0u);
+}
+
+TEST(OneWayCC, SingleBitOfXCostsOneBit) {
+  auto first_bit = [](std::uint64_t x, std::uint64_t) { return (x & 1) != 0; };
+  EXPECT_EQ(distinct_rows(first_bit, 5), 2u);
+  EXPECT_EQ(one_way_det_cc(first_bit, 5), 1u);
+}
+
+TEST(OneWayCC, DisjointnessCostsExactlyM) {
+  // Every support is distinguished by a singleton y: 2^m distinct rows.
+  for (unsigned m = 1; m <= 8; ++m) {
+    EXPECT_EQ(distinct_rows(disj_predicate, m), std::uint64_t{1} << m) << m;
+    EXPECT_EQ(one_way_det_cc(disj_predicate, m), m) << m;
+  }
+}
+
+TEST(OneWayCC, EqualityCostsExactlyM) {
+  for (unsigned m = 1; m <= 8; ++m) {
+    EXPECT_EQ(one_way_det_cc(eq_predicate, m), m) << m;
+  }
+}
+
+TEST(OneWayCC, InnerProductCostsExactlyM) {
+  // IP rows are the parity functionals <x, .>, all distinct.
+  for (unsigned m = 1; m <= 8; ++m) {
+    EXPECT_EQ(one_way_det_cc(ip_predicate, m), m) << m;
+  }
+}
+
+TEST(OneWayCC, IndexCostsExactlyM) {
+  // INDEX is the canonical one-way-hard problem: Alice must ship all bits.
+  for (unsigned m = 2; m <= 8; ++m) {
+    auto f = [m](std::uint64_t x, std::uint64_t y) {
+      return index_predicate_m(x, y, m);
+    };
+    EXPECT_EQ(one_way_det_cc(f, m), m) << m;
+  }
+}
+
+TEST(OneWayCC, YOnlyFunctionIsFreeForAlice) {
+  auto f = [](std::uint64_t, std::uint64_t y) { return (y & 1) != 0; };
+  EXPECT_EQ(one_way_det_cc(f, 6), 0u);
+}
+
+TEST(OneWayCC, RejectsOversizedM) {
+  EXPECT_THROW(distinct_rows(disj_predicate, 15), std::invalid_argument);
+}
+
+TEST(OneWayCC, CoarseFunctionsCostLess) {
+  // f depends only on popcount(x) >= m/2: rows collapse to 2 classes.
+  const unsigned m = 6;
+  auto f = [m](std::uint64_t x, std::uint64_t) {
+    return static_cast<unsigned>(__builtin_popcountll(x)) >= m / 2;
+  };
+  EXPECT_EQ(one_way_det_cc(f, m), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Unit + statistical tests: communication protocols (Theorem 3.1 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qols/comm/protocols.hpp"
+
+namespace {
+
+using namespace qols::comm;
+using qols::util::BitVec;
+using qols::util::Rng;
+
+BitVec planted(std::uint64_t m, std::uint64_t t, Rng& rng, BitVec& y_out) {
+  BitVec x = BitVec::random(m, rng);
+  BitVec y = BitVec::random(m, rng);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (x.get(i) && y.get(i)) y.set(i, false);
+  }
+  std::uint64_t added = 0;
+  while (added < t) {
+    const std::uint64_t i = rng.below(m);
+    if (!(x.get(i) && y.get(i))) {
+      x.set(i, true);
+      y.set(i, true);
+      ++added;
+    }
+  }
+  y_out = y;
+  return x;
+}
+
+TEST(Trivial, AlwaysCorrectAndCostsM) {
+  Rng rng(1);
+  for (std::uint64_t m : {8ULL, 64ULL, 256ULL}) {
+    BitVec y;
+    BitVec x = planted(m, 0, rng, y);
+    auto out = disj_trivial(x, y, rng);
+    EXPECT_TRUE(out.declared_disjoint);
+    EXPECT_EQ(out.cost.classical_bits, m + 1);
+    EXPECT_EQ(out.cost.qubits, 0u);
+
+    BitVec y2;
+    BitVec x2 = planted(m, 1, rng, y2);
+    auto out2 = disj_trivial(x2, y2, rng);
+    EXPECT_FALSE(out2.declared_disjoint);
+  }
+}
+
+TEST(Sampling, OneSidedAndCheapButMissesSparse) {
+  Rng rng(2);
+  const std::uint64_t m = 1024;
+  BitVec y;
+  BitVec x = planted(m, 1, rng, y);
+  int misses = 0;
+  constexpr int kRuns = 100;
+  std::uint64_t cost = 0;
+  for (int i = 0; i < kRuns; ++i) {
+    auto out = disj_sampling(x, y, 8, rng);
+    cost = out.cost.classical_bits;
+    if (out.declared_disjoint) ++misses;  // wrong on intersecting input
+  }
+  EXPECT_LT(cost, m / 4);      // far below the Omega(m) bound...
+  EXPECT_GE(misses, kRuns / 2);  // ...and correspondingly unreliable
+  // Disjoint inputs are never misclassified.
+  BitVec yd;
+  BitVec xd = planted(m, 0, rng, yd);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(disj_sampling(xd, yd, 8, rng).declared_disjoint);
+  }
+}
+
+TEST(Bcw, RequiresPowerOfFourLength) {
+  Rng rng(3);
+  BitVec x(8), y(8);  // 8 = 2^3, odd log
+  EXPECT_THROW(disj_bcw_quantum(x, y, rng), std::invalid_argument);
+  BitVec x2(2), y2(2);
+  EXPECT_THROW(disj_bcw_quantum(x2, y2, rng), std::invalid_argument);
+}
+
+TEST(Bcw, PerfectOnDisjointInputs) {
+  Rng rng(4);
+  for (std::uint64_t m : {4ULL, 16ULL, 64ULL}) {
+    BitVec y;
+    BitVec x = planted(m, 0, rng, y);
+    for (int i = 0; i < 20; ++i) {
+      auto out = disj_bcw_quantum(x, y, rng);
+      ASSERT_TRUE(out.declared_disjoint) << "m=" << m;
+    }
+  }
+}
+
+TEST(Bcw, CatchesIntersectionsAtLeastQuarter) {
+  Rng rng(5);
+  const std::uint64_t m = 64;
+  BitVec y;
+  BitVec x = planted(m, 1, rng, y);
+  int caught = 0;
+  constexpr int kRuns = 400;
+  for (int i = 0; i < kRuns; ++i) {
+    if (!disj_bcw_quantum(x, y, rng).declared_disjoint) ++caught;
+  }
+  EXPECT_GE(caught / static_cast<double>(kRuns), 0.25 - 0.05);
+}
+
+TEST(Bcw, QubitCostIsSqrtMLogM) {
+  Rng rng(6);
+  const std::uint64_t m = 256;  // k = 4
+  BitVec y;
+  BitVec x = planted(m, 0, rng, y);
+  std::uint64_t max_qubits = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto out = disj_bcw_quantum(x, y, rng);
+    max_qubits = std::max(max_qubits, out.cost.qubits);
+  }
+  // Worst case: (3 * 2^k + 2) transfers of (2k + 2) qubits — but one run uses
+  // (3j + 1) transfers; j <= 2^k - 1 gives <= (3*2^k - 2)*(2k+2).
+  EXPECT_LE(max_qubits, bcw_worst_case_qubits(4));
+  // And it must undercut the classical Omega(m) bound by a wide margin.
+  EXPECT_LT(bcw_worst_case_qubits(4), m * 2);
+}
+
+TEST(Bcw, AmplifiedReachesBoundedError) {
+  Rng rng(7);
+  const std::uint64_t m = 64;
+  BitVec y;
+  BitVec x = planted(m, 1, rng, y);
+  int wrong = 0;
+  constexpr int kRuns = 200;
+  for (int i = 0; i < kRuns; ++i) {
+    if (disj_bcw_amplified(x, y, 4, rng).declared_disjoint) ++wrong;
+  }
+  EXPECT_LE(wrong / static_cast<double>(kRuns), 1.0 / 3.0);
+  // Amplification never breaks disjoint inputs.
+  BitVec yd;
+  BitVec xd = planted(m, 0, rng, yd);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(disj_bcw_amplified(xd, yd, 4, rng).declared_disjoint);
+  }
+}
+
+TEST(WorstCaseFormula, GrowsLikeSqrtMTimesLogM) {
+  // qubits(k) / (2^k * k) should be bounded (constant ~6..7).
+  for (unsigned k = 2; k <= 10; ++k) {
+    const double ratio =
+        static_cast<double>(bcw_worst_case_qubits(k)) /
+        (std::pow(2.0, k) * (2.0 * k + 2.0));
+    EXPECT_NEAR(ratio, 3.0, 0.6) << "k=" << k;
+  }
+}
+
+TEST(EqFingerprint, EqualStringsAlwaysDeclaredEqual) {
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) {
+    BitVec w = BitVec::random(128, rng);
+    auto out = eq_fingerprint(w, w, rng);
+    ASSERT_TRUE(out.declared_equal);
+    // O(log m) bits: 3 field elements of ~2 log2(m) bits each + answer.
+    EXPECT_LE(out.cost.classical_bits, 3 * 15 + 1);
+  }
+}
+
+TEST(EqFingerprint, UnequalStringsCaughtWithHighProbability) {
+  Rng rng(9);
+  int caught = 0;
+  constexpr int kRuns = 300;
+  for (int i = 0; i < kRuns; ++i) {
+    BitVec a = BitVec::random(128, rng);
+    BitVec b = a;
+    const std::uint64_t p = rng.below(128);
+    b.set(p, !b.get(p));  // guaranteed a != b
+    if (!eq_fingerprint(a, b, rng).declared_equal) ++caught;
+  }
+  EXPECT_GE(caught, kRuns * 9 / 10);
+}
+
+}  // namespace

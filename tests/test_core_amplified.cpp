@@ -1,0 +1,106 @@
+// Unit + statistical tests: Corollary 3.5 amplification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qols/core/amplified.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+
+namespace {
+
+using qols::core::AmplifiedRecognizer;
+using qols::core::QuantumOnlineRecognizer;
+using qols::lang::LDisjInstance;
+using qols::machine::run_stream;
+using qols::util::Rng;
+
+AmplifiedRecognizer::Factory quantum_factory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<QuantumOnlineRecognizer>(seed);
+  };
+}
+
+TEST(Amplified, PreservesPerfectCompleteness) {
+  Rng rng(1);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    AmplifiedRecognizer rec(quantum_factory(), 4, seed);
+    auto s = inst.stream();
+    ASSERT_TRUE(run_stream(*s, rec)) << "seed=" << seed;
+  }
+}
+
+TEST(Amplified, FourCopiesReachBoundedError) {
+  // Non-member falsely accepted with prob <= (3/4)^4 < 1/3.
+  Rng rng(2);
+  auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  int wrong = 0;
+  constexpr int kRuns = 300;
+  for (int i = 0; i < kRuns; ++i) {
+    AmplifiedRecognizer rec(quantum_factory(), 4, 100 + i);
+    auto s = inst.stream();
+    if (run_stream(*s, rec)) ++wrong;
+  }
+  const double rate = wrong / static_cast<double>(kRuns);
+  EXPECT_LE(rate, 1.0 / 3.0 + 0.05);
+}
+
+TEST(Amplified, MoreCopiesMeanFewerErrors) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  auto error_rate = [&](std::uint64_t copies, int runs) {
+    int wrong = 0;
+    for (int i = 0; i < runs; ++i) {
+      AmplifiedRecognizer rec(quantum_factory(), copies, 500 + i);
+      auto s = inst.stream();
+      if (run_stream(*s, rec)) ++wrong;
+    }
+    return wrong / static_cast<double>(runs);
+  };
+  const double e1 = error_rate(1, 200);
+  const double e8 = error_rate(8, 200);
+  EXPECT_GT(e1, e8);
+  EXPECT_LE(e8, 0.15);  // (3/4)^8 ~ 0.1; sampling slack
+}
+
+TEST(Amplified, SpaceScalesLinearlyInCopies) {
+  Rng rng(4);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  AmplifiedRecognizer one(quantum_factory(), 1, 1);
+  AmplifiedRecognizer four(quantum_factory(), 4, 1);
+  {
+    auto s = inst.stream();
+    run_stream(*s, one);
+  }
+  {
+    auto s = inst.stream();
+    run_stream(*s, four);
+  }
+  EXPECT_EQ(four.space_used().qubits, 4 * one.space_used().qubits);
+  EXPECT_EQ(four.space_used().classical_bits,
+            4 * one.space_used().classical_bits);
+}
+
+TEST(Amplified, NameIncludesCopyCount) {
+  AmplifiedRecognizer rec(quantum_factory(), 4, 1);
+  EXPECT_EQ(rec.name(), "quantum-x4");
+  EXPECT_EQ(rec.copies(), 4u);
+}
+
+TEST(Amplified, WorksOverClassicalInner) {
+  // Amplification is generic over OnlineRecognizer.
+  Rng rng(5);
+  auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  AmplifiedRecognizer rec(
+      [](std::uint64_t seed) {
+        return std::make_unique<qols::core::ClassicalBlockRecognizer>(seed);
+      },
+      2, 1);
+  auto s = inst.stream();
+  EXPECT_FALSE(run_stream(*s, rec));
+}
+
+}  // namespace

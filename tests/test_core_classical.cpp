@@ -1,0 +1,197 @@
+// Unit tests: classical baselines (Prop 3.7 block machine, full storage,
+// sampling, Bloom).
+#include <gtest/gtest.h>
+
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+
+namespace {
+
+using namespace qols::core;
+using qols::lang::LDisjInstance;
+using qols::lang::make_mutant_stream;
+using qols::lang::MutantKind;
+using qols::machine::run_stream;
+using qols::util::Rng;
+
+TEST(BlockRecognizer, AcceptsMembers) {
+  Rng rng(1);
+  for (unsigned k = 1; k <= 4; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    ClassicalBlockRecognizer rec(k);
+    auto s = inst.stream();
+    ASSERT_TRUE(run_stream(*s, rec)) << "k=" << k;
+  }
+}
+
+TEST(BlockRecognizer, RejectsEveryIntersectionDeterministically) {
+  Rng rng(2);
+  for (unsigned k = 1; k <= 3; ++k) {
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    for (std::uint64_t t : {std::uint64_t{1}, std::uint64_t{2}, m / 2, m}) {
+      auto inst = LDisjInstance::make_with_intersections(k, t, rng);
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        ClassicalBlockRecognizer rec(seed);
+        auto s = inst.stream();
+        ASSERT_FALSE(run_stream(*s, rec)) << "k=" << k << " t=" << t;
+        EXPECT_TRUE(rec.intersection_found());
+      }
+    }
+  }
+}
+
+TEST(BlockRecognizer, FindsIntersectionInEveryBlockPosition) {
+  // Plant a single intersection at each possible index; the block machine
+  // must catch all of them (block i is certified in repetition i).
+  const unsigned k = 2;
+  const std::uint64_t m = 16;
+  for (std::uint64_t pos = 0; pos < m; ++pos) {
+    qols::util::BitVec x(m), y(m);
+    x.set(pos, true);
+    y.set(pos, true);
+    LDisjInstance inst(k, x, y);
+    ClassicalBlockRecognizer rec(0);
+    auto s = inst.stream();
+    ASSERT_FALSE(run_stream(*s, rec)) << "pos=" << pos;
+  }
+}
+
+TEST(BlockRecognizer, RejectsMalformedWords) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (auto kind : {MutantKind::kBadPrefix, MutantKind::kTruncated,
+                    MutantKind::kTrailingGarbage}) {
+    ClassicalBlockRecognizer rec(1);
+    auto s = make_mutant_stream(inst, kind, rng);
+    ASSERT_FALSE(run_stream(*s, rec)) << static_cast<int>(kind);
+  }
+}
+
+TEST(BlockRecognizer, SpaceIsCubeRootOfInputLength) {
+  Rng rng(4);
+  for (unsigned k = 1; k <= 5; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    ClassicalBlockRecognizer rec(1);
+    auto s = inst.stream();
+    run_stream(*s, rec);
+    const auto space = rec.space_used();
+    EXPECT_EQ(space.qubits, 0u);
+    // Dominated by the 2^k-bit buffer.
+    EXPECT_GE(space.classical_bits, std::uint64_t{1} << k);
+    EXPECT_LE(space.classical_bits, (std::uint64_t{1} << k) + 200 * k);
+  }
+}
+
+TEST(FullRecognizer, DecidesCorrectlyAndUsesMBits) {
+  Rng rng(5);
+  const unsigned k = 3;
+  auto member = LDisjInstance::make_disjoint(k, rng);
+  auto nonmember = LDisjInstance::make_with_intersections(k, 1, rng);
+  ClassicalFullRecognizer rec(1);
+  {
+    auto s = member.stream();
+    EXPECT_TRUE(run_stream(*s, rec));
+  }
+  rec.reset(2);
+  {
+    auto s = nonmember.stream();
+    EXPECT_FALSE(run_stream(*s, rec));
+  }
+  const auto space = rec.space_used();
+  EXPECT_GE(space.classical_bits, std::uint64_t{1} << (2 * k));  // m bits
+}
+
+TEST(SamplingRecognizer, AcceptsMembers) {
+  Rng rng(6);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  ClassicalSamplingRecognizer rec(1, 4);
+  auto s = inst.stream();
+  EXPECT_TRUE(run_stream(*s, rec));
+}
+
+TEST(SamplingRecognizer, MissesSparseIntersectionsAtSmallBudget) {
+  // One intersection among m = 256, budget 2 per repetition, 16 reps:
+  // detection prob ~ 1 - (1 - 1/256)^{32} ~ 0.12 — mostly misses.
+  Rng rng(7);
+  auto inst = LDisjInstance::make_with_intersections(4, 1, rng);
+  int misses = 0;
+  constexpr int kRuns = 60;
+  for (int i = 0; i < kRuns; ++i) {
+    ClassicalSamplingRecognizer rec(100 + i, 2);
+    auto s = inst.stream();
+    if (run_stream(*s, rec)) ++misses;  // wrongly accepted
+  }
+  EXPECT_GE(misses, kRuns / 2);  // fails far more often than a 1/3 error bound
+}
+
+TEST(SamplingRecognizer, CatchesDenseIntersections) {
+  // t = m/2: each probe hits with prob 1/2; 2^k reps of budget 4 make a miss
+  // vanishingly unlikely.
+  Rng rng(8);
+  auto inst = LDisjInstance::make_with_intersections(3, 32, rng);
+  ClassicalSamplingRecognizer rec(9, 4);
+  auto s = inst.stream();
+  EXPECT_FALSE(run_stream(*s, rec));
+}
+
+TEST(SamplingRecognizer, SpaceScalesWithBudget) {
+  Rng rng(9);
+  auto inst = LDisjInstance::make_disjoint(3, rng);
+  ClassicalSamplingRecognizer small(1, 2), large(1, 64);
+  auto s1 = inst.stream();
+  run_stream(*s1, small);
+  auto s2 = inst.stream();
+  run_stream(*s2, large);
+  EXPECT_LT(small.space_used().classical_bits,
+            large.space_used().classical_bits);
+}
+
+TEST(BloomRecognizer, NeverMissesIntersections) {
+  // No false negatives: intersecting inputs are always rejected.
+  Rng rng(10);
+  for (unsigned k = 2; k <= 3; ++k) {
+    auto inst = LDisjInstance::make_with_intersections(k, 1, rng);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      ClassicalBloomRecognizer rec(seed, 64, 2);
+      auto s = inst.stream();
+      ASSERT_FALSE(run_stream(*s, rec)) << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BloomRecognizer, SmallFiltersRejectDisjointInputsToo) {
+  // At a tiny filter the false-positive rate approaches 1 and members get
+  // rejected — the failure mode E10 quantifies.
+  Rng rng(11);
+  auto inst = LDisjInstance::make_disjoint(4, rng);  // m = 256, ~128 ones
+  int wrong = 0;
+  constexpr int kRuns = 40;
+  for (int i = 0; i < kRuns; ++i) {
+    ClassicalBloomRecognizer rec(i, 16, 2);
+    auto s = inst.stream();
+    if (!run_stream(*s, rec)) ++wrong;
+  }
+  EXPECT_GE(wrong, kRuns * 3 / 4);
+}
+
+TEST(BloomRecognizer, LargeFiltersAreAccurate) {
+  Rng rng(12);
+  auto member = LDisjInstance::make_disjoint(2, rng);
+  ClassicalBloomRecognizer rec(1, 4096, 3);
+  auto s = member.stream();
+  EXPECT_TRUE(run_stream(*s, rec));
+}
+
+TEST(AllClassical, NamesAreDistinct) {
+  ClassicalBlockRecognizer a(1);
+  ClassicalFullRecognizer b(1);
+  ClassicalSamplingRecognizer c(1, 2);
+  ClassicalBloomRecognizer d(1, 8, 1);
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(a.name(), c.name());
+  EXPECT_NE(a.name(), d.name());
+  EXPECT_NE(c.name(), d.name());
+}
+
+}  // namespace

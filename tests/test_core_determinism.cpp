@@ -1,0 +1,127 @@
+// Reproducibility and option-wiring tests for the core machines: identical
+// seeds must give identical behaviour (the whole experiment suite depends
+// on this), and the recognizer-level gate-sink option must produce a
+// replayable Definition 2.3 tape.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/gates/builder.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/quantum/circuit.hpp"
+
+namespace {
+
+using qols::core::QuantumOnlineRecognizer;
+using qols::lang::LDisjInstance;
+using qols::machine::run_stream;
+using qols::util::Rng;
+
+TEST(Determinism, SameSeedSameVerdictSequence) {
+  Rng rng(1);
+  auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    QuantumOnlineRecognizer a(seed), b(seed);
+    auto sa = inst.stream();
+    auto sb = inst.stream();
+    ASSERT_EQ(run_stream(*sa, a), run_stream(*sb, b)) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, SameSeedSameChosenJAndPoint) {
+  Rng rng(2);
+  auto inst = LDisjInstance::make_disjoint(3, rng);
+  QuantumOnlineRecognizer a(99), b(99);
+  auto sa = inst.stream();
+  auto sb = inst.stream();
+  while (auto s = sa->next()) a.feed(*s);
+  while (auto s = sb->next()) b.feed(*s);
+  EXPECT_EQ(a.a3().chosen_j(), b.a3().chosen_j());
+  EXPECT_EQ(a.a2().point(), b.a2().point());
+  EXPECT_EQ(a.a2().prime(), b.a2().prime());
+}
+
+TEST(Determinism, DifferentSeedsVaryTheCoins) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_disjoint(4, rng);  // 2^k = 16 possible j's
+  std::set<std::uint64_t> js;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    QuantumOnlineRecognizer rec(seed);
+    auto s = inst.stream();
+    while (auto sym = s->next()) rec.feed(*sym);
+    js.insert(*rec.a3().chosen_j());
+  }
+  EXPECT_GE(js.size(), 6u);  // coins genuinely vary across seeds
+}
+
+TEST(Determinism, InstanceGenerationIsSeedStable) {
+  Rng a(7), b(7);
+  auto ia = LDisjInstance::make_with_intersections(3, 2, a);
+  auto ib = LDisjInstance::make_with_intersections(3, 2, b);
+  EXPECT_EQ(ia.x(), ib.x());
+  EXPECT_EQ(ia.y(), ib.y());
+}
+
+TEST(Determinism, ClassicalMachinesAreSeedStableToo) {
+  Rng rng(8);
+  auto inst = LDisjInstance::make_with_intersections(3, 1, rng);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    qols::core::ClassicalSamplingRecognizer a(seed, 4), b(seed, 4);
+    auto sa = inst.stream();
+    auto sb = inst.stream();
+    ASSERT_EQ(run_stream(*sa, a), run_stream(*sb, b));
+  }
+}
+
+TEST(OptionWiring, RecognizerLevelGateSinkEmitsReplayableTape) {
+  Rng rng(9);
+  auto inst = LDisjInstance::make_with_intersections(1, 1, rng);
+
+  qols::gates::TapeWriterSink tape;
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.gate_sink = &tape;
+  opts.a3.simulate = true;  // simulate AND emit simultaneously
+  QuantumOnlineRecognizer rec(5, opts);
+  auto s = inst.stream();
+  while (auto sym = s->next()) rec.feed(*sym);
+  const double p_accept = rec.exact_acceptance_probability();
+
+  auto circuit = qols::quantum::Circuit::from_tape(tape.tape());
+  ASSERT_TRUE(circuit.has_value());
+  ASSERT_GT(circuit->size(), 0u);
+  qols::quantum::StateVector replay(circuit->qubits_spanned());
+  circuit->apply_to(replay);
+  // P[accept] = P[l measures 0] on a structurally valid, consistent word.
+  const double p_replay = 1.0 - replay.probability_one(2 * 1 + 1);
+  EXPECT_NEAR(p_replay, p_accept, 1e-9);
+}
+
+TEST(OptionWiring, SpaceReportIncludesAncillasInGateMode) {
+  Rng rng(10);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  qols::gates::CountingSink count;
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.gate_sink = &count;
+  QuantumOnlineRecognizer rec(5, opts);
+  auto s = inst.stream();
+  while (auto sym = s->next()) rec.feed(*sym);
+  // 2k+2 data qubits plus up to 2k compiler ancillas.
+  EXPECT_GT(rec.space_used().qubits, 2ULL * 2 + 2);
+  EXPECT_LE(rec.space_used().qubits, 4ULL * 2 + 2);
+}
+
+TEST(OptionWiring, MaxSimKGuardsTheRegister) {
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.max_sim_k = 1;
+  QuantumOnlineRecognizer rec(5, opts);
+  Rng rng(11);
+  auto inst = LDisjInstance::make_disjoint(2, rng);  // k = 2 > max_sim_k
+  auto s = inst.stream();
+  EXPECT_NO_THROW(run_stream(*s, rec));
+  EXPECT_EQ(rec.space_used().qubits, 0u);  // register never instantiated
+}
+
+}  // namespace

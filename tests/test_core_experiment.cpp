@@ -1,0 +1,88 @@
+// Unit tests: the experiment driver API.
+#include <gtest/gtest.h>
+
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/experiment.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+
+namespace {
+
+using namespace qols::core;
+using qols::lang::LDisjInstance;
+using qols::util::Rng;
+
+RecognizerFactory quantum() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<QuantumOnlineRecognizer>(seed);
+  };
+}
+
+TEST(Experiment, MemberAcceptanceIsCertain) {
+  Rng rng(1);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  const auto r = measure_acceptance([&] { return inst.stream(); }, quantum(),
+                                    {.trials = 50, .seed_base = 1});
+  EXPECT_EQ(r.trials, 50u);
+  EXPECT_EQ(r.accepts, 50u);
+  EXPECT_DOUBLE_EQ(r.rate(), 1.0);
+  EXPECT_EQ(r.space.qubits, 6u);  // 2k+2 at k=2
+}
+
+TEST(Experiment, NonMemberRejectionIsAtLeastQuarter) {
+  Rng rng(2);
+  auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  const auto r = measure_acceptance([&] { return inst.stream(); }, quantum(),
+                                    {.trials = 300, .seed_base = 1});
+  // One-sided: acceptance <= 3/4; Wilson upper bound must clear 0.8 easily.
+  EXPECT_LE(r.wilson().lo, 0.75);
+  EXPECT_LE(r.rate(), 0.80);
+}
+
+TEST(Experiment, WilsonIntervalBracketsRate) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_with_intersections(2, 2, rng);
+  const auto r = measure_acceptance([&] { return inst.stream(); }, quantum(),
+                                    {.trials = 100, .seed_base = 5});
+  const auto ci = r.wilson();
+  EXPECT_LE(ci.lo, r.rate());
+  EXPECT_GE(ci.hi, r.rate());
+}
+
+TEST(Experiment, QualityProfileSeparatesMachines) {
+  Rng rng(4);
+  auto member = LDisjInstance::make_disjoint(2, rng);
+  auto nonmember = LDisjInstance::make_with_intersections(2, 16, rng);  // t=m
+
+  // Quantum: perfect completeness, certain rejection at t = m.
+  const auto q = measure_quality([&] { return member.stream(); },
+                                 [&] { return nonmember.stream(); }, quantum(),
+                                 {.trials = 40, .seed_base = 1});
+  EXPECT_DOUBLE_EQ(q.on_member.rate(), 1.0);
+  EXPECT_DOUBLE_EQ(q.on_nonmember.rate(), 0.0);
+  EXPECT_TRUE(q.bounded_error());
+  EXPECT_DOUBLE_EQ(q.max_error(), 0.0);
+
+  // A starved sampling machine fails the bounded-error test on a sparse
+  // witness (use t=1 for its nonmember leg).
+  auto sparse = LDisjInstance::make_with_intersections(3, 1, rng);
+  auto member3 = LDisjInstance::make_disjoint(3, rng);
+  const auto s = measure_quality(
+      [&] { return member3.stream(); }, [&] { return sparse.stream(); },
+      [](std::uint64_t seed) {
+        return std::make_unique<ClassicalSamplingRecognizer>(seed, 1);
+      },
+      {.trials = 60, .seed_base = 1});
+  EXPECT_FALSE(s.bounded_error());
+}
+
+TEST(Experiment, ZeroTrialsIsSafe) {
+  Rng rng(5);
+  auto inst = LDisjInstance::make_disjoint(1, rng);
+  const auto r = measure_acceptance([&] { return inst.stream(); }, quantum(),
+                                    {.trials = 0, .seed_base = 1});
+  EXPECT_EQ(r.trials, 0u);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+}
+
+}  // namespace

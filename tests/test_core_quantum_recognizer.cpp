@@ -1,0 +1,147 @@
+// Unit + statistical tests: the composed quantum online machine
+// (Theorem 3.4: perfect completeness, >= 1/4 one-sided rejection).
+#include <gtest/gtest.h>
+
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+
+namespace {
+
+using qols::core::QuantumOnlineRecognizer;
+using qols::lang::LDisjInstance;
+using qols::lang::make_mutant_stream;
+using qols::lang::MutantKind;
+using qols::machine::run_stream;
+using qols::util::Rng;
+
+TEST(QuantumRecognizer, AcceptsMembersWithProbabilityOne) {
+  Rng rng(1);
+  for (unsigned k = 1; k <= 3; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      QuantumOnlineRecognizer rec(seed);
+      auto s = inst.stream();
+      ASSERT_TRUE(run_stream(*s, rec)) << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(QuantumRecognizer, ExactAcceptanceIsOneOnMembers) {
+  Rng rng(2);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  QuantumOnlineRecognizer rec(7);
+  auto s = inst.stream();
+  while (auto sym = s->next()) rec.feed(*sym);
+  EXPECT_NEAR(rec.exact_acceptance_probability(), 1.0, 1e-10);
+}
+
+TEST(QuantumRecognizer, RejectsNonMembersAtLeastQuarter) {
+  Rng rng(3);
+  for (unsigned k = 1; k <= 3; ++k) {
+    for (std::uint64_t t : {std::uint64_t{1}, std::uint64_t{2}}) {
+      auto inst = LDisjInstance::make_with_intersections(k, t, rng);
+      double accept_sum = 0.0;
+      constexpr int kRuns = 300;
+      for (int i = 0; i < kRuns; ++i) {
+        QuantumOnlineRecognizer rec(1000 + i);
+        auto s = inst.stream();
+        while (auto sym = s->next()) rec.feed(*sym);
+        accept_sum += rec.exact_acceptance_probability();
+      }
+      const double p_reject = 1.0 - accept_sum / kRuns;
+      // >= 1/4 with sampling slack (exact per-run values, randomness over j).
+      EXPECT_GE(p_reject, 0.25 - 0.05) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(QuantumRecognizer, RejectsMalformedWordsAlways) {
+  Rng rng(4);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (auto kind : {MutantKind::kBadPrefix, MutantKind::kTrailingGarbage,
+                    MutantKind::kTruncated, MutantKind::kSepInsideBlock}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      QuantumOnlineRecognizer rec(seed);
+      auto s = make_mutant_stream(inst, kind, rng);
+      ASSERT_FALSE(run_stream(*s, rec))
+          << "mutant " << static_cast<int>(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(QuantumRecognizer, RejectsInconsistentWordsWithHighProbability) {
+  Rng rng(5);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (auto kind : {MutantKind::kXZMismatch, MutantKind::kYDrift}) {
+    auto mutant = make_mutant_stream(inst, kind, rng);
+    const std::string word = qols::stream::materialize(*mutant);
+    int rejects = 0;
+    constexpr int kRuns = 100;
+    for (int i = 0; i < kRuns; ++i) {
+      QuantumOnlineRecognizer rec(2000 + i);
+      qols::stream::StringStream s(word);
+      if (!run_stream(s, rec)) ++rejects;
+    }
+    // A2 catches with prob >= 1 - 2^{-4} = 15/16.
+    EXPECT_GE(rejects, 85) << "mutant " << static_cast<int>(kind);
+  }
+}
+
+TEST(QuantumRecognizer, ComplementVerdictIsNegation) {
+  Rng rng(6);
+  auto inst = LDisjInstance::make_disjoint(1, rng);
+  QuantumOnlineRecognizer rec(3);
+  auto s = inst.stream();
+  while (auto sym = s->next()) rec.feed(*sym);
+  // Member of L_DISJ => not a member of the complement.
+  EXPECT_FALSE(rec.finish_complement());
+}
+
+TEST(QuantumRecognizer, SpaceScalesLogarithmically) {
+  Rng rng(7);
+  std::uint64_t prev_total = 0;
+  for (unsigned k = 1; k <= 4; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    QuantumOnlineRecognizer rec(1);
+    auto s = inst.stream();
+    while (auto sym = s->next()) rec.feed(*sym);
+    const auto space = rec.space_used();
+    EXPECT_EQ(space.qubits, 2ULL * k + 2);
+    // Linear in k = O(log n): generous constant, strictly below 2^k for k>=7.
+    EXPECT_LE(space.classical_bits, 100 * k + 50);
+    EXPECT_GT(space.total(), prev_total);
+    prev_total = space.total();
+  }
+}
+
+TEST(QuantumRecognizer, ResetRearmsForNewStream) {
+  Rng rng(8);
+  auto member = LDisjInstance::make_disjoint(1, rng);
+  auto nonmember = LDisjInstance::make_with_intersections(1, 4, rng);  // t = m
+  QuantumOnlineRecognizer rec(11);
+  {
+    auto s = member.stream();
+    EXPECT_TRUE(run_stream(*s, rec));
+  }
+  rec.reset(12);
+  {
+    // t = m: every index intersects; A3 rejection prob is 1 (theta = pi/2
+    // gives sin^2((2j+1)pi/2) = 1 for every j).
+    auto s = nonmember.stream();
+    EXPECT_FALSE(run_stream(*s, rec));
+  }
+}
+
+TEST(QuantumRecognizer, SubProceduresAreExposed) {
+  Rng rng(9);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  QuantumOnlineRecognizer rec(1);
+  auto s = inst.stream();
+  while (auto sym = s->next()) rec.feed(*sym);
+  EXPECT_TRUE(rec.a1().k().has_value());
+  EXPECT_TRUE(rec.a2().prime().has_value());
+  EXPECT_TRUE(rec.a3().chosen_j().has_value());
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Unit + property tests: polynomial fingerprints and procedure A2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qols/fingerprint/equality_checker.hpp"
+#include "qols/fingerprint/poly_fingerprint.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/modmath.hpp"
+
+namespace {
+
+using namespace qols::fingerprint;
+using qols::lang::LDisjInstance;
+using qols::lang::make_mutant_stream;
+using qols::lang::MutantKind;
+using qols::stream::StringStream;
+using qols::util::BitVec;
+using qols::util::Rng;
+
+TEST(PolyFingerprint, MatchesDirectEvaluation) {
+  const std::uint64_t p = 1000003, t = 777;
+  PolyFingerprint f(p, t);
+  const std::string bits = "1011001110";
+  std::uint64_t expect = 0, tp = 1;
+  for (char c : bits) {
+    if (c == '1') expect = qols::util::addmod(expect, tp, p);
+    tp = qols::util::mulmod(tp, t, p);
+    f.feed(c == '1');
+  }
+  EXPECT_EQ(f.value(), expect);
+}
+
+TEST(PolyFingerprint, EqualStringsAlwaysCollide) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t p = qols::util::fingerprint_prime(2);
+    const std::uint64_t t = rng.below(p);
+    BitVec w = BitVec::random(64, rng);
+    PolyFingerprint a(p, t), b(p, t);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      a.feed(w.get(i));
+      b.feed(w.get(i));
+    }
+    ASSERT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(PolyFingerprint, ResetClearsState) {
+  PolyFingerprint f(97, 5);
+  f.feed(true);
+  f.feed(true);
+  f.reset();
+  EXPECT_EQ(f.value(), 0u);
+  f.feed(true);
+  EXPECT_EQ(f.value(), 1u);  // t^0 = 1
+}
+
+TEST(PolyFingerprint, CollisionRateIsBoundedByTheory) {
+  // Distinct strings of length m collide on random t with prob <= (m-1)/p.
+  Rng rng(2);
+  const unsigned k = 1;  // p in (2^4, 2^5): tiny field, so collisions happen
+  const std::uint64_t p = qols::util::fingerprint_prime(k);
+  const std::uint64_t m = 16;
+  int collisions = 0;
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BitVec a = BitVec::random(m, rng);
+    BitVec b = BitVec::random(m, rng);
+    if (a == b) {
+      --trial;
+      continue;
+    }
+    const std::uint64_t t = rng.below(p);
+    PolyFingerprint fa(p, t), fb(p, t);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      fa.feed(a.get(i));
+      fb.feed(b.get(i));
+    }
+    if (fa.value() == fb.value()) ++collisions;
+  }
+  const double rate = collisions / static_cast<double>(kTrials);
+  const double bound = static_cast<double>(m - 1) / static_cast<double>(p);
+  // Allow generous sampling slack above the analytic bound.
+  EXPECT_LE(rate, bound + 0.03);
+}
+
+// --- A2 ---------------------------------------------------------------------
+
+bool run_a2(const std::string& word, std::uint64_t seed) {
+  EqualityChecker a2{Rng(seed)};
+  StringStream s(word);
+  while (auto sym = s.next()) a2.feed(*sym);
+  return a2.passed();
+}
+
+TEST(EqualityChecker, PassesConsistentWordsAlways) {
+  Rng rng(3);
+  for (unsigned k = 1; k <= 3; ++k) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      auto inst = LDisjInstance::make_disjoint(k, rng);
+      ASSERT_TRUE(run_a2(inst.render(), seed)) << "k=" << k;
+    }
+  }
+}
+
+TEST(EqualityChecker, PassesIntersectingButConsistentWords) {
+  // A2 checks consistency only — intersections are A3's job.
+  Rng rng(4);
+  auto inst = LDisjInstance::make_with_intersections(2, 3, rng);
+  EXPECT_TRUE(run_a2(inst.render(), 99));
+}
+
+TEST(EqualityChecker, CatchesXZMismatchWithHighProbability) {
+  Rng rng(5);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  auto mutant = make_mutant_stream(inst, MutantKind::kXZMismatch, rng);
+  const std::string word = qols::stream::materialize(*mutant);
+  int caught = 0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!run_a2(word, 1000 + i)) ++caught;
+  }
+  // Theory: failure to catch < 2^{-2k} = 1/16 per trial.
+  EXPECT_GE(caught, kTrials * 14 / 16);
+}
+
+TEST(EqualityChecker, CatchesYDriftWithHighProbability) {
+  Rng rng(6);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  auto mutant = make_mutant_stream(inst, MutantKind::kYDrift, rng);
+  const std::string word = qols::stream::materialize(*mutant);
+  int caught = 0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!run_a2(word, 2000 + i)) ++caught;
+  }
+  EXPECT_GE(caught, kTrials * 14 / 16);
+}
+
+TEST(EqualityChecker, ExposesPrimeInPaperInterval) {
+  Rng rng(7);
+  auto inst = LDisjInstance::make_disjoint(3, rng);
+  EqualityChecker a2{Rng(1)};
+  StringStream s(inst.render());
+  while (auto sym = s.next()) a2.feed(*sym);
+  ASSERT_TRUE(a2.prime().has_value());
+  EXPECT_GT(*a2.prime(), 1ULL << 12);  // 2^{4k} with k=3
+  EXPECT_LT(*a2.prime(), 1ULL << 13);
+  ASSERT_TRUE(a2.point().has_value());
+  EXPECT_LT(*a2.point(), *a2.prime());
+}
+
+TEST(EqualityChecker, SpaceIsLogarithmic) {
+  Rng rng(8);
+  for (unsigned k = 1; k <= 4; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    EqualityChecker a2{Rng(1)};
+    auto s = inst.stream();
+    while (auto sym = s->next()) a2.feed(*sym);
+    EXPECT_LE(a2.classical_bits_used(), 64 * k + 64) << "k=" << k;
+  }
+}
+
+TEST(EqualityChecker, InertOnBrokenPrefix) {
+  // '0' before '#': A2 must not activate (and must not crash).
+  EXPECT_TRUE(run_a2("0#1010#", 5));
+}
+
+// Parameterized: detection probability across k for single-bit damage.
+class A2Detection : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(A2Detection, CatchRateBeatsPaperBound) {
+  const unsigned k = GetParam();
+  Rng rng(900 + k);
+  auto inst = LDisjInstance::make_disjoint(k, rng);
+  auto mutant = make_mutant_stream(inst, MutantKind::kXZMismatch, rng);
+  const std::string word = qols::stream::materialize(*mutant);
+  constexpr int kTrials = 100;
+  int caught = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!run_a2(word, 5000 + i)) ++caught;
+  }
+  // Expected catch rate >= 1 - 2^{-2k}; binomial slack of 4 misses allowed.
+  const double expect_min = 1.0 - std::pow(2.0, -2.0 * k);
+  EXPECT_GE(caught + 4, static_cast<int>(kTrials * expect_min));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, A2Detection, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace

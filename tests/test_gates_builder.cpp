@@ -1,0 +1,265 @@
+// Unit + property tests: exact {H,T,CNOT} lowering.
+//
+// Every derived gate is validated against the structured StateVector
+// operation it claims to implement, by fidelity (global phases are
+// unobservable and the reflect_zero lowering intentionally differs from S_k
+// by a global -1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qols/gates/builder.hpp"
+#include "qols/quantum/state_vector.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::gates::CircuitBuilder;
+using qols::gates::CircuitSink;
+using qols::gates::CountingSink;
+using qols::gates::mcx_ancillas_needed;
+using qols::gates::TapeWriterSink;
+using qols::quantum::Circuit;
+using qols::quantum::ControlTerm;
+using qols::quantum::StateVector;
+using qols::util::Rng;
+
+constexpr double kTol = 1e-10;
+
+// Prepares a pseudo-random product state on `data` qubits of an n-qubit
+// register (ancillas stay |0>), identically in both registers.
+void prepare(StateVector& a, StateVector& b, unsigned data, Rng& rng) {
+  for (unsigned q = 0; q < data; ++q) {
+    a.apply_h(q);
+    b.apply_h(q);
+    const auto r = rng.below(3);
+    if (r == 1) {
+      a.apply_t(q);
+      b.apply_t(q);
+    } else if (r == 2) {
+      a.apply_s(q);
+      b.apply_s(q);
+    }
+  }
+}
+
+TEST(Builder, XMatchesPauliX) {
+  CircuitSink sink;
+  CircuitBuilder builder(sink, 2, 0);
+  builder.x(1);
+  StateVector a(2), b(2);
+  Rng rng(1);
+  prepare(a, b, 2, rng);
+  sink.circuit().apply_to(a);
+  b.apply_x(1);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST(Builder, ZSTdgSdgMatchPhases) {
+  Rng rng(2);
+  struct Case {
+    void (CircuitBuilder::*build)(unsigned);
+    void (StateVector::*apply)(unsigned);
+  };
+  const Case cases[] = {
+      {&CircuitBuilder::z, &StateVector::apply_z},
+      {&CircuitBuilder::s, &StateVector::apply_s},
+      {&CircuitBuilder::sdg, &StateVector::apply_sdg},
+      {&CircuitBuilder::tdg, &StateVector::apply_tdg},
+  };
+  for (const auto& c : cases) {
+    CircuitSink sink;
+    CircuitBuilder builder(sink, 1, 0);
+    (builder.*c.build)(0);
+    StateVector a(1), b(1);
+    prepare(a, b, 1, rng);
+    sink.circuit().apply_to(a);
+    (b.*c.apply)(0);
+    ASSERT_NEAR(a.fidelity(b), 1.0, kTol);
+  }
+}
+
+TEST(Builder, CzMatches) {
+  CircuitSink sink;
+  CircuitBuilder builder(sink, 2, 0);
+  builder.cz(0, 1);
+  StateVector a(2), b(2);
+  Rng rng(3);
+  prepare(a, b, 2, rng);
+  sink.circuit().apply_to(a);
+  b.apply_cz(0, 1);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST(Builder, CcxMatchesToffoliOnAllBasisStates) {
+  for (std::size_t basis = 0; basis < 8; ++basis) {
+    CircuitSink sink;
+    CircuitBuilder builder(sink, 3, 0);
+    builder.ccx(0, 1, 2);
+    StateVector a(3), b(3);
+    a.set_basis_state(basis);
+    b.set_basis_state(basis);
+    sink.circuit().apply_to(a);
+    const ControlTerm terms[] = {{0, true}, {1, true}};
+    b.apply_mcx(terms, 2);
+    ASSERT_NEAR(a.fidelity(b), 1.0, kTol) << "basis " << basis;
+  }
+}
+
+TEST(Builder, CcxMatchesOnSuperposition) {
+  CircuitSink sink;
+  CircuitBuilder builder(sink, 3, 0);
+  builder.ccx(0, 1, 2);
+  StateVector a(3), b(3);
+  Rng rng(4);
+  prepare(a, b, 3, rng);
+  sink.circuit().apply_to(a);
+  const ControlTerm terms[] = {{0, true}, {1, true}};
+  b.apply_mcx(terms, 2);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST(Builder, CczMatches) {
+  CircuitSink sink;
+  CircuitBuilder builder(sink, 3, 0);
+  builder.ccz(0, 1, 2);
+  StateVector a(3), b(3);
+  Rng rng(5);
+  prepare(a, b, 3, rng);
+  sink.circuit().apply_to(a);
+  const ControlTerm terms[] = {{0, true}, {1, true}, {2, true}};
+  b.apply_mcz(terms);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+// Parameterized sweep: mcx with n controls equals the structured
+// multi-controlled X, and every borrowed ancilla returns to |0>.
+class McxSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(McxSweep, MatchesStructuredOperator) {
+  const unsigned n_controls = GetParam();
+  const unsigned data = n_controls + 1;  // controls + target
+  const unsigned anc = mcx_ancillas_needed(n_controls);
+  const unsigned total = data + anc;
+  CircuitSink sink;
+  CircuitBuilder builder(sink, data, anc);
+  std::vector<unsigned> controls;
+  for (unsigned q = 0; q < n_controls; ++q) controls.push_back(q);
+  builder.mcx(controls, n_controls);
+  EXPECT_LE(builder.ancillas_high_water(), anc);
+
+  StateVector a(total), b(total);
+  Rng rng(100 + n_controls);
+  prepare(a, b, data, rng);
+  sink.circuit().apply_to(a);
+  std::vector<ControlTerm> terms;
+  for (unsigned q : controls) terms.push_back({q, true});
+  b.apply_mcx(terms, n_controls);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+  // Ancilla cleanliness: no amplitude outside the anc == 0 subspace.
+  double leak = 0.0;
+  const std::size_t anc_mask = ((std::size_t{1} << anc) - 1) << data;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    if (i & anc_mask) leak += std::norm(a.amplitude(i));
+  }
+  EXPECT_NEAR(leak, 0.0, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Controls, McxSweep, ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+// Parameterized sweep: mixed-polarity patterns.
+class PatternSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatternSweep, McxPatternMatches) {
+  const std::uint64_t pattern = GetParam();
+  const unsigned n_controls = 3;
+  const unsigned data = n_controls + 1;
+  const unsigned anc = mcx_ancillas_needed(n_controls);
+  CircuitSink sink;
+  CircuitBuilder builder(sink, data, anc);
+  std::vector<ControlTerm> terms;
+  for (unsigned q = 0; q < n_controls; ++q) {
+    terms.push_back({q, ((pattern >> q) & 1) != 0});
+  }
+  builder.mcx_pattern(terms, n_controls);
+
+  StateVector a(data + anc), b(data + anc);
+  Rng rng(200 + static_cast<unsigned>(pattern));
+  prepare(a, b, data, rng);
+  sink.circuit().apply_to(a);
+  b.apply_mcx(terms, n_controls);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST_P(PatternSweep, MczPatternMatches) {
+  const std::uint64_t pattern = GetParam();
+  const unsigned n = 3;
+  const unsigned anc = mcx_ancillas_needed(n);
+  CircuitSink sink;
+  CircuitBuilder builder(sink, n, anc);
+  std::vector<ControlTerm> terms;
+  for (unsigned q = 0; q < n; ++q) {
+    terms.push_back({q, ((pattern >> q) & 1) != 0});
+  }
+  builder.mcz_pattern(terms);
+
+  StateVector a(n + anc), b(n + anc);
+  Rng rng(300 + static_cast<unsigned>(pattern));
+  prepare(a, b, n, rng);
+  sink.circuit().apply_to(a);
+  b.apply_mcz(terms);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PatternSweep, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Builder, ReflectZeroMatchesSkUpToGlobalPhase) {
+  for (unsigned count : {1u, 2u, 3u, 4u}) {
+    const unsigned anc = count >= 2 ? mcx_ancillas_needed(count - 1) : 0;
+    CircuitSink sink;
+    CircuitBuilder builder(sink, count, anc);
+    builder.reflect_zero(0, count);
+    StateVector a(count + anc + 1), b(count + anc + 1);
+    Rng rng(400 + count);
+    prepare(a, b, count, rng);
+    sink.circuit().apply_to(a);
+    b.apply_reflect_zero(0, count);
+    // Fidelity is phase-insensitive: |<a|b>|^2 == 1.
+    ASSERT_NEAR(a.fidelity(b), 1.0, kTol) << "count " << count;
+  }
+}
+
+TEST(Builder, AncillaBudgetEnforced) {
+  CountingSink sink;
+  CircuitBuilder builder(sink, 5, 1);  // 4 controls need 3 ancillas
+  const std::vector<unsigned> controls = {0, 1, 2, 3};
+  EXPECT_THROW(builder.mcx(controls, 4), std::runtime_error);
+}
+
+TEST(Builder, CountingSinkTracksKinds) {
+  CountingSink sink;
+  CircuitBuilder builder(sink, 3, 0);
+  builder.ccx(0, 1, 2);
+  EXPECT_EQ(sink.total(), sink.h() + sink.t() + sink.cnot());
+  EXPECT_EQ(sink.h(), 2u);
+  EXPECT_EQ(sink.cnot(), 6u);
+  // 4 plain T's + 3 T-daggers expanded as T^7 each: 4 + 21 = 25 tape T's.
+  EXPECT_EQ(sink.t(), 25u);
+}
+
+TEST(Builder, TapeWriterEmitsParsableTape) {
+  TapeWriterSink sink;
+  CircuitBuilder builder(sink, 3, 0);
+  builder.ccx(0, 1, 2);
+  auto parsed = Circuit::from_tape(sink.tape());
+  ASSERT_TRUE(parsed.has_value());
+  StateVector a(3), b(3);
+  a.apply_h_range(0, 3);
+  b.apply_h_range(0, 3);
+  parsed->apply_to(a);
+  const ControlTerm terms[] = {{0, true}, {1, true}};
+  b.apply_mcx(terms, 2);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+}  // namespace

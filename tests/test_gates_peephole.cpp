@@ -1,0 +1,236 @@
+// Unit + property tests: the tape peephole optimizer. Every rewrite is an
+// exact identity, so optimized circuits are checked for STATE EQUALITY (not
+// just fidelity) against the originals.
+#include <gtest/gtest.h>
+
+#include "qols/gates/builder.hpp"
+#include "qols/gates/peephole.hpp"
+#include "qols/quantum/circuit.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::gates::CircuitBuilder;
+using qols::gates::CircuitSink;
+using qols::gates::peephole_optimize;
+using qols::gates::PeepholeStats;
+using qols::quantum::Circuit;
+using qols::quantum::Gate;
+using qols::quantum::GateKind;
+using qols::quantum::StateVector;
+using qols::util::Rng;
+
+// Exact state equality (amplitude by amplitude).
+void expect_states_equal(const StateVector& a, const StateVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    ASSERT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, 1e-12) << i;
+  }
+}
+
+void expect_equivalent(const Circuit& original, const Circuit& optimized,
+                       unsigned qubits) {
+  StateVector a(qubits), b(qubits);
+  // A non-trivial start state so phases matter.
+  for (unsigned q = 0; q < qubits; ++q) {
+    a.apply_h(q);
+    b.apply_h(q);
+  }
+  original.apply_to(a);
+  optimized.apply_to(b);
+  expect_states_equal(a, b);
+}
+
+TEST(Peephole, EmptyCircuit) {
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(Circuit{}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.gates_before, 0u);
+  EXPECT_EQ(stats.gates_after, 0u);
+}
+
+TEST(Peephole, DropsIdentityEntries) {
+  Circuit c;
+  c.add(Gate{GateKind::kH, 3, 3});   // a == b: identity by convention
+  c.add(Gate{GateKind::kCnot, 1, 1});
+  c.add_h(0);
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(c, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.identities_dropped, 2u);
+}
+
+TEST(Peephole, CancelsAdjacentHPairs) {
+  Circuit c;
+  c.add_h(0);
+  c.add_h(0);
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(c, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.h_pairs_cancelled, 1u);
+}
+
+TEST(Peephole, CancelsHPairsAcrossDisjointGates) {
+  Circuit c;
+  c.add_h(0);
+  c.add_t(1);        // touches only qubit 1
+  c.add_cnot(1, 2);  // touches 1, 2
+  c.add_h(0);        // cancels with the first H
+  const Circuit out = peephole_optimize(c);
+  EXPECT_EQ(out.size(), 2u);
+  expect_equivalent(c, out, 3);
+}
+
+TEST(Peephole, DoesNotCancelHAcrossInterveningTouch) {
+  Circuit c;
+  c.add_h(0);
+  c.add_t(0);  // touches qubit 0: blocks cancellation
+  c.add_h(0);
+  const Circuit out = peephole_optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+  expect_equivalent(c, out, 1);
+}
+
+TEST(Peephole, FoldsTRunsMod8) {
+  Circuit c;
+  for (int i = 0; i < 8; ++i) c.add_t(2);
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(c, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.t_gates_cancelled, 8u);
+}
+
+TEST(Peephole, KeepsPartialTRuns) {
+  Circuit c;
+  for (int i = 0; i < 11; ++i) c.add_t(0);  // 11 = 8 + 3 -> 3 survive
+  const Circuit out = peephole_optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+  expect_equivalent(c, out, 1);
+}
+
+TEST(Peephole, TRunsFoldAcrossDisjointGates) {
+  Circuit c;
+  for (int i = 0; i < 4; ++i) c.add_t(0);
+  c.add_h(1);  // disjoint: run on qubit 0 continues
+  for (int i = 0; i < 4; ++i) c.add_t(0);
+  const Circuit out = peephole_optimize(c);
+  EXPECT_EQ(out.size(), 1u);  // just the H
+  expect_equivalent(c, out, 2);
+}
+
+TEST(Peephole, CancelsAdjacentCnotPairs) {
+  Circuit c;
+  c.add_cnot(0, 1);
+  c.add_cnot(0, 1);
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(c, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.cnot_pairs_cancelled, 1u);
+}
+
+TEST(Peephole, DoesNotCancelFlippedCnot) {
+  Circuit c;
+  c.add_cnot(0, 1);
+  c.add_cnot(1, 0);  // different orientation: NOT a pair
+  const Circuit out = peephole_optimize(c);
+  EXPECT_EQ(out.size(), 2u);
+  expect_equivalent(c, out, 2);
+}
+
+TEST(Peephole, DoesNotCancelCnotAcrossSharedQubitTouch) {
+  Circuit c;
+  c.add_cnot(0, 1);
+  c.add_t(1);
+  c.add_cnot(0, 1);
+  const Circuit out = peephole_optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+  expect_equivalent(c, out, 2);
+}
+
+TEST(Peephole, FixpointCascades) {
+  // H [CNOT CNOT] H: the CNOT pair cancels in pass 1, exposing the H pair.
+  Circuit c;
+  c.add_h(0);
+  c.add_cnot(0, 1);
+  c.add_cnot(0, 1);
+  c.add_h(0);
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(c, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(stats.passes, 2u);
+}
+
+TEST(Peephole, IsIdempotent) {
+  Rng rng(3);
+  Circuit c;
+  for (int i = 0; i < 300; ++i) {
+    switch (rng.below(3)) {
+      case 0:
+        c.add_h(static_cast<std::uint32_t>(rng.below(4)));
+        break;
+      case 1:
+        c.add_t(static_cast<std::uint32_t>(rng.below(4)));
+        break;
+      default: {
+        const auto a = static_cast<std::uint32_t>(rng.below(4));
+        const auto b = static_cast<std::uint32_t>(rng.below(4));
+        if (a != b) c.add_cnot(a, b);
+      }
+    }
+  }
+  const Circuit once = peephole_optimize(c);
+  const Circuit twice = peephole_optimize(once);
+  EXPECT_EQ(once, twice);
+}
+
+// Property sweep: random tapes stay exactly equivalent after optimization.
+class PeepholeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeepholeProperty, PreservesSemanticsExactly) {
+  Rng rng(100 + GetParam());
+  const unsigned qubits = 4;
+  Circuit c;
+  for (int i = 0; i < 200; ++i) {
+    switch (rng.below(3)) {
+      case 0:
+        c.add_h(static_cast<std::uint32_t>(rng.below(qubits)));
+        break;
+      case 1:
+        c.add_t(static_cast<std::uint32_t>(rng.below(qubits)));
+        break;
+      default: {
+        const auto a = static_cast<std::uint32_t>(rng.below(qubits));
+        const auto b = static_cast<std::uint32_t>(rng.below(qubits));
+        c.add(Gate{GateKind::kCnot, a, b});  // a == b identities included
+      }
+    }
+  }
+  const Circuit out = peephole_optimize(c);
+  EXPECT_LE(out.size(), c.size());
+  expect_equivalent(c, out, qubits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeepholeProperty, ::testing::Range(0, 10));
+
+TEST(Peephole, ShrinksRealA3Tapes) {
+  // The compiled ccx-heavy tapes contain tdg = T^7 runs that merge with
+  // neighbouring T's; expect a measurable reduction on a real lowering.
+  CircuitSink sink;
+  CircuitBuilder builder(sink, 4, 2);
+  const std::vector<qols::quantum::ControlTerm> pattern = {
+      {0, false}, {1, true}, {2, true}};
+  for (int rep = 0; rep < 5; ++rep) {
+    builder.x(0);
+    builder.ccx(0, 1, 2);
+    builder.x(0);
+    builder.mcz_pattern(pattern);
+  }
+  Circuit c = sink.circuit();
+  PeepholeStats stats;
+  const Circuit out = peephole_optimize(c, &stats);
+  EXPECT_LT(out.size(), c.size());
+  expect_equivalent(c, out, 6);
+  EXPECT_GT(stats.reduction(), 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Unit + property tests: BBHT closed forms (the analysis behind Theorem 3.4's
+// error bound).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "qols/grover/analysis.hpp"
+
+namespace {
+
+using namespace qols::grover;
+
+TEST(Angle, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(angle(0, 16), 0.0);
+  EXPECT_NEAR(angle(16, 16), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(angle(4, 16), std::asin(0.5), 1e-12);  // sin^2 = 1/4
+}
+
+TEST(SuccessAfter, ZeroIterationsIsBaseRate) {
+  // j = 0: probability sin^2(theta) = t/N.
+  const double th = angle(3, 64);
+  EXPECT_NEAR(success_after(0, th), 3.0 / 64.0, 1e-12);
+}
+
+TEST(SuccessAfter, PeaksNearOptimalIterationCount) {
+  const std::uint64_t n = 1 << 10;
+  const double th = angle(1, n);
+  const auto jopt = static_cast<std::uint64_t>(
+      std::floor(std::numbers::pi / (4 * th)));
+  EXPECT_GT(success_after(jopt, th), 0.99);
+}
+
+TEST(AverageSuccess, ClosedFormMatchesExplicitSum) {
+  for (std::uint64_t m : {1ULL, 2ULL, 4ULL, 8ULL, 32ULL, 128ULL}) {
+    for (std::uint64_t t : {1ULL, 2ULL, 5ULL, 100ULL, 500ULL}) {
+      const std::uint64_t n = 1024;
+      if (t > n) continue;
+      const double th = angle(t, n);
+      ASSERT_NEAR(average_success(m, th), average_success_by_sum(m, th), 1e-10)
+          << "m=" << m << " t=" << t;
+    }
+  }
+}
+
+TEST(AverageSuccess, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(average_success(8, 0.0), 0.0);           // t = 0
+  EXPECT_NEAR(average_success(8, std::numbers::pi / 2), 1.0, 1e-12);  // t = N
+}
+
+// The paper's Section 3.2 bound: for every k and every 1 <= t <= 2^{2k},
+// the averaged rejection probability is >= 1/4.
+class RejectionBound
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(RejectionBound, AtLeastOneQuarter) {
+  const auto [k, t_raw] = GetParam();
+  const std::uint64_t n = std::uint64_t{1} << (2 * k);
+  const std::uint64_t t = std::min<std::uint64_t>(t_raw, n);
+  if (t == 0) {
+    EXPECT_DOUBLE_EQ(a3_rejection_probability(k, 0), 0.0);
+    return;
+  }
+  EXPECT_GE(a3_rejection_probability(k, t), 0.25 - 1e-12)
+      << "k=" << k << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RejectionBound,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u),
+                       ::testing::Values(0u, 1u, 2u, 3u, 5u, 16u, 100u,
+                                         100000u)));
+
+// Exhaustive check at small k: every t in [1, 2^{2k}].
+TEST(RejectionBound, ExhaustiveSmallK) {
+  for (unsigned k = 1; k <= 4; ++k) {
+    const std::uint64_t n = std::uint64_t{1} << (2 * k);
+    for (std::uint64_t t = 1; t <= n; ++t) {
+      ASSERT_GE(a3_rejection_probability(k, t), 0.25 - 1e-12)
+          << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(Repetitions, MatchesClosedForm) {
+  // (3/4)^r <= 1/3  =>  r = 4.
+  EXPECT_EQ(repetitions_for_error(0.25, 1.0 / 3.0), 4u);
+  // (3/4)^r <= 0.01 => r = 17 (0.75^16 ~ 0.0100226 > 0.01).
+  EXPECT_EQ(repetitions_for_error(0.25, 0.01), 17u);
+  // Perfect rejection needs one round.
+  EXPECT_EQ(repetitions_for_error(1.0, 0.5), 1u);
+}
+
+TEST(Repetitions, SatisfiesGuarantee) {
+  for (double p : {0.25, 0.3, 0.5, 0.9}) {
+    for (double eps : {0.5, 1.0 / 3.0, 0.1, 0.01}) {
+      const auto r = repetitions_for_error(p, eps);
+      EXPECT_LE(std::pow(1.0 - p, static_cast<double>(r)), eps + 1e-12);
+      if (r > 1) {
+        EXPECT_GT(std::pow(1.0 - p, static_cast<double>(r - 1)), eps - 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace

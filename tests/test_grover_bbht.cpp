@@ -1,0 +1,111 @@
+// Unit + statistical tests: the adaptive BBHT search (unknown solution
+// count) on the exact simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "qols/grover/bbht.hpp"
+
+namespace {
+
+using qols::grover::bbht_search;
+using qols::grover::BbhtResult;
+using qols::util::Rng;
+
+TEST(Bbht, RejectsNonPowerOfTwo) {
+  Rng rng(1);
+  auto oracle = [](std::uint64_t) { return false; };
+  EXPECT_THROW(bbht_search(0, oracle, rng), std::invalid_argument);
+  EXPECT_THROW(bbht_search(1, oracle, rng), std::invalid_argument);
+  EXPECT_THROW(bbht_search(12, oracle, rng), std::invalid_argument);
+}
+
+TEST(Bbht, FindsUniqueSolution) {
+  for (std::uint64_t n : {4ULL, 16ULL, 64ULL, 256ULL}) {
+    const std::uint64_t target = n / 3;
+    auto oracle = [target](std::uint64_t i) { return i == target; };
+    int found = 0;
+    for (int trial = 0; trial < 25; ++trial) {
+      Rng rng(100 + trial);
+      const BbhtResult r = bbht_search(n, oracle, rng);
+      if (r.found) {
+        ASSERT_EQ(r.index, target);
+        ++found;
+      }
+    }
+    // BBHT succeeds with overwhelming probability well before the cutoff.
+    EXPECT_GE(found, 23) << "n=" << n;
+  }
+}
+
+TEST(Bbht, FindsAmongManySolutions) {
+  const std::uint64_t n = 256;
+  std::set<std::uint64_t> marked = {3, 77, 150, 201, 255};
+  auto oracle = [&](std::uint64_t i) { return marked.count(i) > 0; };
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(500 + trial);
+    const BbhtResult r = bbht_search(n, oracle, rng);
+    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(marked.count(r.index)) << r.index;
+  }
+}
+
+TEST(Bbht, DeclaresNoneWhenEmpty) {
+  Rng rng(7);
+  auto oracle = [](std::uint64_t) { return false; };
+  const BbhtResult r = bbht_search(64, oracle, rng);
+  EXPECT_FALSE(r.found);
+  // It must have worked roughly the cutoff's worth of iterations.
+  EXPECT_GE(r.oracle_calls, 64u);
+}
+
+TEST(Bbht, AllSolutionsTerminatesImmediately) {
+  Rng rng(8);
+  auto oracle = [](std::uint64_t) { return true; };
+  const BbhtResult r = bbht_search(32, oracle, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.oracle_calls, 0u);  // the first measurement already verifies
+}
+
+TEST(Bbht, CostDecreasesWithMoreSolutions) {
+  // Expected oracle calls scale like sqrt(N/t): average over trials and
+  // check monotonicity across a t sweep (with slack for variance).
+  const std::uint64_t n = 1024;
+  auto mean_calls = [&](std::uint64_t t) {
+    double total = 0.0;
+    const int trials = 40;
+    for (int i = 0; i < trials; ++i) {
+      auto oracle = [t](std::uint64_t idx) { return idx < t; };
+      Rng rng(1000 + i);
+      const BbhtResult r = bbht_search(n, oracle, rng);
+      EXPECT_TRUE(r.found);
+      total += static_cast<double>(r.oracle_calls);
+    }
+    return total / trials;
+  };
+  const double c1 = mean_calls(1);
+  const double c16 = mean_calls(16);
+  const double c128 = mean_calls(128);
+  EXPECT_GT(c1, c16);
+  EXPECT_GT(c16, c128);
+  // Order-of-magnitude check against sqrt(N/t).
+  EXPECT_LT(c1, 6.0 * std::sqrt(1024.0));
+}
+
+TEST(Bbht, UniqueSolutionCostNearSqrtN) {
+  // For t = 1 the expected iteration count is <= ~4.5 sqrt(N/t) (BBHT Thm 3).
+  const std::uint64_t n = 256;
+  double total = 0.0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    auto oracle = [](std::uint64_t idx) { return idx == 123; };
+    Rng rng(2000 + i);
+    const BbhtResult r = bbht_search(n, oracle, rng);
+    ASSERT_TRUE(r.found);
+    total += static_cast<double>(r.oracle_calls);
+  }
+  EXPECT_LT(total / trials, 4.5 * std::sqrt(256.0));
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Integration tests: the full Definition 2.3 pipeline and cross-module
+// end-to-end behaviour.
+//
+//   machine streams input  ->  emits {H,T,CNOT} tape  ->  tape parsed  ->
+//   circuit replayed on |0...0>  ->  first-qubit-family measurement agrees
+//   with the operator-level simulation.
+#include <gtest/gtest.h>
+
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/gates/builder.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/quantum/circuit.hpp"
+
+namespace {
+
+using qols::core::GroverStreamer;
+using qols::core::QuantumOnlineRecognizer;
+using qols::gates::TapeWriterSink;
+using qols::lang::LDisjInstance;
+using qols::machine::run_stream;
+using qols::quantum::Circuit;
+using qols::quantum::StateVector;
+using qols::util::Rng;
+
+// Runs A3 at gate level alongside the operator level with the same seed and
+// verifies the compiled circuit reproduces the operator-level register state
+// (on the data qubits; ancillas must come back clean).
+void expect_gate_level_matches(const LDisjInstance& inst, std::uint64_t seed) {
+  const unsigned k = inst.k();
+  const unsigned data = 2 * k + 2;
+  const unsigned anc = 2 * k;
+
+  // Operator-level reference.
+  GroverStreamer op{Rng(seed)};
+  {
+    auto s = inst.stream();
+    while (auto sym = s->next()) op.feed(*sym);
+  }
+  ASSERT_NE(op.state(), nullptr);
+
+  // Gate-level: emit the full tape, then replay it.
+  TapeWriterSink tape;
+  GroverStreamer::Options gopts;
+  gopts.simulate = false;
+  gopts.gate_sink = &tape;
+  GroverStreamer gate{Rng(seed), gopts};
+  {
+    auto s = inst.stream();
+    while (auto sym = s->next()) gate.feed(*sym);
+  }
+  ASSERT_EQ(gate.chosen_j(), op.chosen_j());  // same coins, same j
+
+  auto circuit = Circuit::from_tape(tape.tape());
+  ASSERT_TRUE(circuit.has_value());
+  StateVector replayed(data + anc);
+  circuit->apply_to(replayed);
+
+  // Compare: on the ancilla=0 subspace amplitudes must match the reference
+  // up to a global phase; elsewhere they must vanish.
+  const StateVector& ref = *op.state();
+  double cross_re = 0.0, cross_im = 0.0, leak = 0.0;
+  for (std::size_t i = 0; i < replayed.dim(); ++i) {
+    const std::size_t data_part = i & ((std::size_t{1} << data) - 1);
+    const std::size_t anc_part = i >> data;
+    if (anc_part != 0) {
+      leak += std::norm(replayed.amplitude(i));
+      continue;
+    }
+    const auto prod = std::conj(ref.amplitude(data_part)) * replayed.amplitude(i);
+    cross_re += prod.real();
+    cross_im += prod.imag();
+  }
+  EXPECT_NEAR(leak, 0.0, 1e-10);
+  const double fid = cross_re * cross_re + cross_im * cross_im;
+  EXPECT_NEAR(fid, 1.0, 1e-9) << "seed=" << seed;
+}
+
+TEST(Pipeline, GateLevelMatchesOperatorLevelK1) {
+  Rng rng(1);
+  auto member = LDisjInstance::make_disjoint(1, rng);
+  auto nonmember = LDisjInstance::make_with_intersections(1, 1, rng);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_gate_level_matches(member, seed);
+    expect_gate_level_matches(nonmember, seed);
+  }
+}
+
+TEST(Pipeline, GateLevelMatchesOperatorLevelK2) {
+  Rng rng(2);
+  auto member = LDisjInstance::make_disjoint(2, rng);
+  auto nonmember = LDisjInstance::make_with_intersections(2, 2, rng);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    expect_gate_level_matches(member, seed);
+    expect_gate_level_matches(nonmember, seed);
+  }
+}
+
+TEST(Pipeline, TapeIsPureGateAlphabet) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_disjoint(1, rng);
+  TapeWriterSink tape;
+  GroverStreamer::Options gopts;
+  gopts.simulate = false;
+  gopts.gate_sink = &tape;
+  GroverStreamer gate{Rng(5), gopts};
+  auto s = inst.stream();
+  while (auto sym = s->next()) gate.feed(*sym);
+  // Every character of the output tape is a digit or '#': the OPTM's
+  // write-only tape alphabet of Definition 2.3.
+  for (char c : tape.tape()) {
+    ASSERT_TRUE((c >= '0' && c <= '9') || c == '#') << c;
+  }
+  auto circuit = Circuit::from_tape(tape.tape());
+  ASSERT_TRUE(circuit.has_value());
+  const auto counts = circuit->counts();
+  EXPECT_EQ(counts.identity, 0u);
+  EXPECT_GT(counts.h, 0u);
+  EXPECT_GT(counts.cnot, 0u);
+}
+
+TEST(Pipeline, EndToEndDecisionsAgainstReferenceOracle) {
+  // The quantum machine's majority behaviour must agree with the offline
+  // oracle on a mixed bag of words.
+  Rng rng(4);
+  std::vector<std::pair<std::string, bool>> cases;
+  for (unsigned k = 1; k <= 2; ++k) {
+    auto member = LDisjInstance::make_disjoint(k, rng);
+    cases.emplace_back(member.render(), true);
+    auto bad = LDisjInstance::make_with_intersections(
+        k, std::uint64_t{1} << (2 * k), rng);  // t = m: rejected w.p. 1
+    cases.emplace_back(bad.render(), false);
+  }
+  cases.emplace_back("", false);
+  cases.emplace_back("1#", false);
+  cases.emplace_back("11#", false);
+  for (const auto& [word, expect_member] : cases) {
+    ASSERT_EQ(qols::lang::is_member_reference(word), expect_member);
+    QuantumOnlineRecognizer rec(99);
+    qols::stream::StringStream s(word);
+    EXPECT_EQ(run_stream(s, rec), expect_member) << "word size " << word.size();
+  }
+}
+
+TEST(Pipeline, SpaceSeparationHeadline) {
+  // The repository's raison d'etre in one assertion chain: at k = 5 the
+  // quantum machine's total space is already an order of magnitude below
+  // the classical block machine's, and the gap widens with k.
+  Rng rng(5);
+  double prev_ratio = 0.0;
+  for (unsigned k = 3; k <= 5; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    QuantumOnlineRecognizer quantum(1);
+    qols::core::ClassicalBlockRecognizer block(1);
+    {
+      auto s = inst.stream();
+      run_stream(*s, quantum);
+    }
+    {
+      auto s = inst.stream();
+      run_stream(*s, block);
+    }
+    const double q = static_cast<double>(quantum.space_used().total());
+    const double c = static_cast<double>(block.space_used().total());
+    const double ratio = c / q;
+    EXPECT_GT(ratio, prev_ratio) << "k=" << k;  // gap grows with k
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 1.0);
+}
+
+TEST(Pipeline, StreamingNeverMaterializesInput) {
+  // Feeding a k=6 instance (~0.8M symbols) through the quantum machine must
+  // work straight off the generator stream.
+  Rng rng(6);
+  auto inst = LDisjInstance::make_disjoint(6, rng);
+  QuantumOnlineRecognizer rec(1);
+  auto s = inst.stream();
+  EXPECT_TRUE(run_stream(*s, rec));
+  EXPECT_EQ(rec.space_used().qubits, 14u);  // 2k+2
+}
+
+}  // namespace

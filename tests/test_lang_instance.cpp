@@ -1,0 +1,178 @@
+// Unit + property tests: L_DISJ instances, lazy streaming, mutants, and the
+// offline reference oracle.
+#include <gtest/gtest.h>
+
+#include "qols/lang/ldisj_instance.hpp"
+
+namespace {
+
+using namespace qols::lang;
+using qols::stream::materialize;
+using qols::util::BitVec;
+using qols::util::Rng;
+
+TEST(LDisjInstance, ValidatesConstructorArguments) {
+  Rng rng(1);
+  EXPECT_THROW(LDisjInstance(0, BitVec(1), BitVec(1)), std::invalid_argument);
+  EXPECT_THROW(LDisjInstance(1, BitVec(3), BitVec(4)), std::invalid_argument);
+  EXPECT_THROW(LDisjInstance(11, BitVec(1ULL << 22), BitVec(1ULL << 22)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(LDisjInstance(1, BitVec(4), BitVec(4)));
+}
+
+TEST(LDisjInstance, WordLengthFormula) {
+  // k=1: 1+1 + 2 * 3 * (4+1) = 32.
+  LDisjInstance inst(1, BitVec(4), BitVec(4));
+  EXPECT_EQ(inst.word_length(), 32u);
+  EXPECT_EQ(inst.m(), 4u);
+  EXPECT_EQ(inst.repetitions(), 2u);
+}
+
+TEST(LDisjInstance, RenderMatchesManualConstruction) {
+  BitVec x = BitVec::from_string("1010");
+  BitVec y = BitVec::from_string("0101");
+  LDisjInstance inst(1, x, y);
+  const std::string expected =
+      "1#"
+      "1010#0101#1010#"
+      "1010#0101#1010#";
+  EXPECT_EQ(inst.render(), expected);
+}
+
+TEST(LDisjInstance, StreamAgreesWithRender) {
+  Rng rng(7);
+  for (unsigned k = 1; k <= 3; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    auto s = inst.stream();
+    EXPECT_EQ(materialize(*s), inst.render());
+    ASSERT_TRUE(s->length_hint().has_value());
+    EXPECT_EQ(*inst.stream()->length_hint(), inst.word_length());
+  }
+}
+
+TEST(LDisjInstance, MakeDisjointIsDisjointAndMember) {
+  Rng rng(11);
+  for (unsigned k = 1; k <= 4; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    EXPECT_EQ(inst.intersections(), 0u);
+    EXPECT_TRUE(inst.member());
+  }
+}
+
+class PlantedIntersections
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(PlantedIntersections, ExactCount) {
+  const auto [k, t] = GetParam();
+  Rng rng(100 + k * 17 + t);
+  auto inst = LDisjInstance::make_with_intersections(k, t, rng);
+  EXPECT_EQ(inst.intersections(), t);
+  EXPECT_EQ(inst.member(), t == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlantedIntersections,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0u, 1u, 2u, 4u)));
+
+TEST(LDisjInstance, PlantedIntersectionsCanSaturate) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_with_intersections(2, 16, rng);  // t = m
+  EXPECT_EQ(inst.intersections(), 16u);
+}
+
+TEST(LDisjInstance, PlantedRejectsOversizedT) {
+  Rng rng(4);
+  EXPECT_THROW(LDisjInstance::make_with_intersections(1, 5, rng),
+               std::invalid_argument);
+}
+
+TEST(LDisjInstance, PositionOfAddressesStream) {
+  Rng rng(5);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  const std::string word = inst.render();
+  // Block 0 of repetition 0 starts right after "11#".
+  EXPECT_EQ(word[inst.position_of(0, 0, 0)], inst.x().get(0) ? '1' : '0');
+  // The y-block of repetition 1, offset 3.
+  EXPECT_EQ(word[inst.position_of(1, 1, 3)], inst.y().get(3) ? '1' : '0');
+  // offset m is the trailing separator of the block.
+  EXPECT_EQ(word[inst.position_of(0, 0, inst.m())], '#');
+  EXPECT_EQ(word[inst.position_of(1, 2, inst.m())], '#');
+}
+
+// --- reference oracle ------------------------------------------------------
+
+TEST(ReferenceOracle, AcceptsWellFormedDisjoint) {
+  Rng rng(21);
+  for (unsigned k = 1; k <= 3; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    EXPECT_TRUE(is_member_reference(inst.render())) << "k=" << k;
+  }
+}
+
+TEST(ReferenceOracle, RejectsIntersecting) {
+  Rng rng(22);
+  for (unsigned k = 1; k <= 3; ++k) {
+    auto inst = LDisjInstance::make_with_intersections(k, 1, rng);
+    EXPECT_FALSE(is_member_reference(inst.render())) << "k=" << k;
+  }
+}
+
+TEST(ReferenceOracle, RejectsStructuralDamage) {
+  EXPECT_FALSE(is_member_reference(""));
+  EXPECT_FALSE(is_member_reference("#"));
+  EXPECT_FALSE(is_member_reference("1"));
+  EXPECT_FALSE(is_member_reference("0#"));
+  EXPECT_FALSE(is_member_reference("1#0101#0000#0101#"));   // block len != 4? (len 4 ok, but 1 rep only)
+  EXPECT_FALSE(is_member_reference("1#01#00#01#01#00#01#")); // blocks too short
+}
+
+TEST(ReferenceOracle, RejectsInconsistentRepetitions) {
+  // Well-shaped but z != x in the second repetition.
+  const std::string word =
+      "1#"
+      "1010#0101#1010#"
+      "1010#0101#1000#";
+  EXPECT_FALSE(is_member_reference(word));
+}
+
+TEST(ReferenceOracle, MutantsAreNonMembers) {
+  Rng rng(23);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (auto kind :
+       {MutantKind::kBadPrefix, MutantKind::kTrailingGarbage,
+        MutantKind::kXZMismatch, MutantKind::kYDrift, MutantKind::kTruncated,
+        MutantKind::kSepInsideBlock}) {
+    auto s = make_mutant_stream(inst, kind, rng);
+    const std::string word = materialize(*s);
+    EXPECT_FALSE(is_member_reference(word))
+        << "mutant kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Mutants, PreserveLengthWhenExpected) {
+  Rng rng(24);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (auto kind : {MutantKind::kBadPrefix, MutantKind::kXZMismatch,
+                    MutantKind::kYDrift, MutantKind::kSepInsideBlock}) {
+    auto s = make_mutant_stream(inst, kind, rng);
+    EXPECT_EQ(materialize(*s).size(), inst.word_length())
+        << "mutant kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Mutants, XZMismatchDiffersFromOriginalInOnePlace) {
+  Rng rng(25);
+  auto inst = LDisjInstance::make_disjoint(1, rng);
+  auto s = make_mutant_stream(inst, MutantKind::kXZMismatch, rng);
+  const std::string mutated = materialize(*s);
+  const std::string original = inst.render();
+  ASSERT_EQ(mutated.size(), original.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < mutated.size(); ++i) {
+    if (mutated[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Unit + differential tests: procedure A1 (streaming structure validator).
+#include <gtest/gtest.h>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/lang/structure_validator.hpp"
+#include "qols/stream/symbol_stream.hpp"
+
+namespace {
+
+using namespace qols::lang;
+using qols::stream::StringStream;
+using qols::stream::Symbol;
+using qols::util::Rng;
+
+bool validate(const std::string& word) {
+  StructureValidator v;
+  StringStream s(word);
+  while (auto sym = s.next()) v.feed(*sym);
+  return v.finish();
+}
+
+TEST(Validator, AcceptsWellFormedWords) {
+  Rng rng(1);
+  for (unsigned k = 1; k <= 3; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    EXPECT_TRUE(validate(inst.render())) << "k=" << k;
+    auto bad = LDisjInstance::make_with_intersections(k, 1, rng);
+    // Shape is independent of disjointness: intersecting words still pass A1.
+    EXPECT_TRUE(validate(bad.render())) << "k=" << k;
+  }
+}
+
+TEST(Validator, RejectsEmptyAndTrivialWords) {
+  EXPECT_FALSE(validate(""));
+  EXPECT_FALSE(validate("#"));
+  EXPECT_FALSE(validate("1"));
+  EXPECT_FALSE(validate("1#"));
+  EXPECT_FALSE(validate("0#"));
+}
+
+TEST(Validator, RejectsZeroInPrefix) {
+  EXPECT_FALSE(validate("10#0101#0101#0101#0101#0101#0101#"));
+}
+
+TEST(Validator, RejectsShortBlock) {
+  // k=1 wants blocks of length 4; one block has 3 bits.
+  EXPECT_FALSE(validate("1#101#0101#1010#1010#0101#1010#"));
+}
+
+TEST(Validator, RejectsLongBlock) {
+  EXPECT_FALSE(validate("1#10101#0101#1010#1010#0101#1010#"));
+}
+
+TEST(Validator, RejectsWrongBlockCount) {
+  // k=1 wants 6 blocks; give 5.
+  EXPECT_FALSE(validate("1#1010#0101#1010#1010#0101#"));
+  // ... and 7.
+  EXPECT_FALSE(validate("1#1010#0101#1010#1010#0101#1010#0101#"));
+}
+
+TEST(Validator, RejectsTrailingSymbols) {
+  Rng rng(2);
+  auto inst = LDisjInstance::make_disjoint(1, rng);
+  EXPECT_FALSE(validate(inst.render() + "0"));
+  EXPECT_FALSE(validate(inst.render() + "#"));
+}
+
+TEST(Validator, RejectsTruncation) {
+  Rng rng(3);
+  auto inst = LDisjInstance::make_disjoint(1, rng);
+  const std::string word = inst.render();
+  for (std::size_t cut = 1; cut < word.size(); ++cut) {
+    ASSERT_FALSE(validate(word.substr(0, cut))) << "cut=" << cut;
+  }
+}
+
+TEST(Validator, ExposesKAfterPrefix) {
+  StructureValidator v;
+  v.feed(Symbol::kOne);
+  v.feed(Symbol::kOne);
+  EXPECT_FALSE(v.k().has_value());
+  v.feed(Symbol::kSep);
+  ASSERT_TRUE(v.k().has_value());
+  EXPECT_EQ(*v.k(), 2u);
+}
+
+TEST(Validator, FailureIsSticky) {
+  StructureValidator v;
+  v.feed(Symbol::kZero);  // immediate prefix violation
+  EXPECT_TRUE(v.failed());
+  v.feed(Symbol::kOne);
+  v.feed(Symbol::kSep);
+  EXPECT_TRUE(v.failed());
+  EXPECT_FALSE(v.finish());
+}
+
+TEST(Validator, SpaceIsLogarithmic) {
+  // The validator's work memory must grow linearly in k (i.e. O(log n)).
+  Rng rng(4);
+  std::uint64_t prev = 0;
+  for (unsigned k = 1; k <= 4; ++k) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    StructureValidator v;
+    auto s = inst.stream();
+    while (auto sym = s->next()) v.feed(*sym);
+    const std::uint64_t bits = v.classical_bits_used();
+    EXPECT_LE(bits, 16 * k + 16) << "k=" << k;
+    EXPECT_GE(bits, prev);  // monotone in k
+    prev = bits;
+  }
+}
+
+// Differential property test: on random mutated words the validator agrees
+// with an oracle that checks shape only (not consistency/disjointness).
+bool shape_reference(const std::string& word) {
+  std::size_t pos = 0;
+  while (pos < word.size() && word[pos] == '1') ++pos;
+  const std::size_t k = pos;
+  if (k < 1 || k > 20 || pos >= word.size() || word[pos] != '#') return false;
+  ++pos;
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  const std::uint64_t blocks = 3 * (std::uint64_t{1} << k);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (pos + m + 1 > word.size()) return false;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      if (word[pos + i] != '0' && word[pos + i] != '1') return false;
+    }
+    if (word[pos + m] != '#') return false;
+    pos += m + 1;
+  }
+  return pos == word.size();
+}
+
+class ValidatorDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidatorDifferential, AgreesWithShapeOracleOnMutants) {
+  Rng rng(1000 + GetParam());
+  auto inst = LDisjInstance::make_disjoint(1 + GetParam() % 3, rng);
+  const std::string word = inst.render();
+  // Random single-character mutations (substitute / delete / insert).
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = word;
+    const std::size_t pos = rng.below(mutated.size());
+    const char repl[] = {'0', '1', '#'};
+    switch (rng.below(3)) {
+      case 0:
+        mutated[pos] = repl[rng.below(3)];
+        break;
+      case 1:
+        mutated.erase(pos, 1);
+        break;
+      case 2:
+        mutated.insert(pos, 1, repl[rng.below(3)]);
+        break;
+    }
+    ASSERT_EQ(validate(mutated), shape_reference(mutated))
+        << "trial " << trial << " word " << mutated;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorDifferential, ::testing::Range(0, 8));
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Unit tests: adversarial workload generators, plus a cross-check that the
+// classical machines survive every family (the quantum side is E17's job,
+// covered statistically in the recognizer tests).
+#include <gtest/gtest.h>
+
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/lang/workloads.hpp"
+#include "qols/machine/online_recognizer.hpp"
+
+namespace {
+
+using namespace qols::lang;
+using qols::machine::run_stream;
+using qols::util::Rng;
+
+TEST(Workloads, EnumerationIsComplete) {
+  const auto all = all_workload_families();
+  EXPECT_EQ(all.size(), 7u);
+  for (auto f : all) {
+    EXPECT_FALSE(workload_family_name(f).empty());
+  }
+}
+
+TEST(Workloads, NamesAreDistinct) {
+  const auto all = all_workload_families();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(workload_family_name(all[i]), workload_family_name(all[j]));
+    }
+  }
+}
+
+TEST(Workloads, MembershipMatchesDeclaredFlag) {
+  Rng rng(1);
+  for (auto f : all_workload_families()) {
+    for (unsigned k = 1; k <= 3; ++k) {
+      auto inst = make_workload_instance(f, k, rng);
+      ASSERT_EQ(inst.member(), workload_family_is_member(f))
+          << workload_family_name(f) << " k=" << k;
+    }
+  }
+}
+
+TEST(Workloads, FirstAndLastIndexPlaceTheWitnessExactly) {
+  Rng rng(2);
+  auto first = make_workload_instance(WorkloadFamily::kFirstIndex, 2, rng);
+  EXPECT_TRUE(first.x().get(0));
+  EXPECT_TRUE(first.y().get(0));
+  auto last = make_workload_instance(WorkloadFamily::kLastIndex, 2, rng);
+  EXPECT_TRUE(last.x().get(last.m() - 1));
+  EXPECT_TRUE(last.y().get(last.m() - 1));
+}
+
+TEST(Workloads, BlockBoundaryWitnessSitsAtWindowEdge) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto inst = make_workload_instance(WorkloadFamily::kBlockBoundary, 3, rng);
+    const std::uint64_t block = inst.repetitions();  // 2^k
+    bool found_edge = false;
+    for (std::uint64_t i = 0; i < inst.m(); ++i) {
+      if (inst.x().get(i) && inst.y().get(i)) {
+        if ((i + 1) % block == 0) found_edge = true;
+      }
+    }
+    ASSERT_TRUE(found_edge);
+  }
+}
+
+TEST(Workloads, DensityExtremesHaveExactlyOneWitness) {
+  Rng rng(4);
+  auto dense_x =
+      make_workload_instance(WorkloadFamily::kDenseXSparseY, 3, rng);
+  EXPECT_EQ(dense_x.intersections(), 1u);
+  EXPECT_EQ(dense_x.x().popcount(), dense_x.m());  // x all ones
+  EXPECT_EQ(dense_x.y().popcount(), 1u);
+  auto dense_y =
+      make_workload_instance(WorkloadFamily::kSparseXDenseY, 3, rng);
+  EXPECT_EQ(dense_y.intersections(), 1u);
+  EXPECT_EQ(dense_y.y().popcount(), dense_y.m());
+}
+
+TEST(Workloads, ClusteredWitnessesShareOneWindow) {
+  Rng rng(5);
+  auto inst =
+      make_workload_instance(WorkloadFamily::kClusteredIntersections, 3, rng);
+  const std::uint64_t block = inst.repetitions();
+  std::uint64_t first_window = block;  // invalid sentinel
+  for (std::uint64_t i = 0; i < inst.m(); ++i) {
+    if (inst.x().get(i) && inst.y().get(i)) {
+      const std::uint64_t w = i / block;
+      if (first_window == block) first_window = w;
+      ASSERT_EQ(w, first_window);
+    }
+  }
+  EXPECT_GE(inst.intersections(), 2u);
+}
+
+// The deterministic block machine must decide EVERY family correctly —
+// especially block-boundary witnesses, its most delicate case.
+TEST(Workloads, BlockMachineSurvivesAllFamilies) {
+  Rng rng(6);
+  for (auto f : all_workload_families()) {
+    for (unsigned k = 2; k <= 3; ++k) {
+      auto inst = make_workload_instance(f, k, rng);
+      qols::core::ClassicalBlockRecognizer rec(1);
+      auto s = inst.stream();
+      ASSERT_EQ(run_stream(*s, rec), inst.member())
+          << workload_family_name(f) << " k=" << k;
+    }
+  }
+}
+
+TEST(Workloads, FullMachineSurvivesAllFamilies) {
+  Rng rng(7);
+  for (auto f : all_workload_families()) {
+    auto inst = make_workload_instance(f, 2, rng);
+    qols::core::ClassicalFullRecognizer rec(1);
+    auto s = inst.stream();
+    ASSERT_EQ(run_stream(*s, rec), inst.member()) << workload_family_name(f);
+  }
+}
+
+}  // namespace

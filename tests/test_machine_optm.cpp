@@ -1,0 +1,173 @@
+// Unit tests: the OPTM simulator (the paper's Section 2.1 model, executable)
+// and Fact 2.2's configuration counting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/machine/optm.hpp"
+
+namespace {
+
+using namespace qols::machine;
+using qols::stream::StringStream;
+using qols::util::Rng;
+
+OptmRun run_on(const OptmProgram& p, const std::string& word,
+               std::uint64_t seed = 1) {
+  Rng rng(seed);
+  StringStream s(word);
+  return run_optm(p, s, rng);
+}
+
+TEST(Optm, ParityMachineAcceptsOddOnes) {
+  const auto p = make_parity_machine();
+  EXPECT_FALSE(run_on(p, "").accepted);
+  EXPECT_TRUE(run_on(p, "1").accepted);
+  EXPECT_FALSE(run_on(p, "11").accepted);
+  EXPECT_TRUE(run_on(p, "10101").accepted);
+  EXPECT_FALSE(run_on(p, "0000").accepted);
+  EXPECT_TRUE(run_on(p, "0001000").accepted);
+}
+
+TEST(Optm, ParityMachineRejectsSeparators) {
+  const auto p = make_parity_machine();
+  const auto r = run_on(p, "1#1");
+  EXPECT_TRUE(r.halted);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(Optm, ParityMachineUsesZeroWorkCellsBeyondScratch) {
+  const auto p = make_parity_machine();
+  const auto r = run_on(p, "101010101");
+  // The machine writes only blanks in place: one touched cell.
+  EXPECT_LE(r.work_cells, 1u);
+}
+
+TEST(Optm, ParityMachineIsDeterministic) {
+  const auto p = make_parity_machine();
+  EXPECT_EQ(run_on(p, "110").coins, 0u);
+}
+
+TEST(Optm, CopyCompareAcceptsExactlyDuplicates) {
+  const auto p = make_copy_compare_machine();
+  EXPECT_TRUE(run_on(p, "#").accepted);          // empty u
+  EXPECT_TRUE(run_on(p, "0#0").accepted);
+  EXPECT_TRUE(run_on(p, "10#10").accepted);
+  EXPECT_TRUE(run_on(p, "110101#110101").accepted);
+  EXPECT_FALSE(run_on(p, "10#11").accepted);
+  EXPECT_FALSE(run_on(p, "10#1").accepted);      // too short
+  EXPECT_FALSE(run_on(p, "10#100").accepted);    // too long
+  EXPECT_FALSE(run_on(p, "1011").accepted);      // no separator
+  EXPECT_FALSE(run_on(p, "").accepted);
+}
+
+TEST(Optm, CopyCompareSpaceIsLinearInU) {
+  const auto p = make_copy_compare_machine();
+  for (std::size_t len : {1u, 4u, 9u, 16u}) {
+    const std::string u(len, '1');
+    const auto r = run_on(p, u + "#" + u);
+    ASSERT_TRUE(r.accepted);
+    // marker + |u| copied symbols (+1 blank peeked at the right edge).
+    EXPECT_GE(r.work_cells, len + 1);
+    EXPECT_LE(r.work_cells, len + 3);
+  }
+}
+
+TEST(Optm, CoinMachineAcceptsWithGeometricProbability) {
+  for (unsigned flips : {1u, 2u, 3u}) {
+    const auto p = make_coin_machine(flips);
+    const double rate = optm_acceptance_rate(p, "", 4000, 99);
+    EXPECT_NEAR(rate, std::pow(0.5, flips), 0.03) << "flips=" << flips;
+  }
+}
+
+TEST(Optm, CoinMachineCountsCoins) {
+  const auto p = make_coin_machine(3);
+  Rng rng(5);
+  StringStream s("");
+  const auto r = run_optm(p, s, rng);
+  EXPECT_GE(r.coins, 1u);
+  EXPECT_LE(r.coins, 3u);
+}
+
+TEST(Optm, StepBudgetIsEnforced) {
+  // A deliberate infinite loop: one state, spins in place on EOF.
+  OptmProgram p(1);
+  p.set_start(0);
+  p.set_transition(0, InSym::kEof, WorkSym::kBlank,
+                   OptmAction{.next_state = 0, .write = WorkSym::kBlank,
+                              .move = Move::kStay, .advance_input = false,
+                              .halt = false});
+  Rng rng(1);
+  StringStream s("");
+  const auto r = run_optm(p, s, rng, 500);
+  EXPECT_FALSE(r.halted);  // "rejects by never halting"
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.steps, 500u);
+}
+
+TEST(Optm, FallingOffTheLeftEndRejects) {
+  OptmProgram p(1);
+  p.set_start(0);
+  p.set_accepting(0);  // even an accepting state cannot survive the fall
+  p.set_transition(0, InSym::kEof, WorkSym::kBlank,
+                   OptmAction{.next_state = 0, .write = WorkSym::kBlank,
+                              .move = Move::kLeft, .advance_input = false,
+                              .halt = false});
+  Rng rng(1);
+  StringStream s("");
+  const auto r = run_optm(p, s, rng);
+  EXPECT_TRUE(r.halted);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(Optm, CensusCountsDistinctConfigurations) {
+  // Parity machine on all words of length <= 3: configurations are
+  // (state, input position) pairs only — at most 2 * (len+1) per word.
+  const auto p = make_parity_machine();
+  std::vector<std::string> inputs;
+  for (int len = 0; len <= 3; ++len) {
+    for (int bits = 0; bits < (1 << len); ++bits) {
+      std::string w;
+      for (int i = 0; i < len; ++i) w.push_back((bits >> i) & 1 ? '1' : '0');
+      inputs.push_back(w);
+    }
+  }
+  const auto configs = count_reachable_configurations(p, inputs);
+  EXPECT_GE(configs, 4u);
+  EXPECT_LE(configs, 2u * 5u);  // |Q| * (max input positions + 1)
+}
+
+TEST(Optm, CensusRespectsFact22Bound) {
+  // Fact 2.2: #configs <= n * s * |Sigma|^s * |Q|. Check the copy-compare
+  // machine on all u#u words with |u| = 3.
+  const auto p = make_copy_compare_machine();
+  std::vector<std::string> inputs;
+  for (int bits = 0; bits < 8; ++bits) {
+    std::string u;
+    for (int i = 0; i < 3; ++i) u.push_back((bits >> i) & 1 ? '1' : '0');
+    inputs.push_back(u + "#" + u);
+  }
+  const auto configs = count_reachable_configurations(p, inputs);
+  // n = 7, s = 6 (marker + 3 bits + blank + slack), |Sigma| = 4, |Q| = 5:
+  const double bound =
+      log2_configuration_bound(7.0, 6.0, 4.0, 5.0);
+  EXPECT_LE(std::log2(static_cast<double>(configs)), bound);
+  EXPECT_GT(configs, 8u);  // sanity: it does distinguish the 8 strings
+}
+
+TEST(Optm, UndefinedTransitionHaltsInAccordanceWithState) {
+  OptmProgram p(2);
+  p.set_start(0);
+  p.set_accepting(1);
+  // 0 --'1'--> 1 (accepting); everything else undefined.
+  p.set_transition(0, InSym::kOne, WorkSym::kBlank,
+                   OptmAction{.next_state = 1, .write = WorkSym::kBlank,
+                              .move = Move::kStay, .advance_input = true,
+                              .halt = false});
+  EXPECT_TRUE(run_on(p, "1").accepted);   // halts (undefined at EOF) in state 1
+  EXPECT_FALSE(run_on(p, "0").accepted);  // halts immediately in state 0
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Unit tests: the gate IR and Definition 2.3's output-tape serialization.
+#include <gtest/gtest.h>
+
+#include "qols/quantum/circuit.hpp"
+
+namespace {
+
+using qols::quantum::apply_gate;
+using qols::quantum::Circuit;
+using qols::quantum::Gate;
+using qols::quantum::GateKind;
+using qols::quantum::StateVector;
+
+TEST(Circuit, EmptyTapeIsEmptyCircuit) {
+  auto c = Circuit::from_tape("");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->empty());
+  EXPECT_EQ(c->to_tape(), "");
+}
+
+TEST(Circuit, TapeRoundTrip) {
+  Circuit c;
+  c.add_h(0);
+  c.add_t(3);
+  c.add_cnot(1, 2);
+  const std::string tape = c.to_tape();
+  auto parsed = Circuit::from_tape(tape);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, c);
+}
+
+TEST(Circuit, TapeFormatMatchesPaper) {
+  // a1#b1#c1#a2#b2#c2 with c in {0,1,2} selecting {H, T, CNOT}.
+  Circuit c;
+  c.add(Gate{GateKind::kCnot, 4, 7});
+  EXPECT_EQ(c.to_tape(), "4#7#2");
+  c.add(Gate{GateKind::kH, 0, 1});
+  EXPECT_EQ(c.to_tape(), "4#7#2#0#1#0");
+}
+
+TEST(Circuit, ParseRejectsMalformedTapes) {
+  EXPECT_FALSE(Circuit::from_tape("1#2").has_value());       // arity
+  EXPECT_FALSE(Circuit::from_tape("1#2#3").has_value());     // c out of range
+  EXPECT_FALSE(Circuit::from_tape("a#2#1").has_value());     // non-numeric
+  EXPECT_FALSE(Circuit::from_tape("1##1").has_value());      // empty field
+  EXPECT_FALSE(Circuit::from_tape("1#2#1#").has_value());    // trailing sep
+  EXPECT_FALSE(Circuit::from_tape("-1#2#1").has_value());    // negative
+}
+
+TEST(Circuit, IdentityConventionAEqualsB) {
+  // The paper: a == b denotes the identity gate.
+  StateVector sv(2);
+  sv.apply_h(0);
+  StateVector ref = sv;
+  apply_gate(sv, Gate{GateKind::kH, 1, 1});
+  apply_gate(sv, Gate{GateKind::kCnot, 0, 0});
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, 1e-12);
+}
+
+TEST(Circuit, ApplyToMatchesManualApplication) {
+  Circuit c;
+  c.add_h(0);
+  c.add_cnot(0, 1);
+  c.add_t(1);
+  StateVector via_circuit(2);
+  c.apply_to(via_circuit);
+  StateVector manual(2);
+  manual.apply_h(0);
+  manual.apply_cnot(0, 1);
+  manual.apply_t(1);
+  EXPECT_NEAR(via_circuit.fidelity(manual), 1.0, 1e-12);
+}
+
+TEST(Circuit, CountsByKind) {
+  Circuit c;
+  c.add_h(0);
+  c.add_h(1);
+  c.add_t(0);
+  c.add_cnot(0, 1);
+  c.add(Gate{GateKind::kH, 2, 2});  // identity by convention
+  const auto counts = c.counts();
+  EXPECT_EQ(counts.h, 2u);
+  EXPECT_EQ(counts.t, 1u);
+  EXPECT_EQ(counts.cnot, 1u);
+  EXPECT_EQ(counts.identity, 1u);
+  EXPECT_EQ(counts.total(), 5u);
+}
+
+TEST(Circuit, QubitsSpanned) {
+  Circuit c;
+  EXPECT_EQ(c.qubits_spanned(), 0u);
+  c.add_cnot(2, 9);
+  EXPECT_EQ(c.qubits_spanned(), 10u);
+}
+
+TEST(Circuit, AppendConcatenates) {
+  Circuit a, b;
+  a.add_h(0);
+  b.add_t(1);
+  a.append(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].kind, GateKind::kT);
+}
+
+TEST(Circuit, LargeTapeRoundTrip) {
+  Circuit c;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    c.add(Gate{static_cast<GateKind>(i % 3), i % 17, (i + 5) % 17});
+  }
+  auto parsed = Circuit::from_tape(c.to_tape());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, c);
+}
+
+}  // namespace

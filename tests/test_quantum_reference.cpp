@@ -1,0 +1,215 @@
+// Differential tests: the StateVector kernels against an independent dense
+// matrix reference simulator (explicit 2^n x 2^n unitaries built by
+// Kronecker products). Slow but assumption-free; n <= 5 keeps it instant.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "qols/quantum/circuit.hpp"
+#include "qols/quantum/state_vector.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::quantum::Amplitude;
+using qols::quantum::ControlTerm;
+using qols::quantum::StateVector;
+using qols::util::Rng;
+
+// A dense column vector and explicit matrix-vector application.
+using Vec = std::vector<Amplitude>;
+using Mat = std::vector<std::vector<Amplitude>>;
+
+Mat identity(std::size_t n) {
+  Mat m(n, std::vector<Amplitude>(n, {0.0, 0.0}));
+  for (std::size_t i = 0; i < n; ++i) m[i][i] = {1.0, 0.0};
+  return m;
+}
+
+// kron(a, b): a acts on the HIGHER qubits, b on the lower.
+Mat kron(const Mat& a, const Mat& b) {
+  const std::size_t ra = a.size(), rb = b.size();
+  Mat out(ra * rb, std::vector<Amplitude>(ra * rb, {0.0, 0.0}));
+  for (std::size_t i = 0; i < ra; ++i) {
+    for (std::size_t j = 0; j < ra; ++j) {
+      for (std::size_t p = 0; p < rb; ++p) {
+        for (std::size_t q = 0; q < rb; ++q) {
+          out[i * rb + p][j * rb + q] = a[i][j] * b[p][q];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Embeds a one-qubit gate on qubit q of an n-qubit register (little-endian:
+// qubit 0 is the least significant index bit, i.e. the RIGHTMOST factor).
+Mat embed1(const Mat& gate, unsigned q, unsigned n) {
+  Mat acc = identity(1);
+  for (unsigned bit = n; bit-- > 0;) {
+    acc = kron(acc, bit == q ? gate : identity(2));
+  }
+  return acc;
+}
+
+Vec matvec(const Mat& m, const Vec& v) {
+  Vec out(v.size(), {0.0, 0.0});
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) out[i] += m[i][j] * v[j];
+  }
+  return out;
+}
+
+Vec state_of(const StateVector& sv) {
+  return Vec(sv.amplitudes().begin(), sv.amplitudes().end());
+}
+
+void expect_equal(const Vec& a, const Vec& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10) << "index " << i;
+  }
+}
+
+const Mat kH = {{{std::numbers::sqrt2 / 2, 0}, {std::numbers::sqrt2 / 2, 0}},
+                {{std::numbers::sqrt2 / 2, 0}, {-std::numbers::sqrt2 / 2, 0}}};
+const Mat kT = {{{1, 0}, {0, 0}},
+                {{0, 0}, {std::numbers::sqrt2 / 2, std::numbers::sqrt2 / 2}}};
+const Mat kX = {{{0, 0}, {1, 0}}, {{1, 0}, {0, 0}}};
+const Mat kZ = {{{1, 0}, {0, 0}}, {{0, 0}, {-1, 0}}};
+
+// Builds an explicit CNOT matrix for arbitrary control/target labels.
+Mat cnot_matrix(unsigned control, unsigned target, unsigned n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Mat m(dim, std::vector<Amplitude>(dim, {0.0, 0.0}));
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::size_t j = i;
+    if (i & (std::size_t{1} << control)) j ^= std::size_t{1} << target;
+    m[j][i] = {1.0, 0.0};
+  }
+  return m;
+}
+
+// Random test state prepared identically in both simulators.
+Vec randomize(StateVector& sv, Rng& rng) {
+  Vec ref(sv.dim(), {0.0, 0.0});
+  ref[0] = {1.0, 0.0};
+  for (unsigned q = 0; q < sv.num_qubits(); ++q) {
+    sv.apply_h(q);
+    ref = matvec(embed1(kH, q, sv.num_qubits()), ref);
+    if (rng.coin()) {
+      sv.apply_t(q);
+      ref = matvec(embed1(kT, q, sv.num_qubits()), ref);
+    }
+  }
+  return ref;
+}
+
+class ReferenceSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReferenceSweep, OneQubitGatesMatchKroneckerEmbedding) {
+  const unsigned n = GetParam();
+  Rng rng(40 + n);
+  for (unsigned q = 0; q < n; ++q) {
+    StateVector sv(n);
+    Vec ref = randomize(sv, rng);
+    sv.apply_h(q);
+    ref = matvec(embed1(kH, q, n), ref);
+    sv.apply_t(q);
+    ref = matvec(embed1(kT, q, n), ref);
+    sv.apply_x(q);
+    ref = matvec(embed1(kX, q, n), ref);
+    sv.apply_z(q);
+    ref = matvec(embed1(kZ, q, n), ref);
+    expect_equal(state_of(sv), ref);
+  }
+}
+
+TEST_P(ReferenceSweep, CnotMatchesExplicitMatrix) {
+  const unsigned n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Rng rng(50 + n);
+  for (unsigned c = 0; c < n; ++c) {
+    for (unsigned t = 0; t < n; ++t) {
+      if (c == t) continue;
+      StateVector sv(n);
+      Vec ref = randomize(sv, rng);
+      sv.apply_cnot(c, t);
+      ref = matvec(cnot_matrix(c, t, n), ref);
+      expect_equal(state_of(sv), ref);
+    }
+  }
+}
+
+TEST_P(ReferenceSweep, RandomCircuitMatchesReference) {
+  const unsigned n = GetParam();
+  Rng rng(60 + n);
+  StateVector sv(n);
+  Vec ref = randomize(sv, rng);
+  for (int step = 0; step < 60; ++step) {
+    const unsigned q = static_cast<unsigned>(rng.below(n));
+    switch (rng.below(3)) {
+      case 0:
+        sv.apply_h(q);
+        ref = matvec(embed1(kH, q, n), ref);
+        break;
+      case 1:
+        sv.apply_t(q);
+        ref = matvec(embed1(kT, q, n), ref);
+        break;
+      default: {
+        const unsigned t = static_cast<unsigned>(rng.below(n));
+        if (q == t) break;
+        sv.apply_cnot(q, t);
+        ref = matvec(cnot_matrix(q, t, n), ref);
+      }
+    }
+  }
+  expect_equal(state_of(sv), ref);
+}
+
+TEST_P(ReferenceSweep, ReflectZeroMatchesExplicitDiagonal) {
+  const unsigned n = GetParam();
+  Rng rng(70 + n);
+  for (unsigned count = 1; count <= n; ++count) {
+    StateVector sv(n);
+    Vec ref = randomize(sv, rng);
+    sv.apply_reflect_zero(0, count);
+    const std::size_t mask = ((std::size_t{1} << count) - 1);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (i & mask) ref[i] = -ref[i];
+    }
+    expect_equal(state_of(sv), ref);
+  }
+}
+
+TEST_P(ReferenceSweep, MczMatchesExplicitDiagonal) {
+  const unsigned n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Rng rng(80 + n);
+  StateVector sv(n);
+  Vec ref = randomize(sv, rng);
+  std::vector<ControlTerm> terms;
+  std::size_t mask = 0, want = 0;
+  for (unsigned q = 0; q < n; ++q) {
+    if (rng.coin()) {
+      const bool v = rng.coin();
+      terms.push_back({q, v});
+      mask |= std::size_t{1} << q;
+      if (v) want |= std::size_t{1} << q;
+    }
+  }
+  if (terms.empty()) terms.push_back({0, true}), mask = 1, want = 1;
+  sv.apply_mcz(terms);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if ((i & mask) == want) ref[i] = -ref[i];
+  }
+  expect_equal(state_of(sv), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, ReferenceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace

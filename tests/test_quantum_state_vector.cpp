@@ -1,0 +1,317 @@
+// Unit + property tests: the dense state-vector simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "qols/quantum/state_vector.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::quantum::Amplitude;
+using qols::quantum::ControlTerm;
+using qols::quantum::StateVector;
+using qols::util::Rng;
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVector, StartsInAllZeros) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, kTol);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.0, kTol);
+  }
+}
+
+TEST(StateVector, RejectsBadQubitCounts) {
+  EXPECT_THROW(StateVector(0), std::invalid_argument);
+  EXPECT_THROW(StateVector(31), std::invalid_argument);
+}
+
+TEST(StateVector, HadamardCreatesUniformPair) {
+  StateVector sv(1);
+  sv.apply_h(0);
+  EXPECT_NEAR(sv.amplitude(0).real(), std::numbers::sqrt2 / 2, kTol);
+  EXPECT_NEAR(sv.amplitude(1).real(), std::numbers::sqrt2 / 2, kTol);
+}
+
+TEST(StateVector, HadamardIsInvolution) {
+  StateVector sv(4);
+  sv.apply_h(2);
+  sv.apply_h(2);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsBasisState) {
+  StateVector sv(3);
+  sv.apply_x(1);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b010)), 1.0, kTol);
+}
+
+TEST(StateVector, TEighthPowerIsIdentity) {
+  StateVector sv(1);
+  sv.apply_h(0);  // put amplitude on |1> so the phase is visible
+  StateVector ref = sv;
+  for (int i = 0; i < 8; ++i) sv.apply_t(0);
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, kTol);
+  EXPECT_NEAR((sv.amplitude(1) - ref.amplitude(1)).real(), 0.0, kTol);
+}
+
+TEST(StateVector, TdgInvertsT) {
+  StateVector sv(2);
+  sv.apply_h(0);
+  sv.apply_h(1);
+  StateVector ref = sv;
+  sv.apply_t(1);
+  sv.apply_tdg(1);
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, kTol);
+}
+
+TEST(StateVector, SSquaredIsZ) {
+  StateVector a(1), b(1);
+  a.apply_h(0);
+  b.apply_h(0);
+  a.apply_s(0);
+  a.apply_s(0);
+  b.apply_z(0);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+  // Phases must agree exactly, not just up to global phase:
+  EXPECT_NEAR(std::abs((a.amplitude(1) - b.amplitude(1))), 0.0, kTol);
+}
+
+TEST(StateVector, CnotEntanglesBellPair) {
+  StateVector sv(2);
+  sv.apply_h(0);
+  sv.apply_cnot(0, 1);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b00)), 0.5, kTol);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 0.5, kTol);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b01)), 0.0, kTol);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b10)), 0.0, kTol);
+}
+
+TEST(StateVector, CnotSelfInverse) {
+  Rng rng(5);
+  StateVector sv(3);
+  sv.apply_h(0);
+  sv.apply_t(0);
+  sv.apply_h(1);
+  StateVector ref = sv;
+  sv.apply_cnot(0, 2);
+  sv.apply_cnot(0, 2);
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, kTol);
+}
+
+TEST(StateVector, CzIsSymmetric) {
+  StateVector a(2), b(2);
+  a.apply_h(0);
+  a.apply_h(1);
+  b.apply_h(0);
+  b.apply_h(1);
+  a.apply_cz(0, 1);
+  b.apply_cz(1, 0);
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0, kTol);
+}
+
+TEST(StateVector, SwapExchangesQubits) {
+  StateVector sv(2);
+  sv.apply_x(0);  // |01> (qubit 0 set)
+  sv.apply_swap(0, 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, kTol);
+}
+
+TEST(StateVector, McxHonoursMixedPolarityPattern) {
+  // Controls: q0 == 1, q1 == 0 -> flip q2.
+  StateVector sv(3);
+  sv.apply_x(0);  // state |001>
+  const ControlTerm terms[] = {{0, true}, {1, false}};
+  sv.apply_mcx(terms, 2);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b101)), 1.0, kTol);
+  // Now break the pattern: q1 == 1 -> no flip.
+  StateVector sv2(3);
+  sv2.apply_x(0);
+  sv2.apply_x(1);  // |011>
+  sv2.apply_mcx(terms, 2);
+  EXPECT_NEAR(std::abs(sv2.amplitude(0b011)), 1.0, kTol);
+}
+
+TEST(StateVector, MczFlipsOnlyMatchingStates) {
+  StateVector sv(2);
+  sv.apply_h(0);
+  sv.apply_h(1);
+  const ControlTerm terms[] = {{0, true}, {1, true}};
+  sv.apply_mcz(terms);
+  EXPECT_NEAR(sv.amplitude(0b11).real(), -0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b00).real(), 0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b01).real(), 0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b10).real(), 0.5, kTol);
+}
+
+TEST(StateVector, ReflectZeroMatchesDefinitionOfSk) {
+  // S_k: |0> -> |0>, |i> -> -|i> on the index range.
+  StateVector sv(3);
+  sv.apply_h_range(0, 2);  // uniform on first two qubits
+  sv.apply_reflect_zero(0, 2);
+  EXPECT_NEAR(sv.amplitude(0b00).real(), 0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b01).real(), -0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b10).real(), -0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b11).real(), -0.5, kTol);
+}
+
+TEST(StateVector, GroverOneIterationOnFourItems) {
+  // Textbook case: N=4, one marked item -> one Grover iteration finds it
+  // with certainty. Index register = qubits 0..1, oracle workspace h = 2.
+  const std::size_t marked = 0b10;
+  StateVector sv(3);
+  sv.apply_h_range(0, 2);
+  // Phase oracle on the marked index (h stays |0>; use mcz on index pattern).
+  const ControlTerm phase[] = {{0, (marked & 1) != 0}, {1, (marked & 2) != 0}};
+  sv.apply_mcz(phase);
+  // Diffusion.
+  sv.apply_h_range(0, 2);
+  sv.apply_reflect_zero(0, 2);
+  sv.apply_h_range(0, 2);
+  EXPECT_NEAR(std::norm(sv.amplitude(marked)), 1.0, 1e-10);
+}
+
+TEST(StateVector, IndexedOraclesMatchGenericGates) {
+  // apply_x_on_index == mcx with a full index pattern.
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    StateVector a(5), b(5);
+    // Random-ish product state.
+    for (unsigned q = 0; q < 5; ++q) {
+      a.apply_h(q);
+      b.apply_h(q);
+      if (rng.coin()) {
+        a.apply_t(q);
+        b.apply_t(q);
+      }
+    }
+    const std::uint64_t idx = rng.below(8);  // 3-bit index register
+    a.apply_x_on_index(0, 3, idx, 3);
+    std::vector<ControlTerm> terms;
+    for (unsigned q = 0; q < 3; ++q) terms.push_back({q, ((idx >> q) & 1) != 0});
+    b.apply_mcx(terms, 3);
+    ASSERT_NEAR(a.fidelity(b), 1.0, kTol);
+  }
+}
+
+TEST(StateVector, IndexedPhaseMatchesGenericMcz) {
+  Rng rng(10);
+  StateVector a(5), b(5);
+  for (unsigned q = 0; q < 5; ++q) {
+    a.apply_h(q);
+    b.apply_h(q);
+  }
+  const std::uint64_t idx = 5;
+  a.apply_z_on_index(0, 3, idx, 4);
+  std::vector<ControlTerm> terms;
+  for (unsigned q = 0; q < 3; ++q) terms.push_back({q, ((idx >> q) & 1) != 0});
+  terms.push_back({4, true});
+  b.apply_mcz(terms);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST(StateVector, IndexedCxMatchesGenericMcx) {
+  Rng rng(11);
+  StateVector a(6), b(6);
+  for (unsigned q = 0; q < 6; ++q) {
+    a.apply_h(q);
+    b.apply_h(q);
+  }
+  const std::uint64_t idx = 9;  // 4-bit index register
+  a.apply_cx_on_index(0, 4, idx, 4, 5);
+  std::vector<ControlTerm> terms;
+  for (unsigned q = 0; q < 4; ++q) terms.push_back({q, ((idx >> q) & 1) != 0});
+  terms.push_back({4, true});
+  b.apply_mcx(terms, 5);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST(StateVector, ProbabilityOneMatchesAmplitudes) {
+  StateVector sv(2);
+  sv.apply_h(0);
+  EXPECT_NEAR(sv.probability_one(0), 0.5, kTol);
+  EXPECT_NEAR(sv.probability_one(1), 0.0, kTol);
+}
+
+TEST(StateVector, MeasureCollapsesAndNormalizes) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    StateVector sv(2);
+    sv.apply_h(0);
+    sv.apply_cnot(0, 1);  // Bell pair: outcomes perfectly correlated
+    const bool m0 = sv.measure(0, rng);
+    EXPECT_NEAR(sv.norm(), 1.0, kTol);
+    const bool m1 = sv.measure(1, rng);
+    EXPECT_EQ(m0, m1);
+  }
+}
+
+TEST(StateVector, MeasurementFrequenciesMatchBornRule) {
+  Rng rng(17);
+  int ones = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    StateVector sv(1);
+    sv.apply_h(0);
+    sv.apply_t(0);
+    sv.apply_h(0);  // P(1) = (1 - cos(pi/4)) / 2 ~ 0.146447
+    if (sv.measure(0, rng)) ++ones;
+  }
+  const double expected = (1.0 - std::cos(std::numbers::pi / 4)) / 2.0;
+  EXPECT_NEAR(ones / static_cast<double>(kTrials), expected, 0.01);
+}
+
+TEST(StateVector, SampleBasisMatchesDistribution) {
+  Rng rng(19);
+  StateVector sv(2);
+  sv.apply_h(0);  // mass 1/2 on |00> and |01>
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto b = sv.sample_basis(rng);
+    ASSERT_TRUE(b == 0 || b == 1);
+    (b == 0 ? c0 : c1)++;
+  }
+  EXPECT_NEAR(c0 / 20000.0, 0.5, 0.02);
+  EXPECT_NEAR(c1 / 20000.0, 0.5, 0.02);
+}
+
+// Property sweep: random Clifford+T circuits preserve the norm, across
+// register sizes including ones that cross the parallel-kernel threshold.
+class NormPreservation : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NormPreservation, RandomCircuitKeepsUnitNorm) {
+  const unsigned qubits = GetParam();
+  Rng rng(1234 + qubits);
+  StateVector sv(qubits);
+  for (int step = 0; step < 200; ++step) {
+    const unsigned q = static_cast<unsigned>(rng.below(qubits));
+    switch (rng.below(4)) {
+      case 0:
+        sv.apply_h(q);
+        break;
+      case 1:
+        sv.apply_t(q);
+        break;
+      case 2: {
+        unsigned r = static_cast<unsigned>(rng.below(qubits));
+        sv.apply_cnot(q, r);  // q == r allowed: identity convention
+        break;
+      }
+      case 3:
+        sv.apply_reflect_zero(0, qubits);
+        break;
+    }
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NormPreservation,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u, 15u, 16u));
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit tests: Theorem 3.6 machinery — configuration census at boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qols/reduction/config_census.hpp"
+
+namespace {
+
+using namespace qols::reduction;
+using qols::util::Rng;
+
+TEST(DetBlockMachine, DecidesDisjointnessOnWellFormedWords) {
+  // k=1, x = 1000, y = 0001 (disjoint).
+  DetBlockMachine mach(1);
+  mach.reset();
+  const std::string word = "1#1000#0001#1000#1000#0001#1000#";
+  for (char c : word) mach.feed(*qols::stream::symbol_from_char(c));
+  EXPECT_TRUE(mach.decide());
+  // x = 1000, y = 1001: intersection at index 0.
+  mach.reset();
+  const std::string word2 = "1#1000#1001#1000#1000#1001#1000#";
+  for (char c : word2) mach.feed(*qols::stream::symbol_from_char(c));
+  EXPECT_FALSE(mach.decide());
+}
+
+TEST(DetBlockMachine, ConfigurationChangesWithBuffer) {
+  DetBlockMachine a(1), b(1);
+  a.reset();
+  b.reset();
+  const std::string w1 = "1#1000";
+  const std::string w2 = "1#0100";
+  for (char c : w1) a.feed(*qols::stream::symbol_from_char(c));
+  for (char c : w2) b.feed(*qols::stream::symbol_from_char(c));
+  EXPECT_NE(a.configuration(), b.configuration());
+}
+
+TEST(Census, ExhaustiveAtK1) {
+  DetBlockMachine mach(1);
+  Rng rng(1);
+  auto census = survey_configurations(mach, 1, 1 << 16, rng);
+  EXPECT_TRUE(census.exhaustive);
+  EXPECT_EQ(census.inputs_surveyed, 256u);  // 2^4 x-strings * 2^4 y-strings
+  ASSERT_EQ(census.distinct_configs.size(), 5u);  // 3*2^1 - 1 boundaries
+  // After the first x-block the block machine distinguishes its 2^{2^k}=4
+  // buffer values (block length 2^k = 2).
+  EXPECT_EQ(census.distinct_configs[0], 4u);
+  EXPECT_EQ(census.message_bits[0], 2u);
+  EXPECT_GT(census.total_bits, 0u);
+  EXPECT_GE(census.max_bits, 2u);
+}
+
+TEST(Census, FullMachineCarriesWholeStringAtFirstBoundary) {
+  DetFullMachine mach(1);
+  Rng rng(2);
+  auto census = survey_configurations(mach, 1, 1 << 16, rng);
+  ASSERT_TRUE(census.exhaustive);
+  // The full-storage machine must distinguish all 2^m = 16 x-strings.
+  EXPECT_EQ(census.distinct_configs[0], 16u);
+  EXPECT_EQ(census.message_bits[0], 4u);
+}
+
+TEST(Census, FingerprintMachineHasSmallConfigurationSpace) {
+  DetFingerprintMachine mach(1, /*t=*/7);
+  Rng rng(3);
+  auto census = survey_configurations(mach, 1, 1 << 16, rng);
+  ASSERT_TRUE(census.exhaustive);
+  // An O(log n)-space machine: configuration count is polynomial in n, far
+  // below the 2^{Omega(2^k)} of the block machine at scale. At k=1 all we
+  // check is that it cannot exceed the trivial p^2-ish bound.
+  for (auto c : census.distinct_configs) {
+    EXPECT_LE(c, 31u * 31u);
+  }
+}
+
+TEST(Census, SampledSurveyGivesLowerBounds) {
+  DetBlockMachine mach(2);
+  Rng rng(4);
+  auto census = survey_configurations(mach, 2, 500, rng);
+  EXPECT_FALSE(census.exhaustive);
+  EXPECT_EQ(census.inputs_surveyed, 500u);
+  ASSERT_EQ(census.distinct_configs.size(), 11u);  // 3*4 - 1
+  // With 500 random pairs the 16-value buffer at boundary 0 is all but
+  // surely fully explored (coupon collector).
+  EXPECT_EQ(census.distinct_configs[0], 16u);
+}
+
+TEST(Census, BlockMachineMessageMatchesBufferSize) {
+  // The max message length of the block machine should be ~2^k bits
+  // (its buffer) — exactly the Omega(n^{1/3}) the lower bound demands.
+  DetBlockMachine mach(1);
+  Rng rng(5);
+  auto census = survey_configurations(mach, 1, 1 << 16, rng);
+  EXPECT_GE(census.max_bits, 2u);   // 2^k = 2 bits of buffer
+  EXPECT_LE(census.max_bits, 2u + 3u);  // counters add a little
+}
+
+TEST(LowerBoundFormula, MatchesTheorem36Shape) {
+  // c * 2^{2k} / (3*2^k - 1) grows like (c/3) * 2^k.
+  const double c = 1.0;
+  for (unsigned k = 2; k <= 12; ++k) {
+    const double bound = theorem36_min_message_bits(k, c);
+    const double expected = c * std::pow(2.0, k) / 3.0;
+    EXPECT_NEAR(bound / expected, 1.0, 0.25) << "k=" << k;
+  }
+}
+
+}  // namespace

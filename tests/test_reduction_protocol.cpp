@@ -1,0 +1,86 @@
+// Unit tests: the executable Theorem 3.6 reduction protocol.
+#include <gtest/gtest.h>
+
+#include "qols/reduction/protocol_from_machine.hpp"
+
+namespace {
+
+using namespace qols::reduction;
+using qols::util::BitVec;
+using qols::util::Rng;
+
+TEST(ReductionProtocol, ReproducesBlockMachineVerdicts) {
+  Rng rng(1);
+  const unsigned k = 2;
+  const std::uint64_t m = 16;
+  DetBlockMachine machine(k);
+  // Disjoint pair.
+  BitVec x = BitVec::from_string("1010000011001010");
+  BitVec y = BitVec::from_string("0101000000110101");
+  auto out = run_reduction_protocol(machine, k, x, y);
+  EXPECT_TRUE(out.declared_disjoint);
+  // Now plant a witness.
+  y.set(0, true);  // x[0] = 1 too
+  auto out2 = run_reduction_protocol(machine, k, x, y);
+  EXPECT_FALSE(out2.declared_disjoint);
+  EXPECT_EQ(x.size(), m);
+}
+
+TEST(ReductionProtocol, MessageCountMatchesProof) {
+  // The proof's protocol exchanges exactly 3*2^k - 1 configurations,
+  // of which 2^k are Bob's (steps i = 2 mod 3).
+  for (unsigned k = 1; k <= 3; ++k) {
+    Rng rng(k);
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    DetBlockMachine machine(k);
+    BitVec x = BitVec::random(m, rng);
+    BitVec y = BitVec::random(m, rng);
+    const auto out = run_reduction_protocol(machine, k, x, y);
+    EXPECT_EQ(out.messages, 3 * (std::uint64_t{1} << k) - 1);
+    EXPECT_EQ(out.bob_messages, std::uint64_t{1} << k);
+    EXPECT_EQ(out.alice_messages, out.messages - out.bob_messages);
+  }
+}
+
+TEST(ReductionProtocol, AgreesWithDirectExecutionOnRandomInputs) {
+  Rng rng(7);
+  const unsigned k = 2;
+  const std::uint64_t m = 16;
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec x = BitVec::random(m, rng);
+    BitVec y = BitVec::random(m, rng);
+    DetBlockMachine machine(k);
+    const auto out = run_reduction_protocol(machine, k, x, y);
+    EXPECT_EQ(out.declared_disjoint, x.and_popcount(y) == 0) << trial;
+  }
+}
+
+TEST(ReductionProtocol, PayloadScalesWithMachineFootprint) {
+  // The block machine's configurations (2^k-bit buffer) must be much
+  // cheaper to ship than the full machine's (2^{2k}-bit string).
+  Rng rng(9);
+  const unsigned k = 3;
+  const std::uint64_t m = 64;
+  BitVec x = BitVec::random(m, rng);
+  BitVec y = BitVec::random(m, rng);
+  DetBlockMachine block(k);
+  DetFullMachine full(k);
+  const auto ob = run_reduction_protocol(block, k, x, y);
+  const auto of = run_reduction_protocol(full, k, x, y);
+  EXPECT_LT(ob.raw_payload_bits, of.raw_payload_bits);
+}
+
+TEST(ReductionProtocol, FingerprintMachineShipsTinyMessages) {
+  Rng rng(11);
+  const unsigned k = 3;
+  const std::uint64_t m = 64;
+  BitVec x = BitVec::random(m, rng);
+  BitVec y = BitVec::random(m, rng);
+  DetFingerprintMachine fp(k, 5);
+  DetFullMachine full(k);
+  const auto ofp = run_reduction_protocol(fp, k, x, y);
+  const auto ofu = run_reduction_protocol(full, k, x, y);
+  EXPECT_LT(ofp.raw_payload_bits, ofu.raw_payload_bits / 2);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Unit tests: symbol streams and failure-injection wrappers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qols/stream/symbol_stream.hpp"
+
+namespace {
+
+using namespace qols::stream;
+
+TEST(SymbolConversion, RoundTrip) {
+  for (char c : {'0', '1', '#'}) {
+    auto s = symbol_from_char(c);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(symbol_to_char(*s), c);
+  }
+}
+
+TEST(SymbolConversion, RejectsForeignCharacters) {
+  for (char c : {'2', 'a', ' ', '\n', 'x'}) {
+    EXPECT_FALSE(symbol_from_char(c).has_value()) << c;
+  }
+}
+
+TEST(StringStream, YieldsAllSymbolsThenEnds) {
+  StringStream s("01#10");
+  std::string out;
+  while (auto sym = s.next()) out.push_back(symbol_to_char(*sym));
+  EXPECT_EQ(out, "01#10");
+  EXPECT_FALSE(s.next().has_value());  // stays ended
+}
+
+TEST(StringStream, RejectsForeignAlphabet) {
+  EXPECT_THROW(StringStream("01x"), std::invalid_argument);
+}
+
+TEST(StringStream, LengthHint) {
+  StringStream s("0101");
+  ASSERT_TRUE(s.length_hint().has_value());
+  EXPECT_EQ(*s.length_hint(), 4u);
+}
+
+TEST(GeneratorStream, ProducesFromCallable) {
+  GeneratorStream g(
+      [](std::uint64_t i) -> std::optional<Symbol> {
+        if (i >= 5) return std::nullopt;
+        return i % 2 == 0 ? Symbol::kZero : Symbol::kOne;
+      },
+      5);
+  EXPECT_EQ(materialize(g), "01010");
+}
+
+TEST(TruncatedStream, CutsAtLimit) {
+  auto inner = std::make_unique<StringStream>("111111");
+  TruncatedStream t(std::move(inner), 3);
+  EXPECT_EQ(materialize(t), "111");
+}
+
+TEST(TruncatedStream, ZeroKeepYieldsNothing) {
+  auto inner = std::make_unique<StringStream>("101");
+  TruncatedStream t(std::move(inner), 0);
+  EXPECT_FALSE(t.next().has_value());
+}
+
+TEST(CorruptingStream, ReplacesExactlyOnePosition) {
+  auto inner = std::make_unique<StringStream>("00000");
+  CorruptingStream c(std::move(inner), 2, Symbol::kOne);
+  EXPECT_EQ(materialize(c), "00100");
+}
+
+TEST(CorruptingStream, PositionBeyondEndIsNoop) {
+  auto inner = std::make_unique<StringStream>("000");
+  CorruptingStream c(std::move(inner), 10, Symbol::kOne);
+  EXPECT_EQ(materialize(c), "000");
+}
+
+TEST(AppendingStream, AddsSuffixAfterInnerEnds) {
+  auto inner = std::make_unique<StringStream>("01#");
+  AppendingStream a(std::move(inner), "11");
+  EXPECT_EQ(materialize(a), "01#11");
+}
+
+TEST(AppendingStream, RejectsForeignSuffix) {
+  auto inner = std::make_unique<StringStream>("0");
+  EXPECT_THROW(AppendingStream(std::move(inner), "0z"), std::invalid_argument);
+}
+
+TEST(Wrappers, Compose) {
+  // corrupt then truncate: operations apply in wrapping order.
+  auto inner = std::make_unique<StringStream>("000000");
+  auto corrupted =
+      std::make_unique<CorruptingStream>(std::move(inner), 1, Symbol::kOne);
+  TruncatedStream t(std::move(corrupted), 4);
+  EXPECT_EQ(materialize(t), "0100");
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Unit tests: disk-backed symbol streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/stream/file_stream.hpp"
+
+namespace {
+
+using qols::stream::FileStream;
+using qols::stream::materialize;
+using qols::stream::StringStream;
+using qols::stream::write_stream_to_file;
+
+class FileStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("qols_stream_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->line()) +
+              ".txt"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(FileStreamTest, RoundTripThroughDisk) {
+  const std::string word = "1#0101#1100#0101#0101#1100#0101#";
+  {
+    StringStream s(word);
+    EXPECT_EQ(write_stream_to_file(s, path_), word.size());
+  }
+  FileStream f(path_);
+  EXPECT_EQ(materialize(f), word);
+  EXPECT_FALSE(f.bad());
+}
+
+TEST_F(FileStreamTest, LengthHintMatchesFileSize) {
+  const std::string word = "01#10";
+  {
+    StringStream s(word);
+    write_stream_to_file(s, path_);
+  }
+  FileStream f(path_);
+  ASSERT_TRUE(f.length_hint().has_value());
+  EXPECT_EQ(*f.length_hint(), word.size());
+}
+
+TEST_F(FileStreamTest, ToleratesTrailingNewline) {
+  {
+    std::ofstream out(path_);
+    out << "0101#\n";
+  }
+  FileStream f(path_);
+  EXPECT_EQ(materialize(f), "0101#");
+  EXPECT_FALSE(f.bad());
+}
+
+TEST_F(FileStreamTest, FlagsForeignCharacters) {
+  {
+    std::ofstream out(path_);
+    out << "01x01";
+  }
+  FileStream f(path_);
+  EXPECT_EQ(materialize(f), "01");
+  EXPECT_TRUE(f.bad());
+}
+
+TEST_F(FileStreamTest, MissingFileThrows) {
+  EXPECT_THROW(FileStream("/nonexistent/definitely/missing.txt"),
+               std::runtime_error);
+}
+
+TEST_F(FileStreamTest, SmallBufferStillStreamsCorrectly) {
+  const std::string word(10000, '1');
+  {
+    StringStream s(word + "#");
+    write_stream_to_file(s, path_);
+  }
+  FileStream f(path_, /*buffer_size=*/7);  // deliberately tiny buffer
+  EXPECT_EQ(materialize(f), word + "#");
+}
+
+TEST_F(FileStreamTest, InstanceSurvivesDiskRoundTrip) {
+  qols::util::Rng rng(5);
+  auto inst = qols::lang::LDisjInstance::make_disjoint(3, rng);
+  {
+    auto s = inst.stream();
+    write_stream_to_file(*s, path_);
+  }
+  FileStream f(path_);
+  EXPECT_EQ(materialize(f), inst.render());
+}
+
+TEST_F(FileStreamTest, EmptyFileIsEmptyStream) {
+  {
+    std::ofstream out(path_);
+  }
+  FileStream f(path_);
+  EXPECT_FALSE(f.next().has_value());
+  EXPECT_FALSE(f.bad());
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Unit tests: packed bit vectors.
+#include <gtest/gtest.h>
+
+#include "qols/util/bitvec.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::util::BitVec;
+using qols::util::Rng;
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetGetRoundTrip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_FALSE(v.get(128));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, FilledConstructorClearsTail) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.popcount(), 70u);
+  BitVec w(70, true);
+  EXPECT_EQ(v, w);  // equality must not see garbage in the tail word
+}
+
+TEST(BitVec, FromStringAndToStringRoundTrip) {
+  const std::string s = "0110010111010001";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+}
+
+TEST(BitVec, FromStringRejectsNonBinary) {
+  EXPECT_THROW(BitVec::from_string("01#1"), std::invalid_argument);
+  EXPECT_THROW(BitVec::from_string("abc"), std::invalid_argument);
+}
+
+TEST(BitVec, AndPopcountCountsIntersections) {
+  BitVec a = BitVec::from_string("110101");
+  BitVec b = BitVec::from_string("011100");
+  EXPECT_EQ(a.and_popcount(b), 2u);  // positions 1 and 3
+  EXPECT_EQ(b.and_popcount(a), 2u);
+}
+
+TEST(BitVec, AndPopcountDisjoint) {
+  BitVec a = BitVec::from_string("101010");
+  BitVec b = BitVec::from_string("010101");
+  EXPECT_EQ(a.and_popcount(b), 0u);
+}
+
+TEST(BitVec, OnesListsSetPositions) {
+  BitVec v(200);
+  v.set(3, true);
+  v.set(64, true);
+  v.set(199, true);
+  const auto ones = v.ones();
+  ASSERT_EQ(ones.size(), 3u);
+  EXPECT_EQ(ones[0], 3u);
+  EXPECT_EQ(ones[1], 64u);
+  EXPECT_EQ(ones[2], 199u);
+}
+
+TEST(BitVec, RandomHasRoughlyHalfOnes) {
+  Rng rng(77);
+  BitVec v = BitVec::random(100000, rng);
+  EXPECT_EQ(v.size(), 100000u);
+  EXPECT_NEAR(static_cast<double>(v.popcount()), 50000.0, 2500.0);
+}
+
+TEST(BitVec, RandomTailBitsAreClean) {
+  Rng rng(78);
+  BitVec v = BitVec::random(65, rng);  // one bit into the second word
+  // to_string must produce exactly 65 chars and equality must be exact.
+  EXPECT_EQ(v.to_string().size(), 65u);
+  BitVec copy = BitVec::from_string(v.to_string());
+  EXPECT_EQ(copy, v);
+}
+
+// Property sweep: and_popcount agrees with a naive loop across sizes.
+class BitVecProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecProperty, AndPopcountMatchesNaive) {
+  Rng rng(GetParam());
+  const std::size_t n = 17 + GetParam() * 37;
+  BitVec a = BitVec::random(n, rng);
+  BitVec b = BitVec::random(n, rng);
+  std::size_t naive = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.get(i) && b.get(i)) ++naive;
+  }
+  EXPECT_EQ(a.and_popcount(b), naive);
+}
+
+TEST_P(BitVecProperty, PopcountMatchesOnesSize) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t n = 5 + GetParam() * 53;
+  BitVec a = BitVec::random(n, rng);
+  EXPECT_EQ(a.popcount(), a.ones().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecProperty, ::testing::Range<std::size_t>(0, 12));
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Unit tests: modular arithmetic and the paper's prime-interval search.
+#include <gtest/gtest.h>
+
+#include "qols/util/modmath.hpp"
+
+namespace {
+
+using namespace qols::util;
+
+TEST(ModMath, AddSubMulBasics) {
+  EXPECT_EQ(addmod(3, 4, 5), 2u);
+  EXPECT_EQ(addmod(4, 4, 5), 3u);
+  EXPECT_EQ(submod(1, 3, 7), 5u);
+  EXPECT_EQ(submod(3, 1, 7), 2u);
+  EXPECT_EQ(mulmod(6, 7, 13), 42u % 13);
+}
+
+TEST(ModMath, MulmodSurvivesLargeOperands) {
+  const std::uint64_t p = (1ULL << 61) - 1;  // Mersenne prime
+  const std::uint64_t a = p - 2;
+  const std::uint64_t b = p - 3;
+  // (p-2)(p-3) mod p = 6 mod p.
+  EXPECT_EQ(mulmod(a, b, p), 6u);
+}
+
+TEST(ModMath, PowmodMatchesFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+  for (std::uint64_t p : {5ULL, 97ULL, 65537ULL, 1000000007ULL}) {
+    for (std::uint64_t a : {2ULL, 3ULL, 10ULL}) {
+      if (a % p == 0) continue;  // Fermat needs gcd(a, p) = 1
+      EXPECT_EQ(powmod(a, p - 1, p), 1u) << "p=" << p << " a=" << a;
+    }
+  }
+}
+
+TEST(ModMath, PowmodEdgeCases) {
+  EXPECT_EQ(powmod(0, 0, 7), 1u);  // 0^0 := 1 in the ring
+  EXPECT_EQ(powmod(5, 0, 7), 1u);
+  EXPECT_EQ(powmod(5, 1, 7), 5u);
+  EXPECT_EQ(powmod(2, 10, 1), 0u);  // everything is 0 mod 1
+}
+
+TEST(Primality, SmallNumbersExact) {
+  const bool expected[] = {false, false, true,  true,  false, true,
+                           false, true,  false, false, false, true,
+                           false, true,  false, false, false, true};
+  for (std::uint64_t n = 0; n < std::size(expected); ++n) {
+    EXPECT_EQ(is_prime_u64(n), expected[n]) << n;
+  }
+}
+
+TEST(Primality, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime_u64((1ULL << 61) - 1));
+  EXPECT_TRUE(is_prime_u64(1000000007ULL));
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest 64-bit prime
+}
+
+TEST(Primality, KnownComposites) {
+  EXPECT_FALSE(is_prime_u64(1ULL));
+  EXPECT_FALSE(is_prime_u64(561));        // Carmichael
+  EXPECT_FALSE(is_prime_u64(1105));       // Carmichael
+  EXPECT_FALSE(is_prime_u64(25326001));   // strong pseudoprime to 2,3,5
+  EXPECT_FALSE(is_prime_u64((1ULL << 61) + 1));
+}
+
+TEST(PrimeSearch, FindsFirstPrimeInInterval) {
+  auto p = first_prime_in_open_interval(24, 30);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 29u);
+}
+
+TEST(PrimeSearch, EmptyIntervalReturnsNullopt) {
+  EXPECT_FALSE(first_prime_in_open_interval(24, 25).has_value());
+  EXPECT_FALSE(first_prime_in_open_interval(8, 11).has_value());  // (8,11) = {9,10}
+}
+
+// The paper's requirement: for every k there is a prime 2^{4k} < p < 2^{4k+1}
+// (Bertrand's postulate). Verify the search finds one in range for all
+// supported k.
+class FingerprintPrimeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FingerprintPrimeSweep, PrimeLiesInOpenInterval) {
+  const unsigned k = GetParam();
+  const std::uint64_t p = fingerprint_prime(k);
+  EXPECT_TRUE(is_prime_u64(p));
+  EXPECT_GT(p, 1ULL << (4 * k));
+  EXPECT_LT(p, 1ULL << (4 * k + 1));
+}
+
+TEST_P(FingerprintPrimeSweep, StatsCountMatchesPrimeOffset) {
+  const unsigned k = GetParam();
+  const auto stats = fingerprint_prime_stats(k);
+  EXPECT_EQ(stats.prime, fingerprint_prime(k));
+  EXPECT_EQ(stats.candidates_tested, stats.prime - (1ULL << (4 * k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSupportedK, FingerprintPrimeSweep,
+                         ::testing::Range(1u, 16u));
+
+}  // namespace

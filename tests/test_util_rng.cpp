@@ -1,0 +1,119 @@
+// Unit tests: qols::util RNG — determinism, uniformity sanity, splitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::util::Rng;
+using qols::util::SplitMix64;
+
+TEST(SplitMix64, IsDeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Rng rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.08);
+  }
+}
+
+TEST(Xoshiro, Uniform01InUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.02);
+}
+
+TEST(Xoshiro, BitsLengthAndBalance) {
+  Rng rng(23);
+  auto bits = rng.bits(10007);
+  EXPECT_EQ(bits.size(), 10007u);
+  const auto ones = std::count(bits.begin(), bits.end(), true);
+  EXPECT_NEAR(static_cast<double>(ones), 10007 * 0.5, 10007 * 0.05);
+}
+
+TEST(Xoshiro, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child must not replay the parent's continuation.
+  Rng parent_copy(31);
+  (void)parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next() == parent.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Rng a(3), b(3);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Unit tests: running statistics and Wilson intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qols/util/rng.hpp"
+#include "qols/util/stats.hpp"
+
+namespace {
+
+using qols::util::RunningStats;
+using qols::util::wilson_interval;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesTwoPassComputation) {
+  qols::util::Rng rng(1);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01() * 10.0 - 5.0;
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Wilson, DegenerateCounts) {
+  const auto all = wilson_interval(10, 10);
+  EXPECT_GT(all.lo, 0.6);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const auto none = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.4);
+}
+
+TEST(Wilson, ContainsPointEstimate) {
+  for (std::uint64_t succ : {1u, 5u, 37u, 99u}) {
+    const auto ci = wilson_interval(succ, 100);
+    EXPECT_TRUE(ci.contains(succ / 100.0)) << succ;
+  }
+}
+
+TEST(Wilson, ShrinksWithMoreTrials) {
+  const auto small = wilson_interval(30, 100);
+  const auto large = wilson_interval(3000, 10000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Wilson, WidensWithConfidence) {
+  const auto z95 = wilson_interval(50, 100, 1.96);
+  const auto z999 = wilson_interval(50, 100, 3.29);
+  EXPECT_LT(z95.hi - z95.lo, z999.hi - z999.lo);
+}
+
+TEST(Wilson, CoversTrueParameterAtNominalRate) {
+  // Simulate Bernoulli(0.3) experiments; the 95% interval must cover 0.3 in
+  // roughly 95% of repetitions.
+  qols::util::Rng rng(7);
+  int covered = 0;
+  const int reps = 800;
+  for (int r = 0; r < reps; ++r) {
+    std::uint64_t succ = 0;
+    const std::uint64_t n = 150;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.3)) ++succ;
+    }
+    if (wilson_interval(succ, n).contains(0.3)) ++covered;
+  }
+  EXPECT_GE(covered / static_cast<double>(reps), 0.92);
+}
+
+}  // namespace

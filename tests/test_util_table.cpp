@@ -1,0 +1,67 @@
+// Unit tests: the experiment table/CSV reporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qols/util/table.hpp"
+
+namespace {
+
+using qols::util::Table;
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table t({"k", "space"});
+  t.add_row({"1", "10"});
+  t.add_row({"10", "1000"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| k "), std::string::npos);
+  EXPECT_NE(text.find("| space "), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream is(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PrintIncludesCaption) {
+  Table t({"x"});
+  t.add_row({"42"});
+  std::ostringstream os;
+  t.print(os, "E0: demo");
+  EXPECT_NE(os.str().find("E0: demo"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Formatters, FixedPoint) {
+  EXPECT_EQ(qols::util::fmt_f(0.25, 2), "0.25");
+  EXPECT_EQ(qols::util::fmt_f(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Formatters, GroupedIntegers) {
+  EXPECT_EQ(qols::util::fmt_g(0), "0");
+  EXPECT_EQ(qols::util::fmt_g(999), "999");
+  EXPECT_EQ(qols::util::fmt_g(1000), "1,000");
+  EXPECT_EQ(qols::util::fmt_g(1048576), "1,048,576");
+  EXPECT_EQ(qols::util::fmt_g(123456789), "123,456,789");
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Unit tests: thread pool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "qols/util/thread_pool.hpp"
+
+namespace {
+
+using qols::util::parallel_for;
+using qols::util::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountHonoured) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for(pool, 0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 10, 10, 1,
+               [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> data(10, 0);
+  parallel_for(pool, 0, data.size(), 1024,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) data[i] = 1;
+               });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 10);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 1 << 18;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) values[i] = static_cast<double>(i % 7);
+  std::atomic<long long> parallel_sum{0};
+  parallel_for(pool, 0, kN, 1 << 10, [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<long long>(values[i]);
+    parallel_sum.fetch_add(local);
+  });
+  long long serial = 0;
+  for (double v : values) serial += static_cast<long long>(v);
+  EXPECT_EQ(parallel_sum.load(), serial);
+}
+
+TEST(ParallelFor, GlobalPoolOverloadWorks) {
+  std::atomic<std::size_t> count{0};
+  parallel_for(0, 5000, 16, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 5000u);
+}
+
+}  // namespace
