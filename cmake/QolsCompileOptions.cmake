@@ -1,0 +1,26 @@
+# Shared warning / sanitizer configuration for all qols targets.
+#
+# qols_set_compile_options(<target>) applies the project-wide warning set
+# (plus -Werror when QOLS_WERROR is ON) and, when QOLS_SANITIZE is ON,
+# Address+UB sanitizer instrumentation to both compile and link steps.
+
+function(qols_set_compile_options target)
+  if(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(QOLS_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  else()
+    target_compile_options(${target} PRIVATE -Wall -Wextra -Wpedantic)
+    if(QOLS_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  endif()
+
+  if(QOLS_SANITIZE AND NOT MSVC)
+    target_compile_options(${target} PRIVATE
+      -fsanitize=address,undefined -fno-omit-frame-pointer)
+    target_link_options(${target} PRIVATE
+      -fsanitize=address,undefined)
+  endif()
+endfunction()

@@ -1,0 +1,36 @@
+# Locate GoogleTest without downloading anything.
+#
+# Resolution order:
+#   1. find_package(GTest) — covers distro packages that ship CMake config
+#      files or libraries discoverable by FindGTest.
+#   2. The Debian/Ubuntu source package at /usr/src/googletest
+#      (libgtest-dev), built in-tree so it uses our exact toolchain.
+#
+# Defines the usual GTest::gtest and GTest::gtest_main targets.
+
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    message(STATUS "qols: building GoogleTest from /usr/src/googletest")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.25)
+      add_subdirectory(/usr/src/googletest
+        "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL SYSTEM)
+    else()
+      add_subdirectory(/usr/src/googletest
+        "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+    endif()
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+  else()
+    message(FATAL_ERROR
+      "qols: GoogleTest not found. Install libgtest-dev (Debian/Ubuntu) or "
+      "point CMake at a GTest install, or configure with -DQOLS_BUILD_TESTS=OFF.")
+  endif()
+endif()

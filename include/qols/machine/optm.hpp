@@ -74,8 +74,7 @@ class OptmProgram {
                                                   WorkSym work) const noexcept;
 
  private:
-  static std::size_t key(std::uint32_t state, InSym in, WorkSym work,
-                         std::uint32_t num_states) noexcept {
+  static std::size_t key(std::uint32_t state, InSym in, WorkSym work) noexcept {
     return (static_cast<std::size_t>(state) * 4 +
             static_cast<std::size_t>(in)) *
                4 +

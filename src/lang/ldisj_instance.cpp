@@ -78,7 +78,7 @@ std::unique_ptr<stream::SymbolStream> LDisjInstance::stream() const {
     }
     const std::uint64_t body = pos - prefix;
     const std::uint64_t per_rep = 3 * (m + 1);
-    const std::uint64_t rep = body / per_rep;
+    [[maybe_unused]] const std::uint64_t rep = body / per_rep;
     (void)reps;
     assert(rep < reps);
     const std::uint64_t in_rep = body % per_rep;

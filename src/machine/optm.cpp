@@ -51,7 +51,7 @@ void OptmProgram::set_transition(std::uint32_t state, InSym in, WorkSym work,
                                  const OptmAction& on_heads,
                                  const OptmAction& on_tails) {
   assert(state < num_states_);
-  table_[key(state, in, work, num_states_)] = {on_heads, on_tails};
+  table_[key(state, in, work)] = {on_heads, on_tails};
 }
 
 bool OptmProgram::is_accepting(std::uint32_t state) const noexcept {
@@ -60,7 +60,7 @@ bool OptmProgram::is_accepting(std::uint32_t state) const noexcept {
 
 const std::pair<OptmAction, OptmAction>* OptmProgram::lookup(
     std::uint32_t state, InSym in, WorkSym work) const noexcept {
-  const auto& slot = table_[key(state, in, work, num_states_)];
+  const auto& slot = table_[key(state, in, work)];
   return slot ? &*slot : nullptr;
 }
 
