@@ -1,32 +1,52 @@
 #pragma once
-// Shared helpers for the experiment harnesses (bench_e*).
+// Shared parsing helpers for the experiment stack: strict integers for the
+// qols_bench CLI flags and the QOLS_MAX_K / QOLS_TRIALS environment
+// overrides (consumed by RunConfig::from_env).
+//
+// Parsing is strict (std::from_chars over the whole string): garbage like
+// QOLS_TRIALS=abc is rejected with a stderr warning instead of silently
+// becoming 0 the way std::atoi used to map it; out-of-range numerics are
+// clamped, also with a warning.
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
-#include <string>
+#include <optional>
+#include <string_view>
 
 namespace qols::bench {
 
-/// Environment override for sweep depth: QOLS_MAX_K=8 widens the sweeps.
-inline unsigned max_k(unsigned def) {
-  if (const char* env = std::getenv("QOLS_MAX_K")) {
-    const int v = std::atoi(env);
-    if (v >= 1 && v <= 10) return static_cast<unsigned>(v);
-  }
-  return def;
+/// Strict integer parse of a full NUL-terminated string; nullopt on empty
+/// input, trailing junk, or overflow.
+inline std::optional<long long> parse_integer(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  const char* end = text + std::string_view(text).size();
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
 }
 
-/// Environment override for Monte-Carlo trial counts.
-inline int trials(int def) {
-  if (const char* env = std::getenv("QOLS_TRIALS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
+/// Reads env var `name` as an integer in [lo, hi]. Unset -> nullopt;
+/// non-numeric -> nullopt with a stderr warning; out of range -> clamped
+/// with a stderr warning.
+inline std::optional<long long> env_integer(const char* name, long long lo,
+                                            long long hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  const auto parsed = parse_integer(raw);
+  if (!parsed) {
+    std::cerr << "qols: ignoring " << name << "='" << raw
+              << "' (not an integer)\n";
+    return std::nullopt;
   }
-  return def;
-}
-
-inline void header(const std::string& id, const std::string& claim) {
-  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+  if (*parsed < lo || *parsed > hi) {
+    const long long clamped = *parsed < lo ? lo : hi;
+    std::cerr << "qols: " << name << "=" << *parsed << " out of range [" << lo
+              << ", " << hi << "]; clamping to " << clamped << "\n";
+    return clamped;
+  }
+  return parsed;
 }
 
 }  // namespace qols::bench

@@ -5,97 +5,129 @@
 // Sampling machines (one-sided, miss intersections) are swept over budgets;
 // Bloom machines (complementary one-sidedness, false-positive on members)
 // over filter sizes. The quantum machine at O(log n) space anchors the
-// table: reliable where every same-size classical machine is not.
-#include <iostream>
-#include <vector>
+// table: reliable where every same-size classical machine is not. Every
+// machine's two legs run through the TrialEngine's measure_quality (member
+// and non-member seeds drawn from disjoint ranges).
+#include <algorithm>
+#include <memory>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/classical_recognizers.hpp"
 #include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
+#include "qols/util/stopwatch.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E10: small-space classical strategies fail",
-      "Prediction (Thm 3.6): any classical machine below Omega(n^{1/3}) "
-      "space errs with probability > 1/3 on some input. We measure the "
-      "error of concrete sub-threshold machines.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(10);
   const unsigned k = 4;
   const std::uint64_t m = std::uint64_t{1} << (2 * k);  // 256
   auto member = lang::LDisjInstance::make_disjoint(k, rng);
   auto nonmember = lang::LDisjInstance::make_with_intersections(k, 1, rng);
-  const int runs = bench::trials(120);
+  const auto runs = static_cast<std::uint64_t>(cfg.trials_or(120));
+  const core::TrialEngine engine;
 
   util::Table table({"machine", "work bits", "err on member",
                      "err on non-member", "max err", "bounded error (<1/3)?"});
 
-  auto add = [&](machine::OnlineRecognizer& rec) {
-    int err_mem = 0, err_non = 0;
-    for (int i = 0; i < runs; ++i) {
-      rec.reset(6000 + i);
-      auto s = member.stream();
-      if (!machine::run_stream(*s, rec)) ++err_mem;
-      rec.reset(7000 + i);
-      auto s2 = nonmember.stream();
-      if (machine::run_stream(*s2, rec)) ++err_non;
-    }
-    const double em = err_mem / static_cast<double>(runs);
-    const double en = err_non / static_cast<double>(runs);
+  auto add = [&](const std::string& label,
+                 const core::RecognizerFactory& factory) {
+    util::Stopwatch watch;
+    const auto q = engine.measure_quality(
+        [&] { return member.stream(); }, [&] { return nonmember.stream(); },
+        factory, {.trials = runs, .seed_base = 6000});
+    const double em = 1.0 - q.on_member.rate();
+    const double en = q.on_nonmember.rate();
     const double worst = std::max(em, en);
-    table.add_row({rec.name() + "", std::to_string(rec.space_used().classical_bits),
+    table.add_row({label,
+                   std::to_string(q.on_member.space.classical_bits),
                    util::fmt_f(em, 3), util::fmt_f(en, 3),
                    util::fmt_f(worst, 3), worst < 1.0 / 3.0 ? "yes" : "NO"});
+    auto metric =
+        metric_from_result(label, k, q.on_member, watch.seconds());
+    metric.extra = {{"err_member", em},
+                    {"err_nonmember", en},
+                    {"max_err", worst},
+                    {"bounded_error", worst < 1.0 / 3.0 ? 1.0 : 0.0}};
+    rep.metric(metric);
   };
 
   // Sampling machines below, at, and above the threshold.
   for (std::uint64_t budget :
        {std::uint64_t{2}, std::uint64_t{8}, std::uint64_t{16},
         std::uint64_t{64}, m}) {
-    core::ClassicalSamplingRecognizer rec(1, budget);
-    add(rec);
+    add("classical-sample[" + std::to_string(budget) + "]",
+        [budget](std::uint64_t seed) {
+          return std::unique_ptr<machine::OnlineRecognizer>(
+              std::make_unique<core::ClassicalSamplingRecognizer>(seed,
+                                                                  budget));
+        });
   }
   // Bloom machines.
   for (std::uint64_t bits : {16ULL, 64ULL, 256ULL, 4096ULL}) {
-    core::ClassicalBloomRecognizer rec(1, bits, 2);
-    add(rec);
+    add("classical-bloom[" + std::to_string(bits) + "]",
+        [bits](std::uint64_t seed) {
+          return std::unique_ptr<machine::OnlineRecognizer>(
+              std::make_unique<core::ClassicalBloomRecognizer>(seed, bits, 2));
+        });
   }
   // Reference points.
+  add("classical-block", [](std::uint64_t seed) {
+    return std::unique_ptr<machine::OnlineRecognizer>(
+        std::make_unique<core::ClassicalBlockRecognizer>(seed));
+  });
   {
-    core::ClassicalBlockRecognizer rec(1);
-    add(rec);
-  }
-  {
-    core::QuantumOnlineRecognizer rec(1);
-    int err_mem = 0, err_non = 0;
-    for (int i = 0; i < runs; ++i) {
-      rec.reset(8000 + i);
-      auto s = member.stream();
-      if (!machine::run_stream(*s, rec)) ++err_mem;
-      rec.reset(9000 + i);
-      auto s2 = nonmember.stream();
-      if (machine::run_stream(*s2, rec)) ++err_non;
-    }
-    const auto space = rec.space_used();
+    util::Stopwatch watch;
+    const auto q = engine.measure_quality(
+        [&] { return member.stream(); }, [&] { return nonmember.stream(); },
+        [](std::uint64_t seed) {
+          return std::unique_ptr<machine::OnlineRecognizer>(
+              std::make_unique<core::QuantumOnlineRecognizer>(seed));
+        },
+        {.trials = runs, .seed_base = 8000});
+    const auto space = q.on_member.space;
     table.add_row({"quantum (1 run, one-sided)",
                    std::to_string(space.classical_bits) + "+" +
                        std::to_string(space.qubits) + "q",
-                   util::fmt_f(err_mem / double(runs), 3),
-                   util::fmt_f(err_non / double(runs), 3),
-                   "-", "one-sided 1/4; x4 copies => yes"});
+                   util::fmt_f(1.0 - q.on_member.rate(), 3),
+                   util::fmt_f(q.on_nonmember.rate(), 3), "-",
+                   "one-sided 1/4; x4 copies => yes"});
+    auto metric = metric_from_result("quantum (1 run, one-sided)", k,
+                                     q.on_member, watch.seconds());
+    metric.extra = {{"err_member", 1.0 - q.on_member.rate()},
+                    {"err_nonmember", q.on_nonmember.rate()}};
+    rep.metric(metric);
   }
 
-  table.print(std::cout,
-              "k = 4 (m = 256, threshold 2^k = 16 buffer bits + overhead); "
-              "non-member plants a single intersection:");
-  std::cout
-      << "\nReading: sampling machines miss the planted intersection unless "
-         "the budget approaches m; small Bloom filters reject members "
-         "instead. Only machines at/above the n^{1/3} line (block) or the "
-         "quantum machine escape — exactly the lower bound's prediction.\n";
+  rep.table(table,
+            "k = 4 (m = 256, threshold 2^k = 16 buffer bits + overhead); "
+            "non-member plants a single intersection:");
+  rep.note(
+      "\nReading: sampling machines miss the planted intersection unless "
+      "the budget approaches m; small Bloom filters reject members "
+      "instead. Only machines at/above the n^{1/3} line (block) or the "
+      "quantum machine escape — exactly the lower bound's prediction.");
   return 0;
 }
+
+}  // namespace
+
+void register_e10(Registry& r) {
+  r.add({.id = "e10",
+         .title = "small-space classical strategies fail",
+         .claim = "Prediction (Thm 3.6): any classical machine below "
+                  "Omega(n^{1/3}) space errs with probability > 1/3 on some "
+                  "input. We measure the error of concrete sub-threshold "
+                  "machines.",
+         .tags = {"lower-bound", "classical", "engine", "theorem-3.6"}},
+        run);
+}
+
+}  // namespace qols::bench

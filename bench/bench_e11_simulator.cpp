@@ -1,102 +1,149 @@
-// E11 — systems microbenchmarks of the state-vector substrate (google-
-// benchmark): gate kernels across register sizes, serial vs thread pool,
-// and the A3 fast paths whose O(1)-per-input-bit cost makes the streaming
-// simulation linear in the input.
-#include <benchmark/benchmark.h>
+// E11 — systems microbenchmarks of the state-vector substrate: gate kernels
+// across register sizes and the A3 fast paths whose O(1)-per-input-bit cost
+// makes the streaming simulation linear in the input.
+//
+// Timed with util::Stopwatch (dependency-free; kernels above 2^14 amplitudes
+// shard across the thread pool automatically). Two shape checks: bulk
+// kernels (H/CNOT/reflect) sustain a roughly size-independent per-amplitude
+// rate, and the indexed-oracle fast path stays O(1) per call — flat across
+// register sizes, not exponential.
+#include <algorithm>
+#include <string>
 
+#include "experiments.hpp"
 #include "qols/quantum/state_vector.hpp"
 #include "qols/util/rng.hpp"
-#include "qols/util/thread_pool.hpp"
+#include "qols/util/stopwatch.hpp"
+#include "qols/util/table.hpp"
+#include "registry.hpp"
 
+namespace qols::bench {
 namespace {
 
-using qols::quantum::StateVector;
+using quantum::StateVector;
 
-void BM_Hadamard(benchmark::State& state) {
-  const unsigned qubits = static_cast<unsigned>(state.range(0));
-  StateVector sv(qubits);
-  unsigned q = 0;
-  for (auto _ : state) {
-    sv.apply_h(q);
-    q = (q + 1) % qubits;
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dim()));
+/// Seconds per call of `op`, averaged over `iters` calls after one warmup.
+template <typename Op>
+double time_op(Op&& op, int iters) {
+  op();  // warmup: page in the amplitude array
+  util::Stopwatch watch;
+  for (int i = 0; i < iters; ++i) op();
+  return watch.seconds() / iters;
 }
-BENCHMARK(BM_Hadamard)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
 
-void BM_Cnot(benchmark::State& state) {
-  const unsigned qubits = static_cast<unsigned>(state.range(0));
-  StateVector sv(qubits);
-  sv.apply_h_range(0, qubits);
-  for (auto _ : state) {
-    sv.apply_cnot(0, qubits - 1);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
+int run(Reporter& rep, const RunConfig& cfg) {
+  const int iters = std::clamp(cfg.trials_or(24), 1, 1000);
+  const unsigned max_qubits = std::min(18u, 2 * cfg.max_k_or(9));
+
+  util::Table table({"kernel", "qubits", "amplitudes", "us/op",
+                     "Gamps/s"});
+  for (unsigned qubits : {10u, 14u, 16u, 18u}) {
+    if (qubits > max_qubits) continue;
+    StateVector sv(qubits);
+    sv.apply_h_range(0, qubits);
+    const double dim = static_cast<double>(std::size_t{1} << qubits);
+    struct Kernel {
+      const char* name;
+      double seconds;
+    };
+    unsigned q = 0;
+    const Kernel kernels[] = {
+        {"H", time_op(
+                  [&] {
+                    sv.apply_h(q);
+                    q = (q + 1) % qubits;
+                  },
+                  iters)},
+        {"CNOT", time_op([&] { sv.apply_cnot(0, qubits - 1); }, iters)},
+        {"reflect0",
+         time_op([&] { sv.apply_reflect_zero(0, qubits - 2); }, iters)},
+    };
+    for (const auto& kernel : kernels) {
+      table.add_row({kernel.name, std::to_string(qubits),
+                     util::fmt_g(std::size_t{1} << qubits),
+                     util::fmt_f(kernel.seconds * 1e6, 2),
+                     util::fmt_f(dim / kernel.seconds / 1e9, 3)});
+      MetricRecord metric;
+      metric.label = std::string(kernel.name) + " q=" + std::to_string(qubits);
+      metric.qubits = qubits;
+      metric.wall_seconds = kernel.seconds;
+      metric.extra = {{"amps_per_second", dim / kernel.seconds},
+                      {"iters", static_cast<double>(iters)}};
+      rep.metric(metric);
+    }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dim()));
-}
-BENCHMARK(BM_Cnot)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+  rep.table(table, "Bulk kernels (full state-vector sweeps):");
 
-void BM_ReflectZero(benchmark::State& state) {
-  const unsigned qubits = static_cast<unsigned>(state.range(0));
-  StateVector sv(qubits);
-  sv.apply_h_range(0, qubits);
-  for (auto _ : state) {
-    sv.apply_reflect_zero(0, qubits - 2);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
+  // The A3 streaming fast path: cost per input bit must be O(1), independent
+  // of register size (compare across rows: flat, not exponential).
+  util::Table oracle({"qubits", "us/oracle call"});
+  for (unsigned qubits : {10u, 14u, 16u, 18u}) {
+    if (qubits > max_qubits) continue;
+    StateVector sv(qubits);
+    sv.apply_h_range(0, qubits - 2);
+    util::Rng rng(1);
+    const std::uint64_t mask = (std::uint64_t{1} << (qubits - 2)) - 1;
+    const double secs = time_op(
+        [&] { sv.apply_x_on_index(0, qubits - 2, rng.next() & mask,
+                                  qubits - 2); },
+        iters);
+    oracle.add_row({std::to_string(qubits), util::fmt_f(secs * 1e6, 3)});
+    MetricRecord metric;
+    metric.label = "indexed-oracle q=" + std::to_string(qubits);
+    metric.qubits = qubits;
+    metric.wall_seconds = secs;
+    rep.metric(metric);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dim()));
-}
-BENCHMARK(BM_ReflectZero)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+  rep.note("");
+  rep.table(oracle, "A3 indexed-oracle fast path (O(1) per input bit):");
 
-// The A3 streaming fast path: cost per input bit must be O(1), independent
-// of register size (compare across Arg values: flat, not exponential).
-void BM_IndexedOracle(benchmark::State& state) {
-  const unsigned qubits = static_cast<unsigned>(state.range(0));
-  StateVector sv(qubits);
-  sv.apply_h_range(0, qubits - 2);
-  qols::util::Rng rng(1);
-  const std::uint64_t mask = (std::uint64_t{1} << (qubits - 2)) - 1;
-  for (auto _ : state) {
-    sv.apply_x_on_index(0, qubits - 2, rng.next() & mask, qubits - 2);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_IndexedOracle)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
-
-// A full Grover iteration (oracle + diffusion) at the paper's register
-// shape 2k+2: the per-repetition cost of procedure A3.
-void BM_GroverIteration(benchmark::State& state) {
-  const unsigned k = static_cast<unsigned>(state.range(0));
-  const unsigned qubits = 2 * k + 2;
-  StateVector sv(qubits);
-  sv.apply_h_range(0, 2 * k);
-  qols::util::Rng rng(2);
-  const std::uint64_t m = std::uint64_t{1} << (2 * k);
-  for (auto _ : state) {
-    sv.apply_z_on_index(0, 2 * k, rng.next() & (m - 1), 2 * k);
+  // A full Grover iteration (oracle + diffusion) at the paper's register
+  // shape 2k+2: the per-repetition cost of procedure A3.
+  util::Table grover({"k", "qubits", "us/iteration"});
+  for (unsigned k = 2; k <= std::min(8u, cfg.max_k_or(7)); ++k) {
+    const unsigned qubits = 2 * k + 2;
+    StateVector sv(qubits);
     sv.apply_h_range(0, 2 * k);
-    sv.apply_reflect_zero(0, 2 * k);
-    sv.apply_h_range(0, 2 * k);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
+    util::Rng rng(2);
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    const double secs = time_op(
+        [&] {
+          sv.apply_z_on_index(0, 2 * k, rng.next() & (m - 1), 2 * k);
+          sv.apply_h_range(0, 2 * k);
+          sv.apply_reflect_zero(0, 2 * k);
+          sv.apply_h_range(0, 2 * k);
+        },
+        iters);
+    grover.add_row({std::to_string(k), std::to_string(qubits),
+                    util::fmt_f(secs * 1e6, 2)});
+    MetricRecord metric;
+    metric.label = "grover-iteration k=" + std::to_string(k);
+    metric.k = k;
+    metric.qubits = qubits;
+    metric.wall_seconds = secs;
+    rep.metric(metric);
   }
+  rep.note("");
+  rep.table(grover, "Grover iteration at register shape 2k+2:");
+  rep.note(
+      "\nShape check: bulk kernels hold a stable per-amplitude rate as the "
+      "register grows (thread-pool sharding above 2^14 amplitudes); the "
+      "indexed-oracle path stays flat in microseconds per call — O(1) per "
+      "input bit, which is what keeps A3's streaming simulation linear in "
+      "the input length.");
+  return 0;
 }
-BENCHMARK(BM_GroverIteration)->DenseRange(2, 9);
-
-void BM_ProbabilityReadout(benchmark::State& state) {
-  const unsigned qubits = static_cast<unsigned>(state.range(0));
-  StateVector sv(qubits);
-  sv.apply_h_range(0, qubits);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sv.probability_one(qubits - 1));
-  }
-}
-BENCHMARK(BM_ProbabilityReadout)->Arg(10)->Arg(16)->Arg(20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+void register_e11(Registry& r) {
+  r.add({.id = "e11",
+         .title = "state-vector kernel microbenchmarks",
+         .claim = "Systems claim: bulk gate kernels sustain a "
+                  "size-independent per-amplitude rate and the A3 oracle "
+                  "fast path costs O(1) per input bit.",
+         .tags = {"perf", "simulator", "kernels"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -6,29 +6,25 @@
 // witness in expected O(sqrt(N/t)) oracle calls. This table quantifies what
 // the streaming restriction costs.
 #include <cmath>
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/grover/analysis.hpp"
 #include "qols/grover/bbht.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E13 (ablation): adaptive BBHT vs fixed-j streaming search",
-      "The offline algorithm adapts its iteration bound and succeeds with "
-      "certainty in expected O(sqrt(N/t)) iterations; the streaming variant "
-      "pays a constant failure probability instead.");
+namespace qols::bench {
+namespace {
 
-  util::Rng rng(13);
+int run(Reporter& rep, const RunConfig& cfg) {
   const std::uint64_t n = 1024;  // = 2^{2k}, k = 5
   const std::uint64_t rounds = 32;  // 2^k
 
   util::Table table({"t", "BBHT mean iters", "BBHT found rate",
                      "sqrt(N/t)", "fixed-j P[success/pass]",
                      "fixed-j passes for 2/3"});
-  const int trials = bench::trials(50);
+  const int trials = cfg.trials_or(50);
   for (std::uint64_t t : {1ULL, 2ULL, 4ULL, 16ULL, 64ULL, 256ULL}) {
     double iters = 0.0;
     int found = 0;
@@ -40,17 +36,42 @@ int main() {
       if (res.found) ++found;
     }
     const double fixed = grover::average_success(rounds, grover::angle(t, n));
+    const auto passes = grover::repetitions_for_error(fixed, 1.0 / 3.0);
     table.add_row({std::to_string(t), util::fmt_f(iters / trials, 1),
                    util::fmt_f(found / double(trials), 3),
                    util::fmt_f(std::sqrt(double(n) / double(t)), 1),
-                   util::fmt_f(fixed, 4),
-                   std::to_string(grover::repetitions_for_error(fixed, 1.0 / 3.0))});
+                   util::fmt_f(fixed, 4), std::to_string(passes)});
+    MetricRecord metric;
+    metric.label = "t=" + std::to_string(t);
+    metric.trials = static_cast<std::uint64_t>(trials);
+    metric.extra = {{"bbht_mean_iters", iters / trials},
+                    {"bbht_found_rate", found / double(trials)},
+                    {"sqrt_n_over_t", std::sqrt(double(n) / double(t))},
+                    {"fixed_j_success", fixed},
+                    {"fixed_j_passes_for_two_thirds",
+                     static_cast<double>(passes)}};
+    rep.metric(metric);
   }
-  table.print(std::cout, "N = 1024 marked-t search:");
-  std::cout
-      << "\nReading: adaptive search converges to the witness in ~sqrt(N/t) "
-         "iterations with success ~1; the streaming machine's fixed draw "
-         "keeps success near 1/2 per pass and buys certainty only through "
-         "independent repetitions (Corollary 3.5), as the paper accepts.\n";
+  rep.table(table, "N = 1024 marked-t search:");
+  rep.note(
+      "\nReading: adaptive search converges to the witness in ~sqrt(N/t) "
+      "iterations with success ~1; the streaming machine's fixed draw "
+      "keeps success near 1/2 per pass and buys certainty only through "
+      "independent repetitions (Corollary 3.5), as the paper accepts.");
   return 0;
 }
+
+}  // namespace
+
+void register_e13(Registry& r) {
+  r.add({.id = "e13",
+         .title = "adaptive BBHT vs fixed-j streaming search (ablation)",
+         .claim = "The offline algorithm adapts its iteration bound and "
+                  "succeeds with certainty in expected O(sqrt(N/t)) "
+                  "iterations; the streaming variant pays a constant failure "
+                  "probability instead.",
+         .tags = {"ablation", "grover", "bbht"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -2,26 +2,24 @@
 // peephole identities recover, per k. The lowering compiles every input bit
 // locally, so adjacent oracles share cancellable X-conjugation layers and
 // T-runs; the optimizer folds them without changing the circuit's unitary.
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/grover_streamer.hpp"
 #include "qols/gates/builder.hpp"
 #include "qols/gates/peephole.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E15 (ablation): peephole optimization of the output tape",
-      "Exact rewrites only (HH = I, T^8 = I, CNOT^2 = I, identity drops); "
-      "semantic preservation is enforced by the test suite.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(15);
   util::Table table({"k", "gates before", "gates after", "reduction",
                      "H pairs", "T folded", "CNOT pairs", "passes"});
-  const unsigned kmax = bench::max_k(3);
+  const unsigned kmax = cfg.max_k_or(3);
   for (unsigned k = 1; k <= kmax; ++k) {
     auto inst = lang::LDisjInstance::make_disjoint(k, rng);
     gates::CircuitSink sink;
@@ -42,11 +40,34 @@ int main() {
                    util::fmt_g(stats.t_gates_cancelled),
                    util::fmt_g(stats.cnot_pairs_cancelled),
                    std::to_string(stats.passes)});
+    MetricRecord metric;
+    metric.label = "k=" + std::to_string(k);
+    metric.k = k;
+    metric.extra = {{"gates_before", static_cast<double>(stats.gates_before)},
+                    {"gates_after", static_cast<double>(stats.gates_after)},
+                    {"reduction", stats.reduction()},
+                    {"passes", static_cast<double>(stats.passes)}};
+    rep.metric(metric);
   }
-  table.print(std::cout, "A3's full emitted tape per k (one machine run):");
-  std::cout << "\nReading: a stable ~8-9% of the tape is algebraically "
-               "redundant (mostly T-runs from adjacent tdg/t layers and "
-               "X-conjugation H-pairs) — free space/time on any physical "
-               "target, at zero semantic risk.\n";
+  rep.table(table, "A3's full emitted tape per k (one machine run):");
+  rep.note(
+      "\nReading: a stable ~8-9% of the tape is algebraically "
+      "redundant (mostly T-runs from adjacent tdg/t layers and "
+      "X-conjugation H-pairs) — free space/time on any physical "
+      "target, at zero semantic risk.");
   return 0;
 }
+
+}  // namespace
+
+void register_e15(Registry& r) {
+  r.add({.id = "e15",
+         .title = "peephole optimization of the output tape (ablation)",
+         .claim = "Exact rewrites only (HH = I, T^8 = I, CNOT^2 = I, "
+                  "identity drops); semantic preservation is enforced by the "
+                  "test suite.",
+         .tags = {"ablation", "gates", "peephole"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -7,24 +7,24 @@
 // its averaged rejection probability on the hardest input (t = 1) is
 // average_success(R, theta(1, m)). The sweep shows the bound collapsing for
 // R << sqrt(m) and saturating beyond sqrt(m) — sqrt(m) is the knee.
+#include <algorithm>
 #include <cmath>
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/grover/analysis.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E16 (ablation): repetition count in the language definition",
-      "Rejection probability of the t = 1 hardest case as a function of the "
-      "number R of (x#y#x#) repetitions available to the streaming machine.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Table table({"k", "m", "R = sqrt(m)/8", "R = sqrt(m)/4",
                      "R = sqrt(m)/2", "R = sqrt(m) (paper)", "R = 2 sqrt(m)",
                      "worst-t min at sqrt(m)"});
-  for (unsigned k = 3; k <= 10; ++k) {
+  const unsigned kmax = std::max(3u, cfg.max_k_or(10));
+  for (unsigned k = 3; k <= kmax; ++k) {
     const std::uint64_t m = std::uint64_t{1} << (2 * k);
     const std::uint64_t sqrt_m = std::uint64_t{1} << k;
     const double theta1 = grover::angle(1, m);
@@ -34,8 +34,8 @@ int main() {
     // Minimum over all t at the paper's R = sqrt(m).
     double worst = 1.0;
     for (std::uint64_t t = 1; t <= m; t = t < 8 ? t + 1 : t * 2) {
-      worst = std::min(worst, grover::average_success(sqrt_m,
-                                                      grover::angle(t, m)));
+      worst = std::min(worst,
+                       grover::average_success(sqrt_m, grover::angle(t, m)));
     }
     table.add_row({std::to_string(k), util::fmt_g(m),
                    util::fmt_f(rej(std::max<std::uint64_t>(1, sqrt_m / 8)), 4),
@@ -43,13 +43,36 @@ int main() {
                    util::fmt_f(rej(std::max<std::uint64_t>(1, sqrt_m / 2)), 4),
                    util::fmt_f(rej(sqrt_m), 4),
                    util::fmt_f(rej(2 * sqrt_m), 4), util::fmt_f(worst, 4)});
+    MetricRecord metric;
+    metric.label = "k=" + std::to_string(k);
+    metric.k = k;
+    metric.extra = {{"rej_at_sqrt_m", rej(sqrt_m)},
+                    {"rej_at_half_sqrt_m",
+                     rej(std::max<std::uint64_t>(1, sqrt_m / 2))},
+                    {"rej_at_double_sqrt_m", rej(2 * sqrt_m)},
+                    {"worst_t_at_sqrt_m", worst}};
+    rep.metric(metric);
   }
-  table.print(std::cout);
-  std::cout
-      << "\nReading: with fewer than sqrt(m) repetitions the t = 1 rejection "
-         "probability decays like (R/sqrt(m))^2 * const — the one-sided 1/4 "
-         "guarantee dies; at sqrt(m) it locks in >= 1/4 for EVERY t "
-         "(last column), and extra repetitions buy nothing. sqrt(m) is "
-         "exactly the right amount of redundancy.\n";
+  rep.table(table);
+  rep.note(
+      "\nReading: with fewer than sqrt(m) repetitions the t = 1 rejection "
+      "probability decays like (R/sqrt(m))^2 * const — the one-sided 1/4 "
+      "guarantee dies; at sqrt(m) it locks in >= 1/4 for EVERY t "
+      "(last column), and extra repetitions buy nothing. sqrt(m) is "
+      "exactly the right amount of redundancy.");
   return 0;
 }
+
+}  // namespace
+
+void register_e16(Registry& r) {
+  r.add({.id = "e16",
+         .title = "repetition count in the language definition (ablation)",
+         .claim = "Rejection probability of the t = 1 hardest case as a "
+                  "function of the number R of (x#y#x#) repetitions available "
+                  "to the streaming machine.",
+         .tags = {"ablation", "language", "definition-3.3"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -1,52 +1,84 @@
 // E17 (robustness) — Theorem 3.4's bounds are worst-case over (x, y); this
 // sweep measures the machine on adversarial input families (intersection at
 // the stream's first/last index, at classical window boundaries, density
-// extremes, clustered witnesses) with Wilson 95% intervals.
-#include <iostream>
+// extremes, clustered witnesses) with Wilson 95% intervals. Trials run
+// through the TrialEngine (sharded, deterministic seeds).
+#include <memory>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
 #include "qols/lang/workloads.hpp"
 #include "qols/machine/online_recognizer.hpp"
 #include "qols/util/stats.hpp"
+#include "qols/util/stopwatch.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E17 (robustness): adversarial workload families",
-      "P[reject] of the quantum machine per family; every non-member family "
-      "must stay >= 1/4 (one-sided bound), members at exactly 0.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(17);
   const unsigned k = 3;
-  const int runs = bench::trials(300);
+  const auto runs = static_cast<std::uint64_t>(cfg.trials_or(300));
+  const core::TrialEngine engine;
   util::Table table({"family", "member?", "t", "P[reject] (mean)",
                      "Wilson 95% lo", "Wilson 95% hi", ">= 1/4 ?"});
   bool all_hold = true;
   for (auto family : lang::all_workload_families()) {
     auto inst = lang::make_workload_instance(family, k, rng);
-    std::uint64_t rejects = 0;
-    for (int i = 0; i < runs; ++i) {
-      core::QuantumOnlineRecognizer rec(70000 + i);
-      auto s = inst.stream();
-      if (!machine::run_stream(*s, rec)) ++rejects;
-    }
-    const auto ci = util::wilson_interval(rejects, runs);
+    util::Stopwatch watch;
+    const auto r = engine.measure_acceptance(
+        [&] { return inst.stream(); },
+        [](std::uint64_t seed) {
+          return std::make_unique<core::QuantumOnlineRecognizer>(seed);
+        },
+        {.trials = runs, .seed_base = 70000});
+    const std::uint64_t rejects = r.trials - r.accepts;
+    const auto ci = util::wilson_interval(rejects, r.trials);
     const bool member = inst.member();
     const bool hold = member ? rejects == 0 : ci.hi >= 0.25;
     all_hold = all_hold && hold;
-    table.add_row({lang::workload_family_name(family),
-                   member ? "yes" : "no", std::to_string(inst.intersections()),
-                   util::fmt_f(rejects / double(runs), 4),
+    const std::string family_name = lang::workload_family_name(family);
+    table.add_row({family_name, member ? "yes" : "no",
+                   std::to_string(inst.intersections()),
+                   util::fmt_f(rejects / double(r.trials), 4),
                    util::fmt_f(ci.lo, 4), util::fmt_f(ci.hi, 4),
                    member ? "n/a" : (hold ? "yes" : "NO")});
+    // rate stays acceptance (the schema-wide meaning); the rejection
+    // probability the table shows goes into extra.
+    auto metric = metric_from_result(family_name, k, r, watch.seconds());
+    metric.extra = {{"p_reject", rejects / double(r.trials)},
+                    {"reject_ci_lo", ci.lo},
+                    {"reject_ci_hi", ci.hi},
+                    {"member", member ? 1.0 : 0.0},
+                    {"intersections",
+                     static_cast<double>(inst.intersections())},
+                    {"bound_holds", hold ? 1.0 : 0.0}};
+    rep.metric(metric);
   }
-  table.print(std::cout, "k = 3, " + std::to_string(runs) + " runs/family:");
-  std::cout << "\nReading: the rejection probability never dips below the "
-               "1/4 line on any family — position and density of the "
-               "witnesses do not matter to Grover's amplitude bookkeeping, "
-               "only their count t does.\n"
-            << (all_hold ? "All bounds hold.\n" : "BOUND VIOLATION!\n");
+  rep.table(table, "k = 3, " + std::to_string(runs) + " runs/family:");
+  rep.note(
+      "\nReading: the rejection probability never dips below the "
+      "1/4 line on any family — position and density of the "
+      "witnesses do not matter to Grover's amplitude bookkeeping, "
+      "only their count t does.");
+  rep.note(all_hold ? "All bounds hold." : "BOUND VIOLATION!");
   return all_hold ? 0 : 1;
 }
+
+}  // namespace
+
+void register_e17(Registry& r) {
+  r.add({.id = "e17",
+         .title = "adversarial workload families (robustness)",
+         .claim = "P[reject] of the quantum machine per family; every "
+                  "non-member family must stay >= 1/4 (one-sided bound), "
+                  "members at exactly 0.",
+         .tags = {"robustness", "workloads", "engine", "theorem-3.4"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -7,40 +7,58 @@
 // the other classic predicates) pinned at exactly m bits — Alice can do
 // nothing smarter than shipping her whole string — which is what the block
 // machine's 2^k-bit configurations realize per index window.
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/comm/one_way.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E18: exact one-way communication complexity (deterministic)",
-      "D1(f) = ceil(log2 #distinct rows); exhaustive over all 4^m input "
-      "pairs.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Table table({"m", "D1(DISJ)", "D1(EQ)", "D1(IP)", "D1(INDEX)",
                      "distinct DISJ rows", "= 2^m ?"});
-  const unsigned mmax = bench::max_k(10);
+  const unsigned mmax = cfg.max_k_or(10);
   for (unsigned m = 1; m <= mmax; ++m) {
     const auto rows = comm::distinct_rows(comm::disj_predicate, m);
     auto index_m = [m](std::uint64_t x, std::uint64_t y) {
       return comm::index_predicate_m(x, y, m);
     };
-    table.add_row({std::to_string(m),
-                   std::to_string(comm::one_way_det_cc(comm::disj_predicate, m)),
+    const auto d1_disj = comm::one_way_det_cc(comm::disj_predicate, m);
+    table.add_row({std::to_string(m), std::to_string(d1_disj),
                    std::to_string(comm::one_way_det_cc(comm::eq_predicate, m)),
                    std::to_string(comm::one_way_det_cc(comm::ip_predicate, m)),
                    std::to_string(comm::one_way_det_cc(index_m, m)),
                    util::fmt_g(rows),
                    rows == (std::uint64_t{1} << m) ? "yes" : "NO"});
+    MetricRecord metric;
+    metric.label = "m=" + std::to_string(m);
+    metric.extra = {{"d1_disj", static_cast<double>(d1_disj)},
+                    {"distinct_disj_rows", static_cast<double>(rows)},
+                    {"no_compression",
+                     rows == (std::uint64_t{1} << m) ? 1.0 : 0.0}};
+    rep.metric(metric);
   }
-  table.print(std::cout);
-  std::cout
-      << "\nReading: one-way disjointness admits NO compression whatsoever "
-         "(2^m distinct rows at every m), deterministically confirming the "
-         "Omega(m) floor the lower bound leans on. The quantum machine "
-         "escapes only because its \"message\" is a quantum state.\n";
+  rep.table(table);
+  rep.note(
+      "\nReading: one-way disjointness admits NO compression whatsoever "
+      "(2^m distinct rows at every m), deterministically confirming the "
+      "Omega(m) floor the lower bound leans on. The quantum machine "
+      "escapes only because its \"message\" is a quantum state.");
   return 0;
 }
+
+}  // namespace
+
+void register_e18(Registry& r) {
+  r.add({.id = "e18",
+         .title = "exact one-way communication complexity (deterministic)",
+         .claim = "D1(f) = ceil(log2 #distinct rows); exhaustive over all "
+                  "4^m input pairs.",
+         .tags = {"communication", "exact", "theorem-3.2"}},
+        run);
+}
+
+}  // namespace qols::bench

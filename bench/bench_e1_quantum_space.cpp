@@ -1,8 +1,10 @@
 // E1 — Theorem 3.4: the quantum online machine uses O(log n) space.
 //
 // Sweeps k two ways:
-//   - "full run" rows stream an entire member instance through the machine
-//     and verify it accepts (k <= 7 keeps the sweep under a few seconds);
+//   - "full run" rows push cfg.trials member instances through the machine
+//     via the TrialEngine (parallel, deterministic seeds) and verify the
+//     acceptance rate is exactly 1 (perfect completeness), reading the space
+//     report from trial 0;
 //   - "probe" rows exploit that the machine's peak work memory is fixed the
 //     moment the prefix 1^k# is parsed (all counters, fingerprints and the
 //     register are allocated then), so streaming just the prefix reads the
@@ -10,76 +12,108 @@
 // The claim holds if total space grows linearly in k = Theta(log n): watch
 // the last column approach a constant.
 #include <cmath>
-#include <iostream>
+#include <memory>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
+#include "qols/util/stopwatch.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
+namespace qols::bench {
 namespace {
 
 // n(k) = k + 1 + 2^k * 3 * (2^{2k} + 1).
 double word_length(unsigned k) {
-  return k + 1.0 +
-         std::pow(2.0, k) * 3.0 * (std::pow(2.0, 2.0 * k) + 1.0);
+  return k + 1.0 + std::pow(2.0, k) * 3.0 * (std::pow(2.0, 2.0 * k) + 1.0);
 }
 
-qols::machine::SpaceReport probe_space(qols::machine::OnlineRecognizer& rec,
-                                       unsigned k) {
+machine::SpaceReport probe_space(machine::OnlineRecognizer& rec, unsigned k) {
   rec.reset(k);
-  for (unsigned i = 0; i < k; ++i) rec.feed(qols::stream::Symbol::kOne);
-  rec.feed(qols::stream::Symbol::kSep);
+  for (unsigned i = 0; i < k; ++i) rec.feed(stream::Symbol::kOne);
+  rec.feed(stream::Symbol::kSep);
   return rec.space_used();
 }
 
-}  // namespace
-
-int main() {
-  using namespace qols;
-  bench::header("E1: quantum online space",
-                "Claim (Thm 3.4): the machine deciding L_DISJ uses O(log n) "
-                "classical bits + qubits.");
-
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(1);
-  util::Table table({"k", "n (word length)", "mode", "classical bits",
-                     "qubits", "total", "log2(n)", "total/log2(n)"});
-  const unsigned kmax_run = bench::max_k(7);
+  util::Table table({"k", "n (word length)", "mode", "trials", "accept rate",
+                     "classical bits", "qubits", "total", "log2(n)",
+                     "total/log2(n)"});
+  const unsigned kmax_run = cfg.max_k_or(7);
+  const auto trials = static_cast<std::uint64_t>(cfg.trials_or(8));
+  const core::TrialEngine engine;
+  bool all_accepted = true;
   for (unsigned k = 1; k <= 14; ++k) {
     machine::SpaceReport space;
     std::string mode;
+    std::string rate = "-";
+    std::string trial_count = "-";
     if (k <= kmax_run && k <= 10) {
       auto inst = lang::LDisjInstance::make_disjoint(k, rng);
-      core::QuantumOnlineRecognizer rec(k);
-      auto s = inst.stream();
-      if (!machine::run_stream(*s, rec)) {
-        std::cerr << "unexpected rejection of a member at k=" << k << "\n";
-        return 1;
+      util::Stopwatch watch;
+      const auto r = engine.measure_acceptance(
+          [&] { return inst.stream(); },
+          [](std::uint64_t seed) {
+            return std::make_unique<core::QuantumOnlineRecognizer>(seed);
+          },
+          {.trials = trials, .seed_base = 1000 * k});
+      if (r.accepts != r.trials) {
+        rep.note("unexpected rejection of a member at k=" + std::to_string(k));
+        all_accepted = false;
       }
-      space = rec.space_used();
+      space = r.space;
       mode = "full run";
+      rate = util::fmt_f(r.rate(), 3);
+      trial_count = std::to_string(r.trials);
+      rep.metric(metric_from_result("k=" + std::to_string(k), k, r,
+                                    watch.seconds()));
     } else {
       // Space-only probe: no state vector is instantiated (simulate=false),
       // but the machine's conceptual footprint is reported identically.
       core::QuantumOnlineRecognizer::Options opts;
       opts.a3.simulate = false;
       opts.a3.max_sim_k = 15;
-      core::QuantumOnlineRecognizer rec(k, opts);
-      space = probe_space(rec, k);
+      core::QuantumOnlineRecognizer probe_rec(k, opts);
+      space = probe_space(probe_rec, k);
       mode = "probe";
+      MetricRecord m;
+      m.label = "k=" + std::to_string(k) + " probe";
+      m.k = k;
+      m.classical_bits = space.classical_bits;
+      m.qubits = space.qubits;
+      rep.metric(m);
     }
     const double log2n = std::log2(word_length(k));
     table.add_row({std::to_string(k),
                    util::fmt_g(static_cast<std::uint64_t>(word_length(k))),
-                   mode, std::to_string(space.classical_bits),
+                   mode, trial_count, rate,
+                   std::to_string(space.classical_bits),
                    std::to_string(space.qubits),
                    std::to_string(space.total()), util::fmt_f(log2n, 1),
                    util::fmt_f(space.total() / log2n, 2)});
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: total/log2(n) settles to a constant (~15: the "
-               "A2 fingerprint state dominates at 8 field elements of 4k+1 "
-               "bits), i.e. space = Theta(log n).\n";
-  return 0;
+  rep.table(table);
+  rep.note(
+      "\nShape check: total/log2(n) settles to a constant (~15: the "
+      "A2 fingerprint state dominates at 8 field elements of 4k+1 "
+      "bits), i.e. space = Theta(log n).");
+  return all_accepted ? 0 : 1;
 }
+
+}  // namespace
+
+void register_e1(Registry& r) {
+  r.add({.id = "e1",
+         .title = "quantum online space",
+         .claim = "Claim (Thm 3.4): the machine deciding L_DISJ uses O(log n) "
+                  "classical bits + qubits.",
+         .tags = {"space", "quantum", "theorem-3.4"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -5,40 +5,33 @@
 // the space report after parsing the prefix only. The block machine's space
 // must track n^{1/3} = Theta(2^k); full storage tracks n^{2/3} = Theta(2^{2k}).
 #include <cmath>
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/classical_recognizers.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
+namespace qols::bench {
 namespace {
 
 double word_length(unsigned k) {
   return k + 1.0 + std::pow(2.0, k) * 3.0 * (std::pow(2.0, 2.0 * k) + 1.0);
 }
 
-qols::machine::SpaceReport probe_space(qols::machine::OnlineRecognizer& rec,
-                                       unsigned k) {
+void probe_space(machine::OnlineRecognizer& rec, unsigned k) {
   rec.reset(k);
-  for (unsigned i = 0; i < k; ++i) rec.feed(qols::stream::Symbol::kOne);
-  rec.feed(qols::stream::Symbol::kSep);
-  return rec.space_used();
+  for (unsigned i = 0; i < k; ++i) rec.feed(stream::Symbol::kOne);
+  rec.feed(stream::Symbol::kSep);
 }
 
-}  // namespace
-
-int main() {
-  using namespace qols;
-  bench::header("E2: classical online space",
-                "Claim (Prop 3.7): the block-streaming machine decides "
-                "L_DISJ in O(n^{1/3}) bits; full storage needs n^{2/3}.");
-
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(2);
   util::Table table({"k", "n", "mode", "block bits", "block/n^(1/3)",
                      "full bits", "full/n^(2/3)"});
-  const unsigned kmax_run = bench::max_k(7);
+  const unsigned kmax_run = cfg.max_k_or(7);
   for (unsigned k = 1; k <= 12; ++k) {
     core::ClassicalBlockRecognizer block(k);
     core::ClassicalFullRecognizer full(k);
@@ -48,14 +41,14 @@ int main() {
       {
         auto s = inst.stream();
         if (!machine::run_stream(*s, block)) {
-          std::cerr << "block machine rejected a member at k=" << k << "\n";
+          rep.note("block machine rejected a member at k=" + std::to_string(k));
           return 1;
         }
       }
       {
         auto s = inst.stream();
         if (!machine::run_stream(*s, full)) {
-          std::cerr << "full machine rejected a member at k=" << k << "\n";
+          rep.note("full machine rejected a member at k=" + std::to_string(k));
           return 1;
         }
       }
@@ -68,15 +61,37 @@ int main() {
     const double n = word_length(k);
     const double n13 = std::cbrt(n);
     const double n23 = std::pow(n, 2.0 / 3.0);
+    const auto block_bits = block.space_used().classical_bits;
+    const auto full_bits = full.space_used().classical_bits;
     table.add_row(
         {std::to_string(k), util::fmt_g(static_cast<std::uint64_t>(n)), mode,
-         util::fmt_g(block.space_used().classical_bits),
-         util::fmt_f(block.space_used().classical_bits / n13, 3),
-         util::fmt_g(full.space_used().classical_bits),
-         util::fmt_f(full.space_used().classical_bits / n23, 3)});
+         util::fmt_g(block_bits), util::fmt_f(block_bits / n13, 3),
+         util::fmt_g(full_bits), util::fmt_f(full_bits / n23, 3)});
+    MetricRecord m;
+    m.label = "k=" + std::to_string(k);
+    m.k = k;
+    m.classical_bits = block_bits;
+    m.extra = {{"full_bits", static_cast<double>(full_bits)},
+               {"block_over_n13", block_bits / n13},
+               {"full_over_n23", full_bits / n23}};
+    rep.metric(m);
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: block/n^(1/3) and full/n^(2/3) approach "
-               "constants (~0.7 and ~0.48) — the Theta() claims of Prop 3.7.\n";
+  rep.table(table);
+  rep.note(
+      "\nShape check: block/n^(1/3) and full/n^(2/3) approach "
+      "constants (~0.7 and ~0.48) — the Theta() claims of Prop 3.7.");
   return 0;
 }
+
+}  // namespace
+
+void register_e2(Registry& r) {
+  r.add({.id = "e2",
+         .title = "classical online space",
+         .claim = "Claim (Prop 3.7): the block-streaming machine decides "
+                  "L_DISJ in O(n^{1/3}) bits; full storage needs n^{2/3}.",
+         .tags = {"space", "classical", "proposition-3.7"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -8,42 +8,36 @@
 // exactly what "exponential separation" means. Rows beyond the full-run
 // range use the prefix probe of E1/E2 (space is fixed once 1^k# is parsed).
 #include <cmath>
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/classical_recognizers.hpp"
 #include "qols/core/quantum_recognizer.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
 #include "qols/reduction/config_census.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
+namespace qols::bench {
 namespace {
 
 double word_length(unsigned k) {
   return k + 1.0 + std::pow(2.0, k) * 3.0 * (std::pow(2.0, 2.0 * k) + 1.0);
 }
 
-void probe(qols::machine::OnlineRecognizer& rec, unsigned k) {
+void probe(machine::OnlineRecognizer& rec, unsigned k) {
   rec.reset(k);
-  for (unsigned i = 0; i < k; ++i) rec.feed(qols::stream::Symbol::kOne);
-  rec.feed(qols::stream::Symbol::kSep);
+  for (unsigned i = 0; i < k; ++i) rec.feed(stream::Symbol::kOne);
+  rec.feed(stream::Symbol::kSep);
 }
 
-}  // namespace
-
-int main() {
-  using namespace qols;
-  bench::header(
-      "E3: the exponential separation",
-      "Claim: quantum total space Theta(log n) vs classical Omega(n^{1/3}) "
-      "(lower bound, Thm 3.6) and O(n^{1/3}) (matching machine, Prop 3.7).");
-
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(3);
   util::Table table({"k", "n", "mode", "quantum bits+qubits",
                      "classical block bits", "Omega(n^{1/3}) floor",
                      "classical/quantum"});
-  const unsigned kmax_run = bench::max_k(7);
+  const unsigned kmax_run = cfg.max_k_or(7);
   double last_ratio = 0.0;
   for (unsigned k = 1; k <= 14; ++k) {
     core::QuantumOnlineRecognizer::Options qopts;
@@ -81,16 +75,40 @@ int main() {
     last_ratio = c / q;
     table.add_row({std::to_string(k),
                    util::fmt_g(static_cast<std::uint64_t>(word_length(k))),
-                   mode, std::to_string(qspace.total()), util::fmt_g(cspace.classical_bits),
-                   util::fmt_f(floor, 1), util::fmt_f(last_ratio, 2)});
+                   mode, std::to_string(qspace.total()),
+                   util::fmt_g(cspace.classical_bits), util::fmt_f(floor, 1),
+                   util::fmt_f(last_ratio, 2)});
+    MetricRecord m;
+    m.label = "k=" + std::to_string(k);
+    m.k = k;
+    m.classical_bits = qspace.classical_bits;
+    m.qubits = qspace.qubits;
+    m.extra = {{"quantum_total_bits", q},
+               {"classical_block_bits", c},
+               {"floor_bits", floor},
+               {"ratio", last_ratio}};
+    rep.metric(m);
   }
-  table.print(std::cout);
-  std::cout
-      << "\nShape check: until ~k=6 the O(log n) validation overhead (A1+A2, "
-         "shared by both machines) hides the gap; beyond it the classical "
-         "machine's 2^k-bit buffer takes over and the ratio doubles per k "
-         "step — the exponential separation. Final ratio at k=14: "
-      << util::fmt_f(last_ratio, 1)
-      << "x, and unbounded as k grows (2^k/k).\n";
+  rep.table(table);
+  rep.note(
+      "\nShape check: until ~k=6 the O(log n) validation overhead (A1+A2, "
+      "shared by both machines) hides the gap; beyond it the classical "
+      "machine's 2^k-bit buffer takes over and the ratio doubles per k "
+      "step — the exponential separation. Final ratio at k=14: " +
+      util::fmt_f(last_ratio, 1) + "x, and unbounded as k grows (2^k/k).");
   return 0;
 }
+
+}  // namespace
+
+void register_e3(Registry& r) {
+  r.add({.id = "e3",
+         .title = "the exponential separation",
+         .claim = "Claim: quantum total space Theta(log n) vs classical "
+                  "Omega(n^{1/3}) (lower bound, Thm 3.6) and O(n^{1/3}) "
+                  "(matching machine, Prop 3.7).",
+         .tags = {"space", "separation", "headline", "theorem-3.6"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -7,31 +7,29 @@
 // remains over the machine's coins: A2's evaluation point and A3's iteration
 // count). Columns compare against the BBHT closed form.
 #include <algorithm>
-#include <iostream>
+#include <string>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/quantum_recognizer.hpp"
 #include "qols/grover/analysis.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E4: one-sided error of the quantum machine",
-      "Claim (Thm 3.4): P[accept | member] = 1 and P[reject | non-member] "
-      ">= 1/4 for every intersection count t.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(4);
   util::Table table({"k", "t", "P[accept] measured", "P[reject] measured",
                      "BBHT closed form", ">= 1/4 ?"});
   bool all_hold = true;
-  for (unsigned k = 2; k <= bench::max_k(4); ++k) {
+  for (unsigned k = 2; k <= cfg.max_k_or(4); ++k) {
     const std::uint64_t m = std::uint64_t{1} << (2 * k);
     std::vector<std::uint64_t> ts = {0, 1, 2, 4, m / 4, m / 2, m};
     ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
-    const int runs = bench::trials(std::max(64, 16 << k));
+    const int runs = cfg.trials_or(std::max(64, 16 << k));
     for (std::uint64_t t : ts) {
       auto inst = lang::LDisjInstance::make_with_intersections(k, t, rng);
       double acc = 0.0;
@@ -45,17 +43,42 @@ int main() {
       const double p_reject = 1.0 - p_accept;
       const double closed =
           t == 0 ? 0.0 : grover::a3_rejection_probability(k, t);
-      const bool hold = t == 0 ? p_accept > 1.0 - 1e-9 : p_reject >= 0.25 - 0.04;
+      const bool hold =
+          t == 0 ? p_accept > 1.0 - 1e-9 : p_reject >= 0.25 - 0.04;
       all_hold = all_hold && hold;
       table.add_row({std::to_string(k), std::to_string(t),
                      util::fmt_f(p_accept, 4), util::fmt_f(p_reject, 4),
                      util::fmt_f(closed, 4),
                      t == 0 ? "n/a (member)" : (hold ? "yes" : "NO")});
+      MetricRecord metric;
+      metric.label = "k=" + std::to_string(k) + " t=" + std::to_string(t);
+      metric.k = k;
+      metric.trials = static_cast<std::uint64_t>(runs);
+      metric.rate = p_accept;
+      metric.extra = {{"p_reject", p_reject},
+                      {"bbht_closed_form", closed},
+                      {"bound_holds", hold ? 1.0 : 0.0}};
+      rep.metric(metric);
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: measured P[reject] tracks the closed form and "
-               "never drops below 1/4 for t >= 1; members sit at exactly 1.\n"
-            << (all_hold ? "All bounds hold.\n" : "BOUND VIOLATION FOUND!\n");
+  rep.table(table);
+  rep.note(
+      "\nShape check: measured P[reject] tracks the closed form and "
+      "never drops below 1/4 for t >= 1; members sit at exactly 1.");
+  rep.note(all_hold ? "All bounds hold." : "BOUND VIOLATION FOUND!");
   return all_hold ? 0 : 1;
 }
+
+}  // namespace
+
+void register_e4(Registry& r) {
+  r.add({.id = "e4",
+         .title = "one-sided error of the quantum machine",
+         .claim = "Claim (Thm 3.4): P[accept | member] = 1 and "
+                  "P[reject | non-member] >= 1/4 for every intersection "
+                  "count t.",
+         .tags = {"error", "quantum", "theorem-3.4"}},
+        run);
+}
+
+}  // namespace qols::bench

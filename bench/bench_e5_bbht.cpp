@@ -5,23 +5,25 @@
 // Three independent computations per row: the closed form, the explicit
 // average of sin^2((2j+1)theta), and the state-vector simulator (procedure
 // A3 run once per j with the measurement probability read off exactly).
-#include <iostream>
-#include <vector>
+#include <algorithm>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/grover_streamer.hpp"
 #include "qols/grover/analysis.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
+namespace qols::bench {
 namespace {
 
 // Averages A3's exact measurement probability over many coin seeds (which
 // makes j approximately uniform over {0..2^k-1}).
-double simulated_average(const qols::lang::LDisjInstance& inst, int runs) {
+double simulated_average(const lang::LDisjInstance& inst, int runs) {
   double sum = 0.0;
   for (int i = 0; i < runs; ++i) {
-    qols::core::GroverStreamer a3{qols::util::Rng(777 + i)};
+    core::GroverStreamer a3{util::Rng(777 + i)};
     auto s = inst.stream();
     while (auto sym = s->next()) a3.feed(*sym);
     sum += a3.probability_output_zero();
@@ -29,15 +31,7 @@ double simulated_average(const qols::lang::LDisjInstance& inst, int runs) {
   return sum / runs;
 }
 
-}  // namespace
-
-int main() {
-  using namespace qols;
-  bench::header(
-      "E5: BBHT averaged success probability",
-      "Claim (Boyer-Brassard-Hoyer-Tapp / Section 3.2): averaging over j in "
-      "{0..2^k-1}, P[reject] = 1/2 - sin(4*2^k*theta)/(4*2^k*sin 2theta) >= 1/4.");
-
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(5);
   const unsigned k = 3;  // simulator column at k=3: 8 j-values, m=64
   const std::uint64_t m = std::uint64_t{1} << (2 * k);
@@ -46,7 +40,7 @@ int main() {
   util::Table table({"t", "theta", "closed form", "explicit sum",
                      "simulated (A3)", ">= 1/4 ?"});
   bool all_hold = true;
-  const int runs = bench::trials(160);
+  const int runs = cfg.trials_or(160);
   for (std::uint64_t t : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL, 32ULL, 48ULL, 64ULL}) {
     const double theta = grover::angle(t, m);
     const double closed = grover::average_success(rounds, theta);
@@ -58,13 +52,22 @@ int main() {
     table.add_row({std::to_string(t), util::fmt_f(theta, 4),
                    util::fmt_f(closed, 4), util::fmt_f(summed, 4),
                    util::fmt_f(sim, 4), hold ? "yes" : "NO"});
+    MetricRecord metric;
+    metric.label = "k=3 t=" + std::to_string(t);
+    metric.k = k;
+    metric.trials = static_cast<std::uint64_t>(runs);
+    metric.extra = {{"theta", theta},
+                    {"closed_form", closed},
+                    {"explicit_sum", summed},
+                    {"simulated", sim}};
+    rep.metric(metric);
   }
-  table.print(std::cout, "k = 3 (N = 64 items, M = 8 rounds):");
+  rep.table(table, "k = 3 (N = 64 items, M = 8 rounds):");
 
   // Closed-form-only sweep at larger k (the simulator column is the same
   // physics; the bound must hold at every scale).
   util::Table wide({"k", "min over t of closed form", ">= 1/4 ?"});
-  for (unsigned kk = 1; kk <= 10; ++kk) {
+  for (unsigned kk = 1; kk <= cfg.max_k_or(10); ++kk) {
     const std::uint64_t n = std::uint64_t{1} << (2 * kk);
     double worst = 1.0;
     for (std::uint64_t t = 1; t <= n; t = t < 16 ? t + 1 : t * 2) {
@@ -76,9 +79,28 @@ int main() {
     all_hold = all_hold && hold;
     wide.add_row({std::to_string(kk), util::fmt_f(worst, 6),
                   hold ? "yes" : "NO"});
+    MetricRecord metric;
+    metric.label = "closed-form k=" + std::to_string(kk);
+    metric.k = kk;
+    metric.extra = {{"worst_closed_form", worst}};
+    rep.metric(metric);
   }
-  std::cout << "\n";
-  wide.print(std::cout, "Worst-case over t, closed form, k sweep:");
-  std::cout << (all_hold ? "\nAll bounds hold.\n" : "\nBOUND VIOLATION!\n");
+  rep.note("");
+  rep.table(wide, "Worst-case over t, closed form, k sweep:");
+  rep.note(all_hold ? "\nAll bounds hold." : "\nBOUND VIOLATION!");
   return all_hold ? 0 : 1;
 }
+
+}  // namespace
+
+void register_e5(Registry& r) {
+  r.add({.id = "e5",
+         .title = "BBHT averaged success probability",
+         .claim = "Claim (Boyer-Brassard-Hoyer-Tapp / Section 3.2): averaging "
+                  "over j in {0..2^k-1}, P[reject] = 1/2 - "
+                  "sin(4*2^k*theta)/(4*2^k*sin 2theta) >= 1/4.",
+         .tags = {"grover", "bbht", "analysis"}},
+        run);
+}
+
+}  // namespace qols::bench

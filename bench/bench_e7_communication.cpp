@@ -3,24 +3,22 @@
 // bounded-error disjointness, with measured correctness on both sides.
 #include <algorithm>
 #include <cmath>
-#include <iostream>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/comm/protocols.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E7: communication complexity of DISJ_m",
-      "Claims: quantum protocol costs O(sqrt(m) log m) qubits (Thm 3.1); "
-      "any bounded-error classical protocol needs Omega(m) bits (Thm 3.2).");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(7);
   util::Table table({"m", "trivial bits", "BCW mean qubits", "BCW worst-case",
                      "sqrt(m)*log2(m)", "BCW P[correct]",
                      "sampling bits", "sampling P[correct]"});
-  const unsigned kmax = bench::max_k(6);
+  const unsigned kmax = cfg.max_k_or(6);
   for (unsigned k = 1; k <= kmax; ++k) {
     const std::uint64_t m = std::uint64_t{1} << (2 * k);
     // Hard instance: exactly one common index.
@@ -33,7 +31,7 @@ int main() {
     x.set(common, true);
     y.set(common, true);
 
-    const int runs = bench::trials(std::max(8, 512 >> (2 * k)) + 24);
+    const int runs = cfg.trials_or(std::max(8, 512 >> (2 * k)) + 24);
     std::uint64_t trivial_bits = 0;
     double bcw_qubits = 0.0;
     int bcw_correct = 0;
@@ -58,14 +56,39 @@ int main() {
                    util::fmt_f(bcw_correct / double(runs), 3),
                    util::fmt_g(sampling_bits),
                    util::fmt_f(sampling_correct / double(runs), 3)});
+    MetricRecord metric;
+    metric.label = "m=" + std::to_string(m);
+    metric.k = k;
+    metric.trials = static_cast<std::uint64_t>(runs);
+    metric.extra = {{"trivial_bits", static_cast<double>(trivial_bits)},
+                    {"bcw_mean_qubits", bcw_qubits / runs},
+                    {"sqrt_m_log_m", sqrtmlogm},
+                    {"bcw_correct_rate", bcw_correct / double(runs)},
+                    {"sampling_bits", static_cast<double>(sampling_bits)},
+                    {"sampling_correct_rate", sampling_correct / double(runs)}};
+    rep.metric(metric);
   }
-  table.print(std::cout, "Instance: single planted intersection; BCW with 4 "
-                         "attempts (bounded error), sampling with sqrt(m) "
-                         "probes:");
-  std::cout
-      << "\nShape check: BCW qubits track sqrt(m)*log(m) (crossing below the "
-         "trivial m-bit cost as m grows) while holding P[correct] >= 2/3;\n"
-         "the classical protocol at comparable sublinear cost collapses "
-         "toward chance — the quadratic communication separation of [BCW98].\n";
+  rep.table(table, "Instance: single planted intersection; BCW with 4 "
+                   "attempts (bounded error), sampling with sqrt(m) "
+                   "probes:");
+  rep.note(
+      "\nShape check: BCW qubits track sqrt(m)*log(m) (crossing below the "
+      "trivial m-bit cost as m grows) while holding P[correct] >= 2/3;\n"
+      "the classical protocol at comparable sublinear cost collapses "
+      "toward chance — the quadratic communication separation of [BCW98].");
   return 0;
 }
+
+}  // namespace
+
+void register_e7(Registry& r) {
+  r.add({.id = "e7",
+         .title = "communication complexity of DISJ_m",
+         .claim = "Claims: quantum protocol costs O(sqrt(m) log m) qubits "
+                  "(Thm 3.1); any bounded-error classical protocol needs "
+                  "Omega(m) bits (Thm 3.2).",
+         .tags = {"communication", "bcw", "theorem-3.1", "theorem-3.2"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -4,66 +4,87 @@
 // For the hardest non-member (t = 1) the table reports the measured
 // false-accept probability of r parallel copies against the (3/4)^r theory
 // curve, plus the measured space. r = 4 crosses the 1/3 bounded-error line:
-// L_DISJ (and its complement) land in OQBPL.
+// L_DISJ (and its complement) land in OQBPL. Both legs run through the
+// TrialEngine (sharded across the thread pool, deterministic seeds).
+#include <algorithm>
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/core/amplified.hpp"
 #include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
+#include "qols/util/stopwatch.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
-int main() {
-  using namespace qols;
-  bench::header(
-      "E8: amplification (Corollary 3.5)",
-      "Claim: r independent copies accept a non-member with probability "
-      "<= (3/4)^r while members stay at probability 1; space grows as r.");
+namespace qols::bench {
+namespace {
 
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(8);
   const unsigned k = 3;
   auto nonmember = lang::LDisjInstance::make_with_intersections(k, 1, rng);
   auto member = lang::LDisjInstance::make_disjoint(k, rng);
 
-  auto factory = [](std::uint64_t seed) {
+  auto single = [](std::uint64_t seed) {
     return std::make_unique<core::QuantumOnlineRecognizer>(seed);
   };
 
   util::Table table({"copies r", "P[accept nonmember]", "(3/4)^r",
                      "P[accept member]", "classical bits", "qubits",
                      "below 1/3 ?"});
-  const int runs = bench::trials(400);
+  const auto runs = static_cast<std::uint64_t>(cfg.trials_or(400));
+  const core::TrialEngine engine;
   for (std::uint64_t r : {1ULL, 2ULL, 3ULL, 4ULL, 6ULL, 8ULL, 12ULL, 16ULL}) {
-    int accept_non = 0;
-    int accept_mem = 0;
-    machine::SpaceReport space;
-    for (int i = 0; i < runs; ++i) {
-      core::AmplifiedRecognizer rec(factory, r, 40000 + i);
-      auto s = nonmember.stream();
-      if (machine::run_stream(*s, rec)) ++accept_non;
-      space = rec.space_used();
-      if (i < runs / 4) {  // members are deterministic-accept; sample fewer
-        rec.reset(50000 + i);
-        auto s2 = member.stream();
-        if (machine::run_stream(*s2, rec)) ++accept_mem;
-      }
-    }
-    const double p_non = accept_non / static_cast<double>(runs);
+    auto amplified = [&single, r](std::uint64_t seed) {
+      return std::unique_ptr<machine::OnlineRecognizer>(
+          std::make_unique<core::AmplifiedRecognizer>(single, r, seed));
+    };
+    util::Stopwatch watch;
+    const auto non = engine.measure_acceptance(
+        [&] { return nonmember.stream(); }, amplified,
+        {.trials = runs, .seed_base = 40000});
+    // Members are deterministic-accept; sample fewer.
+    const auto mem = engine.measure_acceptance(
+        [&] { return member.stream(); }, amplified,
+        {.trials = std::max<std::uint64_t>(1, runs / 4), .seed_base = 50000});
+    const double p_non = non.rate();
     const double theory = std::pow(0.75, static_cast<double>(r));
     table.add_row({std::to_string(r), util::fmt_f(p_non, 4),
-                   util::fmt_f(theory, 4),
-                   util::fmt_f(accept_mem / double(runs / 4), 3),
-                   std::to_string(space.classical_bits),
-                   std::to_string(space.qubits),
+                   util::fmt_f(theory, 4), util::fmt_f(mem.rate(), 3),
+                   std::to_string(non.space.classical_bits),
+                   std::to_string(non.space.qubits),
                    p_non <= 1.0 / 3.0 + 0.03 ? "yes" : "no"});
+    auto metric = metric_from_result("r=" + std::to_string(r), k, non,
+                                     watch.seconds());
+    metric.extra = {{"copies", static_cast<double>(r)},
+                    {"theory_three_quarters_pow_r", theory},
+                    {"p_accept_member", mem.rate()}};
+    rep.metric(metric);
   }
-  table.print(std::cout, "k = 3, non-member with t = 1 (hardest case):");
-  std::cout << "\nShape check: the measured error hugs (3/4)^r from below "
-               "(per-run rejection is often > 1/4), members never flip, and "
-               "space is r x the single-copy footprint — still O(log n) for "
-               "constant r.\n";
+  rep.table(table, "k = 3, non-member with t = 1 (hardest case):");
+  rep.note(
+      "\nShape check: the measured error hugs (3/4)^r from below "
+      "(per-run rejection is often > 1/4), members never flip, and "
+      "space is r x the single-copy footprint — still O(log n) for "
+      "constant r.");
   return 0;
 }
+
+}  // namespace
+
+void register_e8(Registry& r) {
+  r.add({.id = "e8",
+         .title = "amplification (Corollary 3.5)",
+         .claim = "Claim: r independent copies accept a non-member with "
+                  "probability <= (3/4)^r while members stay at probability "
+                  "1; space grows as r.",
+         .tags = {"amplification", "corollary-3.5", "engine"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -4,63 +4,82 @@
 // reachable configurations of three deterministic machines (exhaustively at
 // k=1, sampled at k=2) and the implied per-message bits, against the
 // theorem's floor c*2^{2k}/(3*2^k - 1) = Omega(2^k).
-#include <iostream>
+#include <algorithm>
+#include <string>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
 #include "qols/reduction/config_census.hpp"
 #include "qols/util/table.hpp"
+#include "registry.hpp"
 
+namespace qols::bench {
 namespace {
 
-void survey_row(qols::util::Table& table, qols::reduction::EnumerableMachine& m,
-                unsigned k, std::uint64_t pairs, qols::util::Rng& rng) {
-  auto census = qols::reduction::survey_configurations(m, k, pairs, rng);
+void survey_row(Reporter& rep, util::Table& table,
+                reduction::EnumerableMachine& m, unsigned k,
+                std::uint64_t pairs, util::Rng& rng) {
+  auto census = reduction::survey_configurations(m, k, pairs, rng);
   std::uint64_t max_configs = 0;
   for (auto c : census.distinct_configs) max_configs = std::max(max_configs, c);
   table.add_row({std::to_string(k), m.name(),
                  census.exhaustive ? "exhaustive" : "sampled",
-                 qols::util::fmt_g(census.inputs_surveyed),
-                 qols::util::fmt_g(max_configs),
+                 util::fmt_g(census.inputs_surveyed), util::fmt_g(max_configs),
                  std::to_string(census.max_bits),
-                 qols::util::fmt_g(census.total_bits)});
+                 util::fmt_g(census.total_bits)});
+  MetricRecord metric;
+  metric.label = "k=" + std::to_string(k) + " " + m.name();
+  metric.k = k;
+  metric.extra = {{"inputs_surveyed",
+                   static_cast<double>(census.inputs_surveyed)},
+                  {"max_configs", static_cast<double>(max_configs)},
+                  {"max_message_bits", static_cast<double>(census.max_bits)},
+                  {"protocol_total_bits",
+                   static_cast<double>(census.total_bits)}};
+  rep.metric(metric);
 }
 
-}  // namespace
-
-int main() {
-  using namespace qols;
-  bench::header(
-      "E9: configuration census (Theorem 3.6 reduction)",
-      "Machinery: an OPTM using s space yields a one-way protocol whose "
-      "messages are configurations (Fact 2.2); R(DISJ) = Omega(m) then "
-      "forces some message to Omega(2^k) bits.");
-
+int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(9);
-  util::Table table({"k", "machine", "survey", "input pairs",
-                     "max |C_i|", "max message bits", "protocol total bits"});
-  for (unsigned k = 1; k <= 2; ++k) {
+  util::Table table({"k", "machine", "survey", "input pairs", "max |C_i|",
+                     "max message bits", "protocol total bits"});
+  for (unsigned k = 1; k <= std::min(2u, cfg.max_k_or(2)); ++k) {
     const std::uint64_t pairs = k == 1 ? (1ULL << 16) : 4000;
     reduction::DetFingerprintMachine fp(k, 7);
     reduction::DetBlockMachine block(k);
     reduction::DetFullMachine full(k);
-    survey_row(table, fp, k, pairs, rng);
-    survey_row(table, block, k, pairs, rng);
-    survey_row(table, full, k, pairs, rng);
+    survey_row(rep, table, fp, k, pairs, rng);
+    survey_row(rep, table, block, k, pairs, rng);
+    survey_row(rep, table, full, k, pairs, rng);
   }
-  table.print(std::cout);
+  rep.table(table);
 
   util::Table floor({"k", "Thm 3.6 floor (c=1) bits", "2^k"});
   for (unsigned k = 1; k <= 10; ++k) {
-    floor.add_row({std::to_string(k),
-                   util::fmt_f(reduction::theorem36_min_message_bits(k, 1.0), 1),
-                   util::fmt_g(std::uint64_t{1} << k)});
+    floor.add_row(
+        {std::to_string(k),
+         util::fmt_f(reduction::theorem36_min_message_bits(k, 1.0), 1),
+         util::fmt_g(std::uint64_t{1} << k)});
   }
-  std::cout << "\n";
-  floor.print(std::cout, "Lower-bound floor vs 2^k (the Omega(n^{1/3}) line):");
-  std::cout
-      << "\nReading: the block machine's max message equals its 2^k-bit "
-         "buffer (sitting ON the floor - it is optimal); full storage pays "
-         "2^{2k}; the fingerprint machine undercuts the floor only because "
-         "it does not decide disjointness. No deciding machine can.\n";
+  rep.note("");
+  rep.table(floor, "Lower-bound floor vs 2^k (the Omega(n^{1/3}) line):");
+  rep.note(
+      "\nReading: the block machine's max message equals its 2^k-bit "
+      "buffer (sitting ON the floor - it is optimal); full storage pays "
+      "2^{2k}; the fingerprint machine undercuts the floor only because "
+      "it does not decide disjointness. No deciding machine can.");
   return 0;
 }
+
+}  // namespace
+
+void register_e9(Registry& r) {
+  r.add({.id = "e9",
+         .title = "configuration census (Theorem 3.6 reduction)",
+         .claim = "Machinery: an OPTM using s space yields a one-way protocol "
+                  "whose messages are configurations (Fact 2.2); R(DISJ) = "
+                  "Omega(m) then forces some message to Omega(2^k) bits.",
+         .tags = {"reduction", "census", "theorem-3.6"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -1,0 +1,156 @@
+// qols_bench — the unified experiment runner: one binary driving every
+// registered experiment (E1..E18) with selection, depth/trial overrides and
+// machine-readable JSON output.
+//
+//   qols_bench --list
+//   qols_bench --filter separation
+//   qols_bench --filter e1 --trials 50 --max-k 4 --json BENCH_e1.json
+//
+// Exit status is the worst experiment status (0 = every claim held),
+// 2 on usage errors.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "registry.hpp"
+#include "reporter.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: qols_bench [options]\n"
+        "  --list             list registered experiments and exit\n"
+        "  --filter <text>    run experiments whose id/title/tags contain\n"
+        "                     <text> (case-insensitive; default: all)\n"
+        "  --trials <n>       override Monte-Carlo trial counts (>= 1)\n"
+        "  --max-k <k>        cap sweep depth, k in [1, 10]\n"
+        "  --json <path>      write machine-readable results to <path>\n"
+        "  --quiet            suppress the human-readable tables\n"
+        "  --help             this text\n"
+        "\n"
+        "Environment: QOLS_TRIALS / QOLS_MAX_K provide the same overrides\n"
+        "(flags win).\n";
+}
+
+struct CliArgs {
+  bool list = false;
+  bool quiet = false;
+  std::string filter;
+  std::optional<int> trials;
+  std::optional<unsigned> max_k;
+  std::optional<std::string> json_path;
+};
+
+std::optional<CliArgs> parse_args(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qols_bench: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (arg == "--filter") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.filter = v;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.json_path = v;
+    } else if (arg == "--trials") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      const auto n = qols::bench::parse_integer(v);
+      if (!n || *n < 1 || *n > 1000000000) {
+        std::cerr << "qols_bench: --trials wants an integer in "
+                     "[1, 1000000000], got '"
+                  << v << "'\n";
+        return std::nullopt;
+      }
+      args.trials = static_cast<int>(*n);
+    } else if (arg == "--max-k") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      const auto k = qols::bench::parse_integer(v);
+      if (!k || *k < 1 || *k > 10) {
+        std::cerr << "qols_bench: --max-k wants an integer in [1, 10], got '"
+                  << v << "'\n";
+        return std::nullopt;
+      }
+      args.max_k = static_cast<unsigned>(*k);
+    } else {
+      std::cerr << "qols_bench: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qols::bench;
+
+  const auto args = parse_args(argc, argv);
+  if (!args) return 2;
+
+  Registry& registry = Registry::global();
+
+  if (args->list) {
+    for (const auto& e : registry.experiments()) {
+      std::cout << e.info.id << "\t" << e.info.title << "\t[";
+      for (std::size_t i = 0; i < e.info.tags.size(); ++i) {
+        std::cout << (i ? "," : "") << e.info.tags[i];
+      }
+      std::cout << "]\n";
+    }
+    return 0;
+  }
+
+  const auto selection = registry.match(args->filter);
+  if (selection.empty()) {
+    std::cerr << "qols_bench: no experiment matches '" << args->filter
+              << "' (try --list)\n";
+    return 2;
+  }
+
+  // Environment first, CLI flags win.
+  RunConfig cfg = RunConfig::from_env();
+  if (args->trials) cfg.trials = args->trials;
+  if (args->max_k) cfg.max_k = args->max_k;
+
+  ConsoleReporter console(std::cout);
+  JsonReporter json;
+  std::vector<Reporter*> sinks;
+  if (!args->quiet) sinks.push_back(&console);
+  if (args->json_path) sinks.push_back(&json);
+  MultiReporter reporter(sinks);
+
+  if (args->json_path) {
+    if (cfg.trials) json.set_config("trials", *cfg.trials);
+    if (cfg.max_k) json.set_config("max_k", *cfg.max_k);
+    if (!args->filter.empty()) json.set_config("filter", args->filter);
+  }
+
+  const int status = run_experiments(selection, reporter, cfg);
+
+  if (args->json_path && !json.write_file(*args->json_path)) {
+    std::cerr << "qols_bench: cannot write '" << *args->json_path << "'\n";
+    return 2;
+  }
+  return status;
+}

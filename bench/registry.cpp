@@ -1,0 +1,87 @@
+#include "registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "bench_common.hpp"
+#include "experiments.hpp"
+#include "qols/util/stopwatch.hpp"
+
+namespace qols::bench {
+
+RunConfig RunConfig::from_env() {
+  RunConfig cfg;
+  if (const auto k = env_integer("QOLS_MAX_K", 1, 10)) {
+    cfg.max_k = static_cast<unsigned>(*k);
+  }
+  if (const auto t = env_integer("QOLS_TRIALS", 1, 1000000000)) {
+    cfg.trials = static_cast<int>(*t);
+  }
+  return cfg;
+}
+
+void Registry::add(ExperimentInfo info,
+                   std::function<int(Reporter&, const RunConfig&)> run) {
+  all_.push_back(Experiment{std::move(info), std::move(run)});
+}
+
+const Experiment* Registry::find(std::string_view id) const {
+  for (const auto& e : all_) {
+    if (e.info.id == id) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::vector<const Experiment*> Registry::match(std::string_view filter) const {
+  std::vector<const Experiment*> out;
+  const std::string needle = lowered(filter);
+  for (const auto& e : all_) {
+    if (lowered(e.info.id) == needle) return {&e};
+  }
+  for (const auto& e : all_) {
+    if (needle.empty() || lowered(e.info.id).find(needle) != std::string::npos ||
+        lowered(e.info.title).find(needle) != std::string::npos ||
+        std::any_of(e.info.tags.begin(), e.info.tags.end(),
+                    [&](const std::string& tag) {
+                      return lowered(tag).find(needle) != std::string::npos;
+                    })) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry = [] {
+    Registry r;
+    register_all_experiments(r);
+    return r;
+  }();
+  return registry;
+}
+
+int run_experiments(const std::vector<const Experiment*>& selection,
+                    Reporter& reporter, const RunConfig& cfg) {
+  int worst = 0;
+  for (const Experiment* e : selection) {
+    reporter.begin_experiment(e->info);
+    util::Stopwatch watch;
+    const int status = e->run(reporter, cfg);
+    reporter.end_experiment(status, watch.seconds());
+    worst = std::max(worst, status);
+  }
+  return worst;
+}
+
+}  // namespace qols::bench

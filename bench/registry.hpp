@@ -1,0 +1,69 @@
+#pragma once
+// Registry layer of the experiment stack: every harness under bench/ is an
+// Experiment (id, title, claim, tags, run function) registered into one
+// Registry, driven either by the unified qols_bench CLI or by the historical
+// per-experiment shim binaries. Registration is explicit (experiments.cpp
+// calls each register_e*) — no static-initializer magic for a static
+// library to drop.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reporter.hpp"
+
+namespace qols::bench {
+
+/// Per-run knobs, resolved from (defaults < environment < CLI flags). Each
+/// experiment keeps its own historical defaults and consults the config via
+/// max_k_or / trials_or.
+struct RunConfig {
+  std::optional<unsigned> max_k;  ///< sweep depth cap, range [1, 10]
+  std::optional<int> trials;      ///< Monte-Carlo trial override, >= 1
+
+  unsigned max_k_or(unsigned def) const { return max_k ? *max_k : def; }
+  int trials_or(int def) const { return trials ? *trials : def; }
+
+  /// QOLS_MAX_K / QOLS_TRIALS with validation (see bench_common.hpp).
+  static RunConfig from_env();
+};
+
+/// A registered experiment: identity plus a run function returning an exit
+/// status (0 = every claim held).
+struct Experiment {
+  ExperimentInfo info;
+  std::function<int(Reporter&, const RunConfig&)> run;
+};
+
+class Registry {
+ public:
+  void add(ExperimentInfo info, std::function<int(Reporter&, const RunConfig&)> run);
+
+  const std::vector<Experiment>& experiments() const noexcept { return all_; }
+
+  /// Exact id lookup ("e7"); nullptr when absent.
+  const Experiment* find(std::string_view id) const;
+
+  /// Selection for --filter: an exact id match wins outright ("e1" runs
+  /// only e1, not e10..e18); otherwise case-insensitive substring match
+  /// over id, title, and tags. An empty filter selects everything. Order
+  /// follows registration order.
+  std::vector<const Experiment*> match(std::string_view filter) const;
+
+  /// The process-wide registry with every experiment registered exactly once.
+  static Registry& global();
+
+ private:
+  std::vector<Experiment> all_;
+};
+
+/// Runs the selection in order, bracketing each experiment with
+/// begin_experiment / end_experiment (wall-clock measured here) and
+/// catching nothing: experiments are expected not to throw. Returns the
+/// maximum status across the selection.
+int run_experiments(const std::vector<const Experiment*>& selection,
+                    Reporter& reporter, const RunConfig& cfg);
+
+}  // namespace qols::bench

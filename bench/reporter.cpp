@@ -1,0 +1,126 @@
+#include "reporter.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "qols/util/stats.hpp"
+
+namespace qols::bench {
+
+using util::json::Value;
+
+MetricRecord metric_from_result(std::string label, std::int64_t k,
+                                const core::ExperimentResult& result,
+                                double wall_seconds) {
+  MetricRecord m;
+  m.label = std::move(label);
+  m.k = k;
+  m.trials = result.trials;
+  m.accepts = result.accepts;
+  m.rate = result.rate();
+  const auto ci = result.wilson();
+  m.ci_lo = ci.lo;
+  m.ci_hi = ci.hi;
+  m.classical_bits = result.space.classical_bits;
+  m.qubits = result.space.qubits;
+  m.wall_seconds = wall_seconds;
+  return m;
+}
+
+void ConsoleReporter::begin_experiment(const ExperimentInfo& info) {
+  os_ << "=== " << info.id << ": " << info.title << " ===\n"
+      << info.claim << "\n\n";
+}
+
+void ConsoleReporter::end_experiment(int status, double wall_seconds) {
+  os_ << "[" << (status == 0 ? "ok" : "FAIL") << "] "
+      << util::fmt_f(wall_seconds, 2) << "s\n\n";
+}
+
+void ConsoleReporter::table(const util::Table& t, const std::string& caption) {
+  t.print(os_, caption);
+}
+
+void ConsoleReporter::note(const std::string& text) { os_ << text << "\n"; }
+
+JsonReporter::JsonReporter()
+    : config_(Value::object()), experiments_(Value::array()) {}
+
+void JsonReporter::begin_experiment(const ExperimentInfo& info) {
+  current_ = Value::object();
+  current_.set("id", info.id);
+  current_.set("title", info.title);
+  current_.set("claim", info.claim);
+  auto tags = Value::array();
+  for (const auto& t : info.tags) tags.push_back(t);
+  current_.set("tags", std::move(tags));
+  current_metrics_ = Value::array();
+}
+
+void JsonReporter::end_experiment(int status, double wall_seconds) {
+  if (!current_.is_object()) return;  // end without begin
+  current_.set("status", static_cast<std::int64_t>(status));
+  current_.set("wall_seconds", wall_seconds);
+  current_.set("metrics", std::move(current_metrics_));
+  experiments_.push_back(std::move(current_));
+  current_ = Value();
+  current_metrics_ = Value();
+}
+
+void JsonReporter::metric(const MetricRecord& record) {
+  if (!current_metrics_.is_array()) return;  // metric outside an experiment
+  auto m = Value::object();
+  m.set("label", record.label);
+  if (record.k) m.set("k", *record.k);
+  if (record.trials) m.set("trials", *record.trials);
+  if (record.accepts) m.set("accepts", *record.accepts);
+  if (record.rate) m.set("rate", *record.rate);
+  if (record.ci_lo) m.set("ci_lo", *record.ci_lo);
+  if (record.ci_hi) m.set("ci_hi", *record.ci_hi);
+  if (record.classical_bits) m.set("classical_bits", *record.classical_bits);
+  if (record.qubits) m.set("qubits", *record.qubits);
+  if (record.wall_seconds) m.set("wall_seconds", *record.wall_seconds);
+  if (!record.extra.empty()) {
+    auto extra = Value::object();
+    for (const auto& [key, v] : record.extra) extra.set(key, v);
+    m.set("extra", std::move(extra));
+  }
+  current_metrics_.push_back(std::move(m));
+}
+
+void JsonReporter::set_config(const std::string& key, Value v) {
+  config_.set(key, std::move(v));
+}
+
+Value JsonReporter::document() const {
+  auto doc = Value::object();
+  doc.set("schema", "qols-bench/1");
+  doc.set("config", config_);
+  doc.set("experiments", experiments_);
+  return doc;
+}
+
+bool JsonReporter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << document().dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
+void MultiReporter::begin_experiment(const ExperimentInfo& info) {
+  for (auto* s : sinks_) s->begin_experiment(info);
+}
+void MultiReporter::end_experiment(int status, double wall_seconds) {
+  for (auto* s : sinks_) s->end_experiment(status, wall_seconds);
+}
+void MultiReporter::table(const util::Table& t, const std::string& caption) {
+  for (auto* s : sinks_) s->table(t, caption);
+}
+void MultiReporter::note(const std::string& text) {
+  for (auto* s : sinks_) s->note(text);
+}
+void MultiReporter::metric(const MetricRecord& record) {
+  for (auto* s : sinks_) s->metric(record);
+}
+
+}  // namespace qols::bench

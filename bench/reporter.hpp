@@ -1,0 +1,136 @@
+#pragma once
+// Reporting layer of the experiment stack: every registered experiment
+// narrates its run through a Reporter instead of writing to std::cout, so
+// one run can simultaneously produce the human-facing tables the harnesses
+// always printed AND machine-readable BENCH_*.json records (the perf
+// trajectory).
+//
+//   ConsoleReporter console(std::cout);
+//   JsonReporter json;
+//   MultiReporter rep({&console, &json});
+//   run_experiments(selection, rep, cfg);
+//   json.write_file("BENCH_run.json");
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qols/core/experiment.hpp"
+#include "qols/util/json.hpp"
+#include "qols/util/table.hpp"
+
+namespace qols::bench {
+
+/// Identity of a registered experiment: stable id ("e1"), short title, the
+/// paper claim it exercises, and free-form tags for --filter matching.
+struct ExperimentInfo {
+  std::string id;
+  std::string title;
+  std::string claim;
+  std::vector<std::string> tags;
+};
+
+/// One structured data point. Optional fields are omitted from the JSON
+/// record when absent; `extra` carries experiment-specific numeric columns
+/// (ratios, bounds, closed forms) keyed by name.
+struct MetricRecord {
+  std::string label;  ///< row identity within the experiment ("k=3 t=1")
+  std::optional<std::int64_t> k;
+  std::optional<std::uint64_t> trials;
+  std::optional<std::uint64_t> accepts;
+  std::optional<double> rate;
+  std::optional<double> ci_lo;  ///< Wilson 95% interval
+  std::optional<double> ci_hi;
+  std::optional<std::uint64_t> classical_bits;
+  std::optional<std::uint64_t> qubits;
+  std::optional<double> wall_seconds;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Builds the standard acceptance-rate record from an engine result:
+/// rate, Wilson 95% CI, trial/accept counts and the space report.
+MetricRecord metric_from_result(std::string label, std::int64_t k,
+                                const core::ExperimentResult& result,
+                                double wall_seconds);
+
+/// Sink interface. Experiments call table()/note()/metric(); the runner
+/// brackets each experiment with begin/end.
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+
+  virtual void begin_experiment(const ExperimentInfo& info) { (void)info; }
+  /// status: the experiment's exit code (0 = all claims held).
+  virtual void end_experiment(int status, double wall_seconds) {
+    (void)status;
+    (void)wall_seconds;
+  }
+
+  virtual void table(const util::Table& t, const std::string& caption = "") {
+    (void)t;
+    (void)caption;
+  }
+  virtual void note(const std::string& text) { (void)text; }
+  virtual void metric(const MetricRecord& record) { (void)record; }
+};
+
+/// Human sink: renders the header/tables/notes exactly like the historical
+/// standalone harnesses.
+class ConsoleReporter final : public Reporter {
+ public:
+  explicit ConsoleReporter(std::ostream& os) : os_(os) {}
+
+  void begin_experiment(const ExperimentInfo& info) override;
+  void end_experiment(int status, double wall_seconds) override;
+  void table(const util::Table& t, const std::string& caption) override;
+  void note(const std::string& text) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Machine sink: accumulates one record per experiment (id, claim, status,
+/// wall-clock, metrics) and serializes the whole run as one JSON document.
+class JsonReporter final : public Reporter {
+ public:
+  JsonReporter();
+
+  void begin_experiment(const ExperimentInfo& info) override;
+  void end_experiment(int status, double wall_seconds) override;
+  void metric(const MetricRecord& record) override;
+
+  /// Adds a key under the top-level "config" object (CLI/env provenance).
+  void set_config(const std::string& key, util::json::Value v);
+
+  /// The full document; call after the run completes.
+  util::json::Value document() const;
+  /// Serializes document() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  util::json::Value config_;
+  util::json::Value experiments_;       // array of finished experiments
+  util::json::Value current_;           // object under construction
+  util::json::Value current_metrics_;   // its metrics array
+};
+
+/// Fan-out to several sinks (console + JSON is the common pair).
+class MultiReporter final : public Reporter {
+ public:
+  explicit MultiReporter(std::vector<Reporter*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void begin_experiment(const ExperimentInfo& info) override;
+  void end_experiment(int status, double wall_seconds) override;
+  void table(const util::Table& t, const std::string& caption) override;
+  void note(const std::string& text) override;
+  void metric(const MetricRecord& record) override;
+
+ private:
+  std::vector<Reporter*> sinks_;
+};
+
+}  // namespace qols::bench

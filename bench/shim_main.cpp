@@ -1,0 +1,24 @@
+// Generic main() for the historical per-experiment binaries (bench_e1_*,
+// bench_e2_*, ...): each is this file compiled with -DQOLS_SHIM_ID="eN" and
+// runs exactly one registered experiment with a console reporter, honoring
+// the QOLS_MAX_K / QOLS_TRIALS environment overrides as before. The unified
+// CLI (qols_bench) is the richer entry point.
+#include <iostream>
+
+#include "registry.hpp"
+#include "reporter.hpp"
+
+#ifndef QOLS_SHIM_ID
+#error "compile with -DQOLS_SHIM_ID=\"eN\""
+#endif
+
+int main() {
+  using namespace qols::bench;
+  const Experiment* e = Registry::global().find(QOLS_SHIM_ID);
+  if (e == nullptr) {
+    std::cerr << "experiment '" << QOLS_SHIM_ID << "' is not registered\n";
+    return 2;
+  }
+  ConsoleReporter reporter(std::cout);
+  return run_experiments({e}, reporter, RunConfig::from_env());
+}

@@ -1,8 +1,10 @@
 # Shared warning / sanitizer configuration for all qols targets.
 #
 # qols_set_compile_options(<target>) applies the project-wide warning set
-# (plus -Werror when QOLS_WERROR is ON) and, when QOLS_SANITIZE is ON,
-# Address+UB sanitizer instrumentation to both compile and link steps.
+# (plus -Werror when QOLS_WERROR is ON) and sanitizer instrumentation to
+# both compile and link steps: Address+UB when QOLS_SANITIZE is ON, Thread
+# when QOLS_SANITIZE_THREAD is ON (mutually exclusive; the trial engine and
+# thread pool are the TSan targets).
 
 function(qols_set_compile_options target)
   if(MSVC)
@@ -22,5 +24,12 @@ function(qols_set_compile_options target)
       -fsanitize=address,undefined -fno-omit-frame-pointer)
     target_link_options(${target} PRIVATE
       -fsanitize=address,undefined)
+  endif()
+
+  if(QOLS_SANITIZE_THREAD AND NOT MSVC)
+    target_compile_options(${target} PRIVATE
+      -fsanitize=thread -fno-omit-frame-pointer)
+    target_link_options(${target} PRIVATE
+      -fsanitize=thread)
   endif()
 endfunction()

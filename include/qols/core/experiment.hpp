@@ -29,7 +29,7 @@ struct ExperimentOptions {
 struct ExperimentResult {
   std::uint64_t trials = 0;
   std::uint64_t accepts = 0;
-  machine::SpaceReport space;  ///< from the last trial (space is seed-stable)
+  machine::SpaceReport space;  ///< from trial 0 (space is seed-stable)
 
   double rate() const noexcept {
     return trials == 0 ? 0.0
@@ -47,7 +47,9 @@ using RecognizerFactory =
     std::function<std::unique_ptr<machine::OnlineRecognizer>(std::uint64_t)>;
 
 /// Runs `opts.trials` independent trials: recognizer seeded with
-/// seed_base + i, fed a fresh stream, decision recorded.
+/// seed_base + i, fed a fresh stream, decision recorded. Trials are sharded
+/// across the global thread pool (see qols/core/trial_engine.hpp); results
+/// are bit-identical to a serial run of the same seeds.
 ExperimentResult measure_acceptance(const StreamFactory& make_stream,
                                     const RecognizerFactory& make_recognizer,
                                     const ExperimentOptions& opts);

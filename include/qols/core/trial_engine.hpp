@@ -1,0 +1,66 @@
+#pragma once
+// The Monte-Carlo trial engine behind every empirical claim in the repo:
+// shards the independent trials of an experiment across the process-wide
+// util::ThreadPool while staying bit-identical to a serial run.
+//
+// Determinism contract: trial i is a pure function of (seed_base + i) and
+// the stream contents — the recognizer is constructed fresh from its seed,
+// the stream factory yields a fresh stream, and the accept count is an
+// order-independent sum — so sharding cannot change any reported number.
+// The space report is taken from trial 0 exactly (space is seed-stable),
+// never from "whichever trial finished last".
+//
+//   TrialEngine engine;                       // global pool
+//   auto r = engine.measure_acceptance(make_stream, make_recognizer,
+//                                      {.trials = 500, .seed_base = 1});
+//
+// The free functions in qols/core/experiment.hpp are thin wrappers over a
+// default-configured engine; construct an engine directly to pin a pool,
+// force serial execution, or tune the sharding grain.
+
+#include <cstddef>
+
+#include "qols/core/experiment.hpp"
+#include "qols/util/thread_pool.hpp"
+
+namespace qols::core {
+
+class TrialEngine {
+ public:
+  struct Config {
+    /// Pool to shard onto; nullptr means util::ThreadPool::global().
+    util::ThreadPool* pool = nullptr;
+    /// Run everything inline on the calling thread (the serial reference
+    /// path; parallel results must match it exactly).
+    bool serial = false;
+    /// Minimum trials per task — below this the whole range runs inline.
+    std::size_t grain = 1;
+  };
+
+  TrialEngine() = default;
+  explicit TrialEngine(Config config) : config_(config) {}
+
+  /// Runs opts.trials independent trials (recognizer seeded seed_base + i,
+  /// fed a fresh stream) and aggregates accepts. Factories are invoked
+  /// concurrently unless configured serial: they must be safe to call from
+  /// multiple threads (the stock LDisjInstance::stream() and the recognizer
+  /// constructors are — they share only immutable state).
+  ExperimentResult measure_acceptance(const StreamFactory& make_stream,
+                                      const RecognizerFactory& make_recognizer,
+                                      const ExperimentOptions& opts) const;
+
+  /// Member and non-member legs with disjoint seed ranges:
+  /// [seed_base, seed_base + trials) and [seed_base + trials,
+  /// seed_base + 2 * trials).
+  QualityProfile measure_quality(const StreamFactory& member_stream,
+                                 const StreamFactory& nonmember_stream,
+                                 const RecognizerFactory& make_recognizer,
+                                 const ExperimentOptions& opts) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace qols::core

@@ -1,0 +1,73 @@
+#pragma once
+// Minimal dependency-free JSON document builder for the machine-readable
+// bench output (BENCH_*.json). Write-only by design: the repo never parses
+// JSON, it only emits records that downstream tooling (CI artifact
+// validation, plotting scripts) consumes.
+//
+//   auto doc = json::Value::object();
+//   doc.set("schema", "qols-bench/1");
+//   auto& rows = doc.set("rows", json::Value::array());
+//   rows.push_back(json::Value{0.25});
+//   std::string text = doc.dump(2);
+//
+// Objects preserve insertion order (stable diffs across runs); non-finite
+// doubles serialize as null (JSON has no NaN/Inf).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qols::util::json {
+
+/// A JSON value: null, bool, number, string, array, or object.
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}
+  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  Value(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}
+  Value(unsigned u) : Value(static_cast<std::uint64_t>(u)) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+
+  static Value object() { return Value(Kind::kObject); }
+  static Value array() { return Value(Kind::kArray); }
+
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Object member insertion/overwrite; returns the stored value. The value
+  /// must be an object.
+  Value& set(const std::string& key, Value v);
+
+  /// Array append; the value must be an array.
+  Value& push_back(Value v);
+
+  std::size_t size() const noexcept;
+
+  /// Serializes the document. indent <= 0 gives compact one-line output.
+  std::string dump(int indent = 2) const;
+
+  /// JSON string escaping of `raw` including the surrounding quotes.
+  static std::string quote(const std::string& raw);
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  explicit Value(Kind k) : kind_(k) {}
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace qols::util::json

@@ -36,6 +36,14 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. parallel_for
+  /// uses this to degrade to an inline loop instead of deadlocking: a worker
+  /// that submitted chunks to its own pool and then blocked in wait_idle()
+  /// would count itself as forever-active. This is what makes nesting safe —
+  /// e.g. TrialEngine shards trials over the pool while each trial's
+  /// state-vector kernels call parallel_for on the same pool.
+  bool on_worker_thread() const noexcept;
+
   /// Process-wide shared pool (lazily constructed with default size).
   static ThreadPool& global();
 

@@ -1,32 +1,25 @@
 #include "qols/core/experiment.hpp"
 
+#include "qols/core/trial_engine.hpp"
+
 namespace qols::core {
+
+// Thin wrappers over a default-configured TrialEngine (global thread pool).
+// Parallel sharding is bit-identical to the old serial loops: see the
+// determinism contract in qols/core/trial_engine.hpp.
 
 ExperimentResult measure_acceptance(const StreamFactory& make_stream,
                                     const RecognizerFactory& make_recognizer,
                                     const ExperimentOptions& opts) {
-  ExperimentResult result;
-  result.trials = opts.trials;
-  for (std::uint64_t i = 0; i < opts.trials; ++i) {
-    auto rec = make_recognizer(opts.seed_base + i);
-    auto stream = make_stream();
-    if (machine::run_stream(*stream, *rec)) ++result.accepts;
-    result.space = rec->space_used();
-  }
-  return result;
+  return TrialEngine{}.measure_acceptance(make_stream, make_recognizer, opts);
 }
 
 QualityProfile measure_quality(const StreamFactory& member_stream,
                                const StreamFactory& nonmember_stream,
                                const RecognizerFactory& make_recognizer,
                                const ExperimentOptions& opts) {
-  QualityProfile profile;
-  profile.on_member = measure_acceptance(member_stream, make_recognizer, opts);
-  ExperimentOptions shifted = opts;
-  shifted.seed_base += opts.trials;  // independent seeds for the second leg
-  profile.on_nonmember =
-      measure_acceptance(nonmember_stream, make_recognizer, shifted);
-  return profile;
+  return TrialEngine{}.measure_quality(member_stream, nonmember_stream,
+                                       make_recognizer, opts);
 }
 
 }  // namespace qols::core

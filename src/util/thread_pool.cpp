@@ -4,6 +4,11 @@
 
 namespace qols::util {
 
+namespace {
+// Owning pool of the current thread, if it is a pool worker.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -38,12 +43,17 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_current_pool == this;
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -70,7 +80,7 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   if (grain == 0) grain = 1;
   const std::size_t workers = pool.thread_count();
-  if (n <= grain || workers <= 1) {
+  if (n <= grain || workers <= 1 || pool.on_worker_thread()) {
     fn(begin, end);
     return;
   }

@@ -1,0 +1,167 @@
+// Unit tests: the parallel trial engine. The engine's contract is that
+// sharding trials across a thread pool is bit-identical to the serial
+// reference path — same accept counts, same trial-0 space report — for the
+// same seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/util/thread_pool.hpp"
+
+namespace {
+
+using namespace qols::core;
+using qols::lang::LDisjInstance;
+using qols::util::Rng;
+using qols::util::ThreadPool;
+
+// Deterministic stand-in: accepts iff its seed is divisible by 3, reports a
+// seed-dependent space footprint (so tests can see WHICH trial the engine
+// took the space report from).
+class StubRecognizer final : public qols::machine::OnlineRecognizer {
+ public:
+  explicit StubRecognizer(std::uint64_t seed) : seed_(seed) {}
+
+  void feed(qols::stream::Symbol) override {}
+  bool finish() override { return seed_ % 3 == 0; }
+  void reset(std::uint64_t seed) override { seed_ = seed; }
+  qols::machine::SpaceReport space_used() const override {
+    return {.classical_bits = seed_, .qubits = 7};
+  }
+  std::string name() const override { return "stub"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+StreamFactory empty_stream() {
+  return [] {
+    return std::make_unique<qols::stream::StringStream>(std::string{});
+  };
+}
+
+RecognizerFactory stub() {
+  return [](std::uint64_t seed) { return std::make_unique<StubRecognizer>(seed); };
+}
+
+// A recording factory: remembers every seed it was constructed with.
+RecognizerFactory recording_stub(std::vector<std::uint64_t>& seeds,
+                                 std::mutex& mu) {
+  return [&seeds, &mu](std::uint64_t seed) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      seeds.push_back(seed);
+    }
+    return std::make_unique<StubRecognizer>(seed);
+  };
+}
+
+TEST(TrialEngine, ParallelMatchesSerialExactlyOnStub) {
+  ThreadPool pool(4);
+  const TrialEngine parallel({.pool = &pool});
+  const TrialEngine serial({.serial = true});
+
+  for (const std::uint64_t trials : {1u, 2u, 7u, 101u, 256u}) {
+    const ExperimentOptions opts{.trials = trials, .seed_base = 5};
+    const auto p = parallel.measure_acceptance(empty_stream(), stub(), opts);
+    const auto s = serial.measure_acceptance(empty_stream(), stub(), opts);
+    EXPECT_EQ(p.trials, s.trials);
+    EXPECT_EQ(p.accepts, s.accepts);
+    EXPECT_EQ(p.space.classical_bits, s.space.classical_bits);
+    EXPECT_EQ(p.space.qubits, s.space.qubits);
+
+    // And both match the closed-form reference count.
+    std::uint64_t expected = 0;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      if ((opts.seed_base + i) % 3 == 0) ++expected;
+    }
+    EXPECT_EQ(p.accepts, expected);
+  }
+}
+
+TEST(TrialEngine, ParallelMatchesSerialOnQuantumRecognizer) {
+  Rng rng(42);
+  auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  auto quantum = [](std::uint64_t seed) {
+    return std::make_unique<QuantumOnlineRecognizer>(seed);
+  };
+  const ExperimentOptions opts{.trials = 60, .seed_base = 17};
+
+  ThreadPool pool(4);
+  const auto p = TrialEngine({.pool = &pool})
+                     .measure_acceptance([&] { return inst.stream(); },
+                                         quantum, opts);
+  const auto s = TrialEngine({.serial = true})
+                     .measure_acceptance([&] { return inst.stream(); },
+                                         quantum, opts);
+  EXPECT_EQ(p.accepts, s.accepts);
+  EXPECT_EQ(p.space.classical_bits, s.space.classical_bits);
+  EXPECT_EQ(p.space.qubits, s.space.qubits);
+  // Non-member at t=1: acceptance must be at most 3/4-ish, never all.
+  EXPECT_LT(p.accepts, p.trials);
+}
+
+TEST(TrialEngine, DefaultWrappersUseGlobalPoolAndStayDeterministic) {
+  // The free functions in experiment.hpp route through a default engine;
+  // same seeds -> same counts on every call.
+  const auto a =
+      measure_acceptance(empty_stream(), stub(), {.trials = 97, .seed_base = 2});
+  const auto b =
+      measure_acceptance(empty_stream(), stub(), {.trials = 97, .seed_base = 2});
+  EXPECT_EQ(a.accepts, b.accepts);
+  EXPECT_EQ(a.space.classical_bits, b.space.classical_bits);
+}
+
+TEST(TrialEngine, SpaceReportComesFromTrialZero) {
+  ThreadPool pool(3);
+  const TrialEngine engine({.pool = &pool});
+  const auto r = engine.measure_acceptance(empty_stream(), stub(),
+                                           {.trials = 64, .seed_base = 900});
+  // StubRecognizer reports its seed as classical_bits: trial 0 is seed 900,
+  // regardless of which worker ran which shard.
+  EXPECT_EQ(r.space.classical_bits, 900u);
+  EXPECT_EQ(r.space.qubits, 7u);
+}
+
+TEST(TrialEngine, QualityLegsUseDisjointSeedRanges) {
+  std::mutex mu;
+  std::vector<std::uint64_t> seeds;
+  ThreadPool pool(4);
+  const TrialEngine engine({.pool = &pool});
+  const std::uint64_t trials = 40;
+  const std::uint64_t base = 1000;
+
+  const auto profile = engine.measure_quality(
+      empty_stream(), empty_stream(), recording_stub(seeds, mu),
+      {.trials = trials, .seed_base = base});
+  EXPECT_EQ(profile.on_member.trials, trials);
+  EXPECT_EQ(profile.on_nonmember.trials, trials);
+
+  // Exactly 2 * trials constructions, covering [base, base + 2 * trials)
+  // with no overlap between the legs.
+  ASSERT_EQ(seeds.size(), 2 * trials);
+  std::sort(seeds.begin(), seeds.end());
+  for (std::uint64_t i = 0; i < 2 * trials; ++i) {
+    EXPECT_EQ(seeds[i], base + i);
+  }
+}
+
+TEST(TrialEngine, ZeroTrialsIsSafe) {
+  ThreadPool pool(2);
+  const auto r = TrialEngine({.pool = &pool})
+                     .measure_acceptance(empty_stream(), stub(),
+                                         {.trials = 0, .seed_base = 1});
+  EXPECT_EQ(r.trials, 0u);
+  EXPECT_EQ(r.accepts, 0u);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+  EXPECT_EQ(r.space.classical_bits, 0u);
+}
+
+}  // namespace

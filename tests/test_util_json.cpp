@@ -1,0 +1,63 @@
+// Unit tests: the dependency-free JSON writer behind BENCH_*.json.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "qols/util/json.hpp"
+
+namespace {
+
+using qols::util::json::Value;
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Value(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesRoundTripAndStayDoubles) {
+  EXPECT_EQ(Value(0.25).dump(), "0.25");
+  // Integral doubles keep a fractional marker so they read back as floats.
+  EXPECT_EQ(Value(3.0).dump(), "3.0");
+  // Non-finite values have no JSON spelling; they degrade to null.
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Value("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Value("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Value(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndOverwrite) {
+  auto obj = Value::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("zebra", 3);  // overwrite in place, order kept
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.dump(0), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(Json, NestedDocumentIndented) {
+  auto doc = Value::object();
+  doc.set("name", "qols");
+  auto& arr = doc.set("xs", Value::array());
+  arr.push_back(1);
+  arr.push_back(2);
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"name\": \"qols\",\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Value::object().dump(), "{}");
+  EXPECT_EQ(Value::array().dump(), "[]");
+}
+
+}  // namespace

@@ -79,6 +79,40 @@ TEST(ParallelFor, SumMatchesSerial) {
   EXPECT_EQ(parallel_sum.load(), serial);
 }
 
+TEST(ThreadPool, OnWorkerThreadDetectsOwnership) {
+  ThreadPool pool(2);
+  ThreadPool other(2);
+  EXPECT_FALSE(pool.on_worker_thread());  // the test thread is not a worker
+  std::atomic<int> seen_own{0};
+  std::atomic<int> seen_other{0};
+  pool.submit([&] {
+    if (pool.on_worker_thread()) seen_own.fetch_add(1);
+    if (other.on_worker_thread()) seen_other.fetch_add(1);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(seen_own.load(), 1);
+  EXPECT_EQ(seen_other.load(), 0);
+}
+
+TEST(ParallelFor, NestedCallOnSamePoolRunsInlineInsteadOfDeadlocking) {
+  // A task running on a pool worker that issues parallel_for on the SAME
+  // pool must not block in wait_idle (it counts itself as active forever);
+  // the nested call degrades to an inline loop. This is the trial-engine +
+  // state-vector-kernel nesting pattern.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 100000;  // > any inline-grain threshold
+  std::atomic<std::size_t> total{0};
+  parallel_for(pool, 0, kOuter, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      parallel_for(pool, 0, kInner, 1, [&](std::size_t ilo, std::size_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
 TEST(ParallelFor, GlobalPoolOverloadWorks) {
   std::atomic<std::size_t> count{0};
   parallel_for(0, 5000, 16, [&](std::size_t lo, std::size_t hi) {
