@@ -85,11 +85,13 @@ int run(Reporter& rep, const RunConfig& cfg) {
   });
   {
     util::Stopwatch watch;
+    core::QuantumOnlineRecognizer::Options qopts;
+    qopts.a3.backend = cfg.backend;
     const auto q = engine.measure_quality(
         [&] { return member.stream(); }, [&] { return nonmember.stream(); },
-        [](std::uint64_t seed) {
+        [qopts](std::uint64_t seed) {
           return std::unique_ptr<machine::OnlineRecognizer>(
-              std::make_unique<core::QuantumOnlineRecognizer>(seed));
+              std::make_unique<core::QuantumOnlineRecognizer>(seed, qopts));
         },
         {.trials = runs, .seed_base = 8000});
     const auto space = q.on_member.space;

@@ -19,7 +19,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
   util::Table table({"k", "n", "gates total", "H", "T", "CNOT",
                      "gates/n", "data+anc qubits", "log2(gates)",
                      "s = total space bits"});
-  const unsigned kmax = cfg.max_k_or(6);
+  const unsigned kmax = cfg.dense_max_k_or(6);
   for (unsigned k = 1; k <= kmax; ++k) {
     auto inst = lang::LDisjInstance::make_disjoint(k, rng);
     gates::CountingSink sink;

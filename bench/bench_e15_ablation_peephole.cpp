@@ -19,7 +19,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(15);
   util::Table table({"k", "gates before", "gates after", "reduction",
                      "H pairs", "T folded", "CNOT pairs", "passes"});
-  const unsigned kmax = cfg.max_k_or(3);
+  const unsigned kmax = cfg.dense_max_k_or(3);
   for (unsigned k = 1; k <= kmax; ++k) {
     auto inst = lang::LDisjInstance::make_disjoint(k, rng);
     gates::CircuitSink sink;

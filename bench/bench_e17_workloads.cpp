@@ -30,10 +30,12 @@ int run(Reporter& rep, const RunConfig& cfg) {
   for (auto family : lang::all_workload_families()) {
     auto inst = lang::make_workload_instance(family, k, rng);
     util::Stopwatch watch;
+    core::QuantumOnlineRecognizer::Options qopts;
+    qopts.a3.backend = cfg.backend;
     const auto r = engine.measure_acceptance(
         [&] { return inst.stream(); },
-        [](std::uint64_t seed) {
-          return std::make_unique<core::QuantumOnlineRecognizer>(seed);
+        [qopts](std::uint64_t seed) {
+          return std::make_unique<core::QuantumOnlineRecognizer>(seed, qopts);
         },
         {.trials = runs, .seed_base = 70000});
     const std::uint64_t rejects = r.trials - r.accepts;

@@ -20,7 +20,7 @@ namespace {
 int run(Reporter& rep, const RunConfig& cfg) {
   util::Table table({"m", "D1(DISJ)", "D1(EQ)", "D1(IP)", "D1(INDEX)",
                      "distinct DISJ rows", "= 2^m ?"});
-  const unsigned mmax = cfg.max_k_or(10);
+  const unsigned mmax = cfg.dense_max_k_or(10);
   for (unsigned m = 1; m <= mmax; ++m) {
     const auto rows = comm::distinct_rows(comm::disj_predicate, m);
     auto index_m = [m](std::uint64_t x, std::uint64_t y) {

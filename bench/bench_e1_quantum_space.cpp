@@ -55,11 +55,13 @@ int run(Reporter& rep, const RunConfig& cfg) {
     std::string trial_count = "-";
     if (k <= kmax_run && k <= 10) {
       auto inst = lang::LDisjInstance::make_disjoint(k, rng);
+      core::QuantumOnlineRecognizer::Options qopts;
+      qopts.a3.backend = cfg.backend;
       util::Stopwatch watch;
       const auto r = engine.measure_acceptance(
           [&] { return inst.stream(); },
-          [](std::uint64_t seed) {
-            return std::make_unique<core::QuantumOnlineRecognizer>(seed);
+          [qopts](std::uint64_t seed) {
+            return std::make_unique<core::QuantumOnlineRecognizer>(seed, qopts);
           },
           {.trials = trials, .seed_base = 1000 * k});
       if (r.accepts != r.trials) {

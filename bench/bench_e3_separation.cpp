@@ -45,7 +45,8 @@ int run(Reporter& rep, const RunConfig& cfg) {
     machine::SpaceReport qspace, cspace;
     if (k <= kmax_run && k <= 10) {
       auto inst = lang::LDisjInstance::make_disjoint(k, rng);
-      core::QuantumOnlineRecognizer quantum(k);
+      qopts.a3.backend = cfg.backend;
+      core::QuantumOnlineRecognizer quantum(k, qopts);
       {
         auto s = inst.stream();
         machine::run_stream(*s, quantum);

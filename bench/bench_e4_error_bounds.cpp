@@ -25,7 +25,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
   util::Table table({"k", "t", "P[accept] measured", "P[reject] measured",
                      "BBHT closed form", ">= 1/4 ?"});
   bool all_hold = true;
-  for (unsigned k = 2; k <= cfg.max_k_or(4); ++k) {
+  for (unsigned k = 2; k <= cfg.dense_max_k_or(4); ++k) {
     const std::uint64_t m = std::uint64_t{1} << (2 * k);
     std::vector<std::uint64_t> ts = {0, 1, 2, 4, m / 4, m / 2, m};
     ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
@@ -33,8 +33,10 @@ int run(Reporter& rep, const RunConfig& cfg) {
     for (std::uint64_t t : ts) {
       auto inst = lang::LDisjInstance::make_with_intersections(k, t, rng);
       double acc = 0.0;
+      core::QuantumOnlineRecognizer::Options qopts;
+      qopts.a3.backend = cfg.backend;
       for (int i = 0; i < runs; ++i) {
-        core::QuantumOnlineRecognizer rec(10000 + 131 * i + k);
+        core::QuantumOnlineRecognizer rec(10000 + 131 * i + k, qopts);
         auto s = inst.stream();
         while (auto sym = s->next()) rec.feed(*sym);
         acc += rec.exact_acceptance_probability();

@@ -20,10 +20,13 @@ namespace {
 
 // Averages A3's exact measurement probability over many coin seeds (which
 // makes j approximately uniform over {0..2^k-1}).
-double simulated_average(const lang::LDisjInstance& inst, int runs) {
+double simulated_average(const lang::LDisjInstance& inst, int runs,
+                         const std::string& backend) {
   double sum = 0.0;
+  core::GroverStreamer::Options opts;
+  opts.backend = backend;
   for (int i = 0; i < runs; ++i) {
-    core::GroverStreamer a3{util::Rng(777 + i)};
+    core::GroverStreamer a3{util::Rng(777 + i), opts};
     auto s = inst.stream();
     while (auto sym = s->next()) a3.feed(*sym);
     sum += a3.probability_output_zero();
@@ -46,7 +49,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
     const double closed = grover::average_success(rounds, theta);
     const double summed = grover::average_success_by_sum(rounds, theta);
     auto inst = lang::LDisjInstance::make_with_intersections(k, t, rng);
-    const double sim = simulated_average(inst, runs);
+    const double sim = simulated_average(inst, runs, cfg.backend);
     const bool hold = closed >= 0.25 - 1e-12;
     all_hold = all_hold && hold;
     table.add_row({std::to_string(t), util::fmt_f(theta, 4),

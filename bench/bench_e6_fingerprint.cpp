@@ -33,7 +33,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
   util::Rng rng(6);
   util::Table table({"k", "prime p", "candidates tested", "field bits",
                      "false-accept measured", "bound 2^{-2k}", "trials"});
-  const unsigned kmax = cfg.max_k_or(8);
+  const unsigned kmax = cfg.dense_max_k_or(8);
   for (unsigned k = 1; k <= kmax; ++k) {
     const auto stats = util::fingerprint_prime_stats(k);
     const double bound = std::pow(2.0, -2.0 * k);

@@ -18,7 +18,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
   util::Table table({"m", "trivial bits", "BCW mean qubits", "BCW worst-case",
                      "sqrt(m)*log2(m)", "BCW P[correct]",
                      "sampling bits", "sampling P[correct]"});
-  const unsigned kmax = cfg.max_k_or(6);
+  const unsigned kmax = cfg.dense_max_k_or(6);
   for (unsigned k = 1; k <= kmax; ++k) {
     const std::uint64_t m = std::uint64_t{1} << (2 * k);
     // Hard instance: exactly one common index.

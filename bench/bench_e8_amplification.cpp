@@ -30,8 +30,10 @@ int run(Reporter& rep, const RunConfig& cfg) {
   auto nonmember = lang::LDisjInstance::make_with_intersections(k, 1, rng);
   auto member = lang::LDisjInstance::make_disjoint(k, rng);
 
-  auto single = [](std::uint64_t seed) {
-    return std::make_unique<core::QuantumOnlineRecognizer>(seed);
+  core::QuantumOnlineRecognizer::Options qopts;
+  qopts.a3.backend = cfg.backend;
+  auto single = [qopts](std::uint64_t seed) {
+    return std::make_unique<core::QuantumOnlineRecognizer>(seed, qopts);
   };
 
   util::Table table({"copies r", "P[accept nonmember]", "(3/4)^r",

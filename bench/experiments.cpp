@@ -23,6 +23,7 @@ void register_all_experiments(Registry& r) {
   register_e16(r);
   register_e17(r);
   register_e18(r);
+  register_e19(r);
 }
 
 }  // namespace qols::bench

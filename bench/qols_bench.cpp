@@ -1,6 +1,6 @@
 // qols_bench — the unified experiment runner: one binary driving every
-// registered experiment (E1..E18) with selection, depth/trial overrides and
-// machine-readable JSON output.
+// registered experiment (E1..E19) with selection, depth/trial/backend
+// overrides and machine-readable JSON output.
 //
 //   qols_bench --list
 //   qols_bench --filter separation
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "qols/backend/registry.hpp"
 #include "registry.hpp"
 #include "reporter.hpp"
 
@@ -26,13 +27,18 @@ void print_usage(std::ostream& os) {
         "  --filter <text>    run experiments whose id/title/tags contain\n"
         "                     <text> (case-insensitive; default: all)\n"
         "  --trials <n>       override Monte-Carlo trial counts (>= 1)\n"
-        "  --max-k <k>        cap sweep depth, k in [1, 10]\n"
+        "  --max-k <k>        cap sweep depth, k in [1, 20] (dense-era\n"
+        "                     experiments clamp themselves to k <= 10;\n"
+        "                     only backend-aware sweeps like e19 go higher)\n"
+        "  --backend <id>     quantum backend: dense, structured, or auto\n"
+        "                     (default auto: dense inside its ceiling,\n"
+        "                     structured past it)\n"
         "  --json <path>      write machine-readable results to <path>\n"
         "  --quiet            suppress the human-readable tables\n"
         "  --help             this text\n"
         "\n"
-        "Environment: QOLS_TRIALS / QOLS_MAX_K provide the same overrides\n"
-        "(flags win).\n";
+        "Environment: QOLS_TRIALS / QOLS_MAX_K / QOLS_BACKEND provide the\n"
+        "same overrides (flags win).\n";
 }
 
 struct CliArgs {
@@ -41,6 +47,7 @@ struct CliArgs {
   std::string filter;
   std::optional<int> trials;
   std::optional<unsigned> max_k;
+  std::optional<std::string> backend;
   std::optional<std::string> json_path;
 };
 
@@ -85,12 +92,27 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       const auto k = qols::bench::parse_integer(v);
-      if (!k || *k < 1 || *k > 10) {
-        std::cerr << "qols_bench: --max-k wants an integer in [1, 10], got '"
+      if (!k || *k < 1 || *k > 20) {
+        std::cerr << "qols_bench: --max-k wants an integer in [1, 20], got '"
                   << v << "'\n";
         return std::nullopt;
       }
       args.max_k = static_cast<unsigned>(*k);
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      const std::string_view id(v);
+      if (id != qols::backend::kAutoBackendId &&
+          qols::backend::BackendRegistry::global().find(id) == nullptr) {
+        std::cerr << "qols_bench: unknown backend '" << id << "'; registered:";
+        for (const auto& known :
+             qols::backend::BackendRegistry::global().ids()) {
+          std::cerr << " " << known;
+        }
+        std::cerr << " auto\n";
+        return std::nullopt;
+      }
+      args.backend = std::string(id);
     } else {
       std::cerr << "qols_bench: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
@@ -132,6 +154,10 @@ int main(int argc, char** argv) {
   RunConfig cfg = RunConfig::from_env();
   if (args->trials) cfg.trials = args->trials;
   if (args->max_k) cfg.max_k = args->max_k;
+  // "--backend auto" stays the literal "auto": GroverStreamer treats it as
+  // an explicit auto policy that beats QOLS_BACKEND (an empty id would let
+  // the environment override the flag).
+  if (args->backend) cfg.backend = *args->backend;
 
   ConsoleReporter console(std::cout);
   JsonReporter json;
@@ -143,6 +169,7 @@ int main(int argc, char** argv) {
   if (args->json_path) {
     if (cfg.trials) json.set_config("trials", *cfg.trials);
     if (cfg.max_k) json.set_config("max_k", *cfg.max_k);
+    json.set_config("backend", cfg.backend.empty() ? "auto" : cfg.backend);
     if (!args->filter.empty()) json.set_config("filter", args->filter);
   }
 

@@ -5,17 +5,21 @@
 
 #include "bench_common.hpp"
 #include "experiments.hpp"
+#include "qols/backend/registry.hpp"
 #include "qols/util/stopwatch.hpp"
 
 namespace qols::bench {
 
 RunConfig RunConfig::from_env() {
   RunConfig cfg;
-  if (const auto k = env_integer("QOLS_MAX_K", 1, 10)) {
+  if (const auto k = env_integer("QOLS_MAX_K", 1, 20)) {
     cfg.max_k = static_cast<unsigned>(*k);
   }
   if (const auto t = env_integer("QOLS_TRIALS", 1, 1000000000)) {
     cfg.trials = static_cast<int>(*t);
+  }
+  if (const auto& b = backend::env_backend_override()) {
+    cfg.backend = *b;
   }
   return cfg;
 }

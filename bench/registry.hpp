@@ -20,13 +20,23 @@ namespace qols::bench {
 /// experiment keeps its own historical defaults and consults the config via
 /// max_k_or / trials_or.
 struct RunConfig {
-  std::optional<unsigned> max_k;  ///< sweep depth cap, range [1, 10]
+  std::optional<unsigned> max_k;  ///< sweep depth cap, range [1, 20]
   std::optional<int> trials;      ///< Monte-Carlo trial override, >= 1
+  /// Quantum-backend id ("dense", "structured", "auto"); empty = auto.
+  std::string backend;
 
   unsigned max_k_or(unsigned def) const { return max_k ? *max_k : def; }
+  /// Same, additionally clamped to the dense-simulation envelope — for
+  /// experiments that materialize LDisjInstance words or 2^{2k}-sized
+  /// tables (k in [1, 10]); only backend-aware sweeps (E19) may go higher.
+  unsigned dense_max_k_or(unsigned def) const {
+    const unsigned k = max_k_or(def);
+    return k < 10 ? k : 10;
+  }
   int trials_or(int def) const { return trials ? *trials : def; }
 
-  /// QOLS_MAX_K / QOLS_TRIALS with validation (see bench_common.hpp).
+  /// QOLS_MAX_K / QOLS_TRIALS / QOLS_BACKEND with validation (see
+  /// bench_common.hpp and qols/backend/registry.hpp).
   static RunConfig from_env();
 };
 

@@ -24,6 +24,12 @@ MetricRecord metric_from_result(std::string label, std::int64_t k,
   m.classical_bits = result.space.classical_bits;
   m.qubits = result.space.qubits;
   m.wall_seconds = wall_seconds;
+  if (result.not_simulated > 0) {
+    // Trials whose decision procedure could not actually run; never fold
+    // these silently into the acceptance rate.
+    m.extra.emplace_back("not_simulated",
+                         static_cast<double>(result.not_simulated));
+  }
   return m;
 }
 
@@ -94,7 +100,9 @@ void JsonReporter::set_config(const std::string& key, Value v) {
 
 Value JsonReporter::document() const {
   auto doc = Value::object();
-  doc.set("schema", "qols-bench/1");
+  // Schema history: /1 = PR 2 (engine + registry + JSON results);
+  // /2 adds config.backend and per-metric extra.not_simulated.
+  doc.set("schema", "qols-bench/2");
   doc.set("config", config_);
   doc.set("experiments", experiments_);
   return doc;

@@ -1,0 +1,89 @@
+#pragma once
+// DenseBackend: the QuantumBackend adapter over the exact dense StateVector.
+// Reference semantics for every other backend — the differential suite
+// (tests/test_backend_differential.cpp) pins StructuredBackend against it.
+//
+// Cost model: one-qubit gates and the diffusion are O(2^n); the A3 fast
+// paths are O(2^{n - index width}); memory is 16 bytes * 2^n, which caps the
+// feasible A3 depth at k ~ 10-14 (2k+2 <= 30 qubits).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "qols/backend/quantum_backend.hpp"
+
+namespace qols::backend {
+
+class DenseBackend final : public QuantumBackend {
+ public:
+  /// |0...0> on `num_qubits` (1..30; StateVector validates).
+  explicit DenseBackend(unsigned num_qubits) : state_(num_qubits) {}
+
+  std::string_view id() const noexcept override { return "dense"; }
+  unsigned num_qubits() const noexcept override {
+    return state_.num_qubits();
+  }
+  void reset() override { state_.reset(); }
+
+  void apply_h(unsigned q) override { state_.apply_h(q); }
+  void apply_x(unsigned q) override { state_.apply_x(q); }
+  void apply_z(unsigned q) override { state_.apply_z(q); }
+
+  void apply_mcx(std::span<const ControlTerm> controls,
+                 unsigned target) override {
+    state_.apply_mcx(controls, target);
+  }
+  void apply_mcz(std::span<const ControlTerm> controls) override {
+    state_.apply_mcz(controls);
+  }
+
+  void apply_h_range(unsigned first, unsigned count) override {
+    state_.apply_h_range(first, count);
+  }
+  void apply_reflect_zero(unsigned first, unsigned count) override {
+    state_.apply_reflect_zero(first, count);
+  }
+  void apply_grover_diffusion(unsigned first, unsigned count) override {
+    // U_k S_k U_k expanded exactly as GroverStreamer historically applied
+    // it, so dense results stay bit-identical to the pre-backend code.
+    state_.apply_h_range(first, count);
+    state_.apply_reflect_zero(first, count);
+    state_.apply_h_range(first, count);
+  }
+  void apply_phase_flip_set(std::span<const std::uint64_t> marked) override {
+    state_.apply_phase_flip_set(marked);
+  }
+  void apply_x_on_index(unsigned first, unsigned count, std::uint64_t index,
+                        unsigned target) override {
+    state_.apply_x_on_index(first, count, index, target);
+  }
+  void apply_z_on_index(unsigned first, unsigned count, std::uint64_t index,
+                        unsigned h) override {
+    state_.apply_z_on_index(first, count, index, h);
+  }
+  void apply_cx_on_index(unsigned first, unsigned count, std::uint64_t index,
+                         unsigned h, unsigned target) override {
+    state_.apply_cx_on_index(first, count, index, h, target);
+  }
+
+  double probability_one(unsigned q) const override {
+    return state_.probability_one(q);
+  }
+  bool measure(unsigned q, util::Rng& rng) override {
+    return state_.measure(q, rng);
+  }
+  Amplitude amplitude(std::uint64_t basis) const override {
+    return state_.amplitude(static_cast<std::size_t>(basis));
+  }
+  double norm() const override { return state_.norm(); }
+
+  const quantum::StateVector* dense_state() const noexcept override {
+    return &state_;
+  }
+
+ private:
+  quantum::StateVector state_;
+};
+
+}  // namespace qols::backend

@@ -1,0 +1,82 @@
+#pragma once
+// String-keyed backend registry/factory.
+//
+// Backends are addressed by stable ids ("dense", "structured") everywhere a
+// human or a config chooses one: GroverStreamer::Options::backend, the
+// qols_bench --backend flag, and the QOLS_BACKEND environment override. The
+// distinguished id "auto" (or an empty string) defers the choice to
+// resolve_backend_id(), which picks the cheapest backend whose ceiling
+// covers the instance's k — dense inside the dense wall, structured past it,
+// "not simulated" beyond both.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qols/backend/quantum_backend.hpp"
+
+namespace qols::backend {
+
+inline constexpr std::string_view kAutoBackendId = "auto";
+inline constexpr std::string_view kDenseBackendId = "dense";
+inline constexpr std::string_view kStructuredBackendId = "structured";
+
+/// One registered backend: identity plus a constructor.
+struct BackendFactory {
+  std::string id;
+  std::string description;
+  /// Largest A3 depth k (data register 2k+2, index register 2k) the backend
+  /// can instantiate at all, regardless of the caller's own ceilings —
+  /// dense is memory-bound at k = 14 (30 qubits), structured is capped by
+  /// 64-bit index arithmetic.
+  unsigned hard_max_k;
+  std::function<std::unique_ptr<QuantumBackend>(unsigned num_qubits,
+                                                unsigned index_width)>
+      create;
+};
+
+class BackendRegistry {
+ public:
+  void add(BackendFactory factory);
+
+  const std::vector<BackendFactory>& factories() const noexcept {
+    return factories_;
+  }
+  /// Exact id lookup; nullptr when absent ("auto" is not a factory).
+  const BackendFactory* find(std::string_view id) const noexcept;
+  std::vector<std::string> ids() const;
+
+  /// The process-wide registry with dense + structured pre-registered.
+  static BackendRegistry& global();
+
+ private:
+  std::vector<BackendFactory> factories_;
+};
+
+/// Constructs backend `id` from the global registry. Throws
+/// std::invalid_argument on an unknown id (including "auto": resolve first).
+std::unique_ptr<QuantumBackend> make_backend(std::string_view id,
+                                             unsigned num_qubits,
+                                             unsigned index_width);
+
+/// Backend selection for an A3 instance of depth k.
+///   - explicit `requested` id: honored up to min(its caller ceiling, its
+///     hard_max_k); nullopt past that ("not simulated");
+///   - empty / "auto": dense while k <= max_dense_k, else structured while
+///     k <= max_structured_k, else nullopt.
+/// Caller ceilings are GroverStreamer's max_sim_k / max_structured_k knobs.
+/// Throws std::invalid_argument if `requested` names an unknown backend.
+std::optional<std::string> resolve_backend_id(std::string_view requested,
+                                              unsigned k,
+                                              unsigned max_dense_k,
+                                              unsigned max_structured_k);
+
+/// The QOLS_BACKEND environment override, read and validated once per
+/// process: a registered id or "auto"; anything else warns on stderr and is
+/// ignored. nullopt when unset/invalid.
+const std::optional<std::string>& env_backend_override();
+
+}  // namespace qols::backend

@@ -34,6 +34,8 @@ class AmplifiedRecognizer final : public machine::OnlineRecognizer {
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override;
+  /// Honest only if every copy's decision procedure actually ran.
+  bool fully_simulated() const override;
 
   std::uint64_t copies() const noexcept { return inner_.size(); }
 

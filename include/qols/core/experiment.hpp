@@ -29,6 +29,10 @@ struct ExperimentOptions {
 struct ExperimentResult {
   std::uint64_t trials = 0;
   std::uint64_t accepts = 0;
+  /// Trials whose machine reported fully_simulated() == false (decision
+  /// placeholder, not an honest run) — surfaced by the reporters instead of
+  /// silently counting as rejects.
+  std::uint64_t not_simulated = 0;
   machine::SpaceReport space;  ///< from trial 0 (space is seed-stable)
 
   double rate() const noexcept {

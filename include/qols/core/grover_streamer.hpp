@@ -14,8 +14,14 @@
 // Register layout: qubits [0, 2k) = index register, qubit 2k = h (the oracle
 // workspace), qubit 2k+1 = l (the AND result R_y writes). Because each
 // streamed bit fixes the *entire* index register, its gate touches O(1)
-// amplitudes — the per-symbol cost of the simulation is constant and the
-// per-repetition diffusion costs O(2^{2k}).
+// amplitudes — the per-symbol cost of the simulation is constant.
+//
+// Simulation runs through a pluggable backend::QuantumBackend chosen per
+// instance (see qols/backend/registry.hpp): the dense StateVector while
+// k <= max_sim_k, the symmetry-aware structured backend past the dense wall
+// up to max_structured_k, and — beyond every ceiling — an explicit
+// *not simulated* status (finish_output() == kNotSimulated) instead of a
+// silently absent decision.
 //
 // Gate-level mode: the same per-bit schedule is additionally lowered to the
 // paper's {H, T, CNOT} alphabet through a CircuitBuilder writing to any
@@ -26,9 +32,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
+#include "qols/backend/quantum_backend.hpp"
 #include "qols/gates/builder.hpp"
-#include "qols/quantum/state_vector.hpp"
 #include "qols/stream/symbol_stream.hpp"
 #include "qols/util/rng.hpp"
 
@@ -37,13 +44,25 @@ namespace qols::core {
 class GroverStreamer {
  public:
   struct Options {
-    /// Simulate the state vector (needed for decisions/probabilities).
+    /// Simulate the register (needed for decisions/probabilities).
     bool simulate = true;
     /// If set, also lower every operation to {H,T,CNOT} into this sink.
     gates::GateSink* gate_sink = nullptr;
-    /// Largest k the simulator will instantiate (2k+2 qubits).
+    /// Backend id ("dense", "structured"), or empty/"auto" to pick per k —
+    /// the QOLS_BACKEND environment override applies only when empty.
+    /// Unknown ids throw std::invalid_argument at construction.
+    std::string backend{};
+    /// Largest k the dense simulator will instantiate (2k+2 qubits).
     unsigned max_sim_k = 10;
+    /// Largest k the structured backend is auto-selected for; past this the
+    /// run is reported as not simulated.
+    unsigned max_structured_k = 16;
   };
+
+  /// finish_output() value when the register could not be simulated (k
+  /// beyond every backend ceiling): the caller must surface the missing
+  /// decision instead of treating the word as decided.
+  static constexpr int kNotSimulated = -1;
 
   explicit GroverStreamer(util::Rng rng);
   GroverStreamer(util::Rng rng, Options opts);
@@ -52,7 +71,8 @@ class GroverStreamer {
   void feed(stream::Symbol s);
 
   /// A3's output: 1 if the measured ancilla was 0 ("looks disjoint"),
-  /// 0 otherwise. Performs the projective measurement using this streamer's
+  /// 0 otherwise, kNotSimulated if the register exceeded every backend
+  /// ceiling. Performs the projective measurement using this streamer's
   /// RNG. Call once, after the stream ends.
   int finish_output();
 
@@ -60,6 +80,9 @@ class GroverStreamer {
   /// rejection probability on consistent intersecting inputs, equal to
   /// sin^2((2j+1) theta). Available before finish_output().
   double probability_output_zero() const;
+
+  /// True iff a simulating run was requested but no backend could cover k.
+  bool not_simulated() const noexcept { return overflow_; }
 
   /// The Grover iteration count drawn in step 2 (after the prefix is read).
   std::optional<std::uint64_t> chosen_j() const noexcept {
@@ -77,11 +100,24 @@ class GroverStreamer {
   /// counters — O(k) total.
   std::uint64_t classical_bits_used() const noexcept;
 
+  /// The same accounting as classical_bits_used() for a hypothetical run at
+  /// depth k — the single source of truth for A3's classical footprint
+  /// (experiment E19 reports it for runs it drives at backend level).
+  static std::uint64_t classical_bits_for(unsigned k) noexcept;
+
   /// Total {H,T,CNOT} gates emitted (gate-level mode only).
   std::uint64_t gates_emitted() const noexcept;
 
-  /// Read-only view of the simulated register (tests).
-  const quantum::StateVector* state() const noexcept { return state_.get(); }
+  /// The simulating backend, or nullptr (not simulating / not yet active).
+  const backend::QuantumBackend* simulation_backend() const noexcept {
+    return backend_.get();
+  }
+
+  /// Read-only view of the dense register when the dense backend is active
+  /// (tests, gate-level replay comparisons); nullptr otherwise.
+  const quantum::StateVector* state() const noexcept {
+    return backend_ ? backend_->dense_state() : nullptr;
+  }
 
  private:
   void on_bit(bool bit);
@@ -94,7 +130,7 @@ class GroverStreamer {
   bool in_prefix_ = true;
   unsigned k_ = 0;
   bool active_ = false;   // simulating (shape plausible, k within range)
-  bool overflow_ = false; // k exceeded max_sim_k: cannot simulate honestly
+  bool overflow_ = false; // k exceeded every ceiling: cannot simulate honestly
 
   std::uint64_t m_ = 0;     // 2^{2k}
   std::uint64_t j_ = 0;     // Grover iterations to run
@@ -103,7 +139,7 @@ class GroverStreamer {
   std::uint64_t off_ = 0;   // offset within the current block
   bool done_ = false;       // step 4 finished; ignore the rest
 
-  std::unique_ptr<quantum::StateVector> state_;
+  std::unique_ptr<backend::QuantumBackend> backend_;
   std::unique_ptr<gates::CircuitBuilder> builder_;
 };
 

@@ -32,9 +32,15 @@ namespace qols::core {
 class QuantumOnlineRecognizer final : public machine::OnlineRecognizer {
  public:
   struct Options {
-    /// Forwarded to the A3 streamer (gate-level lowering etc.).
+    /// Forwarded to the A3 streamer (backend selection, gate-level
+    /// lowering etc.).
     GroverStreamer::Options a3;
   };
+
+  /// Three-valued decision: kNotSimulated flags that A1/A2 passed but A3's
+  /// register exceeded every simulation backend's ceiling, so no honest
+  /// accept/reject exists for this run.
+  enum class Verdict { kAccept, kReject, kNotSimulated };
 
   explicit QuantumOnlineRecognizer(std::uint64_t seed);
   QuantumOnlineRecognizer(std::uint64_t seed, Options opts);
@@ -44,9 +50,15 @@ class QuantumOnlineRecognizer final : public machine::OnlineRecognizer {
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "quantum"; }
+  bool fully_simulated() const override { return !a3_->not_simulated(); }
+
+  /// The explicit three-valued decision; finish() maps kNotSimulated to
+  /// reject (never claim membership on a word the machine could not run).
+  Verdict verdict();
 
   /// Exact acceptance probability of THIS run (fixed coin flips j and t,
-  /// exact measurement statistics): 0 if A1/A2 already rejected, else
+  /// exact measurement statistics): 0 if A1/A2 already rejected or if the
+  /// register could not be simulated (consistent with verdict()), else
   /// P[l measures 0]. Usable instead of finish() for low-variance
   /// experiment estimates. Does not collapse the state.
   double exact_acceptance_probability();

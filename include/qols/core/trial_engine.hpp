@@ -19,6 +19,7 @@
 // force serial execution, or tune the sharding grain.
 
 #include <cstddef>
+#include <functional>
 
 #include "qols/core/experiment.hpp"
 #include "qols/util/thread_pool.hpp"
@@ -37,8 +38,29 @@ class TrialEngine {
     std::size_t grain = 1;
   };
 
+  /// The outcome of one independent trial for run_trials: the decision,
+  /// whether the machine's decision procedure actually ran (see
+  /// OnlineRecognizer::fully_simulated), and its conceptual space.
+  struct TrialOutcome {
+    bool accepted = false;
+    bool simulated = true;
+    machine::SpaceReport space;
+  };
+  /// A pure function of the trial seed — run_trials invokes it concurrently
+  /// unless configured serial.
+  using TrialFn = std::function<TrialOutcome(std::uint64_t seed)>;
+
   TrialEngine() = default;
   explicit TrialEngine(Config config) : config_(config) {}
+
+  /// The generic engine core: runs opts.trials independent trials of
+  /// `trial` (seeded seed_base + i), aggregating accepts and not-simulated
+  /// counts as order-independent sums and taking the space report from
+  /// trial 0 exactly. Stream/recognizer pairs ride through
+  /// measure_acceptance below; backend-level drivers (e.g. experiment E19's
+  /// structured Grover evolution) call this directly.
+  ExperimentResult run_trials(const TrialFn& trial,
+                              const ExperimentOptions& opts) const;
 
   /// Runs opts.trials independent trials (recognizer seeded seed_base + i,
   /// fed a fresh stream) and aggregates accepts. Factories are invoked

@@ -48,6 +48,14 @@ class OnlineRecognizer {
 
   /// Short human-readable identifier for tables ("quantum", "block", ...).
   virtual std::string name() const = 0;
+
+  /// False when the machine's decision procedure could not actually be run
+  /// on the last input (e.g. the quantum register exceeded every simulation
+  /// backend's ceiling), so finish()'s value is a placeholder rather than
+  /// the modeled machine's answer. Experiment drivers surface this count
+  /// explicitly (ExperimentResult::not_simulated) instead of letting such
+  /// trials pass as ordinary decisions.
+  virtual bool fully_simulated() const { return true; }
 };
 
 /// Streams `input` through `rec` (which must be freshly reset) and returns

@@ -1,0 +1,119 @@
+#include "qols/backend/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+#include "qols/backend/dense_backend.hpp"
+#include "qols/backend/structured_backend.hpp"
+
+namespace qols::backend {
+
+void BackendRegistry::add(BackendFactory factory) {
+  factories_.push_back(std::move(factory));
+}
+
+const BackendFactory* BackendRegistry::find(
+    std::string_view id) const noexcept {
+  for (const auto& f : factories_) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BackendRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& f : factories_) out.push_back(f.id);
+  return out;
+}
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry registry = [] {
+    BackendRegistry r;
+    r.add({.id = std::string(kDenseBackendId),
+           .description =
+               "exact 2^n-amplitude StateVector (reference semantics)",
+           // 2k+2 <= 30 qubits: the StateVector ceiling.
+           .hard_max_k = 14,
+           .create = [](unsigned num_qubits, unsigned index_width) {
+             (void)index_width;  // dense keeps no register split
+             return std::unique_ptr<QuantumBackend>(
+                 std::make_unique<DenseBackend>(num_qubits));
+           }});
+    r.add({.id = std::string(kStructuredBackendId),
+           .description =
+               "amplitude-equivalence-class simulation; O(#classes) per A3 "
+               "operation",
+           // Index register 2k <= 58 bits keeps 64-bit index arithmetic.
+           .hard_max_k = 29,
+           .create = [](unsigned num_qubits, unsigned index_width) {
+             return std::unique_ptr<QuantumBackend>(
+                 std::make_unique<StructuredBackend>(num_qubits,
+                                                     index_width));
+           }});
+    return r;
+  }();
+  return registry;
+}
+
+std::unique_ptr<QuantumBackend> make_backend(std::string_view id,
+                                             unsigned num_qubits,
+                                             unsigned index_width) {
+  const BackendFactory* f = BackendRegistry::global().find(id);
+  if (f == nullptr) {
+    throw std::invalid_argument("unknown quantum backend '" + std::string(id) +
+                                "' (registered: dense, structured)");
+  }
+  return f->create(num_qubits, index_width);
+}
+
+std::optional<std::string> resolve_backend_id(std::string_view requested,
+                                              unsigned k,
+                                              unsigned max_dense_k,
+                                              unsigned max_structured_k) {
+  BackendRegistry& reg = BackendRegistry::global();
+  if (!requested.empty() && requested != kAutoBackendId) {
+    const BackendFactory* f = reg.find(requested);
+    if (f == nullptr) {
+      throw std::invalid_argument("unknown quantum backend '" +
+                                  std::string(requested) +
+                                  "' (registered: dense, structured)");
+    }
+    const unsigned caller_ceiling = requested == kDenseBackendId
+                                        ? max_dense_k
+                                        : max_structured_k;
+    if (k > std::min(caller_ceiling, f->hard_max_k)) return std::nullopt;
+    return std::string(requested);
+  }
+  const BackendFactory* dense = reg.find(kDenseBackendId);
+  if (dense != nullptr && k <= std::min(max_dense_k, dense->hard_max_k)) {
+    return std::string(kDenseBackendId);
+  }
+  const BackendFactory* structured = reg.find(kStructuredBackendId);
+  if (structured != nullptr &&
+      k <= std::min(max_structured_k, structured->hard_max_k)) {
+    return std::string(kStructuredBackendId);
+  }
+  return std::nullopt;
+}
+
+const std::optional<std::string>& env_backend_override() {
+  static const std::optional<std::string> cached =
+      []() -> std::optional<std::string> {
+    const char* raw = std::getenv("QOLS_BACKEND");
+    if (raw == nullptr || *raw == '\0') return std::nullopt;
+    const std::string_view value(raw);
+    if (value == kAutoBackendId) return std::nullopt;  // auto == default
+    if (BackendRegistry::global().find(value) == nullptr) {
+      std::cerr << "qols: ignoring QOLS_BACKEND='" << value
+                << "' (registered: dense, structured, auto)\n";
+      return std::nullopt;
+    }
+    return std::string(value);
+  }();
+  return cached;
+}
+
+}  // namespace qols::backend

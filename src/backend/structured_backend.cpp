@@ -1,0 +1,485 @@
+#include "qols/backend/structured_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace qols::backend {
+
+namespace {
+
+bool same_amps(const std::vector<Amplitude>& a,
+               const std::vector<Amplitude>& b) {
+  // Bit-exact comparison: coalescing must never change the represented
+  // state, only its factorization into classes.
+  return a == b;
+}
+
+}  // namespace
+
+StructuredBackend::StructuredBackend(unsigned num_qubits, unsigned index_width)
+    : num_qubits_(num_qubits), index_width_(index_width) {
+  if (index_width == 0 || index_width >= num_qubits) {
+    throw std::invalid_argument(
+        "StructuredBackend: index_width must be in [1, num_qubits)");
+  }
+  if (index_width > 58 || num_qubits - index_width > 16) {
+    throw std::invalid_argument(
+        "StructuredBackend: index register capped at 58 qubits, tail at 16");
+  }
+  tail_width_ = num_qubits - index_width;
+  index_size_ = std::uint64_t{1} << index_width_;
+  sectors_ = std::size_t{1} << tail_width_;
+  reset();
+}
+
+void StructuredBackend::reset() {
+  classes_.clear();
+  // |0...0>: index 0 carries the whole state; everything else has a zero
+  // tail vector and lives in the rest class.
+  AmpClass zero;
+  zero.amp.assign(sectors_, Amplitude{0.0, 0.0});
+  zero.amp[0] = Amplitude{1.0, 0.0};
+  zero.count = 1;
+  zero.members.insert(0);
+  AmpClass rest;
+  rest.amp.assign(sectors_, Amplitude{0.0, 0.0});
+  rest.count = index_size_ - 1;
+  rest.is_rest = true;
+  classes_.push_back(std::move(zero));
+  classes_.push_back(std::move(rest));
+  peak_classes_ = classes_.size();
+}
+
+std::size_t StructuredBackend::explicit_index_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.members.size();
+  return n;
+}
+
+std::size_t StructuredBackend::find_class(std::uint64_t index) const {
+  std::size_t rest = classes_.size();
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].is_rest) {
+      rest = i;
+    } else if (classes_[i].members.contains(index)) {
+      return i;
+    }
+  }
+  return rest;
+}
+
+std::size_t StructuredBackend::isolate(std::uint64_t index) {
+  const std::size_t owner = find_class(index);
+  AmpClass& c = classes_[owner];
+  if (!c.is_rest && c.count == 1) return owner;
+  if (c.is_rest) {
+    --c.count;
+  } else {
+    c.members.erase(index);
+    --c.count;
+  }
+  AmpClass single;
+  single.amp = c.amp;
+  single.count = 1;
+  single.members.insert(index);
+  classes_.push_back(std::move(single));
+  peak_classes_ = std::max(peak_classes_, classes_.size());
+  return classes_.size() - 1;
+}
+
+void StructuredBackend::coalesce() {
+  // Merge identical-amplitude classes (invariant I3). Quadratic in the
+  // class count, which I3 itself keeps tiny (A3 peaks at ~6).
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    for (std::size_t j = classes_.size(); j-- > i + 1;) {
+      if (!same_amps(classes_[i].amp, classes_[j].amp)) continue;
+      // Absorb j into i; if either is the rest class, the survivor is rest
+      // (explicit members dissolve into the complement).
+      AmpClass& a = classes_[i];
+      AmpClass& b = classes_[j];
+      a.count += b.count;
+      if (a.is_rest || b.is_rest) {
+        a.is_rest = true;
+        a.members.clear();
+      } else if (a.members.size() < b.members.size()) {
+        b.members.insert(a.members.begin(), a.members.end());
+        a.members = std::move(b.members);
+      } else {
+        a.members.insert(b.members.begin(), b.members.end());
+      }
+      classes_.erase(classes_.begin() +
+                     static_cast<std::ptrdiff_t>(j));
+    }
+  }
+  // Drop emptied explicit classes (the rest class stays even at count 0 so
+  // invariant I1's "exactly one rest class" holds unconditionally).
+  std::erase_if(classes_, [](const AmpClass& c) {
+    return !c.is_rest && c.count == 0;
+  });
+  peak_classes_ = std::max(peak_classes_, classes_.size());
+}
+
+void StructuredBackend::require_full_index_range(unsigned first, unsigned count,
+                                                 const char* op) const {
+  if (first != 0 || count != index_width_) {
+    throw UnsupportedOperation(
+        std::string(op) + " on a sub-range of the index register");
+  }
+}
+
+unsigned StructuredBackend::tail_bit(unsigned q, const char* op) const {
+  if (q < index_width_ || q >= num_qubits_) {
+    throw UnsupportedOperation(std::string(op) +
+                               " on index-register qubit " + std::to_string(q));
+  }
+  return q - index_width_;
+}
+
+double StructuredBackend::sector_norm(const AmpClass& c) const {
+  double s = 0.0;
+  for (const Amplitude& a : c.amp) s += std::norm(a);
+  return s;
+}
+
+// --- single-qubit gates ----------------------------------------------------
+
+void StructuredBackend::apply_h(unsigned q) {
+  const unsigned b = tail_bit(q, "H");
+  const std::size_t bit = std::size_t{1} << b;
+  constexpr double inv_sqrt2 = std::numbers::sqrt2 / 2.0;
+  for (AmpClass& c : classes_) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      if (s & bit) continue;
+      const Amplitude lo = c.amp[s];
+      const Amplitude hi = c.amp[s | bit];
+      c.amp[s] = (lo + hi) * inv_sqrt2;
+      c.amp[s | bit] = (lo - hi) * inv_sqrt2;
+    }
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_x(unsigned q) {
+  if (q < index_width_) {
+    // X on an index qubit permutes basis indices i -> i ^ bit. Explicit
+    // member sets are re-keyed; the rest class is the complement of the
+    // explicit sets, and complements are preserved by any permutation.
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (AmpClass& c : classes_) {
+      if (c.is_rest) continue;
+      std::unordered_set<std::uint64_t> moved;
+      moved.reserve(c.members.size());
+      for (std::uint64_t i : c.members) moved.insert(i ^ bit);
+      c.members = std::move(moved);
+    }
+    return;
+  }
+  const std::size_t bit = std::size_t{1} << tail_bit(q, "X");
+  for (AmpClass& c : classes_) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      if (!(s & bit)) std::swap(c.amp[s], c.amp[s | bit]);
+    }
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_z(unsigned q) {
+  const std::size_t bit = std::size_t{1} << tail_bit(q, "Z");
+  for (AmpClass& c : classes_) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      if (s & bit) c.amp[s] = -c.amp[s];
+    }
+  }
+  coalesce();
+}
+
+// --- pattern-controlled gates ----------------------------------------------
+
+namespace {
+
+struct SplitControls {
+  std::uint64_t index_mask = 0;
+  std::uint64_t index_want = 0;
+  std::size_t tail_mask = 0;
+  std::size_t tail_want = 0;
+};
+
+}  // namespace
+
+void StructuredBackend::apply_mcx(std::span<const ControlTerm> controls,
+                                  unsigned target) {
+  SplitControls sc;
+  for (const ControlTerm& c : controls) {
+    if (c.qubit < index_width_) {
+      sc.index_mask |= std::uint64_t{1} << c.qubit;
+      if (c.value) sc.index_want |= std::uint64_t{1} << c.qubit;
+    } else {
+      const std::size_t bit = std::size_t{1} << (c.qubit - index_width_);
+      sc.tail_mask |= bit;
+      if (c.value) sc.tail_want |= bit;
+    }
+  }
+  const std::size_t tbit = std::size_t{1} << tail_bit(target, "MCX target");
+  auto flip_sectors = [&](AmpClass& c) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      if (s & tbit) continue;
+      // Controls never include the target, so both pair halves agree on
+      // the control condition.
+      if ((s & sc.tail_mask) != sc.tail_want) continue;
+      std::swap(c.amp[s], c.amp[s | tbit]);
+    }
+  };
+  if (sc.index_mask == 0) {
+    for (AmpClass& c : classes_) flip_sectors(c);
+  } else if (sc.index_mask == index_size_ - 1) {
+    flip_sectors(classes_[isolate(sc.index_want)]);
+  } else {
+    throw UnsupportedOperation(
+        "MCX with a partial index-register control pattern");
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_mcz(std::span<const ControlTerm> controls) {
+  SplitControls sc;
+  for (const ControlTerm& c : controls) {
+    if (c.qubit < index_width_) {
+      sc.index_mask |= std::uint64_t{1} << c.qubit;
+      if (c.value) sc.index_want |= std::uint64_t{1} << c.qubit;
+    } else {
+      const std::size_t bit = std::size_t{1} << (c.qubit - index_width_);
+      sc.tail_mask |= bit;
+      if (c.value) sc.tail_want |= bit;
+    }
+  }
+  auto phase_sectors = [&](AmpClass& c) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      if ((s & sc.tail_mask) == sc.tail_want) c.amp[s] = -c.amp[s];
+    }
+  };
+  if (sc.index_mask == 0) {
+    for (AmpClass& c : classes_) phase_sectors(c);
+  } else if (sc.index_mask == index_size_ - 1) {
+    phase_sectors(classes_[isolate(sc.index_want)]);
+  } else {
+    throw UnsupportedOperation(
+        "MCZ with a partial index-register control pattern");
+  }
+  coalesce();
+}
+
+// --- structured A3 operators -----------------------------------------------
+
+void StructuredBackend::apply_h_range(unsigned first, unsigned count) {
+  require_full_index_range(first, count, "H range");
+  // H^{(x)w} is only representable at the two endpoints A3 uses: preparing
+  // the uniform superposition from an index-0 product state, and (its
+  // inverse) collapsing a single-class state back onto index 0.
+  const double root_m = std::sqrt(static_cast<double>(index_size_));
+  if (classes_.size() == 1) {
+    // Uniform class -> all amplitude onto index 0.
+    AmpClass zero;
+    zero.amp = classes_.front().amp;
+    for (Amplitude& a : zero.amp) a *= root_m;
+    zero.count = 1;
+    zero.members.insert(0);
+    AmpClass rest;
+    rest.amp.assign(sectors_, Amplitude{0.0, 0.0});
+    rest.count = index_size_ - 1;
+    rest.is_rest = true;
+    classes_.clear();
+    classes_.push_back(std::move(zero));
+    classes_.push_back(std::move(rest));
+    coalesce();
+    return;
+  }
+  const std::size_t zero_class = find_class(0);
+  // The inverse direction demands all amplitude on index 0 *alone*: the
+  // class holding index 0 must be the singleton {0} (a larger class means
+  // other indices share its non-trivial amplitude) and every other class
+  // must carry nothing.
+  if (classes_[zero_class].count != 1) {
+    throw UnsupportedOperation(
+        "H range on a state that is neither an index-0 product state nor "
+        "index-uniform");
+  }
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (i == zero_class) continue;
+    if (sector_norm(classes_[i]) != 0.0) {
+      throw UnsupportedOperation(
+          "H range on a state that is neither an index-0 product state nor "
+          "index-uniform");
+    }
+  }
+  AmpClass rest;
+  rest.amp = classes_[zero_class].amp;
+  for (Amplitude& a : rest.amp) a /= root_m;
+  rest.count = index_size_;
+  rest.is_rest = true;
+  classes_.clear();
+  classes_.push_back(std::move(rest));
+  peak_classes_ = std::max(peak_classes_, classes_.size());
+}
+
+void StructuredBackend::apply_reflect_zero(unsigned first, unsigned count) {
+  require_full_index_range(first, count, "reflect-zero");
+  const std::size_t zero_class = isolate(0);
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (i == zero_class) continue;
+    for (Amplitude& a : classes_[i].amp) a = -a;
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_grover_diffusion(unsigned first,
+                                               unsigned count) {
+  require_full_index_range(first, count, "Grover diffusion");
+  // 2|u><u| - I acts sector-wise: within each tail sector s the index
+  // amplitudes reflect about their mean, amp -> 2*mean_s - amp.
+  const double inv_m = 1.0 / static_cast<double>(index_size_);
+  std::vector<Amplitude> mean(sectors_, Amplitude{0.0, 0.0});
+  for (const AmpClass& c : classes_) {
+    const double weight = static_cast<double>(c.count);
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      mean[s] += weight * c.amp[s];
+    }
+  }
+  for (Amplitude& a : mean) a *= inv_m;
+  for (AmpClass& c : classes_) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      c.amp[s] = 2.0 * mean[s] - c.amp[s];
+    }
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_phase_flip_set(
+    std::span<const std::uint64_t> marked) {
+  const std::uint64_t index_mask = index_size_ - 1;
+  for (std::uint64_t basis : marked) {
+    const std::uint64_t i = basis & index_mask;
+    const std::size_t s = static_cast<std::size_t>(basis >> index_width_);
+    AmpClass& c = classes_[isolate(i)];
+    c.amp[s] = -c.amp[s];
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_x_on_index(unsigned first, unsigned count,
+                                         std::uint64_t index,
+                                         unsigned target) {
+  require_full_index_range(first, count, "X-on-index");
+  const std::size_t tbit = std::size_t{1} << tail_bit(target, "X-on-index");
+  AmpClass& c = classes_[isolate(index)];
+  for (std::size_t s = 0; s < sectors_; ++s) {
+    if (!(s & tbit)) std::swap(c.amp[s], c.amp[s | tbit]);
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_z_on_index(unsigned first, unsigned count,
+                                         std::uint64_t index, unsigned h) {
+  require_full_index_range(first, count, "Z-on-index");
+  const std::size_t hbit = std::size_t{1} << tail_bit(h, "Z-on-index");
+  AmpClass& c = classes_[isolate(index)];
+  for (std::size_t s = 0; s < sectors_; ++s) {
+    if (s & hbit) c.amp[s] = -c.amp[s];
+  }
+  coalesce();
+}
+
+void StructuredBackend::apply_cx_on_index(unsigned first, unsigned count,
+                                          std::uint64_t index, unsigned h,
+                                          unsigned target) {
+  require_full_index_range(first, count, "CX-on-index");
+  const std::size_t hbit = std::size_t{1} << tail_bit(h, "CX-on-index");
+  const std::size_t tbit = std::size_t{1} << tail_bit(target, "CX-on-index");
+  AmpClass& c = classes_[isolate(index)];
+  for (std::size_t s = 0; s < sectors_; ++s) {
+    if ((s & hbit) && !(s & tbit)) std::swap(c.amp[s], c.amp[s | tbit]);
+  }
+  coalesce();
+}
+
+// --- measurement / probes --------------------------------------------------
+
+double StructuredBackend::probability_one(unsigned q) const {
+  if (q >= num_qubits_) {
+    throw UnsupportedOperation("probability of out-of-range qubit");
+  }
+  if (q >= index_width_) {
+    const std::size_t bit = std::size_t{1} << (q - index_width_);
+    double p = 0.0;
+    for (const AmpClass& c : classes_) {
+      double sector_mass = 0.0;
+      for (std::size_t s = 0; s < sectors_; ++s) {
+        if (s & bit) sector_mass += std::norm(c.amp[s]);
+      }
+      p += static_cast<double>(c.count) * sector_mass;
+    }
+    return p;
+  }
+  // Index-register qubit: count members with the bit set per class; the
+  // rest class holds the complement of every explicit set.
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  std::uint64_t explicit_with_bit = 0;
+  double p = 0.0;
+  double rest_norm = 0.0;
+  for (const AmpClass& c : classes_) {
+    if (c.is_rest) {
+      rest_norm = sector_norm(c);
+      continue;
+    }
+    std::uint64_t with_bit = 0;
+    for (std::uint64_t i : c.members) {
+      if (i & bit) ++with_bit;
+    }
+    explicit_with_bit += with_bit;
+    p += static_cast<double>(with_bit) * sector_norm(c);
+  }
+  const std::uint64_t total_with_bit = index_size_ / 2;
+  p += static_cast<double>(total_with_bit - explicit_with_bit) * rest_norm;
+  return p;
+}
+
+bool StructuredBackend::measure(unsigned q, util::Rng& rng) {
+  const std::size_t bit = std::size_t{1} << tail_bit(q, "measure");
+  const double p1 = probability_one(q);
+  // Same draw and comparison as StateVector::measure, so backends consume
+  // RNG identically and decisions stay seed-for-seed comparable.
+  const bool outcome = rng.uniform01() < p1;
+  const double keep_p = outcome ? p1 : 1.0 - p1;
+  const double scale = keep_p > 0.0 ? 1.0 / std::sqrt(keep_p) : 0.0;
+  for (AmpClass& c : classes_) {
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      const bool is_one = (s & bit) != 0;
+      if (is_one == outcome) {
+        c.amp[s] *= scale;
+      } else {
+        c.amp[s] = Amplitude{0.0, 0.0};
+      }
+    }
+  }
+  coalesce();
+  return outcome;
+}
+
+Amplitude StructuredBackend::amplitude(std::uint64_t basis) const {
+  const std::uint64_t i = basis & (index_size_ - 1);
+  const std::size_t s = static_cast<std::size_t>(basis >> index_width_);
+  if (s >= sectors_) return Amplitude{0.0, 0.0};
+  return classes_[find_class(i)].amp[s];
+}
+
+double StructuredBackend::norm() const {
+  double total = 0.0;
+  for (const AmpClass& c : classes_) {
+    total += static_cast<double>(c.count) * sector_norm(c);
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace qols::backend

@@ -31,6 +31,13 @@ bool AmplifiedRecognizer::finish() {
   return all;
 }
 
+bool AmplifiedRecognizer::fully_simulated() const {
+  for (const auto& rec : inner_) {
+    if (!rec->fully_simulated()) return false;
+  }
+  return true;
+}
+
 machine::SpaceReport AmplifiedRecognizer::space_used() const {
   machine::SpaceReport total;
   for (const auto& rec : inner_) {

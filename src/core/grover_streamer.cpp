@@ -2,7 +2,10 @@
 
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 #include <vector>
+
+#include "qols/backend/registry.hpp"
 
 namespace qols::core {
 
@@ -13,7 +16,14 @@ GroverStreamer::GroverStreamer(util::Rng rng)
     : GroverStreamer(rng, Options{}) {}
 
 GroverStreamer::GroverStreamer(util::Rng rng, Options opts)
-    : rng_(rng), opts_(opts) {}
+    : rng_(rng), opts_(std::move(opts)) {
+  // Fail fast on a misspelled backend id instead of mid-stream.
+  if (!opts_.backend.empty() && opts_.backend != backend::kAutoBackendId &&
+      backend::BackendRegistry::global().find(opts_.backend) == nullptr) {
+    throw std::invalid_argument("GroverStreamer: unknown backend '" +
+                                opts_.backend + "'");
+  }
+}
 
 void GroverStreamer::feed(Symbol s) {
   if (in_prefix_) {
@@ -23,16 +33,30 @@ void GroverStreamer::feed(Symbol s) {
     }
     if (s == Symbol::kSep && k_ >= 1) {
       in_prefix_ = false;
-      if (k_ > opts_.max_sim_k) {
+      std::optional<std::string> backend_id;
+      if (opts_.simulate) {
+        const std::string requested =
+            !opts_.backend.empty() ? opts_.backend
+                                   : backend::env_backend_override().value_or(
+                                         std::string{});
+        backend_id = backend::resolve_backend_id(
+            requested, k_, opts_.max_sim_k, opts_.max_structured_k);
+        if (!backend_id) {
+          overflow_ = true;  // no backend covers k: explicitly not simulated
+          return;
+        }
+      } else if (k_ > opts_.max_sim_k) {
+        // Non-simulating modes keep the historical max_sim_k envelope for
+        // counters and the gate compiler.
         overflow_ = true;
         return;
       }
       m_ = std::uint64_t{1} << (2 * k_);
       j_ = rng_.below(std::uint64_t{1} << k_);
       const unsigned data_qubits = 2 * k_ + 2;
-      if (opts_.simulate) {
-        state_ = std::make_unique<quantum::StateVector>(data_qubits);
-        state_->apply_h_range(0, 2 * k_);
+      if (backend_id) {
+        backend_ = backend::make_backend(*backend_id, data_qubits, 2 * k_);
+        backend_->apply_h_range(0, 2 * k_);
       }
       if (opts_.gate_sink != nullptr) {
         // mcz_pattern over 2k+1 terms needs 2k ancillas.
@@ -72,7 +96,7 @@ void GroverStreamer::on_bit(bool bit) {
   if (grover_phase) {
     // V_x / W_y / V_z, one streamed bit at a time.
     if (block_ == 0 || block_ == 2) {
-      if (state_) state_->apply_x_on_index(0, 2 * k_, idx, h);
+      if (backend_) backend_->apply_x_on_index(0, 2 * k_, idx, h);
       if (builder_) {
         std::vector<ControlTerm> terms;
         terms.reserve(2 * k_);
@@ -82,7 +106,7 @@ void GroverStreamer::on_bit(bool bit) {
         builder_->mcx_pattern(terms, h);
       }
     } else {
-      if (state_) state_->apply_z_on_index(0, 2 * k_, idx, h);
+      if (backend_) backend_->apply_z_on_index(0, 2 * k_, idx, h);
       if (builder_) {
         std::vector<ControlTerm> terms;
         terms.reserve(2 * k_ + 1);
@@ -97,7 +121,7 @@ void GroverStreamer::on_bit(bool bit) {
   }
   // Step 4 (repetition j+1): V_x on the x-block, R_y on the y-block.
   if (block_ == 0) {
-    if (state_) state_->apply_x_on_index(0, 2 * k_, idx, h);
+    if (backend_) backend_->apply_x_on_index(0, 2 * k_, idx, h);
     if (builder_) {
       std::vector<ControlTerm> terms;
       terms.reserve(2 * k_);
@@ -107,7 +131,7 @@ void GroverStreamer::on_bit(bool bit) {
       builder_->mcx_pattern(terms, h);
     }
   } else if (block_ == 1) {
-    if (state_) state_->apply_cx_on_index(0, 2 * k_, idx, h, l);
+    if (backend_) backend_->apply_cx_on_index(0, 2 * k_, idx, h, l);
     if (builder_) {
       std::vector<ControlTerm> terms;
       terms.reserve(2 * k_ + 1);
@@ -141,11 +165,7 @@ void GroverStreamer::on_sep() {
 }
 
 void GroverStreamer::apply_diffusion() {
-  if (state_) {
-    state_->apply_h_range(0, 2 * k_);
-    state_->apply_reflect_zero(0, 2 * k_);
-    state_->apply_h_range(0, 2 * k_);
-  }
+  if (backend_) backend_->apply_grover_diffusion(0, 2 * k_);
   if (builder_) {
     builder_->h_range(0, 2 * k_);
     builder_->reflect_zero(0, 2 * k_);  // -S_k; global phase, unobservable
@@ -154,14 +174,14 @@ void GroverStreamer::apply_diffusion() {
 }
 
 double GroverStreamer::probability_output_zero() const {
-  if (!state_) return 0.0;
-  return state_->probability_one(2 * k_ + 1);
+  if (!backend_) return 0.0;
+  return backend_->probability_one(2 * k_ + 1);
 }
 
 int GroverStreamer::finish_output() {
-  if (overflow_) return 1;  // cannot simulate; treated as inert (documented)
-  if (!active_ || !state_) return 1;
-  const bool b = state_->measure(2 * k_ + 1, rng_);
+  if (overflow_) return kNotSimulated;  // no backend covered k
+  if (!active_ || !backend_) return 1;  // simulation not requested: inert
+  const bool b = backend_->measure(2 * k_ + 1, rng_);
   return b ? 0 : 1;
 }
 
@@ -169,13 +189,16 @@ std::uint64_t GroverStreamer::ancilla_qubits_used() const noexcept {
   return builder_ ? builder_->ancillas_high_water() : 0;
 }
 
-std::uint64_t GroverStreamer::classical_bits_used() const noexcept {
-  if (!active_) return 8;
-  const std::uint64_t k = k_;
+std::uint64_t GroverStreamer::classical_bits_for(unsigned k) noexcept {
+  const std::uint64_t kk = k;
   // k counter, j (k bits), repetition counter (k+1), block id (2), offset
   // counter (2k+1), done/active flags.
-  return std::bit_width(std::uint64_t{k} + 1) + k + (k + 1) + 2 + (2 * k + 1) +
-         2;
+  return std::bit_width(kk + 1) + kk + (kk + 1) + 2 + (2 * kk + 1) + 2;
+}
+
+std::uint64_t GroverStreamer::classical_bits_used() const noexcept {
+  if (!active_) return 8;
+  return classical_bits_for(k_);
 }
 
 std::uint64_t GroverStreamer::gates_emitted() const noexcept {

@@ -27,17 +27,25 @@ void QuantumOnlineRecognizer::feed(stream::Symbol s) {
   a3_->feed(s);
 }
 
-bool QuantumOnlineRecognizer::finish() {
+bool QuantumOnlineRecognizer::finish() { return verdict() == Verdict::kAccept; }
+
+QuantumOnlineRecognizer::Verdict QuantumOnlineRecognizer::verdict() {
   finished_ = true;
-  if (!a1_.finish()) return false;
-  if (!a2_->passed()) return false;
-  return a3_->finish_output() == 1;
+  if (!a1_.finish()) return Verdict::kReject;
+  if (!a2_->passed()) return Verdict::kReject;
+  const int out = a3_->finish_output();
+  if (out == GroverStreamer::kNotSimulated) return Verdict::kNotSimulated;
+  return out == 1 ? Verdict::kAccept : Verdict::kReject;
 }
 
 double QuantumOnlineRecognizer::exact_acceptance_probability() {
   finished_ = true;
   if (!a1_.finish()) return 0.0;
   if (!a2_->passed()) return 0.0;
+  // Consistent with verdict()/finish(): a run whose register could not be
+  // simulated contributes no acceptance mass (an un-run A3 must not read as
+  // a certain accept).
+  if (a3_->not_simulated()) return 0.0;
   return 1.0 - a3_->probability_output_zero();
 }
 

@@ -5,27 +5,29 @@
 
 namespace qols::core {
 
-ExperimentResult TrialEngine::measure_acceptance(
-    const StreamFactory& make_stream, const RecognizerFactory& make_recognizer,
-    const ExperimentOptions& opts) const {
+ExperimentResult TrialEngine::run_trials(const TrialFn& trial,
+                                         const ExperimentOptions& opts) const {
   ExperimentResult result;
   result.trials = opts.trials;
   if (opts.trials == 0) return result;
 
   std::atomic<std::uint64_t> accepts{0};
+  std::atomic<std::uint64_t> not_simulated{0};
   // Written only by the shard owning trial 0; published by the pool's
   // wait_idle() barrier before it is read below.
   machine::SpaceReport space;
 
   auto run_range = [&](std::size_t lo, std::size_t hi) {
     std::uint64_t local_accepts = 0;
+    std::uint64_t local_not_simulated = 0;
     for (std::size_t i = lo; i < hi; ++i) {
-      auto rec = make_recognizer(opts.seed_base + i);
-      auto stream = make_stream();
-      if (machine::run_stream(*stream, *rec)) ++local_accepts;
-      if (i == 0) space = rec->space_used();
+      const TrialOutcome outcome = trial(opts.seed_base + i);
+      if (outcome.accepted) ++local_accepts;
+      if (!outcome.simulated) ++local_not_simulated;
+      if (i == 0) space = outcome.space;
     }
     accepts.fetch_add(local_accepts, std::memory_order_relaxed);
+    not_simulated.fetch_add(local_not_simulated, std::memory_order_relaxed);
   };
 
   const auto trials = static_cast<std::size_t>(opts.trials);
@@ -38,8 +40,25 @@ ExperimentResult TrialEngine::measure_acceptance(
   }
 
   result.accepts = accepts.load(std::memory_order_relaxed);
+  result.not_simulated = not_simulated.load(std::memory_order_relaxed);
   result.space = space;
   return result;
+}
+
+ExperimentResult TrialEngine::measure_acceptance(
+    const StreamFactory& make_stream, const RecognizerFactory& make_recognizer,
+    const ExperimentOptions& opts) const {
+  return run_trials(
+      [&](std::uint64_t seed) {
+        auto rec = make_recognizer(seed);
+        auto stream = make_stream();
+        TrialOutcome outcome;
+        outcome.accepted = machine::run_stream(*stream, *rec);
+        outcome.simulated = rec->fully_simulated();
+        outcome.space = rec->space_used();
+        return outcome;
+      },
+      opts);
 }
 
 QualityProfile TrialEngine::measure_quality(

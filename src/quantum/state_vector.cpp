@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
 
 #include "qols/util/thread_pool.hpp"
 
@@ -17,8 +18,15 @@ constexpr std::size_t kParallelGrain = std::size_t{1} << 14;
 }  // namespace
 
 StateVector::StateVector(unsigned num_qubits) : num_qubits_(num_qubits) {
+  // Validate before the allocation: 2^31 amplitudes would already be a
+  // 32 GiB request, so a bad count must fail with a diagnosis, not an
+  // attempted multi-GiB allocation (or worse, a shift past 63 bits).
   if (num_qubits == 0 || num_qubits > 30) {
-    throw std::invalid_argument("StateVector: qubit count must be in [1, 30]");
+    throw std::invalid_argument(
+        "StateVector: num_qubits must be in [1, 30] (16 GiB of amplitudes "
+        "at 30), got " +
+        std::to_string(num_qubits) +
+        "; use the structured backend for larger index registers");
   }
   amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
   amps_[0] = Amplitude{1.0, 0.0};

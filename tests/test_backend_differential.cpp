@@ -1,0 +1,187 @@
+// Differential suite: dense vs structured backends driven through identical
+// streamed instances (same words, same seeds). The acceptance bar from the
+// backend subsystem's introduction: amplitudes agree within 1e-12, and
+// measurement decisions / accept counts match exactly, for every k <= 8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "qols/core/grover_streamer.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::core::GroverStreamer;
+using qols::core::QuantumOnlineRecognizer;
+using qols::core::TrialEngine;
+using qols::lang::LDisjInstance;
+using qols::lang::make_mutant_stream;
+using qols::lang::MutantKind;
+using qols::util::Rng;
+
+GroverStreamer make_streamer(const std::string& backend, std::uint64_t seed) {
+  GroverStreamer::Options opts;
+  opts.backend = backend;
+  // Explicit ids get the ceiling of their kind; keep both wide open to k=8.
+  opts.max_sim_k = 10;
+  opts.max_structured_k = 16;
+  return GroverStreamer{Rng(seed), opts};
+}
+
+void stream_word(GroverStreamer& a3, const std::string& word) {
+  qols::stream::StringStream s(word);
+  while (auto sym = s.next()) a3.feed(*sym);
+}
+
+/// Streams `word` through both backends with the same seed and asserts
+/// amplitude-level agreement (every basis state, 1e-12), matching output
+/// probabilities, and the identical measurement decision.
+void expect_backends_agree(const std::string& word, std::uint64_t seed,
+                           bool compare_amplitudes = true) {
+  GroverStreamer dense = make_streamer("dense", seed);
+  GroverStreamer structured = make_streamer("structured", seed);
+  stream_word(dense, word);
+  stream_word(structured, word);
+
+  ASSERT_EQ(dense.chosen_j(), structured.chosen_j());
+  const auto* dense_backend = dense.simulation_backend();
+  const auto* structured_backend = structured.simulation_backend();
+  if (dense_backend == nullptr || structured_backend == nullptr) {
+    // Word so malformed the register never came up — both must agree.
+    ASSERT_EQ(dense_backend, nullptr);
+    ASSERT_EQ(structured_backend, nullptr);
+  } else if (compare_amplitudes) {
+    const std::uint64_t dim = std::uint64_t{1}
+                              << dense_backend->num_qubits();
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+      const auto ad = dense_backend->amplitude(basis);
+      const auto as = structured_backend->amplitude(basis);
+      ASSERT_NEAR(ad.real(), as.real(), 1e-12)
+          << "basis " << basis << " seed " << seed;
+      ASSERT_NEAR(ad.imag(), as.imag(), 1e-12)
+          << "basis " << basis << " seed " << seed;
+    }
+  }
+  ASSERT_NEAR(dense.probability_output_zero(),
+              structured.probability_output_zero(), 1e-12);
+  ASSERT_EQ(dense.finish_output(), structured.finish_output())
+      << "seed " << seed;
+}
+
+TEST(BackendDifferential, FullStateAgreementSmallK) {
+  Rng rng(1);
+  for (unsigned k = 1; k <= 4; ++k) {
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    for (std::uint64_t t : {std::uint64_t{0}, std::uint64_t{1},
+                            std::uint64_t{2}, m / 2}) {
+      auto inst = t == 0 ? LDisjInstance::make_disjoint(k, rng)
+                         : LDisjInstance::make_with_intersections(k, t, rng);
+      const std::string word = inst.render();
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        expect_backends_agree(word, seed);
+      }
+    }
+  }
+}
+
+TEST(BackendDifferential, MutantWordsAgree) {
+  Rng rng(2);
+  for (unsigned k : {2u, 3u}) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    for (auto kind :
+         {MutantKind::kBadPrefix, MutantKind::kTrailingGarbage,
+          MutantKind::kXZMismatch, MutantKind::kYDrift, MutantKind::kTruncated,
+          MutantKind::kSepInsideBlock}) {
+      auto mutant = make_mutant_stream(inst, kind, rng);
+      const std::string word = qols::stream::materialize(*mutant);
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        expect_backends_agree(word, seed);
+      }
+    }
+  }
+}
+
+TEST(BackendDifferential, AcceptCountsMatchExactlyThroughEngine) {
+  Rng rng(3);
+  const TrialEngine engine;
+  for (unsigned k : {2u, 3u}) {
+    for (std::uint64_t t : {std::uint64_t{0}, std::uint64_t{1}}) {
+      auto inst = t == 0 ? LDisjInstance::make_disjoint(k, rng)
+                         : LDisjInstance::make_with_intersections(k, t, rng);
+      auto measure = [&](const std::string& backend) {
+        QuantumOnlineRecognizer::Options opts;
+        opts.a3.backend = backend;
+        return engine.measure_acceptance(
+            [&] { return inst.stream(); },
+            [opts](std::uint64_t seed) {
+              return std::make_unique<QuantumOnlineRecognizer>(seed, opts);
+            },
+            {.trials = 64, .seed_base = 500 + 100 * k + t});
+      };
+      const auto dense = measure("dense");
+      const auto structured = measure("structured");
+      ASSERT_EQ(dense.accepts, structured.accepts) << "k=" << k << " t=" << t;
+      ASSERT_EQ(dense.not_simulated, 0u);
+      ASSERT_EQ(structured.not_simulated, 0u);
+      ASSERT_EQ(dense.space.qubits, structured.space.qubits);
+      if (t == 0) {
+        ASSERT_EQ(dense.accepts, dense.trials);  // perfect completeness
+      }
+    }
+  }
+}
+
+TEST(BackendDifferential, MidSizeKFullAmplitudeSweep) {
+  // k = 5, 6: full-register amplitude comparison (2^12 / 2^14 basis states).
+  Rng rng(4);
+  for (unsigned k : {5u, 6u}) {
+    auto inst = LDisjInstance::make_with_intersections(k, 1, rng);
+    const std::string word = inst.render();
+    expect_backends_agree(word, /*seed=*/1);
+    expect_backends_agree(word, /*seed=*/7);
+  }
+}
+
+TEST(BackendDifferential, LargeKSevenAndEight) {
+  // The suite's upper bar: k = 7 with a full amplitude sweep (2^16 probes),
+  // k = 8 on probabilities + decisions (the 5*10^7-symbol stream dominates
+  // the runtime; the state comparison adds 2^18 probes).
+  Rng rng(5);
+  {
+    auto inst = LDisjInstance::make_with_intersections(7, 1, rng);
+    expect_backends_agree(inst.render(), /*seed=*/3);
+  }
+  {
+    auto inst = LDisjInstance::make_with_intersections(8, 2, rng);
+    expect_backends_agree(inst.render(), /*seed=*/5,
+                          /*compare_amplitudes=*/true);
+  }
+}
+
+TEST(BackendDifferential, StructuredMatchesGroverClosedFormAtK6) {
+  // Independent anchor: the structured backend's exact output probability
+  // against sin^2((2j+1) theta), with no dense run in the loop.
+  Rng rng(6);
+  const unsigned k = 6;
+  auto inst = LDisjInstance::make_with_intersections(k, 3, rng);
+  const std::string word = inst.render();
+  GroverStreamer structured = make_streamer("structured", 11);
+  stream_word(structured, word);
+  ASSERT_TRUE(structured.chosen_j().has_value());
+  const double theta =
+      std::asin(std::sqrt(3.0 / static_cast<double>(inst.m())));
+  const double expected =
+      std::pow(std::sin((2.0 * static_cast<double>(*structured.chosen_j()) +
+                         1.0) *
+                        theta),
+               2.0);
+  EXPECT_NEAR(structured.probability_output_zero(), expected, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Unit tests: the backend registry/factory — id lookup, unknown-id
+// handling, auto-selection (default backend per k), and the not-simulated
+// surfacing through the trial engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "qols/backend/registry.hpp"
+#include "qols/core/amplified.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using namespace qols::backend;
+using qols::core::QuantumOnlineRecognizer;
+using qols::core::TrialEngine;
+using qols::lang::LDisjInstance;
+using qols::util::Rng;
+
+TEST(BackendRegistry, GlobalHasDenseAndStructured) {
+  auto& reg = BackendRegistry::global();
+  ASSERT_NE(reg.find(kDenseBackendId), nullptr);
+  ASSERT_NE(reg.find(kStructuredBackendId), nullptr);
+  for (const auto& f : reg.factories()) {
+    EXPECT_FALSE(f.id.empty());
+    EXPECT_FALSE(f.description.empty());
+    EXPECT_GE(f.hard_max_k, 1u);
+  }
+  const auto ids = reg.ids();
+  EXPECT_EQ(ids.size(), reg.factories().size());
+}
+
+TEST(BackendRegistry, UnknownIdIsNullAndMakeBackendThrows) {
+  EXPECT_EQ(BackendRegistry::global().find("tensor-network"), nullptr);
+  EXPECT_EQ(BackendRegistry::global().find(""), nullptr);
+  // "auto" is a selection policy, not a factory.
+  EXPECT_EQ(BackendRegistry::global().find(kAutoBackendId), nullptr);
+  EXPECT_THROW(make_backend("tensor-network", 6, 4), std::invalid_argument);
+  EXPECT_THROW(make_backend("auto", 6, 4), std::invalid_argument);
+}
+
+TEST(BackendRegistry, FactoriesBuildTheirKind) {
+  auto dense = make_backend(kDenseBackendId, 6, 4);
+  ASSERT_NE(dense, nullptr);
+  EXPECT_EQ(dense->id(), kDenseBackendId);
+  EXPECT_NE(dense->dense_state(), nullptr);
+  EXPECT_EQ(dense->num_qubits(), 6u);
+
+  auto structured = make_backend(kStructuredBackendId, 6, 4);
+  ASSERT_NE(structured, nullptr);
+  EXPECT_EQ(structured->id(), kStructuredBackendId);
+  EXPECT_EQ(structured->dense_state(), nullptr);
+  EXPECT_EQ(structured->num_qubits(), 6u);
+}
+
+TEST(BackendRegistry, DefaultSelectionPicksDenseInsideItsCeiling) {
+  // Auto (empty or "auto"): dense while k <= max_dense_k...
+  for (const char* requested : {"", "auto"}) {
+    EXPECT_EQ(resolve_backend_id(requested, 1, 10, 16), "dense");
+    EXPECT_EQ(resolve_backend_id(requested, 10, 10, 16), "dense");
+    // ...structured past the dense wall...
+    EXPECT_EQ(resolve_backend_id(requested, 11, 10, 16), "structured");
+    EXPECT_EQ(resolve_backend_id(requested, 16, 10, 16), "structured");
+    // ...and explicitly nothing beyond every ceiling.
+    EXPECT_EQ(resolve_backend_id(requested, 17, 10, 16), std::nullopt);
+  }
+}
+
+TEST(BackendRegistry, ExplicitSelectionHonorsItsOwnCeiling) {
+  EXPECT_EQ(resolve_backend_id("dense", 8, 10, 16), "dense");
+  EXPECT_EQ(resolve_backend_id("dense", 12, 10, 16), std::nullopt);
+  // The dense hard cap (30 qubits => k = 14) binds even a generous caller.
+  EXPECT_EQ(resolve_backend_id("dense", 15, 99, 99), std::nullopt);
+  EXPECT_EQ(resolve_backend_id("structured", 2, 10, 16), "structured");
+  EXPECT_EQ(resolve_backend_id("structured", 20, 10, 20), "structured");
+  EXPECT_EQ(resolve_backend_id("structured", 21, 10, 20), std::nullopt);
+  EXPECT_THROW(resolve_backend_id("analog", 2, 10, 16), std::invalid_argument);
+}
+
+TEST(BackendRegistry, NotSimulatedTrialsSurfaceThroughTheEngine) {
+  // Both ceilings below k: every trial must be flagged, not silently folded
+  // into the accept/reject counts.
+  Rng rng(12);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.max_sim_k = 1;
+  opts.a3.max_structured_k = 1;
+  const TrialEngine engine;
+  const auto r = engine.measure_acceptance(
+      [&] { return inst.stream(); },
+      [opts](std::uint64_t seed) {
+        return std::make_unique<QuantumOnlineRecognizer>(seed, opts);
+      },
+      {.trials = 16, .seed_base = 1});
+  EXPECT_EQ(r.not_simulated, 16u);
+  EXPECT_EQ(r.accepts, 0u);  // never claims membership it could not check
+}
+
+TEST(BackendRegistry, AmplifiedRecognizerPropagatesNotSimulated) {
+  // Amplification must not launder not-simulated inner runs into honest
+  // rejects: a member instance reported as 0% acceptance with no flag
+  // would look like broken completeness.
+  Rng rng(13);
+  auto inst = LDisjInstance::make_disjoint(2, rng);
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.max_sim_k = 1;
+  opts.a3.max_structured_k = 1;
+  auto single = [opts](std::uint64_t seed) {
+    return std::make_unique<QuantumOnlineRecognizer>(seed, opts);
+  };
+  const TrialEngine engine;
+  const auto r = engine.measure_acceptance(
+      [&] { return inst.stream(); },
+      [single](std::uint64_t seed) {
+        return std::make_unique<qols::core::AmplifiedRecognizer>(single, 3,
+                                                                 seed);
+      },
+      {.trials = 8, .seed_base = 1});
+  EXPECT_EQ(r.not_simulated, 8u);
+}
+
+}  // namespace

@@ -1,0 +1,314 @@
+// Unit tests: StructuredBackend — operation-level agreement with the dense
+// reference, the class-representation invariants (I1-I3 in the header), and
+// the UnsupportedOperation boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "qols/backend/dense_backend.hpp"
+#include "qols/backend/structured_backend.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::backend::Amplitude;
+using qols::backend::ControlTerm;
+using qols::backend::DenseBackend;
+using qols::backend::QuantumBackend;
+using qols::backend::StructuredBackend;
+using qols::backend::UnsupportedOperation;
+using qols::util::Rng;
+
+constexpr unsigned kIndexWidth = 4;   // m = 16 indices
+constexpr unsigned kQubits = 6;       // + h + l tail
+constexpr std::uint64_t kDim = std::uint64_t{1} << kQubits;
+
+void expect_states_equal(const QuantumBackend& a, const QuantumBackend& b,
+                         double tol = 1e-12) {
+  for (std::uint64_t basis = 0; basis < kDim; ++basis) {
+    const Amplitude aa = a.amplitude(basis);
+    const Amplitude ab = b.amplitude(basis);
+    ASSERT_NEAR(aa.real(), ab.real(), tol) << "basis " << basis;
+    ASSERT_NEAR(aa.imag(), ab.imag(), tol) << "basis " << basis;
+  }
+}
+
+TEST(StructuredBackend, StartsInBasisZero) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  EXPECT_EQ(s.num_qubits(), kQubits);
+  EXPECT_EQ(s.index_width(), kIndexWidth);
+  EXPECT_EQ(s.amplitude(0), (Amplitude{1.0, 0.0}));
+  for (std::uint64_t b = 1; b < kDim; ++b) {
+    ASSERT_EQ(s.amplitude(b), (Amplitude{0.0, 0.0})) << b;
+  }
+  EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+}
+
+TEST(StructuredBackend, HRangePreparesUniformAndInverts) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  s.apply_h_range(0, kIndexWidth);
+  // Invariant I3: the uniform state is one class.
+  EXPECT_EQ(s.class_count(), 1u);
+  const double amp = 1.0 / 4.0;  // 1/sqrt(16)
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_NEAR(s.amplitude(i).real(), amp, 1e-15);
+  }
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+  // H^{(x)w} is self-inverse: back to |0...0>.
+  s.apply_h_range(0, kIndexWidth);
+  EXPECT_NEAR(std::abs(s.amplitude(0) - Amplitude{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(StructuredBackend, GroverIterationMatchesDense) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  DenseBackend d(kQubits);
+  const std::vector<std::uint64_t> marked = {3, 7, 11};
+  for (QuantumBackend* b : {static_cast<QuantumBackend*>(&s),
+                            static_cast<QuantumBackend*>(&d)}) {
+    b->apply_h_range(0, kIndexWidth);
+    for (int it = 0; it < 5; ++it) {
+      b->apply_phase_flip_set(marked);
+      b->apply_grover_diffusion(0, kIndexWidth);
+    }
+  }
+  expect_states_equal(s, d);
+  // Invariant I3: marked vs unmarked is exactly two classes.
+  EXPECT_EQ(s.class_count(), 2u);
+  EXPECT_LE(s.peak_class_count(), 4u);
+  EXPECT_EQ(s.explicit_index_count(), marked.size());
+}
+
+TEST(StructuredBackend, A3FastPathsMatchDense) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  DenseBackend d(kQubits);
+  const unsigned h = kIndexWidth;
+  const unsigned l = kIndexWidth + 1;
+  for (QuantumBackend* b : {static_cast<QuantumBackend*>(&s),
+                            static_cast<QuantumBackend*>(&d)}) {
+    b->apply_h_range(0, kIndexWidth);
+    // A V_x / W_y / V_z round plus step 4, in the shapes A3 emits.
+    for (std::uint64_t idx : {0ull, 5ull, 9ull}) {
+      b->apply_x_on_index(0, kIndexWidth, idx, h);
+    }
+    for (std::uint64_t idx : {5ull, 6ull}) {
+      b->apply_z_on_index(0, kIndexWidth, idx, h);
+    }
+    for (std::uint64_t idx : {0ull, 5ull, 9ull}) {
+      b->apply_x_on_index(0, kIndexWidth, idx, h);
+    }
+    b->apply_grover_diffusion(0, kIndexWidth);
+    for (std::uint64_t idx : {5ull}) {
+      b->apply_x_on_index(0, kIndexWidth, idx, h);
+      b->apply_cx_on_index(0, kIndexWidth, idx, h, l);
+    }
+  }
+  expect_states_equal(s, d);
+  EXPECT_NEAR(s.probability_one(l), d.probability_one(l), 1e-12);
+  EXPECT_NEAR(s.probability_one(h), d.probability_one(h), 1e-12);
+}
+
+TEST(StructuredBackend, ReflectZeroAndTailGatesMatchDense) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  DenseBackend d(kQubits);
+  for (QuantumBackend* b : {static_cast<QuantumBackend*>(&s),
+                            static_cast<QuantumBackend*>(&d)}) {
+    b->apply_h_range(0, kIndexWidth);
+    b->apply_phase_flip_set(std::vector<std::uint64_t>{2});
+    b->apply_reflect_zero(0, kIndexWidth);
+    b->apply_h(kIndexWidth);      // tail H
+    b->apply_x(kIndexWidth + 1);  // tail X
+    b->apply_z(kIndexWidth);      // tail Z
+    b->apply_x(1);                // X on an index qubit: permutation
+  }
+  expect_states_equal(s, d);
+}
+
+TEST(StructuredBackend, FullPatternControlsMatchDense) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  DenseBackend d(kQubits);
+  std::vector<ControlTerm> full_pattern;
+  for (unsigned q = 0; q < kIndexWidth; ++q) {
+    full_pattern.push_back({q, (q & 1) != 0});  // index |1010> = 10
+  }
+  std::vector<ControlTerm> with_h = full_pattern;
+  with_h.push_back({kIndexWidth, true});
+  std::vector<ControlTerm> tail_only = {{kIndexWidth, true}};
+  for (QuantumBackend* b : {static_cast<QuantumBackend*>(&s),
+                            static_cast<QuantumBackend*>(&d)}) {
+    b->apply_h_range(0, kIndexWidth);
+    b->apply_mcx(full_pattern, kIndexWidth);
+    b->apply_mcz(with_h);
+    b->apply_mcx(tail_only, kIndexWidth + 1);
+    b->apply_mcz(tail_only);
+  }
+  expect_states_equal(s, d);
+}
+
+TEST(StructuredBackend, MeasurementAgreesWithDenseSeedForSeed) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    StructuredBackend s(kQubits, kIndexWidth);
+    DenseBackend d(kQubits);
+    const std::vector<std::uint64_t> marked = {1, 4};
+    for (QuantumBackend* b : {static_cast<QuantumBackend*>(&s),
+                              static_cast<QuantumBackend*>(&d)}) {
+      b->apply_h_range(0, kIndexWidth);
+      b->apply_phase_flip_set(marked);
+      b->apply_grover_diffusion(0, kIndexWidth);
+      for (std::uint64_t idx : marked) {
+        b->apply_x_on_index(0, kIndexWidth, idx, kIndexWidth);
+        b->apply_cx_on_index(0, kIndexWidth, idx, kIndexWidth,
+                             kIndexWidth + 1);
+      }
+    }
+    Rng rs(seed), rd(seed);
+    const bool outcome_s = s.measure(kIndexWidth + 1, rs);
+    const bool outcome_d = d.measure(kIndexWidth + 1, rd);
+    ASSERT_EQ(outcome_s, outcome_d) << "seed " << seed;
+    ASSERT_NEAR(s.norm(), 1.0, 1e-12);
+    expect_states_equal(s, d);
+  }
+}
+
+TEST(StructuredBackend, RandomizedSupportedSequencesMatchDense) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    StructuredBackend s(kQubits, kIndexWidth);
+    DenseBackend d(kQubits);
+    s.apply_h_range(0, kIndexWidth);
+    d.apply_h_range(0, kIndexWidth);
+    for (int op = 0; op < 40; ++op) {
+      const std::uint64_t idx = rng.below(16);
+      const unsigned tail = kIndexWidth + static_cast<unsigned>(rng.below(2));
+      switch (rng.below(7)) {
+        case 0:
+          s.apply_x_on_index(0, kIndexWidth, idx, tail);
+          d.apply_x_on_index(0, kIndexWidth, idx, tail);
+          break;
+        case 1:
+          s.apply_z_on_index(0, kIndexWidth, idx, tail);
+          d.apply_z_on_index(0, kIndexWidth, idx, tail);
+          break;
+        case 2:
+          s.apply_cx_on_index(0, kIndexWidth, idx, kIndexWidth,
+                              kIndexWidth + 1);
+          d.apply_cx_on_index(0, kIndexWidth, idx, kIndexWidth,
+                              kIndexWidth + 1);
+          break;
+        case 3: {
+          const std::vector<std::uint64_t> marked = {idx};
+          s.apply_phase_flip_set(marked);
+          d.apply_phase_flip_set(marked);
+          break;
+        }
+        case 4:
+          s.apply_grover_diffusion(0, kIndexWidth);
+          d.apply_grover_diffusion(0, kIndexWidth);
+          break;
+        case 5:
+          s.apply_reflect_zero(0, kIndexWidth);
+          d.apply_reflect_zero(0, kIndexWidth);
+          break;
+        case 6:
+          s.apply_h(tail);
+          d.apply_h(tail);
+          break;
+      }
+    }
+    expect_states_equal(s, d);
+    ASSERT_NEAR(s.norm(), 1.0, 1e-9) << "trial " << trial;
+    // The class count never explodes: these ops touch O(1) indices each.
+    ASSERT_LE(s.peak_class_count(), 64u);
+  }
+}
+
+TEST(StructuredBackend, ManyDiffusionsKeepClassCountBounded) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  s.apply_h_range(0, kIndexWidth);
+  const std::vector<std::uint64_t> marked = {6};
+  for (int it = 0; it < 1000; ++it) {
+    s.apply_phase_flip_set(marked);
+    s.apply_grover_diffusion(0, kIndexWidth);
+    ASSERT_LE(s.class_count(), 3u);
+  }
+  EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+}
+
+TEST(StructuredBackend, UnsupportedOperationsThrow) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  s.apply_h_range(0, kIndexWidth);
+  EXPECT_THROW(s.apply_h(0), UnsupportedOperation);       // index-qubit H
+  EXPECT_THROW(s.apply_z(2), UnsupportedOperation);       // index-qubit Z
+  EXPECT_THROW(s.apply_h_range(0, 2), UnsupportedOperation);  // sub-range
+  Rng rng(1);
+  EXPECT_THROW(s.measure(0, rng), UnsupportedOperation);  // index measurement
+  // Partial index-control pattern (covers 1 of 4 index qubits).
+  const std::vector<ControlTerm> partial = {{0, true}};
+  EXPECT_THROW(s.apply_mcx(partial, kIndexWidth), UnsupportedOperation);
+  EXPECT_THROW(s.apply_mcz(partial), UnsupportedOperation);
+  // H range on a state that is neither uniform nor index-0 concentrated.
+  s.apply_phase_flip_set(std::vector<std::uint64_t>{5});
+  EXPECT_THROW(s.apply_h_range(0, kIndexWidth), UnsupportedOperation);
+}
+
+TEST(StructuredBackend, HRangeRejectsMultiIndexConcentration) {
+  // Regression: a state whose support is {0, 1} (a two-member class after a
+  // collapse) is NOT an index-0 product state; the collapse branch of
+  // apply_h_range must throw, never silently emit an unnormalized state.
+  StructuredBackend s(kQubits, kIndexWidth);
+  s.apply_h_range(0, kIndexWidth);
+  s.apply_x_on_index(0, kIndexWidth, 0, kIndexWidth);
+  s.apply_x_on_index(0, kIndexWidth, 1, kIndexWidth);  // class {0,1}, h=1
+  // Find a seed measuring h = 1 so only the {0,1} class survives.
+  bool exercised = false;
+  for (std::uint64_t seed = 0; seed < 64 && !exercised; ++seed) {
+    StructuredBackend t(kQubits, kIndexWidth);
+    t.apply_h_range(0, kIndexWidth);
+    t.apply_x_on_index(0, kIndexWidth, 0, kIndexWidth);
+    t.apply_x_on_index(0, kIndexWidth, 1, kIndexWidth);
+    Rng rng(seed);
+    if (!t.measure(kIndexWidth, rng)) continue;
+    exercised = true;
+    ASSERT_NEAR(t.norm(), 1.0, 1e-12);
+    EXPECT_THROW(t.apply_h_range(0, kIndexWidth), UnsupportedOperation);
+    EXPECT_NEAR(t.norm(), 1.0, 1e-12);  // state untouched by the rejection
+  }
+  EXPECT_TRUE(exercised);
+}
+
+TEST(StructuredBackend, ConstructionValidatesTheSplit) {
+  EXPECT_THROW(StructuredBackend(4, 0), std::invalid_argument);
+  EXPECT_THROW(StructuredBackend(4, 4), std::invalid_argument);
+  EXPECT_THROW(StructuredBackend(60, 59), std::invalid_argument);
+  EXPECT_NO_THROW(StructuredBackend(58, 56));  // 56 index qubits: fine
+}
+
+TEST(StructuredBackend, LargeIndexRegisterStaysExact) {
+  // k = 20 equivalent: 40 index qubits, far beyond any dense register.
+  const unsigned w = 40;
+  StructuredBackend s(w + 2, w);
+  s.apply_h_range(0, w);
+  EXPECT_EQ(s.class_count(), 1u);
+  const double amp = std::pow(2.0, -20.0);  // 1/sqrt(2^40), exact in binary
+  EXPECT_DOUBLE_EQ(s.amplitude(123456789).real(), amp);
+  const std::vector<std::uint64_t> marked = {std::uint64_t{1} << 39};
+  for (int it = 0; it < 100; ++it) {
+    s.apply_phase_flip_set(marked);
+    s.apply_grover_diffusion(0, w);
+  }
+  EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+  EXPECT_LE(s.class_count(), 3u);
+  EXPECT_EQ(s.explicit_index_count(), 1u);
+}
+
+TEST(StructuredBackend, ResetRearms) {
+  StructuredBackend s(kQubits, kIndexWidth);
+  s.apply_h_range(0, kIndexWidth);
+  s.apply_phase_flip_set(std::vector<std::uint64_t>{1, 2, 3});
+  s.reset();
+  EXPECT_EQ(s.amplitude(0), (Amplitude{1.0, 0.0}));
+  EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+}
+
+}  // namespace

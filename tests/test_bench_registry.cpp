@@ -14,9 +14,9 @@ namespace {
 
 using namespace qols::bench;
 
-TEST(Registry, AllEighteenExperimentsRegisteredWithUniqueIds) {
+TEST(Registry, AllNineteenExperimentsRegisteredWithUniqueIds) {
   const auto& all = Registry::global().experiments();
-  ASSERT_EQ(all.size(), 18u);
+  ASSERT_EQ(all.size(), 19u);
   std::set<std::string> ids;
   for (const auto& e : all) {
     EXPECT_FALSE(e.info.title.empty());
@@ -24,8 +24,8 @@ TEST(Registry, AllEighteenExperimentsRegisteredWithUniqueIds) {
     EXPECT_FALSE(e.info.tags.empty());
     ids.insert(e.info.id);
   }
-  EXPECT_EQ(ids.size(), 18u);
-  for (int i = 1; i <= 18; ++i) {
+  EXPECT_EQ(ids.size(), 19u);
+  for (int i = 1; i <= 19; ++i) {
     std::string id = "e";
     id += std::to_string(i);
     EXPECT_NE(Registry::global().find(id), nullptr);
@@ -41,14 +41,14 @@ TEST(Registry, FindIsExact) {
 
 TEST(Registry, MatchFiltersOverIdTitleAndTags) {
   const auto& reg = Registry::global();
-  EXPECT_EQ(reg.match("").size(), 18u);  // empty filter selects everything
+  EXPECT_EQ(reg.match("").size(), 19u);  // empty filter selects everything
   // An exact id match wins outright: "e1" is only e1, never e10..e18.
   const auto exact = reg.match("e1");
   ASSERT_EQ(exact.size(), 1u);
   EXPECT_EQ(exact[0]->info.id, "e1");
   EXPECT_EQ(reg.match("E1").size(), 1u);  // exact match is case-insensitive
   // Non-id substrings still fan out.
-  EXPECT_EQ(reg.match("e").size(), 18u);
+  EXPECT_EQ(reg.match("e").size(), 19u);
   // Tag match, case-insensitive.
   const auto ablations = reg.match("ABLATION");
   EXPECT_GE(ablations.size(), 4u);
@@ -101,7 +101,7 @@ TEST(Runner, E18ProducesConsoleTablesAndJsonMetrics) {
 
   // JSON sink: schema, the experiment record, per-row metrics.
   const std::string doc = json.document().dump(2);
-  EXPECT_NE(doc.find("\"schema\": \"qols-bench/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"qols-bench/2\""), std::string::npos);
   EXPECT_NE(doc.find("\"id\": \"e18\""), std::string::npos);
   EXPECT_NE(doc.find("\"status\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"wall_seconds\""), std::string::npos);
@@ -125,6 +125,27 @@ TEST(Reporter, MetricFromResultCarriesRateCiAndSpace) {
   EXPECT_EQ(*m.classical_bits, 12u);
   EXPECT_EQ(*m.qubits, 8u);
   EXPECT_DOUBLE_EQ(*m.wall_seconds, 0.5);
+  // No not-simulated trials: the extra must stay absent, not read 0.
+  EXPECT_TRUE(m.extra.empty());
+}
+
+TEST(Reporter, MetricFromResultSurfacesNotSimulatedTrials) {
+  qols::core::ExperimentResult r;
+  r.trials = 10;
+  r.accepts = 0;
+  r.not_simulated = 10;
+  const auto m = metric_from_result("row", 14, r, 0.1);
+  ASSERT_EQ(m.extra.size(), 1u);
+  EXPECT_EQ(m.extra[0].first, "not_simulated");
+  EXPECT_DOUBLE_EQ(m.extra[0].second, 10.0);
+}
+
+TEST(RunConfig, DenseMaxKClampsToTheDenseEnvelope) {
+  RunConfig cfg;
+  EXPECT_EQ(cfg.dense_max_k_or(7), 7u);
+  cfg.max_k = 16;  // e19 territory: dense-era experiments must not follow
+  EXPECT_EQ(cfg.max_k_or(7), 16u);
+  EXPECT_EQ(cfg.dense_max_k_or(7), 10u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "qols/core/classical_recognizers.hpp"
 #include "qols/core/quantum_recognizer.hpp"
@@ -113,15 +114,48 @@ TEST(OptionWiring, SpaceReportIncludesAncillasInGateMode) {
   EXPECT_LE(rec.space_used().qubits, 4ULL * 2 + 2);
 }
 
-TEST(OptionWiring, MaxSimKGuardsTheRegister) {
+TEST(OptionWiring, MaxSimKAutoPicksTheStructuredBackend) {
+  // Past the dense ceiling the streamer no longer goes dark: the structured
+  // backend picks up the simulation and the decision is still honest.
   QuantumOnlineRecognizer::Options opts;
   opts.a3.max_sim_k = 1;
   QuantumOnlineRecognizer rec(5, opts);
   Rng rng(11);
   auto inst = LDisjInstance::make_disjoint(2, rng);  // k = 2 > max_sim_k
   auto s = inst.stream();
+  EXPECT_NO_THROW({
+    EXPECT_TRUE(run_stream(*s, rec));  // member: perfect completeness
+  });
+  ASSERT_NE(rec.a3().simulation_backend(), nullptr);
+  EXPECT_EQ(rec.a3().simulation_backend()->id(), "structured");
+  EXPECT_TRUE(rec.fully_simulated());
+  EXPECT_EQ(rec.space_used().qubits, 2ULL * 2 + 2);
+}
+
+TEST(OptionWiring, BeyondEveryCeilingIsExplicitlyNotSimulated) {
+  // With both ceilings below k there is no honest decision; the recognizer
+  // must say so instead of silently accepting or rejecting.
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.max_sim_k = 1;
+  opts.a3.max_structured_k = 1;
+  QuantumOnlineRecognizer rec(5, opts);
+  Rng rng(11);
+  auto inst = LDisjInstance::make_disjoint(2, rng);  // k = 2 > both ceilings
+  auto s = inst.stream();
   EXPECT_NO_THROW(run_stream(*s, rec));
   EXPECT_EQ(rec.space_used().qubits, 0u);  // register never instantiated
+  EXPECT_FALSE(rec.fully_simulated());
+  EXPECT_EQ(rec.verdict(), QuantumOnlineRecognizer::Verdict::kNotSimulated);
+  EXPECT_FALSE(rec.finish());  // never claims membership it could not check
+  // The probability probe agrees with the verdict: an un-run A3 contributes
+  // no acceptance mass (it must not read as a certain accept).
+  EXPECT_EQ(rec.exact_acceptance_probability(), 0.0);
+}
+
+TEST(OptionWiring, UnknownBackendIdThrowsAtConstruction) {
+  QuantumOnlineRecognizer::Options opts;
+  opts.a3.backend = "analog";
+  EXPECT_THROW(QuantumOnlineRecognizer rec(5, opts), std::invalid_argument);
 }
 
 }  // namespace

@@ -32,8 +32,12 @@ void expect_gate_level_matches(const LDisjInstance& inst, std::uint64_t seed) {
   const unsigned data = 2 * k + 2;
   const unsigned anc = 2 * k;
 
-  // Operator-level reference.
-  GroverStreamer op{Rng(seed)};
+  // Operator-level reference. This comparison is inherently dense-specific
+  // (it reads the raw register via state()), so pin the dense backend
+  // explicitly — a QOLS_BACKEND=structured environment must not break it.
+  GroverStreamer::Options oopts;
+  oopts.backend = "dense";
+  GroverStreamer op{Rng(seed), oopts};
   {
     auto s = inst.stream();
     while (auto sym = s->next()) op.feed(*sym);

@@ -29,6 +29,21 @@ TEST(StateVector, StartsInAllZeros) {
 TEST(StateVector, RejectsBadQubitCounts) {
   EXPECT_THROW(StateVector(0), std::invalid_argument);
   EXPECT_THROW(StateVector(31), std::invalid_argument);
+  // Far past the ceiling: must diagnose, never attempt the allocation
+  // (2^64 amplitudes) or shift past 63 bits.
+  EXPECT_THROW(StateVector(64), std::invalid_argument);
+  EXPECT_THROW(StateVector(255), std::invalid_argument);
+}
+
+TEST(StateVector, BadQubitCountDiagnosisNamesTheValueAndCeiling) {
+  try {
+    StateVector sv(42);
+    FAIL() << "construction must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("42"), std::string::npos) << what;
+    EXPECT_NE(what.find("[1, 30]"), std::string::npos) << what;
+  }
 }
 
 TEST(StateVector, HadamardCreatesUniformPair) {
