@@ -1,0 +1,299 @@
+// E20 — service throughput: chunked ingestion vs per-symbol dispatch, and
+// the multi-session serving layer.
+//
+// The paper's premise is an input "too large to store" that must be consumed
+// at line rate. Before this experiment's API, every symbol paid two virtual
+// calls (SymbolStream::next, OnlineRecognizer::feed) plus a 128-bit modular
+// division in A2 — call overhead, not the machines' actual work. E20
+// measures what the chunked transport buys:
+//
+//   - transport rows: the same word, same recognizer, same seeds, driven
+//     per-symbol (the historical loop) and chunked (next_chunk ->
+//     feed_chunk). Decisions must agree exactly; the claim is >= 5x
+//     symbols/sec for the classical block machine at k >= 8, where the word
+//     is ~5*10^7 symbols and per-symbol dispatch dominates.
+//   - quantum rows: the streamed A3 register (dense and structured
+//     backends) under both transports — the win is smaller (gate
+//     application dominates) and is reported, not gated: at these word
+//     sizes the ratio is too noisy for a hard threshold, so only the
+//     decision agreement is enforced.
+//   - service rows: RecognizerService serving many interleaved sessions,
+//     sharded across the thread pool: symbols/sec and sessions/sec.
+//
+// The k ladder is fixed at {6, 8} regardless of --max-k's dense-era meaning
+// (the 5x claim lives at k >= 8 by construction; k > 8 words no longer
+// materialize under the 64 MiB render guard). --trials scales the quantum
+// passes; the transport and service rows are fixed-size workloads.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/service/recognizer_service.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/stopwatch.hpp"
+#include "qols/util/table.hpp"
+#include "registry.hpp"
+
+namespace qols::bench {
+namespace {
+
+using stream::Symbol;
+
+/// One timed ingestion pass. The per-symbol leg is the exact historical
+/// transport (virtual next()/feed() per symbol); the chunked leg is what
+/// run_stream does now.
+struct Pass {
+  bool accepted = false;
+  double seconds = 0.0;
+};
+
+Pass drive_per_symbol(const std::string& word,
+                      machine::OnlineRecognizer& rec) {
+  stream::StringStream s(word);
+  util::Stopwatch watch;
+  while (auto sym = s.next()) rec.feed(*sym);
+  Pass pass;
+  pass.accepted = rec.finish();
+  pass.seconds = watch.seconds();
+  return pass;
+}
+
+Pass drive_chunked(const std::string& word, machine::OnlineRecognizer& rec) {
+  stream::StringStream s(word);
+  util::Stopwatch watch;
+  Pass pass;
+  pass.accepted = machine::run_stream(s, rec);
+  pass.seconds = watch.seconds();
+  return pass;
+}
+
+double rate_of(std::uint64_t symbols, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(symbols) / seconds : 0.0;
+}
+
+MetricRecord throughput_metric(std::string label, std::int64_t k,
+                               std::uint64_t symbols, double seconds) {
+  MetricRecord m;
+  m.label = std::move(label);
+  m.k = k;
+  m.wall_seconds = seconds;
+  m.extra.emplace_back("symbols_per_sec", rate_of(symbols, seconds));
+  return m;
+}
+
+int run(Reporter& rep, const RunConfig& cfg) {
+  bool all_hold = true;
+  util::Table table({"row", "k", "symbols", "transport", "wall s",
+                     "symbols/sec", "speedup", "ok?"});
+
+  const auto fmt_rate = [](double r) { return util::fmt_g(static_cast<std::uint64_t>(r)); };
+
+  // --- Transport rows: classical block machine, k = 6 and 8. -------------
+  double speedup_at_8 = 0.0;
+  for (const unsigned k : {6u, 8u}) {
+    util::Rng rng(20'000 + k);
+    const auto inst = lang::LDisjInstance::make_disjoint(k, rng);
+    const std::string word = inst.render();
+    const std::uint64_t n = word.size();
+
+    // Best of two timed passes per transport: a transient scheduling blip
+    // (CI runners share cores) must not decide the speedup ratio. Decisions
+    // are seed-pure, so both passes must agree with each other too.
+    core::ClassicalBlockRecognizer per_symbol_rec(500 + k);
+    Pass ps = drive_per_symbol(word, per_symbol_rec);
+    per_symbol_rec.reset(500 + k);
+    const Pass ps2 = drive_per_symbol(word, per_symbol_rec);
+    ps.seconds = std::min(ps.seconds, ps2.seconds);
+
+    core::ClassicalBlockRecognizer chunked_rec(500 + k);
+    Pass ck = drive_chunked(word, chunked_rec);
+    chunked_rec.reset(500 + k);
+    const Pass ck2 = drive_chunked(word, chunked_rec);
+    ck.seconds = std::min(ck.seconds, ck2.seconds);
+
+    // Same member word, same seed: both transports must accept, and the
+    // space reports must be identical (the API contract).
+    const bool agree = ps.accepted && ps2.accepted && ck.accepted &&
+                       ck2.accepted &&
+                       per_symbol_rec.space_used().classical_bits ==
+                           chunked_rec.space_used().classical_bits;
+    all_hold = all_hold && agree;
+    const double speedup = ck.seconds > 0.0 ? ps.seconds / ck.seconds : 0.0;
+    if (k >= 8) speedup_at_8 = speedup;
+
+    table.add_row({"block", std::to_string(k), util::fmt_g(n), "per-symbol",
+                   util::fmt_f(ps.seconds, 3), fmt_rate(rate_of(n, ps.seconds)),
+                   "1.00", agree ? "yes" : "NO"});
+    table.add_row({"block", std::to_string(k), util::fmt_g(n), "chunked",
+                   util::fmt_f(ck.seconds, 3), fmt_rate(rate_of(n, ck.seconds)),
+                   util::fmt_f(speedup, 2), agree ? "yes" : "NO"});
+
+    auto m_ps = throughput_metric(
+        "block k=" + std::to_string(k) + " per-symbol", k, n, ps.seconds);
+    rep.metric(m_ps);
+    auto m_ck = throughput_metric("block k=" + std::to_string(k) + " chunked",
+                                  k, n, ck.seconds);
+    m_ck.extra.emplace_back("speedup_vs_per_symbol", speedup);
+    m_ck.extra.emplace_back("transports_agree", agree ? 1.0 : 0.0);
+    rep.metric(m_ck);
+  }
+#ifdef NDEBUG
+  // The headline claim is a statement about optimized builds; unoptimized
+  // builds time the abstraction penalty of -O0, not the API.
+  if (speedup_at_8 < 5.0) {
+    rep.note("CLAIM FAILED: chunked/per-symbol speedup at k=8 is " +
+             util::fmt_f(speedup_at_8, 2) + "x, expected >= 5x");
+    all_hold = false;
+  }
+#else
+  (void)speedup_at_8;
+#endif
+
+  // --- Quantum rows: both backends at k = 4, both transports. ------------
+  const auto qtrials =
+      static_cast<std::uint64_t>(std::min(cfg.trials_or(40), 64));
+  std::vector<std::string> backends;
+  if (cfg.backend.empty() || cfg.backend == "auto") {
+    backends = {"dense", "structured"};
+  } else {
+    backends = {cfg.backend};  // pinned run: never misattribute rows
+  }
+  {
+    util::Rng rng(20'100);
+    const auto inst = lang::LDisjInstance::make_disjoint(4, rng);
+    const std::string word = inst.render();
+    const std::uint64_t n = word.size();
+    for (const std::string& backend : backends) {
+      core::QuantumOnlineRecognizer::Options qopts;
+      qopts.a3.backend = backend;
+      double ps_total = 0.0, ck_total = 0.0;
+      std::uint64_t ps_accepts = 0, ck_accepts = 0;
+      for (std::uint64_t t = 0; t < qtrials; ++t) {
+        core::QuantumOnlineRecognizer rec(9'000 + t, qopts);
+        const Pass ps = drive_per_symbol(word, rec);
+        ps_total += ps.seconds;
+        ps_accepts += ps.accepted ? 1 : 0;
+        rec.reset(9'000 + t);
+        const Pass ck = drive_chunked(word, rec);
+        ck_total += ck.seconds;
+        ck_accepts += ck.accepted ? 1 : 0;
+      }
+      // Identical seeds and fixed coin flips: accept counts match exactly.
+      const bool agree = ps_accepts == ck_accepts;
+      all_hold = all_hold && agree;
+      const double speedup = ck_total > 0.0 ? ps_total / ck_total : 0.0;
+      const std::uint64_t total = n * qtrials;
+      table.add_row({"quantum-" + backend, "4", util::fmt_g(total),
+                     "per-symbol", util::fmt_f(ps_total, 3),
+                     fmt_rate(rate_of(total, ps_total)), "1.00",
+                     agree ? "yes" : "NO"});
+      table.add_row({"quantum-" + backend, "4", util::fmt_g(total), "chunked",
+                     util::fmt_f(ck_total, 3),
+                     fmt_rate(rate_of(total, ck_total)),
+                     util::fmt_f(speedup, 2), agree ? "yes" : "NO"});
+      auto m = throughput_metric("quantum-" + backend + " k=4 chunked", 4,
+                                 total, ck_total);
+      m.trials = qtrials;
+      m.extra.emplace_back("speedup_vs_per_symbol", speedup);
+      m.extra.emplace_back("transports_agree", agree ? 1.0 : 0.0);
+      rep.metric(m);
+    }
+  }
+
+  // --- Service rows: interleaved sessions through RecognizerService. -----
+  {
+    const unsigned k = 6;
+    const std::size_t num_sessions = 24;
+    const std::size_t chunk_symbols = 4096;
+    util::Rng rng(20'200);
+    const auto member = lang::LDisjInstance::make_disjoint(k, rng);
+    const auto nonmember = lang::LDisjInstance::make_with_intersections(k, 1, rng);
+    // Materialize both words once as Symbol arrays; sessions share them.
+    const auto to_symbols = [](const lang::LDisjInstance& inst) {
+      std::vector<Symbol> out;
+      const std::string word = inst.render();
+      out.reserve(word.size());
+      for (const char c : word) out.push_back(*stream::symbol_from_char(c));
+      return out;
+    };
+    const std::vector<Symbol> member_word = to_symbols(member);
+    const std::vector<Symbol> nonmember_word = to_symbols(nonmember);
+
+    service::RecognizerService svc(
+        {.spec = {.kind = service::RecognizerKind::kClassicalBlock}});
+    std::vector<service::RecognizerService::SessionId> ids;
+    std::vector<bool> is_member;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      ids.push_back(svc.open(700 + s));
+      is_member.push_back(s % 2 == 0);
+    }
+    // Round-robin interleave: every session advances one chunk per lap —
+    // the adversarial schedule for anything that assumed one stream.
+    std::size_t cursor = 0;
+    bool any_pending = true;
+    while (any_pending) {
+      any_pending = false;
+      for (std::size_t s = 0; s < num_sessions; ++s) {
+        const std::vector<Symbol>& word =
+            is_member[s] ? member_word : nonmember_word;
+        if (cursor >= word.size()) continue;
+        const std::size_t run = std::min(chunk_symbols, word.size() - cursor);
+        svc.feed(ids[s], std::span<const Symbol>(word.data() + cursor, run));
+        any_pending = true;
+      }
+      cursor += chunk_symbols;
+    }
+    // Finish out of order (reverse), checking the exact decisions: the
+    // block machine accepts members with certainty and rejects this
+    // non-member with certainty (found_ is deterministic).
+    bool verdicts_ok = true;
+    for (std::size_t s = num_sessions; s-- > 0;) {
+      const auto verdict = svc.finish(ids[s]);
+      if (verdict.accepted != is_member[s]) verdicts_ok = false;
+    }
+    all_hold = all_hold && verdicts_ok;
+    const auto& stats = svc.stats();
+    table.add_row({"service-block x" + std::to_string(num_sessions),
+                   std::to_string(k), util::fmt_g(stats.symbols_ingested),
+                   "chunked", util::fmt_f(stats.busy_seconds, 3),
+                   fmt_rate(stats.symbols_per_second()), "-",
+                   verdicts_ok ? "yes" : "NO"});
+    auto m = throughput_metric(
+        "service block k=6 x" + std::to_string(num_sessions), k,
+        stats.symbols_ingested, stats.busy_seconds);
+    m.extra.emplace_back("sessions_per_sec", stats.sessions_per_second());
+    m.extra.emplace_back("sessions", static_cast<double>(num_sessions));
+    m.extra.emplace_back("verdicts_ok", verdicts_ok ? 1.0 : 0.0);
+    rep.metric(m);
+  }
+
+  rep.table(table);
+  rep.note(
+      "\nReading: the chunked transport turns ingestion from call-overhead-"
+      "bound into compute-bound — the block machine clears 5x at k=8, where "
+      "A2's batched Horner pass (Montgomery) replaces a 128-bit division "
+      "per bit. The service rows show the same chunks serving dozens of "
+      "interleaved sessions across the thread pool with exact verdicts.");
+  return all_hold ? 0 : 1;
+}
+
+}  // namespace
+
+void register_e20(Registry& r) {
+  r.add({.id = "e20",
+         .title = "service throughput (chunked ingestion)",
+         .claim = "Claim (engineering): chunked transport is >= 5x the "
+                  "per-symbol path on the classical block machine at k >= 8 "
+                  "with bit-identical decisions, and RecognizerService "
+                  "serves interleaved sessions at line rate.",
+         .tags = {"throughput", "service", "chunked", "streaming"}},
+        run);
+}
+
+}  // namespace qols::bench

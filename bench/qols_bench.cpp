@@ -1,5 +1,5 @@
 // qols_bench — the unified experiment runner: one binary driving every
-// registered experiment (E1..E19) with selection, depth/trial/backend
+// registered experiment (E1..E20) with selection, depth/trial/backend
 // overrides and machine-readable JSON output.
 //
 //   qols_bench --list

@@ -101,8 +101,10 @@ void JsonReporter::set_config(const std::string& key, Value v) {
 Value JsonReporter::document() const {
   auto doc = Value::object();
   // Schema history: /1 = PR 2 (engine + registry + JSON results);
-  // /2 adds config.backend and per-metric extra.not_simulated.
-  doc.set("schema", "qols-bench/2");
+  // /2 adds config.backend and per-metric extra.not_simulated;
+  // /3 adds e20's throughput extras (symbols_per_sec, sessions_per_sec,
+  // speedup_vs_per_symbol).
+  doc.set("schema", "qols-bench/3");
   doc.set("config", config_);
   doc.set("experiments", experiments_);
   return doc;

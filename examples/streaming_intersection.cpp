@@ -5,7 +5,9 @@
 //
 // This example runs the quantum machine against every classical strategy in
 // the library on the same stream and prints decision quality + space, the
-// exponential-separation story in one table.
+// exponential-separation story in one table. Trials run through
+// core::TrialEngine — the library's single Monte-Carlo path — so they shard
+// across the thread pool exactly like the bench experiments.
 //
 //   ./streaming_intersection [k] [trials]
 #include <cstdlib>
@@ -15,36 +17,31 @@
 #include "qols/core/amplified.hpp"
 #include "qols/core/classical_recognizers.hpp"
 #include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
 #include "qols/lang/ldisj_instance.hpp"
-#include "qols/machine/online_recognizer.hpp"
 #include "qols/util/table.hpp"
 
 namespace {
 
 using qols::lang::LDisjInstance;
-using qols::machine::OnlineRecognizer;
-using qols::machine::run_stream;
 
 struct Row {
   std::string name;
-  int correct_member = 0;
-  int correct_nonmember = 0;
+  qols::core::QualityProfile profile;
   qols::machine::SpaceReport space;
 };
 
-Row evaluate(OnlineRecognizer& rec, const LDisjInstance& member,
-             const LDisjInstance& nonmember, int trials) {
+Row evaluate(const qols::core::RecognizerFactory& factory,
+             const LDisjInstance& member, const LDisjInstance& nonmember,
+             int trials) {
   Row row;
-  row.name = rec.name();
-  for (int i = 0; i < trials; ++i) {
-    rec.reset(1000 + i);
-    auto s = member.stream();
-    if (run_stream(*s, rec)) ++row.correct_member;
-    rec.reset(2000 + i);
-    auto s2 = nonmember.stream();
-    if (!run_stream(*s2, rec)) ++row.correct_nonmember;
-  }
-  row.space = rec.space_used();
+  row.name = factory(0)->name();
+  const qols::core::TrialEngine engine;
+  row.profile = engine.measure_quality(
+      [&] { return member.stream(); }, [&] { return nonmember.stream(); },
+      factory, {.trials = static_cast<std::uint64_t>(trials),
+                .seed_base = 1000});
+  row.space = row.profile.on_member.space;
   return row;
 }
 
@@ -65,34 +62,54 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
 
-  qols::core::QuantumOnlineRecognizer quantum(1);
-  rows.push_back(evaluate(quantum, member, nonmember, trials));
-
-  qols::core::AmplifiedRecognizer quantum4(
+  rows.push_back(evaluate(
       [](std::uint64_t seed) {
         return std::make_unique<qols::core::QuantumOnlineRecognizer>(seed);
       },
-      4, 1);
-  rows.push_back(evaluate(quantum4, member, nonmember, trials));
+      member, nonmember, trials));
 
-  qols::core::ClassicalBlockRecognizer block(1);
-  rows.push_back(evaluate(block, member, nonmember, trials));
+  rows.push_back(evaluate(
+      [](std::uint64_t seed) {
+        return std::make_unique<qols::core::AmplifiedRecognizer>(
+            [](std::uint64_t s) {
+              return std::make_unique<qols::core::QuantumOnlineRecognizer>(s);
+            },
+            4, seed);
+      },
+      member, nonmember, trials));
 
-  qols::core::ClassicalFullRecognizer full(1);
-  rows.push_back(evaluate(full, member, nonmember, trials));
+  rows.push_back(evaluate(
+      [](std::uint64_t seed) {
+        return std::make_unique<qols::core::ClassicalBlockRecognizer>(seed);
+      },
+      member, nonmember, trials));
 
-  qols::core::ClassicalSamplingRecognizer sample(1, 2 * k);  // O(log m) budget
-  rows.push_back(evaluate(sample, member, nonmember, trials));
+  rows.push_back(evaluate(
+      [](std::uint64_t seed) {
+        return std::make_unique<qols::core::ClassicalFullRecognizer>(seed);
+      },
+      member, nonmember, trials));
 
-  qols::core::ClassicalBloomRecognizer bloom(1, 4 * k, 2);  // O(log m) bits
-  rows.push_back(evaluate(bloom, member, nonmember, trials));
+  rows.push_back(evaluate(
+      [k](std::uint64_t seed) {  // O(log m) budget
+        return std::make_unique<qols::core::ClassicalSamplingRecognizer>(
+            seed, 2 * k);
+      },
+      member, nonmember, trials));
+
+  rows.push_back(evaluate(
+      [k](std::uint64_t seed) {  // O(log m) bits
+        return std::make_unique<qols::core::ClassicalBloomRecognizer>(seed,
+                                                                      4 * k, 2);
+      },
+      member, nonmember, trials));
 
   qols::util::Table table({"machine", "P[accept|member]", "P[reject|non-member]",
                            "classical bits", "qubits"});
   for (const auto& row : rows) {
     table.add_row({row.name,
-                   qols::util::fmt_f(row.correct_member / double(trials), 3),
-                   qols::util::fmt_f(row.correct_nonmember / double(trials), 3),
+                   qols::util::fmt_f(row.profile.on_member.rate(), 3),
+                   qols::util::fmt_f(1.0 - row.profile.on_nonmember.rate(), 3),
                    std::to_string(row.space.classical_bits),
                    std::to_string(row.space.qubits)});
   }

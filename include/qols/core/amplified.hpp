@@ -30,6 +30,9 @@ class AmplifiedRecognizer final : public machine::OnlineRecognizer {
                       std::uint64_t seed);
 
   void feed(stream::Symbol s) override;
+  /// Forwards the whole chunk to every copy (copies are independent, so
+  /// chunk-at-a-time lockstep equals symbol-at-a-time lockstep).
+  void feed_chunk(std::span<const stream::Symbol> chunk) override;
   bool finish() override;
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;

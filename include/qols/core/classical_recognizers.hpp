@@ -33,6 +33,10 @@ class ClassicalBlockRecognizer final : public machine::OnlineRecognizer {
   explicit ClassicalBlockRecognizer(std::uint64_t seed);
 
   void feed(stream::Symbol s) override;
+  /// Vectorized hot path: A1/A2 consume the chunk in bulk, and runs of data
+  /// bits touch only their overlap with the repetition's 2^k-bit window —
+  /// decisions stay bit-identical to per-symbol feeding.
+  void feed_chunk(std::span<const stream::Symbol> chunk) override;
   bool finish() override;
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
@@ -41,7 +45,9 @@ class ClassicalBlockRecognizer final : public machine::OnlineRecognizer {
   bool intersection_found() const noexcept { return found_; }
 
  private:
+  void on_own_symbol(stream::Symbol s);
   void on_body_symbol(stream::Symbol s);
+  void on_body_run(const stream::Symbol* data, std::uint64_t len);
 
   lang::StructureValidator a1_;
   std::unique_ptr<fingerprint::EqualityChecker> a2_;
@@ -65,12 +71,17 @@ class ClassicalFullRecognizer final : public machine::OnlineRecognizer {
   explicit ClassicalFullRecognizer(std::uint64_t seed);
 
   void feed(stream::Symbol s) override;
+  /// Vectorized: only repetition 0 reads or writes x, so later repetitions
+  /// reduce to counter arithmetic per run.
+  void feed_chunk(std::span<const stream::Symbol> chunk) override;
   bool finish() override;
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "classical-full"; }
 
  private:
+  void on_own_symbol(stream::Symbol s);
+  void on_body_run(const stream::Symbol* data, std::uint64_t len);
   lang::StructureValidator a1_;
   std::unique_ptr<fingerprint::EqualityChecker> a2_;
 
@@ -95,6 +106,9 @@ class ClassicalSamplingRecognizer final : public machine::OnlineRecognizer {
   ClassicalSamplingRecognizer(std::uint64_t seed, std::uint64_t budget);
 
   void feed(stream::Symbol s) override;
+  /// Vectorized: a run of data bits visits only the sampled indices that
+  /// fall inside it (the sorted sample makes that a cursor sweep).
+  void feed_chunk(std::span<const stream::Symbol> chunk) override;
   bool finish() override;
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
@@ -102,6 +116,8 @@ class ClassicalSamplingRecognizer final : public machine::OnlineRecognizer {
 
  private:
   void draw_indices();
+  void on_own_symbol(stream::Symbol s);
+  void on_body_run(const stream::Symbol* data, std::uint64_t len);
 
   util::Rng rng_;
   std::uint64_t budget_;
@@ -133,6 +149,10 @@ class ClassicalBloomRecognizer final : public machine::OnlineRecognizer {
                            unsigned num_hashes);
 
   void feed(stream::Symbol s) override;
+  /// Vectorized: the filter is built/probed in repetition 0 only; every
+  /// later repetition reduces to counter arithmetic per run, and within
+  /// repetition 0 only one-bits hash.
+  void feed_chunk(std::span<const stream::Symbol> chunk) override;
   bool finish() override;
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
@@ -140,6 +160,8 @@ class ClassicalBloomRecognizer final : public machine::OnlineRecognizer {
 
  private:
   std::uint64_t hash(std::uint64_t index, unsigned which) const noexcept;
+  void on_own_symbol(stream::Symbol s);
+  void on_body_run(const stream::Symbol* data, std::uint64_t len);
 
   std::uint64_t seed_ = 0;
   std::uint64_t filter_bits_;

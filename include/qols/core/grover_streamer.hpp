@@ -29,9 +29,11 @@
 // ancillas above the data register. This realizes Definition 2.3's output
 // tape literally.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "qols/backend/quantum_backend.hpp"
@@ -69,6 +71,12 @@ class GroverStreamer {
 
   /// Consumes one symbol of the word (same stream as A1/A2).
   void feed(stream::Symbol s);
+
+  /// Consumes a run of symbols; identical register evolution and RNG
+  /// consumption to per-symbol feeding. Zero bits only advance the offset
+  /// counter and the post-measurement tail is ignored wholesale, so both
+  /// are skipped in bulk; one-bits still emit their gate individually.
+  void feed_chunk(std::span<const stream::Symbol> chunk);
 
   /// A3's output: 1 if the measured ancilla was 0 ("looks disjoint"),
   /// 0 otherwise, kNotSimulated if the register exceeded every backend

@@ -46,6 +46,10 @@ class QuantumOnlineRecognizer final : public machine::OnlineRecognizer {
   QuantumOnlineRecognizer(std::uint64_t seed, Options opts);
 
   void feed(stream::Symbol s) override;
+  /// Chunked ingestion: A1/A2/A3 each consume the run in bulk (they are
+  /// independent machines running in parallel on the same tape, so feeding
+  /// order across them is immaterial). Bit-identical to per-symbol feeding.
+  void feed_chunk(std::span<const stream::Symbol> chunk) override;
   bool finish() override;
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;

@@ -14,8 +14,10 @@
 //
 // Work memory: O(k) bits — a handful of field elements of 4k+1 bits each.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "qols/fingerprint/poly_fingerprint.hpp"
 #include "qols/stream/symbol_stream.hpp"
@@ -39,6 +41,14 @@ class EqualityChecker {
   /// violating shape (i) the behaviour is unspecified-but-safe: A1 rejects
   /// the word anyway.
   void feed(stream::Symbol s);
+
+  /// Consumes a run of symbols; fingerprint values — and therefore every
+  /// pass/fail outcome — are bit-identical to per-symbol feeding. Runs of
+  /// data bits go through PolyFingerprint's batched Horner pass (Montgomery
+  /// multiplication instead of a 128-bit division per bit), which is the
+  /// single largest win of chunked ingestion: A2 touches every bit of the
+  /// word, so its per-bit cost bounds any recognizer's line rate.
+  void feed_chunk(std::span<const stream::Symbol> chunk);
 
   /// True iff every fingerprint comparison made so far passed. Valid after
   /// the stream ends; on a shape-valid word this is the paper's A2 output.

@@ -8,8 +8,10 @@
 // counter up to 3*2^k, and an in-block position counter up to 2^{2k}. The
 // validator never buffers input.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "qols/stream/symbol_stream.hpp"
 
@@ -21,6 +23,12 @@ class StructureValidator {
 
   /// Consumes one symbol. Safe to call after failure (stays failed).
   void feed(stream::Symbol s);
+
+  /// Consumes a run of symbols; identical end state to feeding them one by
+  /// one. Runs of data bits inside a block advance the position counter in
+  /// one step instead of 2^{2k} branches, so chunked ingestion makes A1
+  /// nearly free.
+  void feed_chunk(std::span<const stream::Symbol> chunk);
 
   /// Declares end of input and returns the verdict: true iff the consumed
   /// word satisfied shape condition (i) exactly.

@@ -10,8 +10,10 @@
 // scratch memory that a real machine would not, e.g. the dense state vector
 // standing in for physical qubits).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "qols/stream/symbol_stream.hpp"
@@ -34,6 +36,15 @@ class OnlineRecognizer {
 
   /// Consumes the next input symbol.
   virtual void feed(stream::Symbol s) = 0;
+
+  /// Consumes a run of consecutive input symbols. Semantically identical to
+  /// feeding each symbol in order — same decisions, same SpaceReport, same
+  /// RNG consumption — and freely interleavable with feed(). The default
+  /// loops feed(); recognizers with a vectorizable hot path override it so
+  /// the per-symbol virtual dispatch disappears from the ingestion loop.
+  virtual void feed_chunk(std::span<const stream::Symbol> chunk) {
+    for (const stream::Symbol s : chunk) feed(s);
+  }
 
   /// Declares end of input; returns the accept/reject decision. May involve
   /// the machine's final coin flips / measurement. Call at most once per
@@ -58,8 +69,15 @@ class OnlineRecognizer {
   virtual bool fully_simulated() const { return true; }
 };
 
+/// Symbols moved per transport hop by run_stream: large enough to amortize
+/// the two virtual calls per hop, small enough to stay in L1 (4 KiB).
+inline constexpr std::size_t kRunStreamChunk = 4096;
+
 /// Streams `input` through `rec` (which must be freshly reset) and returns
-/// the decision.
+/// the decision. Transport is chunked: symbols move in kRunStreamChunk-sized
+/// spans (next_chunk -> feed_chunk), so the per-symbol cost is the
+/// recognizers' actual work, not call dispatch. Decisions are bit-identical
+/// to the historical per-symbol loop.
 bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec);
 
 /// Monte-Carlo acceptance probability over `trials` independent runs of the
@@ -74,6 +92,10 @@ struct AcceptanceStats {
 };
 
 template <typename StreamFactory>
+[[deprecated(
+    "use core::TrialEngine (qols/core/trial_engine.hpp) — the single "
+    "Monte-Carlo trial path with pooled sharding and not-simulated "
+    "accounting; this header-only loop will be removed next PR")]]
 AcceptanceStats estimate_acceptance(StreamFactory&& make_stream,
                                     OnlineRecognizer& rec,
                                     std::uint64_t trials,

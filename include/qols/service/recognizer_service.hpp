@@ -1,0 +1,157 @@
+#pragma once
+// The serving layer: many interleaved input streams, one recognizer family.
+//
+// Everything below core/ decides ONE stream per recognizer instance. Real
+// deployments (the introduction's "data from large databases" scenario, or
+// the multi-stream workloads of Khadiev et al.) interleave many independent
+// words arriving chunk by chunk — a load balancer in front of a rack of
+// online machines. RecognizerService models exactly that: it owns a
+// factory-config (language scale is carried by the words themselves;
+// recognizer kind and quantum backend id are fixed per service), hands out
+// session handles, ingests chunks in any interleaving, and shards the
+// buffered work of ready sessions across the process-wide ThreadPool.
+//
+// Determinism contract: a session's verdict is a pure function of its seed
+// and the symbols fed to it, in order. The pool only decides WHICH WORKER
+// advances a session, never the order of that session's symbols, so serving
+// is bit-identical to running each stream alone through run_stream.
+//
+//   RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+//   auto a = svc.open(1), b = svc.open(2);
+//   svc.feed(a, chunk_a0); svc.feed(b, chunk_b0); svc.feed(a, chunk_a1);
+//   Verdict va = svc.finish(a);   // sessions finish in any order
+//
+// The public API is meant to be driven from one thread (the "acceptor");
+// parallelism happens inside flush(), across sessions.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/thread_pool.hpp"
+
+namespace qols::service {
+
+/// The recognizer families the service can serve. One service serves one
+/// family — mirroring a deployment where a fleet is provisioned for a
+/// specific machine and space budget.
+enum class RecognizerKind {
+  kClassicalBlock,     ///< Proposition 3.7 (Theta(n^{1/3}) bits)
+  kClassicalFull,      ///< full x storage (Theta(n^{2/3}) bits)
+  kClassicalSampling,  ///< sub-lower-bound sampler (must fail; E10)
+  kClassicalBloom,     ///< sub-lower-bound Bloom filter (must fail; E10)
+  kQuantum,            ///< Theorem 3.4 (O(log n) bits + qubits)
+};
+
+/// Human-readable kind name ("classical-block", ...), matching the
+/// recognizers' own name() strings.
+std::string recognizer_kind_name(RecognizerKind kind);
+
+/// Factory-config: everything needed to build one recognizer per session.
+struct RecognizerSpec {
+  RecognizerKind kind = RecognizerKind::kClassicalBlock;
+  /// Quantum backend id ("dense", "structured", "auto"; empty = auto with
+  /// QOLS_BACKEND override). Ignored by the classical kinds.
+  std::string backend{};
+  /// Per-repetition index budget of the sampling recognizer.
+  std::uint64_t sampling_budget = 16;
+  /// Filter geometry of the Bloom recognizer.
+  std::uint64_t bloom_filter_bits = 64;
+  unsigned bloom_num_hashes = 2;
+
+  /// Builds a fresh recognizer seeded for one session. Thread-safe (shares
+  /// only immutable state). Throws std::invalid_argument on a bad backend.
+  std::unique_ptr<machine::OnlineRecognizer> make(std::uint64_t seed) const;
+};
+
+class RecognizerService {
+ public:
+  using SessionId = std::uint64_t;
+
+  /// A finished session's outcome: the decision, whether the machine's
+  /// decision procedure actually ran (see OnlineRecognizer::
+  /// fully_simulated), and its conceptual space footprint.
+  struct Verdict {
+    bool accepted = false;
+    bool fully_simulated = true;
+    machine::SpaceReport space;
+  };
+
+  struct Config {
+    RecognizerSpec spec;
+    /// Buffered symbols (summed over sessions) that trigger an automatic
+    /// flush across the pool. Lower = fresher sessions, higher = better
+    /// batching. 0 is legal: every feed() flushes immediately.
+    std::uint64_t flush_threshold = std::uint64_t{1} << 18;
+    /// Pool to shard session work onto; nullptr = util::ThreadPool::global().
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// Aggregate throughput counters (monotonic over the service lifetime).
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_finished = 0;
+    std::uint64_t symbols_ingested = 0;
+    std::uint64_t flushes = 0;
+    /// Wall-clock spent inside flush drains (the recognizer work).
+    double busy_seconds = 0.0;
+
+    double symbols_per_second() const noexcept {
+      return busy_seconds > 0.0
+                 ? static_cast<double>(symbols_ingested) / busy_seconds
+                 : 0.0;
+    }
+    double sessions_per_second() const noexcept {
+      return busy_seconds > 0.0
+                 ? static_cast<double>(sessions_finished) / busy_seconds
+                 : 0.0;
+    }
+  };
+
+  explicit RecognizerService(Config config);
+
+  /// Opens a session: constructs the recognizer from `seed` and returns its
+  /// handle. Ids are never reused within one service.
+  SessionId open(std::uint64_t seed);
+
+  /// Buffers a chunk for the session (copied; the caller's span may die).
+  /// Triggers a pooled flush when the buffered total crosses the threshold.
+  /// Throws std::out_of_range on an unknown or finished session.
+  void feed(SessionId id, std::span<const stream::Symbol> chunk);
+
+  /// Drains the session's remaining buffer, finishes the recognizer, and
+  /// retires the session. Sessions may finish in any order. Throws
+  /// std::out_of_range on an unknown or already-finished session.
+  Verdict finish(SessionId id);
+
+  /// Feeds every buffered session in parallel across the pool. Called
+  /// automatically by feed() at the threshold; call manually to drain.
+  void flush();
+
+  std::size_t open_sessions() const noexcept { return sessions_.size(); }
+  std::uint64_t buffered_symbols() const noexcept { return buffered_; }
+  const Stats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<machine::OnlineRecognizer> recognizer;
+    std::vector<stream::Symbol> pending;
+  };
+
+  Session& session_or_throw(SessionId id);
+
+  Config config_;
+  SessionId next_id_ = 1;
+  std::unordered_map<SessionId, Session> sessions_;
+  std::uint64_t buffered_ = 0;
+  Stats stats_;
+};
+
+}  // namespace qols::service

@@ -20,6 +20,9 @@ class FileStream final : public SymbolStream {
   explicit FileStream(const std::string& path, std::size_t buffer_size = 1 << 16);
 
   std::optional<Symbol> next() override;
+  /// Bulk path: converts straight out of the read buffer, refilling as
+  /// needed — disk streams feed chunked recognizers at line rate.
+  std::size_t next_chunk(std::span<Symbol> out) override;
   std::optional<std::uint64_t> length_hint() const override;
 
   /// True if a character outside the alphabet was encountered.

@@ -8,10 +8,13 @@
 // lazily so experiments can stream inputs of hundreds of megabits while the
 // process allocates only the recognizer's work memory.
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 namespace qols::stream {
@@ -23,12 +26,42 @@ enum class Symbol : std::uint8_t { kZero = 0, kOne = 1, kSep = 2 };
 std::optional<Symbol> symbol_from_char(char c) noexcept;
 char symbol_to_char(Symbol s) noexcept;
 
+/// Index of the first kSep in data[begin, end), or `end` when there is none.
+/// The shared run-splitter of every bulk scanner: Symbol's underlying byte
+/// values make this a memchr, so finding block boundaries costs a vectorized
+/// scan instead of a branch per symbol.
+inline std::size_t find_sep(const Symbol* data, std::size_t begin,
+                            std::size_t end) noexcept {
+  if (begin >= end) return end;
+  const void* hit = std::memchr(data + begin, static_cast<int>(Symbol::kSep),
+                                end - begin);
+  return hit != nullptr
+             ? static_cast<std::size_t>(static_cast<const Symbol*>(hit) - data)
+             : end;
+}
+
 /// Abstract one-way input tape.
 class SymbolStream {
  public:
   virtual ~SymbolStream() = default;
   /// Next symbol, or nullopt at end of input. Never rewinds.
   virtual std::optional<Symbol> next() = 0;
+  /// Fills `out` with the next symbols and returns how many were written.
+  /// Contract: a return of 0 with a non-empty `out` means end of input —
+  /// implementations may return short counts mid-stream but must never
+  /// return 0 transiently. Interleaves freely with next(): both advance the
+  /// same cursor. The default loops next(); real streams override this with
+  /// bulk production so the per-symbol virtual call vanishes from the
+  /// ingestion hot path.
+  virtual std::size_t next_chunk(std::span<Symbol> out) {
+    std::size_t filled = 0;
+    while (filled < out.size()) {
+      auto s = next();
+      if (!s) break;
+      out[filled++] = *s;
+    }
+    return filled;
+  }
   /// Total length if known in advance (for reporting only; recognizers must
   /// not rely on it — the paper's machines never know |w| a priori).
   virtual std::optional<std::uint64_t> length_hint() const { return std::nullopt; }
@@ -40,6 +73,9 @@ class StringStream final : public SymbolStream {
  public:
   explicit StringStream(std::string text);
   std::optional<Symbol> next() override;
+  /// Bulk path: one tight char->Symbol conversion loop (characters were
+  /// validated at construction).
+  std::size_t next_chunk(std::span<Symbol> out) override;
   std::optional<std::uint64_t> length_hint() const override {
     return text_.size();
   }
@@ -61,6 +97,18 @@ class GeneratorStream final : public SymbolStream {
     if (s) ++pos_;
     return s;
   }
+  /// Bulk path: consults the callable back to back without the per-symbol
+  /// virtual dispatch of the default implementation.
+  std::size_t next_chunk(std::span<Symbol> out) override {
+    std::size_t filled = 0;
+    while (filled < out.size()) {
+      auto s = fn_(pos_);
+      if (!s) break;
+      ++pos_;
+      out[filled++] = *s;
+    }
+    return filled;
+  }
   std::optional<std::uint64_t> length_hint() const override { return length_; }
 
  private:
@@ -74,15 +122,34 @@ class GeneratorStream final : public SymbolStream {
 class TruncatedStream final : public SymbolStream {
  public:
   TruncatedStream(std::unique_ptr<SymbolStream> inner, std::uint64_t keep)
-      : inner_(std::move(inner)), remaining_(keep) {}
+      : inner_(std::move(inner)), keep_(keep), remaining_(keep) {}
   std::optional<Symbol> next() override {
     if (remaining_ == 0) return std::nullopt;
     --remaining_;
     return inner_->next();
   }
+  /// Pass-through: clamps the request to the remaining budget, then lets the
+  /// inner stream fill the chunk at its own line rate.
+  std::size_t next_chunk(std::span<Symbol> out) override {
+    const std::size_t want = remaining_ < out.size()
+                                 ? static_cast<std::size_t>(remaining_)
+                                 : out.size();
+    if (want == 0) return 0;
+    const std::size_t got = inner_->next_chunk(out.first(want));
+    remaining_ -= got;
+    return got;
+  }
+  /// min(keep, inner hint): truncation caps a known inner length; with no
+  /// inner hint the true length is min(keep, unknown) — still unknown.
+  std::optional<std::uint64_t> length_hint() const override {
+    const auto inner = inner_->length_hint();
+    if (!inner) return std::nullopt;
+    return *inner < keep_ ? *inner : keep_;
+  }
 
  private:
   std::unique_ptr<SymbolStream> inner_;
+  std::uint64_t keep_;
   std::uint64_t remaining_;
 };
 
@@ -98,6 +165,20 @@ class CorruptingStream final : public SymbolStream {
     if (s && cursor_++ == target_) s = replacement_;
     return s;
   }
+  /// Pass-through: bulk-reads the inner stream and patches the one target
+  /// position if it falls inside this chunk.
+  std::size_t next_chunk(std::span<Symbol> out) override {
+    const std::size_t got = inner_->next_chunk(out);
+    if (target_ >= cursor_ && target_ - cursor_ < got) {
+      out[static_cast<std::size_t>(target_ - cursor_)] = replacement_;
+    }
+    cursor_ += got;
+    return got;
+  }
+  /// Corruption replaces one symbol in place; the length is the inner one.
+  std::optional<std::uint64_t> length_hint() const override {
+    return inner_->length_hint();
+  }
 
  private:
   std::unique_ptr<SymbolStream> inner_;
@@ -112,6 +193,14 @@ class AppendingStream final : public SymbolStream {
  public:
   AppendingStream(std::unique_ptr<SymbolStream> inner, std::string suffix);
   std::optional<Symbol> next() override;
+  /// Pass-through: drains the inner stream in bulk, then serves the suffix.
+  std::size_t next_chunk(std::span<Symbol> out) override;
+  /// inner hint + |suffix| when the inner length is known.
+  std::optional<std::uint64_t> length_hint() const override {
+    const auto inner = inner_->length_hint();
+    if (!inner) return std::nullopt;
+    return *inner + suffix_.size();
+  }
 
  private:
   std::unique_ptr<SymbolStream> inner_;

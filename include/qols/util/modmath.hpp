@@ -43,6 +43,51 @@ constexpr std::uint64_t powmod(std::uint64_t a, std::uint64_t e,
   return result;
 }
 
+/// Montgomery multiplication context for an odd modulus 2 < m < 2^63.
+///
+/// mulmod above compiles to a 128-by-64-bit division (libgcc's __umodti3 on
+/// x86-64), which dominates the per-bit cost of streaming fingerprints.
+/// Montgomery REDC replaces the division with three multiplications, so the
+/// batched Horner pass of PolyFingerprint::feed_counted_bulk runs several
+/// times faster while producing the exact same canonical residues — values
+/// round-trip through the Montgomery domain losslessly.
+class Montgomery {
+ public:
+  explicit Montgomery(std::uint64_t m) noexcept : m_(m) {
+    // m^{-1} mod 2^64 by Newton iteration: x <- x(2 - m x) doubles the
+    // number of correct low bits; odd m starts with 3 (m*m = 1 mod 8).
+    std::uint64_t inv = m;
+    for (int i = 0; i < 5; ++i) inv *= 2 - m * inv;
+    neg_inv_ = ~inv + 1;  // -m^{-1} mod 2^64
+    const auto r =
+        static_cast<std::uint64_t>((static_cast<__uint128_t>(1) << 64) % m);
+    r2_ = static_cast<std::uint64_t>((static_cast<__uint128_t>(r) * r) % m);
+  }
+
+  /// REDC(a * b): for a, b < m returns (a * b * 2^{-64}) mod m, < m.
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept {
+    const __uint128_t t = static_cast<__uint128_t>(a) * b;
+    const std::uint64_t q = static_cast<std::uint64_t>(t) * neg_inv_;
+    const auto r = static_cast<std::uint64_t>(
+        (t + static_cast<__uint128_t>(q) * m_) >> 64);
+    return r >= m_ ? r - m_ : r;
+  }
+
+  /// x -> x * 2^64 mod m (entry into the Montgomery domain).
+  std::uint64_t to_mont(std::uint64_t x) const noexcept {
+    return mul(x % m_, r2_);
+  }
+  /// x * 2^64 mod m -> x (canonical residue in [0, m)).
+  std::uint64_t from_mont(std::uint64_t x) const noexcept { return mul(x, 1); }
+
+  std::uint64_t modulus() const noexcept { return m_; }
+
+ private:
+  std::uint64_t m_;
+  std::uint64_t neg_inv_;
+  std::uint64_t r2_;
+};
+
 /// Deterministic Miller–Rabin for 64-bit integers (the standard 12-base set
 /// {2,3,5,7,11,13,17,19,23,29,31,37} is exact for all n < 3.3 * 10^24).
 bool is_prime_u64(std::uint64_t n) noexcept;

@@ -23,6 +23,10 @@ void AmplifiedRecognizer::feed(stream::Symbol s) {
   for (auto& rec : inner_) rec->feed(s);
 }
 
+void AmplifiedRecognizer::feed_chunk(std::span<const stream::Symbol> chunk) {
+  for (auto& rec : inner_) rec->feed_chunk(chunk);
+}
+
 bool AmplifiedRecognizer::finish() {
   bool all = true;
   for (auto& rec : inner_) {

@@ -31,6 +31,31 @@ struct PrefixParser {
   }
 };
 
+// Shared chunk driver for the recognizers' own body logic (A1/A2 consume the
+// chunk separately, in bulk): per-symbol through the prefix, then the body
+// split into separators (rare, per symbol) and data runs (bulk). All state
+// transitions happen inside the callbacks, so chunk boundaries can never
+// diverge from per-symbol feeding.
+template <typename OwnSymbol, typename BodyRun>
+void drive_chunk(std::span<const Symbol> chunk, const bool& in_prefix,
+                 const bool& active, OwnSymbol&& on_own_symbol,
+                 BodyRun&& on_body_run) {
+  std::size_t i = 0;
+  const std::size_t n = chunk.size();
+  while (i < n && in_prefix) on_own_symbol(chunk[i++]);
+  if (!active) return;  // body ignores the rest (bad shape or k out of range)
+  while (i < n) {
+    if (chunk[i] == Symbol::kSep) {
+      on_own_symbol(chunk[i]);
+      ++i;
+      continue;
+    }
+    const std::size_t j = stream::find_sep(chunk.data(), i + 1, n);
+    on_body_run(chunk.data() + i, j - i);
+    i = j;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -60,6 +85,10 @@ void ClassicalBlockRecognizer::reset(std::uint64_t seed) {
 void ClassicalBlockRecognizer::feed(Symbol s) {
   a1_.feed(s);
   a2_->feed(s);
+  on_own_symbol(s);
+}
+
+void ClassicalBlockRecognizer::on_own_symbol(Symbol s) {
   if (in_prefix_) {
     if (s == Symbol::kOne && k_ < 20) {
       ++k_;
@@ -76,6 +105,14 @@ void ClassicalBlockRecognizer::feed(Symbol s) {
   }
   if (!active_) return;
   on_body_symbol(s);
+}
+
+void ClassicalBlockRecognizer::feed_chunk(std::span<const Symbol> chunk) {
+  a1_.feed_chunk(chunk);
+  a2_->feed_chunk(chunk);
+  drive_chunk(
+      chunk, in_prefix_, active_, [this](Symbol s) { on_own_symbol(s); },
+      [this](const Symbol* d, std::uint64_t len) { on_body_run(d, len); });
 }
 
 void ClassicalBlockRecognizer::on_body_symbol(Symbol s) {
@@ -100,6 +137,31 @@ void ClassicalBlockRecognizer::on_body_symbol(Symbol s) {
     buffer_.set(slot, bit);
   } else if (block_ == 1) {
     if (bit && buffer_.get(slot)) found_ = true;
+  }
+}
+
+void ClassicalBlockRecognizer::on_body_run(const Symbol* data,
+                                           std::uint64_t len) {
+  // Bit-identical to len on_body_symbol calls: off_ always advances; only
+  // the run's overlap with this repetition's window [r*2^k, (r+1)*2^k) is
+  // read or written, and z-blocks touch nothing.
+  const std::uint64_t start = off_;
+  off_ += len;
+  if (rep_ >= block_len_ || block_ == 2) return;
+  const std::uint64_t window_lo = rep_ * block_len_;
+  const std::uint64_t window_hi = window_lo + block_len_;
+  const std::uint64_t lo = std::max(start, window_lo);
+  const std::uint64_t hi = std::min({start + len, window_hi, m_});
+  if (block_ == 0) {
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      buffer_.set(idx - window_lo, data[idx - start] == Symbol::kOne);
+    }
+  } else if (block_ == 1) {
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      if (data[idx - start] == Symbol::kOne && buffer_.get(idx - window_lo)) {
+        found_ = true;
+      }
+    }
   }
 }
 
@@ -145,6 +207,10 @@ void ClassicalFullRecognizer::reset(std::uint64_t seed) {
 void ClassicalFullRecognizer::feed(Symbol s) {
   a1_.feed(s);
   a2_->feed(s);
+  on_own_symbol(s);
+}
+
+void ClassicalFullRecognizer::on_own_symbol(Symbol s) {
   if (in_prefix_) {
     if (s == Symbol::kOne && k_ < 20) {
       ++k_;
@@ -176,6 +242,33 @@ void ClassicalFullRecognizer::feed(Symbol s) {
     x_.set(idx, bit);
   } else if (rep_ == 0 && block_ == 1) {
     if (bit && x_.get(idx)) found_ = true;
+  }
+}
+
+void ClassicalFullRecognizer::feed_chunk(std::span<const Symbol> chunk) {
+  a1_.feed_chunk(chunk);
+  a2_->feed_chunk(chunk);
+  drive_chunk(
+      chunk, in_prefix_, active_, [this](Symbol s) { on_own_symbol(s); },
+      [this](const Symbol* d, std::uint64_t len) { on_body_run(d, len); });
+}
+
+void ClassicalFullRecognizer::on_body_run(const Symbol* data,
+                                          std::uint64_t len) {
+  // Only repetition 0 reads or writes x; later repetitions are counter
+  // arithmetic (A2 carries the consistency burden there).
+  const std::uint64_t start = off_;
+  off_ += len;
+  if (rep_ != 0) return;
+  const std::uint64_t hi = std::min(start + len, m_);
+  if (block_ == 0) {
+    for (std::uint64_t idx = start; idx < hi; ++idx) {
+      x_.set(idx, data[idx - start] == Symbol::kOne);
+    }
+  } else if (block_ == 1) {
+    for (std::uint64_t idx = start; idx < hi; ++idx) {
+      if (data[idx - start] == Symbol::kOne && x_.get(idx)) found_ = true;
+    }
   }
 }
 
@@ -232,6 +325,10 @@ void ClassicalSamplingRecognizer::draw_indices() {
 void ClassicalSamplingRecognizer::feed(Symbol s) {
   a1_.feed(s);
   a2_->feed(s);
+  on_own_symbol(s);
+}
+
+void ClassicalSamplingRecognizer::on_own_symbol(Symbol s) {
   if (in_prefix_) {
     if (s == Symbol::kOne && k_ < 20) {
       ++k_;
@@ -270,6 +367,43 @@ void ClassicalSamplingRecognizer::feed(Symbol s) {
     while (cursor_ < indices_.size() && indices_[cursor_] < idx) ++cursor_;
     if (cursor_ < indices_.size() && indices_[cursor_] == idx) {
       if (bit && xbits_[cursor_]) found_ = true;
+    }
+  }
+}
+
+void ClassicalSamplingRecognizer::feed_chunk(std::span<const Symbol> chunk) {
+  a1_.feed_chunk(chunk);
+  a2_->feed_chunk(chunk);
+  drive_chunk(
+      chunk, in_prefix_, active_, [this](Symbol s) { on_own_symbol(s); },
+      [this](const Symbol* d, std::uint64_t len) { on_body_run(d, len); });
+}
+
+void ClassicalSamplingRecognizer::on_body_run(const Symbol* data,
+                                              std::uint64_t len) {
+  // The sorted sample turns a run into a cursor sweep: only sampled indices
+  // inside [start, end) are visited. The cursor lands one lower-bound step
+  // ahead of the per-symbol path's resting point, which is unobservable —
+  // it only ever advances monotonically until the next block boundary
+  // resets it.
+  const std::uint64_t start = off_;
+  off_ += len;
+  if (block_ >= 2) return;
+  const std::uint64_t end = std::min(start + len, m_);
+  if (start >= end) return;
+  while (cursor_ < indices_.size() && indices_[cursor_] < start) ++cursor_;
+  if (block_ == 0) {
+    while (cursor_ < indices_.size() && indices_[cursor_] < end) {
+      xbits_[cursor_] = data[indices_[cursor_] - start] == Symbol::kOne;
+      ++cursor_;
+    }
+  } else {
+    while (cursor_ < indices_.size() && indices_[cursor_] < end) {
+      if (data[indices_[cursor_] - start] == Symbol::kOne &&
+          xbits_[cursor_]) {
+        found_ = true;
+      }
+      ++cursor_;
     }
   }
 }
@@ -328,6 +462,10 @@ std::uint64_t ClassicalBloomRecognizer::hash(std::uint64_t index,
 void ClassicalBloomRecognizer::feed(Symbol s) {
   a1_.feed(s);
   a2_->feed(s);
+  on_own_symbol(s);
+}
+
+void ClassicalBloomRecognizer::on_own_symbol(Symbol s) {
   if (in_prefix_) {
     if (s == Symbol::kOne && k_ < 20) {
       ++k_;
@@ -361,6 +499,42 @@ void ClassicalBloomRecognizer::feed(Symbol s) {
     }
   } else if (block_ == 1) {
     if (bit) {
+      bool all = true;
+      for (unsigned h = 0; h < num_hashes_; ++h) {
+        if (!filter_.get(hash(idx, h))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) hit_ = true;
+    }
+  }
+}
+
+void ClassicalBloomRecognizer::feed_chunk(std::span<const Symbol> chunk) {
+  a1_.feed_chunk(chunk);
+  a2_->feed_chunk(chunk);
+  drive_chunk(
+      chunk, in_prefix_, active_, [this](Symbol s) { on_own_symbol(s); },
+      [this](const Symbol* d, std::uint64_t len) { on_body_run(d, len); });
+}
+
+void ClassicalBloomRecognizer::on_body_run(const Symbol* data,
+                                           std::uint64_t len) {
+  // The filter is built (block 0) and probed (block 1) in repetition 0
+  // only, and only one-bits hash — later repetitions cost nothing.
+  const std::uint64_t start = off_;
+  off_ += len;
+  if (rep_ != 0) return;
+  const std::uint64_t hi = std::min(start + len, m_);
+  if (block_ == 0) {
+    for (std::uint64_t idx = start; idx < hi; ++idx) {
+      if (data[idx - start] != Symbol::kOne) continue;
+      for (unsigned h = 0; h < num_hashes_; ++h) filter_.set(hash(idx, h), true);
+    }
+  } else if (block_ == 1) {
+    for (std::uint64_t idx = start; idx < hi; ++idx) {
+      if (data[idx - start] != Symbol::kOne) continue;
       bool all = true;
       for (unsigned h = 0; h < num_hashes_; ++h) {
         if (!filter_.get(hash(idx, h))) {

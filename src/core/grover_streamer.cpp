@@ -79,6 +79,34 @@ void GroverStreamer::feed(Symbol s) {
   }
 }
 
+void GroverStreamer::feed_chunk(std::span<const Symbol> chunk) {
+  std::size_t i = 0;
+  const std::size_t n = chunk.size();
+  while (i < n) {
+    if (!in_prefix_ && (!active_ || done_)) return;  // inert for the rest
+    const Symbol s = chunk[i];
+    if (!in_prefix_ && s == Symbol::kZero) {
+      // A run of zero bits only advances the offset counter (on_bit returns
+      // before touching the register), or freezes on an overlong block —
+      // identical end state to feeding them one at a time.
+      std::size_t j = i + 1;
+      while (j < n && chunk[j] == Symbol::kZero) ++j;
+      const std::uint64_t run = j - i;
+      const std::uint64_t room = m_ > off_ ? m_ - off_ : 0;
+      if (run > room) {
+        off_ += room;
+        done_ = true;  // the first bit past m freezes the register
+      } else {
+        off_ += run;
+      }
+      i = j;
+      continue;
+    }
+    feed(s);
+    ++i;
+  }
+}
+
 void GroverStreamer::on_bit(bool bit) {
   if (off_ >= m_) {
     // Overlong block: word is malformed, A1 rejects. Freeze the register.

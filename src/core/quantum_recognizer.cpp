@@ -27,6 +27,13 @@ void QuantumOnlineRecognizer::feed(stream::Symbol s) {
   a3_->feed(s);
 }
 
+void QuantumOnlineRecognizer::feed_chunk(
+    std::span<const stream::Symbol> chunk) {
+  a1_.feed_chunk(chunk);
+  a2_->feed_chunk(chunk);
+  a3_->feed_chunk(chunk);
+}
+
 bool QuantumOnlineRecognizer::finish() { return verdict() == Verdict::kAccept; }
 
 QuantumOnlineRecognizer::Verdict QuantumOnlineRecognizer::verdict() {

@@ -38,6 +38,30 @@ void EqualityChecker::feed(Symbol s) {
   current_->feed_counted(s == Symbol::kOne);
 }
 
+void EqualityChecker::feed_chunk(std::span<const stream::Symbol> chunk) {
+  std::size_t i = 0;
+  const std::size_t n = chunk.size();
+  while (i < n) {
+    if (in_prefix_) {  // per-symbol until the prefix resolves (k, p, t)
+      feed(chunk[i]);
+      ++i;
+      continue;
+    }
+    if (!active_ || failed_) return;  // inert for the rest of the word
+    if (chunk[i] == Symbol::kSep) {
+      on_block_end();
+      ++i;
+      continue;
+    }
+    // A run of data bits: Symbol's underlying values are kZero = 0 and
+    // kOne = 1, so the span doubles as the bit array of the batched pass.
+    const std::size_t j = stream::find_sep(chunk.data(), i + 1, n);
+    current_->feed_counted_bulk(
+        reinterpret_cast<const std::uint8_t*>(chunk.data() + i), j - i);
+    i = j;
+  }
+}
+
 void EqualityChecker::on_block_end() {
   const std::uint64_t fp = current_->value();
   const unsigned kind = static_cast<unsigned>(block_index_ % 3);

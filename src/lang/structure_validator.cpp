@@ -58,6 +58,28 @@ void StructureValidator::feed(Symbol s) {
   }
 }
 
+void StructureValidator::feed_chunk(std::span<const stream::Symbol> chunk) {
+  std::size_t i = 0;
+  const std::size_t n = chunk.size();
+  while (i < n) {
+    if (phase_ == Phase::kFailed) return;  // sticky; the rest is ignored
+    if (phase_ == Phase::kBlock && chunk[i] != Symbol::kSep) {
+      // Bulk-advance over the run of data bits up to the next separator.
+      const std::size_t j = stream::find_sep(chunk.data(), i + 1, n);
+      const std::uint64_t run = j - i;
+      if (pos_in_block_ + run > m_) {
+        fail();  // overlong block — same sticky failure the per-symbol
+        return;  // path reaches at the first bit beyond m
+      }
+      pos_in_block_ += run;
+      i = j;
+      continue;
+    }
+    feed(chunk[i]);
+    ++i;
+  }
+}
+
 bool StructureValidator::finish() {
   if (failed_) return false;
   return phase_ == Phase::kDone;

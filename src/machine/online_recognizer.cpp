@@ -1,11 +1,17 @@
 #include "qols/machine/online_recognizer.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace qols::machine {
 
 bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec) {
-  while (auto s = input.next()) rec.feed(*s);
+  std::array<stream::Symbol, kRunStreamChunk> buffer;
+  while (true) {
+    const std::size_t n = input.next_chunk(buffer);
+    if (n == 0) break;
+    rec.feed_chunk(std::span<const stream::Symbol>(buffer.data(), n));
+  }
   return rec.finish();
 }
 

@@ -1,0 +1,126 @@
+#include "qols/service/recognizer_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/util/stopwatch.hpp"
+
+namespace qols::service {
+
+std::string recognizer_kind_name(RecognizerKind kind) {
+  switch (kind) {
+    case RecognizerKind::kClassicalBlock:
+      return "classical-block";
+    case RecognizerKind::kClassicalFull:
+      return "classical-full";
+    case RecognizerKind::kClassicalSampling:
+      return "classical-sample";
+    case RecognizerKind::kClassicalBloom:
+      return "classical-bloom";
+    case RecognizerKind::kQuantum:
+      return "quantum";
+  }
+  return "?";
+}
+
+std::unique_ptr<machine::OnlineRecognizer> RecognizerSpec::make(
+    std::uint64_t seed) const {
+  switch (kind) {
+    case RecognizerKind::kClassicalBlock:
+      return std::make_unique<core::ClassicalBlockRecognizer>(seed);
+    case RecognizerKind::kClassicalFull:
+      return std::make_unique<core::ClassicalFullRecognizer>(seed);
+    case RecognizerKind::kClassicalSampling:
+      return std::make_unique<core::ClassicalSamplingRecognizer>(
+          seed, sampling_budget);
+    case RecognizerKind::kClassicalBloom:
+      return std::make_unique<core::ClassicalBloomRecognizer>(
+          seed, bloom_filter_bits, bloom_num_hashes);
+    case RecognizerKind::kQuantum: {
+      core::QuantumOnlineRecognizer::Options opts;
+      opts.a3.backend = backend;
+      return std::make_unique<core::QuantumOnlineRecognizer>(seed, opts);
+    }
+  }
+  throw std::invalid_argument("RecognizerSpec: unknown recognizer kind");
+}
+
+RecognizerService::RecognizerService(Config config)
+    : config_(std::move(config)) {
+  // Surface a bad backend id at service construction, not first open():
+  // the spec is the service's contract with every future session.
+  config_.spec.make(0);
+}
+
+RecognizerService::Session& RecognizerService::session_or_throw(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("RecognizerService: unknown session " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+RecognizerService::SessionId RecognizerService::open(std::uint64_t seed) {
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, Session{config_.spec.make(seed), {}});
+  ++stats_.sessions_opened;
+  return id;
+}
+
+void RecognizerService::feed(SessionId id,
+                             std::span<const stream::Symbol> chunk) {
+  Session& session = session_or_throw(id);
+  session.pending.insert(session.pending.end(), chunk.begin(), chunk.end());
+  buffered_ += chunk.size();
+  stats_.symbols_ingested += chunk.size();
+  if (buffered_ >= config_.flush_threshold) flush();
+}
+
+void RecognizerService::flush() {
+  if (buffered_ == 0) return;
+  std::vector<Session*> ready;
+  ready.reserve(sessions_.size());
+  for (auto& [id, session] : sessions_) {
+    if (!session.pending.empty()) ready.push_back(&session);
+  }
+  util::Stopwatch watch;
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::ThreadPool::global();
+  // One task slot per session: a session is only ever advanced by a single
+  // worker at a time, so its symbols stay in order (the determinism
+  // contract). Independent sessions run concurrently.
+  util::parallel_for(pool, 0, ready.size(), 1,
+                     [&ready](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         Session& s = *ready[i];
+                         s.recognizer->feed_chunk(s.pending);
+                         s.pending.clear();
+                       }
+                     });
+  stats_.busy_seconds += watch.seconds();
+  ++stats_.flushes;
+  buffered_ = 0;
+}
+
+RecognizerService::Verdict RecognizerService::finish(SessionId id) {
+  Session& session = session_or_throw(id);
+  util::Stopwatch watch;
+  if (!session.pending.empty()) {
+    buffered_ -= session.pending.size();
+    session.recognizer->feed_chunk(session.pending);
+    session.pending.clear();
+  }
+  Verdict verdict;
+  verdict.accepted = session.recognizer->finish();
+  verdict.fully_simulated = session.recognizer->fully_simulated();
+  verdict.space = session.recognizer->space_used();
+  stats_.busy_seconds += watch.seconds();
+  ++stats_.sessions_finished;
+  sessions_.erase(id);
+  return verdict;
+}
+
+}  // namespace qols::service

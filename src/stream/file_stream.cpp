@@ -1,5 +1,6 @@
 #include "qols/stream/file_stream.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace qols::stream {
@@ -40,6 +41,33 @@ std::optional<Symbol> FileStream::next() {
     return std::nullopt;
   }
   return sym;
+}
+
+std::size_t FileStream::next_chunk(std::span<Symbol> out) {
+  std::size_t filled = 0;
+  while (filled < out.size() && !done_) {
+    if (pos_ >= buffer_.size() && !refill()) {
+      done_ = true;
+      break;
+    }
+    const std::size_t run = std::min(out.size() - filled, buffer_.size() - pos_);
+    for (std::size_t i = 0; i < run; ++i) {
+      const char c = buffer_[pos_];
+      ++pos_;
+      if (c == '\n' && pos_ >= buffer_.size() && file_.peek() == EOF) {
+        done_ = true;  // same trailing-newline tolerance as next()
+        return filled;
+      }
+      const auto sym = symbol_from_char(c);
+      if (!sym) {
+        bad_ = true;
+        done_ = true;
+        return filled;
+      }
+      out[filled++] = *sym;
+    }
+  }
+  return filled;
 }
 
 std::optional<std::uint64_t> FileStream::length_hint() const {

@@ -1,0 +1,226 @@
+// Differential tests: chunked ingestion vs per-symbol ingestion.
+//
+// The feed_chunk contract is "bit-identical to feeding each symbol in
+// order" — same decisions, same accept counts over a seed sweep, same
+// SpaceReports. This suite drives every recognizer family over identical
+// (word, seed) pairs through both transports at chunk sizes {1, 7, 64,
+// whole-stream}, on well-formed members, intersecting non-members, and the
+// truncated/corrupted/appended mutant streams. Any divergence is an API
+// contract violation, not a tolerance question, so comparisons are exact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qols/core/amplified.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/stream/symbol_stream.hpp"
+
+namespace {
+
+using qols::lang::LDisjInstance;
+using qols::lang::make_mutant_stream;
+using qols::lang::MutantKind;
+using qols::machine::OnlineRecognizer;
+using qols::machine::SpaceReport;
+using qols::stream::Symbol;
+using qols::stream::SymbolStream;
+
+using RecognizerFactory =
+    std::function<std::unique_ptr<OnlineRecognizer>(std::uint64_t)>;
+
+/// Every family in the library, with small sub-lower-bound parameters so
+/// the sampler/Bloom branches (including found_/hit_ hits) are exercised.
+std::vector<std::pair<std::string, RecognizerFactory>> all_factories() {
+  return {
+      {"block",
+       [](std::uint64_t seed) {
+         return std::make_unique<qols::core::ClassicalBlockRecognizer>(seed);
+       }},
+      {"full",
+       [](std::uint64_t seed) {
+         return std::make_unique<qols::core::ClassicalFullRecognizer>(seed);
+       }},
+      {"sampling",
+       [](std::uint64_t seed) {
+         return std::make_unique<qols::core::ClassicalSamplingRecognizer>(seed,
+                                                                          8);
+       }},
+      {"bloom",
+       [](std::uint64_t seed) {
+         return std::make_unique<qols::core::ClassicalBloomRecognizer>(seed, 64,
+                                                                       2);
+       }},
+      {"quantum",
+       [](std::uint64_t seed) {
+         return std::make_unique<qols::core::QuantumOnlineRecognizer>(seed);
+       }},
+      {"amplified-quantum", [](std::uint64_t seed) {
+         return std::make_unique<qols::core::AmplifiedRecognizer>(
+             [](std::uint64_t s) {
+               return std::make_unique<qols::core::QuantumOnlineRecognizer>(s);
+             },
+             2, seed);
+       }}};
+}
+
+std::vector<Symbol> drain(SymbolStream& s) {
+  std::vector<Symbol> out;
+  while (auto sym = s.next()) out.push_back(*sym);
+  return out;
+}
+
+struct Outcome {
+  bool accepted = false;
+  bool fully_simulated = true;
+  SpaceReport space;
+};
+
+Outcome run_per_symbol(const RecognizerFactory& factory, std::uint64_t seed,
+                       const std::vector<Symbol>& word) {
+  auto rec = factory(seed);
+  for (const Symbol s : word) rec->feed(s);
+  Outcome out;
+  out.accepted = rec->finish();
+  out.fully_simulated = rec->fully_simulated();
+  out.space = rec->space_used();
+  return out;
+}
+
+Outcome run_chunked(const RecognizerFactory& factory, std::uint64_t seed,
+                    const std::vector<Symbol>& word, std::size_t chunk) {
+  auto rec = factory(seed);
+  for (std::size_t i = 0; i < word.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, word.size() - i);
+    rec->feed_chunk(std::span<const Symbol>(word.data() + i, n));
+  }
+  Outcome out;
+  out.accepted = rec->finish();
+  out.fully_simulated = rec->fully_simulated();
+  out.space = rec->space_used();
+  return out;
+}
+
+/// The chunk ladder of the PR contract: single symbols, an awkward prime,
+/// a power of two, and the whole stream in one span.
+std::vector<std::size_t> chunk_sizes(std::size_t word_len) {
+  return {1, 7, 64, word_len > 0 ? word_len : 1};
+}
+
+void expect_equal_everywhere(const std::string& name,
+                             const RecognizerFactory& factory,
+                             const std::vector<Symbol>& word,
+                             std::uint64_t seed_base, std::uint64_t trials) {
+  for (const std::size_t chunk : chunk_sizes(word.size())) {
+    std::uint64_t per_symbol_accepts = 0;
+    std::uint64_t chunked_accepts = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const Outcome a = run_per_symbol(factory, seed_base + t, word);
+      const Outcome b = run_chunked(factory, seed_base + t, word, chunk);
+      ASSERT_EQ(a.accepted, b.accepted)
+          << name << " chunk=" << chunk << " seed=" << seed_base + t;
+      ASSERT_EQ(a.fully_simulated, b.fully_simulated)
+          << name << " chunk=" << chunk;
+      ASSERT_EQ(a.space.classical_bits, b.space.classical_bits)
+          << name << " chunk=" << chunk;
+      ASSERT_EQ(a.space.qubits, b.space.qubits) << name << " chunk=" << chunk;
+      per_symbol_accepts += a.accepted ? 1 : 0;
+      chunked_accepts += b.accepted ? 1 : 0;
+    }
+    ASSERT_EQ(per_symbol_accepts, chunked_accepts)
+        << name << " chunk=" << chunk;
+  }
+}
+
+TEST(ChunkDifferential, MembersAgreeAcrossAllRecognizersAndChunkSizes) {
+  qols::util::Rng rng(101);
+  for (const unsigned k : {2u, 3u}) {
+    const auto inst = LDisjInstance::make_disjoint(k, rng);
+    auto s = inst.stream();
+    const std::vector<Symbol> word = drain(*s);
+    for (const auto& [name, factory] : all_factories()) {
+      expect_equal_everywhere(name + " member k=" + std::to_string(k), factory,
+                              word, 5000, 6);
+    }
+  }
+}
+
+TEST(ChunkDifferential, NonMembersAgreeIncludingRandomizedRejects) {
+  qols::util::Rng rng(202);
+  for (const std::uint64_t t : {std::uint64_t{1}, std::uint64_t{3}}) {
+    const auto inst = LDisjInstance::make_with_intersections(3, t, rng);
+    auto s = inst.stream();
+    const std::vector<Symbol> word = drain(*s);
+    for (const auto& [name, factory] : all_factories()) {
+      // The quantum machine's decision on non-members is a coin-fixed
+      // measurement — equal seeds must still yield equal decisions.
+      expect_equal_everywhere(name + " t=" + std::to_string(t), factory, word,
+                              6000, 6);
+    }
+  }
+}
+
+TEST(ChunkDifferential, MutantStreamsAgree) {
+  qols::util::Rng rng(303);
+  const auto inst = LDisjInstance::make_disjoint(2, rng);
+  for (const MutantKind kind :
+       {MutantKind::kBadPrefix, MutantKind::kTrailingGarbage,
+        MutantKind::kXZMismatch, MutantKind::kYDrift, MutantKind::kTruncated,
+        MutantKind::kSepInsideBlock}) {
+    auto s = make_mutant_stream(inst, kind, rng);
+    const std::vector<Symbol> word = drain(*s);
+    for (const auto& [name, factory] : all_factories()) {
+      expect_equal_everywhere(
+          name + " mutant=" + std::to_string(static_cast<int>(kind)), factory,
+          word, 7000, 4);
+    }
+  }
+}
+
+TEST(ChunkDifferential, OverlongAndEmptyBlocksAgree) {
+  // Hand-built malformed words that stress the bulk position accounting:
+  // overlong blocks (the bulk fail path), empty blocks, a bare prefix, and
+  // a '0' in the prefix.
+  const std::vector<std::string> words = {
+      "11#",                  // body missing entirely
+      "0#",                   // broken prefix
+      "1#00000000#",          // overlong first block (m = 4)
+      "1#####",               // empty blocks
+      "1#0000#1111#0000#11",  // truncated mid-block
+  };
+  for (const auto& text : words) {
+    qols::stream::StringStream stream(text);
+    const std::vector<Symbol> word = drain(stream);
+    for (const auto& [name, factory] : all_factories()) {
+      expect_equal_everywhere(name + " word=" + text, factory, word, 8000, 3);
+    }
+  }
+}
+
+TEST(ChunkDifferential, RunStreamMatchesManualPerSymbolLoop) {
+  // run_stream (chunked transport) against the historical per-symbol loop,
+  // over member and mutant streams of every recognizer.
+  qols::util::Rng rng(404);
+  const auto inst = LDisjInstance::make_with_intersections(3, 1, rng);
+  for (const auto& [name, factory] : all_factories()) {
+    for (std::uint64_t seed = 900; seed < 906; ++seed) {
+      auto via_run_stream = factory(seed);
+      auto s = inst.stream();
+      const bool chunked = qols::machine::run_stream(*s, *via_run_stream);
+
+      auto manual = factory(seed);
+      auto s2 = inst.stream();
+      while (auto sym = s2->next()) manual->feed(*sym);
+      ASSERT_EQ(chunked, manual->finish()) << name << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace

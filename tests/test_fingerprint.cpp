@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "qols/fingerprint/equality_checker.hpp"
 #include "qols/fingerprint/poly_fingerprint.hpp"
@@ -45,6 +46,69 @@ TEST(PolyFingerprint, EqualStringsAlwaysCollide) {
     }
     ASSERT_EQ(a.value(), b.value());
   }
+}
+
+TEST(PolyFingerprint, BulkFeedIsBitIdenticalToPerBitFeed) {
+  // The batched Horner pass must produce the exact accumulator and t-power
+  // of per-bit feeding, at every split point and for ragged lane tails
+  // (lengths straddling the 8-lane groups), interleaved with per-bit calls.
+  Rng rng(42);
+  for (const unsigned k : {1u, 2u, 4u, 8u}) {
+    const std::uint64_t p = qols::util::fingerprint_prime(k);
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::uint64_t t = rng.below(p);
+      const std::size_t len = 1 + rng.below(200);
+      std::vector<std::uint8_t> bits(len);
+      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+
+      PolyFingerprint reference(p, t);
+      for (const auto b : bits) reference.feed_counted(b != 0);
+
+      const std::size_t cut = rng.below(len + 1);
+      PolyFingerprint bulk(p, t);
+      bulk.feed_counted_bulk(bits.data(), cut);
+      if (cut < len) bulk.feed_counted(bits[cut] != 0);  // interleave
+      if (cut + 1 < len) {
+        bulk.feed_counted_bulk(bits.data() + cut + 1, len - cut - 1);
+      }
+
+      ASSERT_EQ(bulk.value(), reference.value())
+          << "k=" << k << " len=" << len << " cut=" << cut;
+      ASSERT_EQ(bulk.length(), reference.length());
+      // Continuations must also agree: the t-power advanced identically.
+      bulk.feed_counted(true);
+      reference.feed_counted(true);
+      ASSERT_EQ(bulk.value(), reference.value());
+    }
+  }
+}
+
+TEST(PolyFingerprint, BulkFeedFallsBackAboveTheMontgomeryCeiling) {
+  // Montgomery REDC is only valid for moduli below 2^63; an odd p above
+  // that must take the per-bit path and still match it exactly.
+  const std::uint64_t p = (std::uint64_t{1} << 63) + 29;  // odd, >= 2^63
+  const std::uint64_t t = 0x123456789abcdefULL;
+  std::vector<std::uint8_t> bits(70);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint8_t>((i * 7 + 3) % 5 < 2);
+  }
+  PolyFingerprint reference(p, t), bulk(p, t);
+  for (const auto b : bits) reference.feed_counted(b != 0);
+  bulk.feed_counted_bulk(bits.data(), bits.size());
+  EXPECT_EQ(bulk.value(), reference.value());
+  EXPECT_EQ(bulk.length(), reference.length());
+}
+
+TEST(PolyFingerprint, BulkFeedFallsBackOnEvenModulus) {
+  // Montgomery needs an odd modulus; even p must take the per-bit path and
+  // still agree with it.
+  const std::uint64_t p = 1000000, t = 777;
+  std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  PolyFingerprint reference(p, t), bulk(p, t);
+  for (const auto b : bits) reference.feed_counted(b != 0);
+  bulk.feed_counted_bulk(bits.data(), bits.size());
+  EXPECT_EQ(bulk.value(), reference.value());
+  EXPECT_EQ(bulk.length(), reference.length());
 }
 
 TEST(PolyFingerprint, ResetClearsState) {

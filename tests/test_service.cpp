@@ -1,0 +1,204 @@
+// Unit tests: the RecognizerService serving layer — session lifecycle,
+// interleaved ingestion, out-of-order finish, error handling, and the
+// determinism contract (service verdicts == single-stream run_stream).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/service/recognizer_service.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/thread_pool.hpp"
+
+namespace {
+
+using qols::lang::LDisjInstance;
+using qols::service::RecognizerKind;
+using qols::service::RecognizerService;
+using qols::service::RecognizerSpec;
+using qols::stream::Symbol;
+
+std::vector<Symbol> word_of(const LDisjInstance& inst) {
+  std::vector<Symbol> out;
+  auto s = inst.stream();
+  while (auto sym = s->next()) out.push_back(*sym);
+  return out;
+}
+
+/// Feeds `word` to the session in chunks of `chunk` symbols.
+void feed_all(RecognizerService& svc, RecognizerService::SessionId id,
+              const std::vector<Symbol>& word, std::size_t chunk) {
+  for (std::size_t i = 0; i < word.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, word.size() - i);
+    svc.feed(id, std::span<const Symbol>(word.data() + i, n));
+  }
+}
+
+TEST(RecognizerSpec, MakesEveryKindWithMatchingName) {
+  for (const RecognizerKind kind :
+       {RecognizerKind::kClassicalBlock, RecognizerKind::kClassicalFull,
+        RecognizerKind::kClassicalSampling, RecognizerKind::kClassicalBloom,
+        RecognizerKind::kQuantum}) {
+    RecognizerSpec spec;
+    spec.kind = kind;
+    auto rec = spec.make(1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->name(), qols::service::recognizer_kind_name(kind));
+  }
+}
+
+TEST(RecognizerSpec, UnknownQuantumBackendThrowsAtServiceConstruction) {
+  RecognizerService::Config cfg;
+  cfg.spec.kind = RecognizerKind::kQuantum;
+  cfg.spec.backend = "no-such-backend";
+  EXPECT_THROW(RecognizerService svc(cfg), std::invalid_argument);
+}
+
+TEST(RecognizerService, SingleSessionMatchesRunStream) {
+  qols::util::Rng rng(11);
+  for (const std::uint64_t t : {std::uint64_t{0}, std::uint64_t{1}}) {
+    const auto inst = LDisjInstance::make_with_intersections(3, t, rng);
+    const auto word = word_of(inst);
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+      const auto id = svc.open(seed);
+      feed_all(svc, id, word, 100);
+      const auto verdict = svc.finish(id);
+
+      RecognizerSpec spec;
+      auto reference = spec.make(seed);
+      auto s = inst.stream();
+      const bool expect = qols::machine::run_stream(*s, *reference);
+      EXPECT_EQ(verdict.accepted, expect) << "t=" << t << " seed=" << seed;
+      EXPECT_TRUE(verdict.fully_simulated);
+      EXPECT_EQ(verdict.space.classical_bits,
+                reference->space_used().classical_bits);
+    }
+  }
+}
+
+TEST(RecognizerService, InterleavedSessionsKeepStreamsApart) {
+  // Many sessions, chunks interleaved round-robin with different chunk
+  // sizes per session — verdicts must be exactly the single-stream ones.
+  qols::util::Rng rng(22);
+  const auto member = LDisjInstance::make_disjoint(3, rng);
+  const auto nonmember = LDisjInstance::make_with_intersections(3, 2, rng);
+  const auto member_word = word_of(member);
+  const auto nonmember_word = word_of(nonmember);
+
+  qols::util::ThreadPool pool(4);  // explicit: exercise real parallelism
+  RecognizerService::Config cfg;
+  cfg.spec.kind = RecognizerKind::kClassicalBlock;
+  cfg.pool = &pool;
+  cfg.flush_threshold = 1000;  // force many pooled flushes
+  RecognizerService svc(cfg);
+
+  const std::size_t num_sessions = 12;
+  std::vector<RecognizerService::SessionId> ids;
+  std::vector<std::size_t> cursors(num_sessions, 0);
+  for (std::size_t s = 0; s < num_sessions; ++s) ids.push_back(svc.open(s));
+  EXPECT_EQ(svc.open_sessions(), num_sessions);
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      const auto& word = (s % 2 == 0) ? member_word : nonmember_word;
+      if (cursors[s] >= word.size()) continue;
+      const std::size_t chunk = 37 + 11 * s;  // ragged, per-session sizes
+      const std::size_t n = std::min(chunk, word.size() - cursors[s]);
+      svc.feed(ids[s], std::span<const Symbol>(word.data() + cursors[s], n));
+      cursors[s] += n;
+      progressed = true;
+    }
+  }
+
+  // Finish out of order: odd sessions (non-members) first, then evens.
+  for (std::size_t s = 1; s < num_sessions; s += 2) {
+    EXPECT_FALSE(svc.finish(ids[s]).accepted) << "session " << s;
+  }
+  for (std::size_t s = 0; s < num_sessions; s += 2) {
+    EXPECT_TRUE(svc.finish(ids[s]).accepted) << "session " << s;
+  }
+  EXPECT_EQ(svc.open_sessions(), 0u);
+  EXPECT_EQ(svc.stats().sessions_finished, num_sessions);
+  EXPECT_EQ(svc.stats().symbols_ingested,
+            (member_word.size() + nonmember_word.size()) * num_sessions / 2);
+}
+
+TEST(RecognizerService, UnknownAndFinishedSessionsThrow) {
+  RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+  const Symbol one = Symbol::kOne;
+  EXPECT_THROW(svc.feed(42, std::span<const Symbol>(&one, 1)),
+               std::out_of_range);
+  EXPECT_THROW(svc.finish(42), std::out_of_range);
+  const auto id = svc.open(1);
+  svc.finish(id);  // retires the session
+  EXPECT_THROW(svc.feed(id, std::span<const Symbol>(&one, 1)),
+               std::out_of_range);
+  EXPECT_THROW(svc.finish(id), std::out_of_range);
+}
+
+TEST(RecognizerService, VerdictsAreDeterministicUnderThePool) {
+  // Same seeds, same words, different flush thresholds and pool sizes:
+  // identical verdict vectors. Quantum recognizers make this bite — their
+  // decisions consume RNG state fixed by the session seed.
+  qols::util::Rng rng(33);
+  const auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  const auto word = word_of(inst);
+  const std::size_t num_sessions = 8;
+
+  const auto serve = [&](std::size_t pool_threads,
+                         std::uint64_t threshold) {
+    qols::util::ThreadPool pool(pool_threads);
+    RecognizerService::Config cfg;
+    cfg.spec.kind = RecognizerKind::kQuantum;
+    cfg.pool = &pool;
+    cfg.flush_threshold = threshold;
+    RecognizerService svc(cfg);
+    std::vector<RecognizerService::SessionId> ids;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      ids.push_back(svc.open(100 + s));
+    }
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      feed_all(svc, ids[s], word, 61 + s);
+    }
+    std::vector<bool> verdicts;
+    for (const auto id : ids) verdicts.push_back(svc.finish(id).accepted);
+    return verdicts;
+  };
+
+  const auto reference = serve(1, 50);
+  EXPECT_EQ(serve(4, 50), reference);
+  EXPECT_EQ(serve(4, 1 << 20), reference);  // one big drain at finish
+  EXPECT_EQ(serve(2, 0), reference);        // flush on every feed
+}
+
+TEST(RecognizerService, StatsCountFlushesAndThroughput) {
+  RecognizerService::Config cfg;
+  cfg.spec.kind = RecognizerKind::kClassicalBlock;
+  cfg.flush_threshold = 64;
+  RecognizerService svc(cfg);
+  qols::util::Rng rng(44);
+  const auto inst = LDisjInstance::make_disjoint(2, rng);
+  const auto word = word_of(inst);
+  const auto id = svc.open(9);
+  feed_all(svc, id, word, 64);  // every full chunk crosses the threshold
+  EXPECT_GE(svc.stats().flushes, word.size() / 64);
+  // Only the sub-threshold tail may remain buffered; finish() drains it.
+  EXPECT_EQ(svc.buffered_symbols(), word.size() % 64);
+  svc.finish(id);
+  EXPECT_EQ(svc.buffered_symbols(), 0u);
+  EXPECT_EQ(svc.stats().symbols_ingested, word.size());
+  EXPECT_GT(svc.stats().symbols_per_second(), 0.0);
+  EXPECT_GT(svc.stats().sessions_per_second(), 0.0);
+}
+
+}  // namespace

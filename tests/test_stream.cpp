@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "qols/stream/symbol_stream.hpp"
 
@@ -93,6 +95,154 @@ TEST(Wrappers, Compose) {
       std::make_unique<CorruptingStream>(std::move(inner), 1, Symbol::kOne);
   TruncatedStream t(std::move(corrupted), 4);
   EXPECT_EQ(materialize(t), "0100");
+}
+
+// ---------------------------------------------------------------------------
+// Chunked reads: next_chunk must yield exactly the next() sequence, for every
+// stream type and wrapper, at awkward chunk sizes, interleaved with next().
+// ---------------------------------------------------------------------------
+
+std::string drain_chunked(SymbolStream& s, std::size_t chunk_size) {
+  std::string out;
+  std::vector<Symbol> buf(chunk_size);
+  while (true) {
+    const std::size_t n = s.next_chunk(buf);
+    if (n == 0) break;  // the contract: 0 with a non-empty buffer = ended
+    for (std::size_t i = 0; i < n; ++i) out.push_back(symbol_to_char(buf[i]));
+  }
+  return out;
+}
+
+TEST(ChunkedReads, StringStreamMatchesNextAtEveryChunkSize) {
+  const std::string word = "1##010#11#0";
+  for (const std::size_t c : {1u, 2u, 3u, 5u, 64u}) {
+    StringStream s(word);
+    EXPECT_EQ(drain_chunked(s, c), word) << "chunk=" << c;
+    EXPECT_EQ(s.next_chunk(std::span<Symbol>{}), 0u);  // empty out is a no-op
+  }
+}
+
+TEST(ChunkedReads, GeneratorStreamMatchesNext) {
+  const auto make = [] {
+    return GeneratorStream(
+        [](std::uint64_t i) -> std::optional<Symbol> {
+          if (i >= 11) return std::nullopt;
+          return i % 3 == 2 ? Symbol::kSep
+                            : (i % 2 == 0 ? Symbol::kZero : Symbol::kOne);
+        },
+        11);
+  };
+  auto reference = make();
+  const std::string expect = materialize(reference);
+  for (const std::size_t c : {1u, 4u, 16u}) {
+    auto g = make();
+    EXPECT_EQ(drain_chunked(g, c), expect) << "chunk=" << c;
+  }
+}
+
+TEST(ChunkedReads, InterleavesWithNext) {
+  // next() and next_chunk() advance the same cursor.
+  StringStream s("01#10#011");
+  EXPECT_EQ(symbol_to_char(*s.next()), '0');
+  std::vector<Symbol> buf(4);
+  ASSERT_EQ(s.next_chunk(buf), 4u);
+  std::string mid;
+  for (const Symbol sym : buf) mid.push_back(symbol_to_char(sym));
+  EXPECT_EQ(mid, "1#10");
+  EXPECT_EQ(symbol_to_char(*s.next()), '#');
+  EXPECT_EQ(drain_chunked(s, 2), "011");
+  EXPECT_FALSE(s.next().has_value());
+}
+
+TEST(ChunkedReads, WrappersMatchPerSymbolDrain) {
+  const std::string word = "11#0101#0011#";
+  const auto base = [&] { return std::make_unique<StringStream>(word); };
+  for (const std::size_t c : {1u, 3u, 7u, 64u}) {
+    {
+      TruncatedStream t(base(), 5);
+      EXPECT_EQ(drain_chunked(t, c), word.substr(0, 5)) << "chunk=" << c;
+    }
+    {
+      CorruptingStream corrupt(base(), 4, Symbol::kSep);
+      std::string expect = word;
+      expect[4] = '#';
+      EXPECT_EQ(drain_chunked(corrupt, c), expect) << "chunk=" << c;
+    }
+    {
+      AppendingStream append(base(), "01#");
+      EXPECT_EQ(drain_chunked(append, c), word + "01#") << "chunk=" << c;
+    }
+  }
+}
+
+TEST(ChunkedReads, EmptyRequestOnAppendingStreamIsANoop) {
+  // An empty span must not be mistaken for the inner stream's end: the
+  // whole inner word still has to come through afterwards.
+  AppendingStream a(std::make_unique<StringStream>("01#"), "11");
+  EXPECT_EQ(a.next_chunk(std::span<Symbol>{}), 0u);
+  EXPECT_EQ(drain_chunked(a, 4), "01#11");
+}
+
+TEST(ChunkedReads, CorruptionLandsOnChunkBoundaries) {
+  // The target index at the first/last slot of a chunk and across a
+  // next()/next_chunk hand-off.
+  const std::string word(16, '0');
+  for (std::uint64_t target = 0; target < 16; ++target) {
+    auto inner = std::make_unique<StringStream>(word);
+    CorruptingStream corrupt(std::move(inner), target, Symbol::kOne);
+    // Mixed transport: two next() calls, then chunks of 4.
+    std::string out;
+    out.push_back(symbol_to_char(*corrupt.next()));
+    out.push_back(symbol_to_char(*corrupt.next()));
+    out += drain_chunked(corrupt, 4);
+    std::string expect = word;
+    expect[static_cast<std::size_t>(target)] = '1';
+    EXPECT_EQ(out, expect) << "target=" << target;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// length_hint propagation through the wrappers.
+// ---------------------------------------------------------------------------
+
+TEST(LengthHints, TruncatedReportsMinOfKeepAndInner) {
+  {
+    TruncatedStream t(std::make_unique<StringStream>("111111"), 3);
+    ASSERT_TRUE(t.length_hint().has_value());
+    EXPECT_EQ(*t.length_hint(), 3u);  // keep < inner
+  }
+  {
+    TruncatedStream t(std::make_unique<StringStream>("11"), 9);
+    ASSERT_TRUE(t.length_hint().has_value());
+    EXPECT_EQ(*t.length_hint(), 2u);  // inner < keep
+  }
+  {
+    // No inner hint: min(keep, unknown) is unknown, not keep.
+    auto gen = std::make_unique<GeneratorStream>(
+        [](std::uint64_t) -> std::optional<Symbol> { return std::nullopt; });
+    TruncatedStream t(std::move(gen), 5);
+    EXPECT_FALSE(t.length_hint().has_value());
+  }
+}
+
+TEST(LengthHints, CorruptingForwardsInnerHint) {
+  CorruptingStream c(std::make_unique<StringStream>("0101"), 1, Symbol::kSep);
+  ASSERT_TRUE(c.length_hint().has_value());
+  EXPECT_EQ(*c.length_hint(), 4u);
+  auto gen = std::make_unique<GeneratorStream>(
+      [](std::uint64_t) -> std::optional<Symbol> { return std::nullopt; });
+  CorruptingStream unknown(std::move(gen), 0, Symbol::kSep);
+  EXPECT_FALSE(unknown.length_hint().has_value());
+}
+
+TEST(LengthHints, AppendingAddsSuffixToKnownInner) {
+  AppendingStream a(std::make_unique<StringStream>("01#"), "11");
+  ASSERT_TRUE(a.length_hint().has_value());
+  EXPECT_EQ(*a.length_hint(), 5u);
+  auto gen = std::make_unique<GeneratorStream>(
+      [](std::uint64_t) -> std::optional<Symbol> { return std::nullopt; });
+  AppendingStream unknown(std::move(gen), "11");
+  EXPECT_FALSE(unknown.length_hint().has_value());
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/stream/file_stream.hpp"
@@ -106,6 +108,61 @@ TEST_F(FileStreamTest, EmptyFileIsEmptyStream) {
   FileStream f(path_);
   EXPECT_FALSE(f.next().has_value());
   EXPECT_FALSE(f.bad());
+}
+
+// -- next_chunk: bit-identical to next(), across refills and edge cases. ----
+
+std::string drain_chunked(qols::stream::SymbolStream& f,
+                          std::size_t chunk_size) {
+  std::string out;
+  std::vector<qols::stream::Symbol> buf(chunk_size);
+  while (true) {
+    const std::size_t n = f.next_chunk(buf);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(qols::stream::symbol_to_char(buf[i]));
+    }
+  }
+  return out;
+}
+
+TEST_F(FileStreamTest, ChunkedReadMatchesNextAcrossBufferRefills) {
+  // Chunk sizes straddling the read buffer in both directions, so runs
+  // split on refill boundaries and on chunk boundaries.
+  const std::string word = "1#0101#1100#0101#0101#1100#0101#";
+  {
+    StringStream s(word);
+    write_stream_to_file(s, path_);
+  }
+  for (const std::size_t buffer : {3u, 7u, 64u}) {
+    for (const std::size_t chunk : {1u, 5u, 11u, 64u}) {
+      FileStream f(path_, buffer);
+      EXPECT_EQ(drain_chunked(f, chunk), word)
+          << "buffer=" << buffer << " chunk=" << chunk;
+      EXPECT_FALSE(f.bad());
+    }
+  }
+}
+
+TEST_F(FileStreamTest, ChunkedReadToleratesTrailingNewline) {
+  {
+    std::ofstream out(path_);
+    out << "0101#\n";
+  }
+  FileStream f(path_, /*buffer_size=*/4);  // '\n' lands after a refill
+  EXPECT_EQ(drain_chunked(f, 3), "0101#");
+  EXPECT_FALSE(f.bad());
+}
+
+TEST_F(FileStreamTest, ChunkedReadStopsAtForeignCharacters) {
+  {
+    std::ofstream out(path_);
+    out << "01x01";
+  }
+  FileStream f(path_);
+  EXPECT_EQ(drain_chunked(f, 64), "01");
+  EXPECT_TRUE(f.bad());
+  EXPECT_FALSE(f.next().has_value());  // stays ended
 }
 
 }  // namespace

@@ -97,4 +97,48 @@ TEST_P(FingerprintPrimeSweep, StatsCountMatchesPrimeOffset) {
 INSTANTIATE_TEST_SUITE_P(AllSupportedK, FingerprintPrimeSweep,
                          ::testing::Range(1u, 16u));
 
+TEST(Montgomery, MulMatchesMulmodAcrossModuli) {
+  // Odd moduli spanning tiny to near the 2^63 ceiling, including the
+  // fingerprint primes the batched Horner pass actually uses.
+  const std::uint64_t moduli[] = {3,
+                                  5,
+                                  65537,
+                                  fingerprint_prime(2),
+                                  fingerprint_prime(8),
+                                  fingerprint_prime(15),
+                                  (1ULL << 61) - 1,
+                                  (1ULL << 62) + 1};
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;  // cheap deterministic generator
+  for (const std::uint64_t m : moduli) {
+    const Montgomery mont(m);
+    for (int i = 0; i < 200; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const std::uint64_t a = x % m;
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const std::uint64_t b = x % m;
+      // REDC(aR * bR) = abR; stripping both factors of R recovers ab mod m.
+      const std::uint64_t am = mont.to_mont(a);
+      const std::uint64_t bm = mont.to_mont(b);
+      ASSERT_EQ(mont.from_mont(mont.mul(am, bm)), mulmod(a, b, m))
+          << "m=" << m << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Montgomery, DomainRoundTripIsExact) {
+  const std::uint64_t m = fingerprint_prime(8);
+  const Montgomery mont(m);
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2}, m / 2, m - 2,
+        m - 1}) {
+    EXPECT_EQ(mont.from_mont(mont.to_mont(v)), v);
+    EXPECT_LT(mont.to_mont(v), m);  // stays a canonical residue
+  }
+  EXPECT_EQ(mont.modulus(), m);
+}
+
 }  // namespace
