@@ -1,0 +1,97 @@
+// E21 — fuzz soak: a bounded-budget run of the differential fuzzing
+// subsystem, tracked as a perf series.
+//
+// The repo's four agreement layers (recognizer vs exact oracle, dense vs
+// structured backend, per-symbol vs chunked feeding, single-stream vs
+// service) are each gated by hand-picked differential tests; the fuzz
+// subsystem walks the input space adversarially instead. E21 promotes that
+// walk into the bench registry so two numbers become part of the tracked
+// trajectory:
+//
+//   - cases/sec: the soak's throughput (a regression here means the
+//     property layer or one of the four ingestion paths got slower);
+//   - discrepancies: must be zero — this is the claim. Any failure row
+//     carries its shrunk repro token in the notes, replayable via
+//     `qols_fuzz --replay <token>`.
+//
+// --trials scales the case budget (1000 cases per trial, default 8000); a
+// wall-clock ceiling keeps debug/sanitizer sweeps bounded regardless.
+#include <string>
+
+#include "experiments.hpp"
+#include "qols/fuzz/fuzzer.hpp"
+#include "qols/util/table.hpp"
+#include "registry.hpp"
+
+namespace qols::bench {
+namespace {
+
+int run(Reporter& rep, const RunConfig& cfg) {
+  fuzz::FuzzOptions opts;
+  opts.seed = 21;
+  opts.max_cases =
+      1000 * static_cast<std::uint64_t>(cfg.trials_or(8));
+  opts.budget_seconds = 30.0;  // hard ceiling for unoptimized builds
+
+  const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
+  const bool clean = report.clean();
+
+  util::Table table({"row", "cases", "wall s", "cases/sec", "discrepancies",
+                     "ok?"});
+  table.add_row({"soak seed=21", util::fmt_g(report.cases),
+                 util::fmt_f(report.seconds, 3),
+                 util::fmt_g(static_cast<std::uint64_t>(
+                     report.cases_per_second())),
+                 std::to_string(report.failures.size()),
+                 clean ? "yes" : "NO"});
+  for (unsigned i = 0; i < fuzz::kWordKindCount; ++i) {
+    table.add_row({std::string("  ") +
+                       fuzz::word_kind_name(static_cast<fuzz::WordKind>(i)),
+                   util::fmt_g(report.by_word_kind[i]), "-", "-", "-", "-"});
+  }
+  rep.table(table);
+
+  MetricRecord m;
+  m.label = "fuzz soak seed=21";
+  m.trials = report.cases;
+  m.wall_seconds = report.seconds;
+  m.extra.emplace_back("cases", static_cast<double>(report.cases));
+  m.extra.emplace_back("cases_per_sec", report.cases_per_second());
+  m.extra.emplace_back("discrepancies",
+                       static_cast<double>(report.failures.size()));
+  for (unsigned i = 0; i < fuzz::kWordClassCount; ++i) {
+    m.extra.emplace_back(
+        std::string("class_") +
+            fuzz::word_class_name(static_cast<fuzz::WordClass>(i)),
+        static_cast<double>(report.by_word_class[i]));
+  }
+  rep.metric(m);
+
+  for (const fuzz::FuzzFailure& f : report.failures) {
+    rep.note("DISCREPANCY [" + f.property + "] " + f.detail +
+             "\n  replay: qols_fuzz --replay " + f.minimized_token);
+  }
+  rep.note(
+      "\nReading: every case drives one seeded (word, wrapper stack, chunk "
+      "schedule, session count, recognizer config) through the stream-"
+      "transport, chunk-invariance, exact-oracle, backend-equality and "
+      "service-identity properties. Zero discrepancies is the claim; "
+      "cases/sec is the tracked throughput of the whole differential "
+      "stack.");
+  return clean && report.cases > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+void register_e21(Registry& r) {
+  r.add({.id = "e21",
+         .title = "fuzz soak (differential properties)",
+         .claim = "Claim (engineering): a seeded adversarial soak across "
+                  "all recognizer families, chunk schedules, failure-"
+                  "injection stacks and the serving layer finds zero "
+                  "property discrepancies, at a tracked cases/sec rate.",
+         .tags = {"fuzz", "differential", "soak", "property"}},
+        run);
+}
+
+}  // namespace qols::bench

@@ -25,6 +25,7 @@ void register_all_experiments(Registry& r) {
   register_e18(r);
   register_e19(r);
   register_e20(r);
+  register_e21(r);
 }
 
 }  // namespace qols::bench

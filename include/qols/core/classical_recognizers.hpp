@@ -145,6 +145,10 @@ class ClassicalSamplingRecognizer final : public machine::OnlineRecognizer {
 /// bounded-error requirement, again as the lower bound predicts.
 class ClassicalBloomRecognizer final : public machine::OnlineRecognizer {
  public:
+  /// Throws std::invalid_argument when filter_bits == 0 (the hash range
+  /// would be empty). num_hashes == 0 is legal but degenerate: the
+  /// all-hashes-present probe is vacuously true, so every index reads as
+  /// "maybe present" and any y with a 1-bit causes rejection.
   ClassicalBloomRecognizer(std::uint64_t seed, std::uint64_t filter_bits,
                            unsigned num_hashes);
 

@@ -1,0 +1,55 @@
+#pragma once
+// The soak driver: streams seeded cases through the property layer under a
+// case-count and/or wall-clock budget, tallies coverage, and turns any
+// property violation into a shrunk, replayable failure record. This is the
+// engine under both the `qols_fuzz` CLI and experiment E21.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qols/fuzz/fuzz_case.hpp"
+#include "qols/fuzz/properties.hpp"
+
+namespace qols::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;        ///< master seed; case i draws from it
+  std::uint64_t max_cases = 0;   ///< 0 = unbounded (then budget_seconds must be set)
+  double budget_seconds = 0.0;   ///< 0 = unbounded (then max_cases must be set)
+  bool shrink = true;            ///< minimize failures before reporting
+  std::size_t shrink_attempts = 256;
+  std::size_t max_failures = 4;  ///< stop the run after this many failures
+};
+
+/// One property violation, with its replay tokens. `found` is the case as
+/// drawn; `minimized` is the shrunk version (equal to `found` when shrinking
+/// is disabled or could not improve).
+struct FuzzFailure {
+  FuzzCase found;
+  FuzzCase minimized;
+  std::string token;
+  std::string minimized_token;
+  std::string property;
+  std::string detail;
+};
+
+struct FuzzReport {
+  std::uint64_t cases = 0;
+  double seconds = 0.0;
+  std::array<std::uint64_t, kWordKindCount> by_word_kind{};
+  std::array<std::uint64_t, kWordClassCount> by_word_class{};
+  std::vector<FuzzFailure> failures;
+
+  bool clean() const noexcept { return failures.empty(); }
+  double cases_per_second() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(cases) / seconds : 0.0;
+  }
+};
+
+/// Runs the soak. Throws std::invalid_argument when both budgets are 0
+/// (an unbounded run is never what anyone wants from a library call).
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+}  // namespace qols::fuzz

@@ -1,0 +1,29 @@
+#pragma once
+// Compact repro tokens: every FuzzCase — freshly drawn or shrunk —
+// serializes to one printable token that `qols_fuzz --replay <token>`
+// re-checks bit-identically on any machine.
+//
+// Format (version "qf1", lowercase hex fields joined by '-'):
+//
+//   qf1-<seed>-<k>-<word>-<param>-<nwrap>{-<wkind>-<a>-<b>}*-<cut>
+//      -<sched>-<chunk>-<sessions>-<rec>-<sbudget>-<bbits>-<bhashes>
+//
+// The field list is positional and versioned; decode rejects unknown
+// versions, malformed hex, out-of-range enums and wrong field counts with
+// std::invalid_argument, so a token either replays the exact case or fails
+// loudly — never a silently different one.
+
+#include <string>
+
+#include "qols/fuzz/fuzz_case.hpp"
+
+namespace qols::fuzz {
+
+/// Serializes the case. encode_token(decode_token(t)) == t for valid t.
+std::string encode_token(const FuzzCase& c);
+
+/// Parses a token back into the identical case. Throws std::invalid_argument
+/// on anything that is not a well-formed qf1 token.
+FuzzCase decode_token(const std::string& token);
+
+}  // namespace qols::fuzz

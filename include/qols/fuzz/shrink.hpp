@@ -1,0 +1,31 @@
+#pragma once
+// Greedy failure minimization. Given a failing case and a "does it still
+// fail?" predicate, repeatedly tries simplifying transformations — dropping
+// failure-injection wrappers, collapsing the chunk schedule, decrementing
+// the session count, lowering k, and binary-searching the realized word
+// length via the truncate_len knob — keeping each candidate only if the
+// failure survives. The result is the smallest case the greedy walk reaches
+// within its attempt budget, which is what qols_fuzz prints as the repro
+// token (the original token is reported alongside it).
+
+#include <cstddef>
+#include <functional>
+
+#include "qols/fuzz/fuzz_case.hpp"
+
+namespace qols::fuzz {
+
+struct ShrinkOutcome {
+  FuzzCase best;             ///< smallest still-failing case found
+  std::size_t attempts = 0;  ///< predicate evaluations spent
+  std::size_t improved = 0;  ///< candidates that kept the failure
+};
+
+/// Minimizes `failing` under `still_fails` (which must be true for the input
+/// itself; the function asserts nothing and simply returns the input
+/// unchanged if the very first candidates all pass). Deterministic.
+ShrinkOutcome shrink(const FuzzCase& failing,
+                     const std::function<bool(const FuzzCase&)>& still_fails,
+                     std::size_t max_attempts = 256);
+
+}  // namespace qols::fuzz

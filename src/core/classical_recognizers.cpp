@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 namespace qols::core {
 
@@ -432,6 +433,12 @@ ClassicalBloomRecognizer::ClassicalBloomRecognizer(std::uint64_t seed,
                                                    std::uint64_t filter_bits,
                                                    unsigned num_hashes)
     : filter_bits_(filter_bits), num_hashes_(num_hashes) {
+  // A 0-bit filter has no well-defined hash range (hash() reduces modulo
+  // filter_bits_); reject it here instead of dividing by zero mid-stream.
+  if (filter_bits_ == 0) {
+    throw std::invalid_argument(
+        "ClassicalBloomRecognizer: filter_bits must be >= 1");
+  }
   reset(seed);
 }
 

@@ -1,0 +1,305 @@
+#include "qols/fuzz/fuzz_case.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::fuzz {
+
+using stream::Symbol;
+
+const char* word_kind_name(WordKind kind) {
+  switch (kind) {
+    case WordKind::kMember:
+      return "member";
+    case WordKind::kIntersecting:
+      return "intersecting";
+    case WordKind::kMutant:
+      return "mutant";
+    case WordKind::kMalformed:
+      return "malformed";
+    case WordKind::kBoundary:
+      return "boundary";
+  }
+  throw std::invalid_argument("word_kind_name: unknown WordKind");
+}
+
+const std::vector<std::string>& boundary_words() {
+  // Parser-boundary fixtures: empty tape, bare/broken prefixes, lone
+  // separators, the shortest member (k=1, x=y=0000), one separator short of
+  // it, and a shape-perfect k=1 word whose blocks intersect everywhere.
+  static const std::vector<std::string> words = {
+      "",
+      "1",
+      "0",
+      "#",
+      "1#",
+      "11#",
+      "1##",
+      "1#0000#",
+      "1#0000#0000#0000#0000#0000#0000#",
+      "1#0000#0000#0000#0000#0000#0000",
+      "1#1111#1111#1111#1111#1111#1111#",
+  };
+  return words;
+}
+
+namespace {
+
+/// Weighted pick: `weights` are per-index relative weights summing to any
+/// positive total; returns the drawn index.
+unsigned pick_weighted(util::SplitMix64& sm,
+                       std::initializer_list<unsigned> weights) {
+  unsigned total = 0;
+  for (const unsigned w : weights) total += w;
+  std::uint64_t roll = sm.next() % total;
+  unsigned idx = 0;
+  for (const unsigned w : weights) {
+    if (roll < w) return idx;
+    roll -= w;
+    ++idx;
+  }
+  return idx - 1;
+}
+
+std::string random_symbols(std::uint64_t seed, std::uint64_t len) {
+  util::SplitMix64 sm(seed);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(len));
+  static constexpr char kAlphabet[3] = {'0', '1', '#'};
+  for (std::uint64_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[sm.next() % 3]);
+  }
+  return out;
+}
+
+/// The base word stream plus its exact length, before wrappers.
+struct BaseStream {
+  std::unique_ptr<stream::SymbolStream> stream;
+  std::uint64_t length = 0;
+};
+
+BaseStream make_base_stream(const FuzzCase& c) {
+  util::Rng rng(c.seed);
+  switch (c.word) {
+    case WordKind::kMember: {
+      const auto inst = lang::LDisjInstance::make_disjoint(c.k, rng);
+      return {inst.stream(), inst.word_length()};
+    }
+    case WordKind::kIntersecting: {
+      const std::uint64_t m = std::uint64_t{1} << (2 * c.k);
+      const std::uint64_t t = 1 + c.word_param % std::min<std::uint64_t>(m, 4);
+      const auto inst = lang::LDisjInstance::make_with_intersections(c.k, t, rng);
+      return {inst.stream(), inst.word_length()};
+    }
+    case WordKind::kMutant: {
+      const auto inst = lang::LDisjInstance::make_disjoint(c.k, rng);
+      const auto kind = static_cast<lang::MutantKind>(c.word_param % 6);
+      auto s = lang::make_mutant_stream(inst, kind, rng);
+      // Mutants keep the base length except truncation (shorter) and
+      // trailing garbage (+2, see make_mutant_stream); both report an exact
+      // length_hint, so read it back instead of duplicating that knowledge.
+      const auto hint = s->length_hint();
+      const std::uint64_t len = hint ? *hint : inst.word_length();
+      return {std::move(s), len};
+    }
+    case WordKind::kMalformed: {
+      std::string text = random_symbols(c.seed ^ 0xa5a5'a5a5'5a5a'5a5aULL,
+                                        c.word_param);
+      const std::uint64_t len = text.size();
+      return {std::make_unique<stream::StringStream>(std::move(text)), len};
+    }
+    case WordKind::kBoundary: {
+      const auto& words = boundary_words();
+      const std::string& text = words[c.word_param % words.size()];
+      return {std::make_unique<stream::StringStream>(text), text.size()};
+    }
+  }
+  throw std::invalid_argument("make_base_stream: unknown WordKind");
+}
+
+}  // namespace
+
+FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
+  util::SplitMix64 sm(seed);
+  FuzzCase c;
+  c.seed = seed;
+
+  // Word family: mutants get the largest share (they exercise every wrapper
+  // and both rejection procedures); boundary fixtures the smallest.
+  c.word = static_cast<WordKind>(pick_weighted(sm, {22, 22, 26, 20, 10}));
+
+  // Scale: mostly k <= 3; k = 4 words (~12k symbols) stay rare so the soak
+  // spends its budget on case diversity, not symbol count.
+  static constexpr unsigned kByIndex[4] = {1, 2, 3, 4};
+  c.k = kByIndex[pick_weighted(sm, {30, 40, 25, 5})];
+
+  // Recognizer family: classical machines dominate (cheap per symbol);
+  // quantum cases cap k at 3 and mostly run at k <= 2, where the dense
+  // register stays tiny.
+  static constexpr service::RecognizerKind kKinds[5] = {
+      service::RecognizerKind::kClassicalBlock,
+      service::RecognizerKind::kClassicalFull,
+      service::RecognizerKind::kClassicalSampling,
+      service::RecognizerKind::kClassicalBloom,
+      service::RecognizerKind::kQuantum,
+  };
+  c.spec.kind = kKinds[pick_weighted(sm, {28, 18, 18, 18, 18})];
+  if (c.spec.kind == service::RecognizerKind::kQuantum) {
+    c.k = std::min(c.k, 3u);
+    if (c.k == 3 && sm.next() % 3 != 0) c.k = 2;
+  }
+  // Sub-lower-bound parameters, including the degenerate budgets the spec
+  // tests pin down (0 = sample nothing; 1-bit filter = everything collides).
+  static constexpr std::uint64_t kBudgets[5] = {0, 1, 4, 16, 257};
+  c.spec.sampling_budget = kBudgets[sm.next() % 5];
+  static constexpr std::uint64_t kFilterBits[4] = {1, 2, 64, 509};
+  c.spec.bloom_filter_bits = kFilterBits[sm.next() % 4];
+  c.spec.bloom_num_hashes = 1 + static_cast<unsigned>(sm.next() % 3);
+
+  switch (c.word) {
+    case WordKind::kIntersecting:
+      c.word_param = 1 + sm.next() % 4;
+      break;
+    case WordKind::kMutant:
+      c.word_param = sm.next() % 6;
+      break;
+    case WordKind::kMalformed:
+      c.word_param = sm.next() % 400;
+      break;
+    case WordKind::kBoundary:
+      c.word_param = sm.next() % boundary_words().size();
+      break;
+    case WordKind::kMember:
+      break;
+  }
+
+  // Wrapper stack: usually none (the word families already cover single
+  // injections), sometimes 1-3 composed wrappers with raw parameters.
+  const unsigned wrapper_count = pick_weighted(sm, {55, 25, 15, 5});
+  for (unsigned i = 0; i < wrapper_count; ++i) {
+    WrapperOp op;
+    op.kind = static_cast<WrapperOp::Kind>(sm.next() % kWrapperKindCount);
+    op.a = sm.next();
+    op.b = sm.next();
+    c.wrappers.push_back(op);
+  }
+
+  c.schedule = static_cast<ScheduleKind>(pick_weighted(sm, {15, 55, 30}));
+  c.chunk = sm.next();
+  c.sessions = 1 + static_cast<unsigned>(sm.next() % kMaxSessions);
+  return c;
+}
+
+std::unique_ptr<stream::SymbolStream> build_stream(const FuzzCase& c) {
+  BaseStream base = make_base_stream(c);
+  std::unique_ptr<stream::SymbolStream> s = std::move(base.stream);
+  std::uint64_t len = base.length;
+  for (const WrapperOp& op : c.wrappers) {
+    switch (op.kind) {
+      case WrapperOp::Kind::kTruncate: {
+        const std::uint64_t keep = op.a % (len + 1);
+        s = std::make_unique<stream::TruncatedStream>(std::move(s), keep);
+        len = std::min(len, keep);
+        break;
+      }
+      case WrapperOp::Kind::kCorrupt: {
+        const std::uint64_t pos = len > 0 ? op.a % len : 0;
+        const auto replacement = static_cast<Symbol>(op.b % 3);
+        s = std::make_unique<stream::CorruptingStream>(std::move(s), pos,
+                                                       replacement);
+        break;
+      }
+      case WrapperOp::Kind::kAppend: {
+        const std::uint64_t suffix_len = 1 + op.a % 8;
+        s = std::make_unique<stream::AppendingStream>(
+            std::move(s), random_symbols(op.b, suffix_len));
+        len += suffix_len;
+        break;
+      }
+    }
+  }
+  if (c.truncate_len != kNoTruncate) {
+    s = std::make_unique<stream::TruncatedStream>(std::move(s),
+                                                  c.truncate_len);
+  }
+  return s;
+}
+
+std::vector<Symbol> realize_word(const FuzzCase& c) {
+  auto s = build_stream(c);
+  std::vector<Symbol> out;
+  if (const auto hint = s->length_hint()) out.reserve(*hint);
+  while (auto sym = s->next()) out.push_back(*sym);
+  return out;
+}
+
+std::vector<std::size_t> expand_schedule(const FuzzCase& c,
+                                         std::size_t word_len) {
+  std::vector<std::size_t> sizes;
+  if (word_len == 0) return sizes;
+  switch (c.schedule) {
+    case ScheduleKind::kWhole:
+      sizes.push_back(word_len);
+      break;
+    case ScheduleKind::kFixed: {
+      const std::size_t step = 1 + static_cast<std::size_t>(c.chunk % word_len);
+      for (std::size_t done = 0; done < word_len; done += step) {
+        sizes.push_back(std::min(step, word_len - done));
+      }
+      break;
+    }
+    case ScheduleKind::kRagged: {
+      util::SplitMix64 sm(c.seed ^ c.chunk ^ 0x5eed'5eed'5eed'5eedULL);
+      const std::size_t cap = std::min<std::size_t>(word_len, 97);
+      std::size_t done = 0;
+      while (done < word_len) {
+        const std::size_t step =
+            std::min<std::size_t>(1 + sm.next() % cap, word_len - done);
+        sizes.push_back(step);
+        done += step;
+      }
+      break;
+    }
+  }
+  return sizes;
+}
+
+std::uint64_t recognizer_seed(const FuzzCase& c, unsigned session) {
+  // SplitMix-style finalizer over (seed, session): decorrelates the
+  // recognizer's RNG stream from the word-content draws, which consume
+  // Rng(seed) directly.
+  std::uint64_t z = c.seed + 0x9e37'79b9'7f4a'7c15ULL * (session + 1);
+  z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string describe(const FuzzCase& c) {
+  std::string out = "seed=" + std::to_string(c.seed) +
+                    " k=" + std::to_string(c.k) + " word=" +
+                    word_kind_name(c.word) +
+                    " param=" + std::to_string(c.word_param) +
+                    " rec=" + service::recognizer_kind_name(c.spec.kind);
+  if (!c.wrappers.empty()) {
+    out += " wrappers=";
+    for (const WrapperOp& op : c.wrappers) {
+      out += op.kind == WrapperOp::Kind::kTruncate   ? 'T'
+             : op.kind == WrapperOp::Kind::kCorrupt ? 'C'
+                                                    : 'A';
+    }
+  }
+  if (c.truncate_len != kNoTruncate) {
+    out += " cut=" + std::to_string(c.truncate_len);
+  }
+  out += " schedule=";
+  out += c.schedule == ScheduleKind::kWhole   ? "whole"
+         : c.schedule == ScheduleKind::kFixed ? "fixed"
+                                              : "ragged";
+  out += " sessions=" + std::to_string(c.sessions);
+  return out;
+}
+
+}  // namespace qols::fuzz

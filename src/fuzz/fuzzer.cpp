@@ -1,0 +1,70 @@
+#include "qols/fuzz/fuzzer.hpp"
+
+#include <stdexcept>
+
+#include "qols/fuzz/repro.hpp"
+#include "qols/fuzz/shrink.hpp"
+#include "qols/util/rng.hpp"
+#include "qols/util/stopwatch.hpp"
+
+namespace qols::fuzz {
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  if (opts.max_cases == 0 && opts.budget_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "run_fuzz: set max_cases and/or budget_seconds — an unbounded soak "
+        "never terminates");
+  }
+  FuzzReport report;
+  util::Stopwatch watch;
+  util::SplitMix64 case_seeds(opts.seed);
+
+  while (true) {
+    if (opts.max_cases != 0 && report.cases >= opts.max_cases) break;
+    // The time budget is checked every iteration: Stopwatch is a clock
+    // read, orders of magnitude cheaper than one case.
+    if (opts.budget_seconds > 0.0 && report.cases > 0 &&
+        watch.seconds() >= opts.budget_seconds) {
+      break;
+    }
+
+    const FuzzCase c = FuzzCase::from_seed(case_seeds.next());
+    const CaseResult result = check_case(c);
+    ++report.cases;
+    ++report.by_word_kind[static_cast<unsigned>(c.word)];
+    ++report.by_word_class[static_cast<unsigned>(result.cls)];
+
+    if (!result.ok()) {
+      FuzzFailure failure;
+      failure.found = c;
+      failure.token = encode_token(c);
+      failure.property = result.issues.front().property;
+      failure.detail = result.issues.front().detail;
+      failure.minimized = c;
+      if (opts.shrink) {
+        // Shrink under "still fails THE SAME property": a smaller case that
+        // trades a P2 failure for, say, a P5 one would make the reported
+        // property disagree with what the minimized token replays.
+        const std::string& property = failure.property;
+        const auto shrunk = shrink(
+            c,
+            [&property](const FuzzCase& cand) {
+              const CaseResult r = check_case(cand);
+              for (const Discrepancy& d : r.issues) {
+                if (d.property == property) return true;
+              }
+              return false;
+            },
+            opts.shrink_attempts);
+        failure.minimized = shrunk.best;
+      }
+      failure.minimized_token = encode_token(failure.minimized);
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= opts.max_failures) break;
+    }
+  }
+  report.seconds = watch.seconds();
+  return report;
+}
+
+}  // namespace qols::fuzz

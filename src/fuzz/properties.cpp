@@ -1,0 +1,365 @@
+#include "qols/fuzz/properties.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::fuzz {
+
+using machine::OnlineRecognizer;
+using service::RecognizerKind;
+using stream::Symbol;
+
+const char* word_class_name(WordClass cls) {
+  switch (cls) {
+    case WordClass::kShapeViolation:
+      return "shape-violation";
+    case WordClass::kInconsistent:
+      return "inconsistent";
+    case WordClass::kIntersecting:
+      return "intersecting";
+    case WordClass::kMember:
+      return "member";
+  }
+  throw std::invalid_argument("word_class_name: unknown WordClass");
+}
+
+WordClass classify_word(const std::vector<Symbol>& w) {
+  // Shape condition (i), mirroring StructureValidator: 1^k # then exactly
+  // 3*2^k blocks of exactly m = 2^{2k} data bits, each '#'-terminated, and
+  // nothing after the last '#'. The validator caps k at 20.
+  std::size_t pos = 0;
+  while (pos < w.size() && w[pos] == Symbol::kOne) ++pos;
+  const std::size_t k = pos;
+  if (k < 1 || k > 20 || pos >= w.size() || w[pos] != Symbol::kSep) {
+    return WordClass::kShapeViolation;
+  }
+  ++pos;
+  const std::uint64_t m = std::uint64_t{1} << (2 * k);
+  const std::uint64_t blocks = std::uint64_t{3} << k;
+  // Every block consumes >= 1 symbol, so this loop is O(|w|): it exits with
+  // a verdict as soon as the word runs out, long before `blocks` iterations
+  // matter for the (physically unrealizable) large-k shapes.
+  const std::size_t body = pos;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (w.size() - pos < m + 1) return WordClass::kShapeViolation;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      if (w[pos + i] == Symbol::kSep) return WordClass::kShapeViolation;
+    }
+    if (w[pos + m] != Symbol::kSep) return WordClass::kShapeViolation;
+    pos += m + 1;
+  }
+  if (pos != w.size()) return WordClass::kShapeViolation;
+
+  // Consistency (ii)/(iii): x- and z-blocks (b % 3 != 1) equal block 0,
+  // y-blocks equal block 1.
+  const auto block_start = [&](std::uint64_t b) {
+    return body + static_cast<std::size_t>(b * (m + 1));
+  };
+  for (std::uint64_t b = 1; b < blocks; ++b) {
+    const std::size_t ref = block_start(b % 3 == 1 ? 1 : 0);
+    const std::size_t cur = block_start(b);
+    if (cur == ref) continue;
+    if (!std::equal(w.begin() + cur, w.begin() + cur + m, w.begin() + ref)) {
+      return WordClass::kInconsistent;
+    }
+  }
+
+  // Disjointness of x(1) and y(1).
+  const std::size_t x0 = block_start(0);
+  const std::size_t y0 = block_start(1);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (w[x0 + i] == Symbol::kOne && w[y0 + i] == Symbol::kOne) {
+      return WordClass::kIntersecting;
+    }
+  }
+  return WordClass::kMember;
+}
+
+namespace {
+
+/// Everything a finished run exposes; compared field-for-field.
+struct Outcome {
+  bool accepted = false;
+  bool fully_simulated = true;
+  std::uint64_t classical_bits = 0;
+  std::uint64_t qubits = 0;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome finish_outcome(OnlineRecognizer& rec) {
+  Outcome out;
+  out.accepted = rec.finish();
+  out.fully_simulated = rec.fully_simulated();
+  const auto space = rec.space_used();
+  out.classical_bits = space.classical_bits;
+  out.qubits = space.qubits;
+  return out;
+}
+
+Outcome run_per_symbol(const service::RecognizerSpec& spec, std::uint64_t seed,
+                       const std::vector<Symbol>& word) {
+  auto rec = spec.make(seed);
+  for (const Symbol s : word) rec->feed(s);
+  return finish_outcome(*rec);
+}
+
+Outcome run_scheduled(const service::RecognizerSpec& spec, std::uint64_t seed,
+                      const std::vector<Symbol>& word,
+                      const std::vector<std::size_t>& sizes) {
+  auto rec = spec.make(seed);
+  std::size_t done = 0;
+  for (const std::size_t n : sizes) {
+    rec->feed_chunk(std::span<const Symbol>(word.data() + done, n));
+    done += n;
+  }
+  return finish_outcome(*rec);
+}
+
+std::string outcome_diff(const Outcome& a, const Outcome& b) {
+  std::string out;
+  if (a.accepted != b.accepted) {
+    out += " accepted " + std::to_string(a.accepted) + " vs " +
+           std::to_string(b.accepted);
+  }
+  if (a.fully_simulated != b.fully_simulated) {
+    out += " fully_simulated " + std::to_string(a.fully_simulated) + " vs " +
+           std::to_string(b.fully_simulated);
+  }
+  if (a.classical_bits != b.classical_bits) {
+    out += " classical_bits " + std::to_string(a.classical_bits) + " vs " +
+           std::to_string(b.classical_bits);
+  }
+  if (a.qubits != b.qubits) {
+    out += " qubits " + std::to_string(a.qubits) + " vs " +
+           std::to_string(b.qubits);
+  }
+  return out;
+}
+
+void check_stream_transport(const FuzzCase& c,
+                            const std::vector<Symbol>& word,
+                            std::vector<Discrepancy>& issues) {
+  // Same stack, drained through next_chunk at an awkward seeded buffer size
+  // (with one leading next() so the cursor hand-off is exercised too).
+  auto s = build_stream(c);
+  std::vector<Symbol> chunked;
+  chunked.reserve(word.size());
+  if (auto first = s->next()) chunked.push_back(*first);
+  std::vector<Symbol> buf(1 + c.seed % 97);
+  while (true) {
+    const std::size_t n = s->next_chunk(buf);
+    if (n == 0) break;
+    chunked.insert(chunked.end(), buf.begin(), buf.begin() + n);
+  }
+  if (chunked != word) {
+    std::size_t at = 0;
+    while (at < std::min(chunked.size(), word.size()) &&
+           chunked[at] == word[at]) {
+      ++at;
+    }
+    issues.push_back(
+        {"P1-stream-transport",
+         "next() and next_chunk() drains diverge: lengths " +
+             std::to_string(word.size()) + " vs " +
+             std::to_string(chunked.size()) + ", first mismatch at " +
+             std::to_string(at)});
+  }
+}
+
+void check_oracle(const FuzzCase& c, WordClass cls, const Outcome& reference,
+                  std::vector<Discrepancy>& issues) {
+  const RecognizerKind kind = c.spec.kind;
+  const auto expect = [&](bool want, const char* why) {
+    if (reference.accepted != want) {
+      issues.push_back(
+          {"P3-oracle",
+           std::string(service::recognizer_kind_name(kind)) + " on a " +
+               word_class_name(cls) + " word: expected " +
+               (want ? "accept" : "reject") + " (" + why + "), got " +
+               (reference.accepted ? "accept" : "reject")});
+    }
+  };
+  switch (cls) {
+    case WordClass::kMember:
+      // Perfect completeness: A1/A2 never err on equal blocks, and no
+      // machine that only compares real bits of x against real bits of y
+      // can find a nonexistent intersection. The Bloom machine is the one
+      // exception — false positives wrongly reject members by design.
+      if (kind == RecognizerKind::kClassicalBlock ||
+          kind == RecognizerKind::kClassicalFull ||
+          kind == RecognizerKind::kClassicalSampling) {
+        expect(true, "deterministic member acceptance");
+      } else if (kind == RecognizerKind::kQuantum &&
+                 reference.fully_simulated) {
+        expect(true, "perfect completeness of Theorem 3.4");
+      }
+      break;
+    case WordClass::kShapeViolation:
+      // A1 is deterministic and runs in every machine.
+      expect(false, "A1 rejects shape violations with certainty");
+      break;
+    case WordClass::kIntersecting:
+      // Exact-coverage machines reject with certainty; the Bloom filter has
+      // no false negatives.
+      if (kind == RecognizerKind::kClassicalBlock ||
+          kind == RecognizerKind::kClassicalFull) {
+        expect(false, "every index is checked");
+      } else if (kind == RecognizerKind::kClassicalBloom) {
+        expect(false, "Bloom filters have no false negatives");
+      }
+      break;
+    case WordClass::kInconsistent:
+      // Caught by fingerprints only w.h.p. — no per-run guarantee.
+      break;
+  }
+}
+
+void check_backends(const FuzzCase& c, const std::vector<Symbol>& word,
+                    std::vector<Discrepancy>& issues) {
+  // The backends' ceilings differ (dense simulates k <= 10, structured
+  // k <= 16): a word whose prefix parses to a k in that gap is honestly
+  // simulated by one and honestly refused by the other — a selection-policy
+  // asymmetry, not a bug. The machine reads k from the word itself, so a
+  // malformed word with 11+ leading ones reaches the gap even though the
+  // generator caps the instance k at 3. P4 asserts only where both
+  // ceilings cover the parsed k.
+  std::size_t ones = 0;
+  while (ones < word.size() && word[ones] == Symbol::kOne) ++ones;
+  if (ones > 10 && ones < word.size() && word[ones] == Symbol::kSep) return;
+  const std::uint64_t seed = recognizer_seed(c, 0);
+  service::RecognizerSpec dense = c.spec;
+  dense.backend = "dense";
+  service::RecognizerSpec structured = c.spec;
+  structured.backend = "structured";
+  const std::vector<std::size_t> whole =
+      word.empty() ? std::vector<std::size_t>{}
+                   : std::vector<std::size_t>{word.size()};
+  const Outcome a = run_scheduled(dense, seed, word, whole);
+  const Outcome b = run_scheduled(structured, seed, word, whole);
+  // Space is conceptual (a function of k, not of the simulating backend),
+  // so the full outcome must match field-for-field.
+  if (!(a == b)) {
+    issues.push_back({"P4-backend-equality",
+                      "dense vs structured:" + outcome_diff(a, b)});
+  }
+}
+
+void check_service(const FuzzCase& c, const std::vector<Symbol>& word,
+                   const Outcome& reference,
+                   std::vector<Discrepancy>& issues) {
+  service::RecognizerService::Config cfg;
+  cfg.spec = c.spec;
+  // Rotate the flush threshold through "every feed", "tiny batches" and the
+  // default so both the pooled-flush and the finish-drain paths serve words.
+  static constexpr std::uint64_t kThresholds[3] = {0, 256,
+                                                   std::uint64_t{1} << 18};
+  cfg.flush_threshold = kThresholds[c.seed % 3];
+  service::RecognizerService svc(cfg);
+
+  std::vector<service::RecognizerService::SessionId> ids;
+  for (unsigned s = 0; s < c.sessions; ++s) {
+    ids.push_back(svc.open(recognizer_seed(c, s)));
+  }
+  // Round-robin with ragged, per-session chunk sizes: the adversarial
+  // interleaving for anything that assumed one stream per recognizer.
+  util::SplitMix64 sm(c.seed ^ 0xc0ffee);
+  std::vector<std::size_t> cursors(c.sessions, 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (unsigned s = 0; s < c.sessions; ++s) {
+      if (cursors[s] >= word.size()) continue;
+      const std::size_t n = std::min<std::size_t>(
+          1 + sm.next() % 83, word.size() - cursors[s]);
+      svc.feed(ids[s], std::span<const Symbol>(word.data() + cursors[s], n));
+      cursors[s] += n;
+      progressed = true;
+    }
+  }
+  // Finish in reverse order; every session must reproduce its single-stream
+  // outcome exactly (session 0's reference is the per-symbol run).
+  std::vector<Outcome> served(c.sessions);
+  for (unsigned s = c.sessions; s-- > 0;) {
+    const auto verdict = svc.finish(ids[s]);
+    served[s] = {verdict.accepted, verdict.fully_simulated,
+                 verdict.space.classical_bits, verdict.space.qubits};
+  }
+  const std::vector<std::size_t> whole =
+      word.empty() ? std::vector<std::size_t>{}
+                   : std::vector<std::size_t>{word.size()};
+  for (unsigned s = 0; s < c.sessions; ++s) {
+    const Outcome single =
+        s == 0 ? reference
+               : run_scheduled(c.spec, recognizer_seed(c, s), word, whole);
+    if (!(served[s] == single)) {
+      issues.push_back({"P5-service-identity",
+                        "session " + std::to_string(s) + " of " +
+                            std::to_string(c.sessions) + ":" +
+                            outcome_diff(served[s], single)});
+    }
+  }
+}
+
+}  // namespace
+
+CaseResult check_case(const FuzzCase& c) {
+  CaseResult result;
+  const std::vector<Symbol> word = realize_word(c);
+  result.word_len = word.size();
+
+  // P1: the stream stack itself is transport-invariant.
+  check_stream_transport(c, word, result.issues);
+
+  // An empty backend id would defer to the QOLS_BACKEND environment
+  // override, making the same token check different things in different
+  // environments. Pin the explicit "auto" policy (which beats the env var)
+  // so check_case is a pure function of the case — the replay guarantee.
+  FuzzCase pinned = c;
+  if (pinned.spec.kind == RecognizerKind::kQuantum &&
+      pinned.spec.backend.empty()) {
+    pinned.spec.backend = "auto";
+  }
+
+  // P2: chunk schedule vs per-symbol feeding, bit for bit.
+  const std::uint64_t seed = recognizer_seed(c, 0);
+  const Outcome reference = run_per_symbol(pinned.spec, seed, word);
+  const Outcome chunked =
+      run_scheduled(pinned.spec, seed, word, expand_schedule(c, word.size()));
+  if (!(reference == chunked)) {
+    result.issues.push_back(
+        {"P2-chunk-invariance",
+         "per-symbol vs scheduled chunks:" + outcome_diff(reference, chunked)});
+  }
+
+  // P3: exact-oracle agreement (plus the classifier's own cross-check
+  // against the repo's reference oracle).
+  result.cls = classify_word(word);
+  std::string text;
+  text.reserve(word.size());
+  for (const Symbol s : word) text.push_back(stream::symbol_to_char(s));
+  if ((result.cls == WordClass::kMember) != lang::is_member_reference(text)) {
+    result.issues.push_back(
+        {"P3-oracle", std::string("classify_word says ") +
+                          word_class_name(result.cls) +
+                          " but is_member_reference disagrees"});
+  }
+  check_oracle(c, result.cls, reference, result.issues);
+
+  // P4: dense vs structured backend, quantum cases only.
+  if (c.spec.kind == RecognizerKind::kQuantum) {
+    check_backends(c, word, result.issues);
+  }
+
+  // P5: the serving layer reproduces single-stream verdicts.
+  check_service(pinned, word, reference, result.issues);
+
+  return result;
+}
+
+}  // namespace qols::fuzz

@@ -22,7 +22,10 @@ std::string recognizer_kind_name(RecognizerKind kind) {
     case RecognizerKind::kQuantum:
       return "quantum";
   }
-  return "?";
+  // Unknown/future values (e.g. a static_cast from a corrupted config) must
+  // surface as an error, not as UB-adjacent fallthrough text.
+  throw std::invalid_argument("recognizer_kind_name: unknown RecognizerKind " +
+                              std::to_string(static_cast<int>(kind)));
 }
 
 std::unique_ptr<machine::OnlineRecognizer> RecognizerSpec::make(
@@ -44,7 +47,8 @@ std::unique_ptr<machine::OnlineRecognizer> RecognizerSpec::make(
       return std::make_unique<core::QuantumOnlineRecognizer>(seed, opts);
     }
   }
-  throw std::invalid_argument("RecognizerSpec: unknown recognizer kind");
+  throw std::invalid_argument("RecognizerSpec: unknown RecognizerKind " +
+                              std::to_string(static_cast<int>(kind)));
 }
 
 RecognizerService::RecognizerService(Config config)

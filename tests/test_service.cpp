@@ -61,6 +61,90 @@ TEST(RecognizerSpec, UnknownQuantumBackendThrowsAtServiceConstruction) {
   EXPECT_THROW(RecognizerService svc(cfg), std::invalid_argument);
 }
 
+TEST(RecognizerSpec, ExplicitBackendIdsConstruct) {
+  for (const char* backend : {"dense", "structured", "auto", ""}) {
+    RecognizerSpec spec;
+    spec.kind = RecognizerKind::kQuantum;
+    spec.backend = backend;
+    EXPECT_NE(spec.make(1), nullptr) << backend;
+  }
+}
+
+TEST(RecognizerSpec, UnknownKindThrowsInsteadOfUndefinedBehavior) {
+  // Future/corrupted enum values must fail loudly in both switch consumers.
+  const auto bogus = static_cast<RecognizerKind>(250);
+  RecognizerSpec spec;
+  spec.kind = bogus;
+  EXPECT_THROW(spec.make(1), std::invalid_argument);
+  EXPECT_THROW(qols::service::recognizer_kind_name(bogus),
+               std::invalid_argument);
+  RecognizerService::Config cfg;
+  cfg.spec.kind = bogus;
+  EXPECT_THROW(RecognizerService svc(cfg), std::invalid_argument);
+}
+
+TEST(RecognizerSpec, SamplingBudgetExtremes) {
+  qols::util::Rng rng(55);
+  const auto member = LDisjInstance::make_disjoint(2, rng);
+  const auto word = word_of(member);
+  // budget 0: samples nothing, so it can never find an intersection — a
+  // member must still be accepted (A1/A2 alone decide).
+  // budget 1 and a budget far above m: both must run to completion with
+  // exact member acceptance and a monotonically larger space report.
+  std::uint64_t last_bits = 0;
+  for (const std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{1},
+                                     std::uint64_t{1} << 12}) {
+    RecognizerSpec spec;
+    spec.kind = RecognizerKind::kClassicalSampling;
+    spec.sampling_budget = budget;
+    auto rec = spec.make(3);
+    for (const Symbol s : word) rec->feed(s);
+    EXPECT_TRUE(rec->finish()) << "budget=" << budget;
+    const auto bits = rec->space_used().classical_bits;
+    EXPECT_GT(bits, last_bits) << "budget=" << budget;
+    last_bits = bits;
+  }
+}
+
+TEST(RecognizerSpec, BloomFilterBitExtremes) {
+  qols::util::Rng rng(66);
+  const auto crossing = LDisjInstance::make_with_intersections(2, 1, rng);
+  const auto word = word_of(crossing);
+  // 0 bits: the hash range would be empty — rejected at construction, which
+  // the service surfaces before any session opens.
+  {
+    RecognizerSpec spec;
+    spec.kind = RecognizerKind::kClassicalBloom;
+    spec.bloom_filter_bits = 0;
+    EXPECT_THROW(spec.make(1), std::invalid_argument);
+    RecognizerService::Config cfg;
+    cfg.spec = spec;
+    EXPECT_THROW(RecognizerService svc(cfg), std::invalid_argument);
+  }
+  // 1 bit (everything collides) and a filter far above m: legal geometries.
+  // Bloom filters have no false negatives, so the intersecting word is
+  // rejected at every size.
+  for (const std::uint64_t bits : {std::uint64_t{1}, std::uint64_t{1} << 12}) {
+    RecognizerSpec spec;
+    spec.kind = RecognizerKind::kClassicalBloom;
+    spec.bloom_filter_bits = bits;
+    auto rec = spec.make(4);
+    for (const Symbol s : word) rec->feed(s);
+    EXPECT_FALSE(rec->finish()) << "bits=" << bits;
+  }
+  // 0 hash functions: the all-hashes-present probe is vacuously true, so
+  // the filter claims every index — any word whose y has a 1-bit is
+  // rejected (the degenerate "always maybe-present" Bloom filter).
+  {
+    RecognizerSpec spec;
+    spec.kind = RecognizerKind::kClassicalBloom;
+    spec.bloom_num_hashes = 0;
+    auto rec = spec.make(5);
+    for (const Symbol s : word) rec->feed(s);
+    EXPECT_FALSE(rec->finish());
+  }
+}
+
 TEST(RecognizerService, SingleSessionMatchesRunStream) {
   qols::util::Rng rng(11);
   for (const std::uint64_t t : {std::uint64_t{0}, std::uint64_t{1}}) {

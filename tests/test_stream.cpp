@@ -202,6 +202,92 @@ TEST(ChunkedReads, CorruptionLandsOnChunkBoundaries) {
 }
 
 // ---------------------------------------------------------------------------
+// Composed failure-injection stacks: every wrapper wrapping every other,
+// through both transports, the way the fuzz generator builds them.
+// ---------------------------------------------------------------------------
+
+/// The canonical three-deep stack: append "01#" to the base word, corrupt
+/// absolute position 4 to '#', keep the first 9 symbols.
+std::unique_ptr<SymbolStream> make_full_stack(const std::string& base) {
+  auto inner = std::make_unique<StringStream>(base);
+  auto appended = std::make_unique<AppendingStream>(std::move(inner), "01#");
+  auto corrupted =
+      std::make_unique<CorruptingStream>(std::move(appended), 4, Symbol::kSep);
+  return std::make_unique<TruncatedStream>(std::move(corrupted), 9);
+}
+
+TEST(ComposedWrapperStacks, NextPathAppliesInWrappingOrder) {
+  // base "01#10#" -> append "01#" = "01#10#01#" -> corrupt[4] ('0' -> '#')
+  // = "01#1##01#" -> keep 9 (the whole thing).
+  auto s = make_full_stack("01#10#");
+  EXPECT_EQ(materialize(*s), "01#1##01#");
+}
+
+TEST(ComposedWrapperStacks, ChunkPathMatchesNextPathAtEveryChunkSize) {
+  auto reference = make_full_stack("01#10#");
+  const std::string expect = materialize(*reference);
+  for (const std::size_t c : {1u, 2u, 3u, 4u, 7u, 64u}) {
+    auto s = make_full_stack("01#10#");
+    EXPECT_EQ(drain_chunked(*s, c), expect) << "chunk=" << c;
+  }
+}
+
+TEST(ComposedWrapperStacks, MixedTransportThroughTheFullStack) {
+  // next() and next_chunk() share one cursor even with three wrappers
+  // between the caller and the string.
+  auto s = make_full_stack("01#10#");
+  EXPECT_EQ(symbol_to_char(*s->next()), '0');
+  EXPECT_EQ(symbol_to_char(*s->next()), '1');
+  std::vector<Symbol> buf(3);
+  ASSERT_EQ(s->next_chunk(buf), 3u);
+  std::string mid;
+  for (const Symbol sym : buf) mid.push_back(symbol_to_char(sym));
+  EXPECT_EQ(mid, "#1#");
+  EXPECT_EQ(drain_chunked(*s, 2), "#01#");
+  EXPECT_FALSE(s->next().has_value());
+}
+
+TEST(ComposedWrapperStacks, CorruptionInsideTheAppendedSuffix) {
+  // The corruption target lands past the inner stream's end, inside the
+  // appended suffix — the wrappers must still compose exactly.
+  auto inner = std::make_unique<StringStream>("000");
+  auto appended = std::make_unique<AppendingStream>(std::move(inner), "000");
+  CorruptingStream corrupt(std::move(appended), 4, Symbol::kOne);
+  EXPECT_EQ(materialize(corrupt), "000010");
+  auto inner2 = std::make_unique<StringStream>("000");
+  auto appended2 = std::make_unique<AppendingStream>(std::move(inner2), "000");
+  CorruptingStream corrupt2(std::move(appended2), 4, Symbol::kOne);
+  EXPECT_EQ(drain_chunked(corrupt2, 2), "000010");
+}
+
+TEST(ComposedWrapperStacks, LengthHintPropagatesThroughTheFullStack) {
+  // Known inner: |base| = 6, +3 suffix, corruption keeps it, truncation
+  // takes min(9, 9) = 9.
+  auto s = make_full_stack("01#10#");
+  ASSERT_TRUE(s->length_hint().has_value());
+  EXPECT_EQ(*s->length_hint(), 9u);
+  // Truncation below the stack's length wins.
+  auto t = std::make_unique<TruncatedStream>(make_full_stack("01#10#"), 4);
+  ASSERT_TRUE(t->length_hint().has_value());
+  EXPECT_EQ(*t->length_hint(), 4u);
+}
+
+TEST(ComposedWrapperStacks, UnknownInnerHintStaysUnknownThroughTheStack) {
+  auto gen = std::make_unique<GeneratorStream>(
+      [](std::uint64_t i) -> std::optional<Symbol> {
+        if (i >= 4) return std::nullopt;
+        return Symbol::kZero;
+      });
+  auto appended = std::make_unique<AppendingStream>(std::move(gen), "11");
+  auto corrupted =
+      std::make_unique<CorruptingStream>(std::move(appended), 1, Symbol::kOne);
+  TruncatedStream t(std::move(corrupted), 3);
+  // No layer may invent a hint the inner stream cannot back.
+  EXPECT_FALSE(t.length_hint().has_value());
+  EXPECT_EQ(materialize(t), "010");
+}
+
+// ---------------------------------------------------------------------------
 // length_hint propagation through the wrappers.
 // ---------------------------------------------------------------------------
 
