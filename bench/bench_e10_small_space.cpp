@@ -87,6 +87,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
     util::Stopwatch watch;
     core::QuantumOnlineRecognizer::Options qopts;
     qopts.a3.backend = cfg.backend;
+    qopts.a3.precision = cfg.precision();
     const auto q = engine.measure_quality(
         [&] { return member.stream(); }, [&] { return nonmember.stream(); },
         [qopts](std::uint64_t seed) {

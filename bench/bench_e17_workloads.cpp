@@ -32,6 +32,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
     util::Stopwatch watch;
     core::QuantumOnlineRecognizer::Options qopts;
     qopts.a3.backend = cfg.backend;
+    qopts.a3.precision = cfg.precision();
     const auto r = engine.measure_acceptance(
         [&] { return inst.stream(); },
         [qopts](std::uint64_t seed) {

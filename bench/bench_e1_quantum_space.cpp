@@ -57,6 +57,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
       auto inst = lang::LDisjInstance::make_disjoint(k, rng);
       core::QuantumOnlineRecognizer::Options qopts;
       qopts.a3.backend = cfg.backend;
+      qopts.a3.precision = cfg.precision();
       util::Stopwatch watch;
       const auto r = engine.measure_acceptance(
           [&] { return inst.stream(); },

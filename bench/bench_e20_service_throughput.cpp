@@ -172,6 +172,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
     for (const std::string& backend : backends) {
       core::QuantumOnlineRecognizer::Options qopts;
       qopts.a3.backend = backend;
+      qopts.a3.precision = cfg.precision();
       double ps_total = 0.0, ck_total = 0.0;
       std::uint64_t ps_accepts = 0, ck_accepts = 0;
       for (std::uint64_t t = 0; t < qtrials; ++t) {

@@ -46,6 +46,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
     if (k <= kmax_run && k <= 10) {
       auto inst = lang::LDisjInstance::make_disjoint(k, rng);
       qopts.a3.backend = cfg.backend;
+      qopts.a3.precision = cfg.precision();
       core::QuantumOnlineRecognizer quantum(k, qopts);
       {
         auto s = inst.stream();

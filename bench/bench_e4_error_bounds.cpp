@@ -35,6 +35,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
       double acc = 0.0;
       core::QuantumOnlineRecognizer::Options qopts;
       qopts.a3.backend = cfg.backend;
+      qopts.a3.precision = cfg.precision();
       for (int i = 0; i < runs; ++i) {
         core::QuantumOnlineRecognizer rec(10000 + 131 * i + k, qopts);
         auto s = inst.stream();

@@ -32,6 +32,7 @@ int run(Reporter& rep, const RunConfig& cfg) {
 
   core::QuantumOnlineRecognizer::Options qopts;
   qopts.a3.backend = cfg.backend;
+  qopts.a3.precision = cfg.precision();
   auto single = [qopts](std::uint64_t seed) {
     return std::make_unique<core::QuantumOnlineRecognizer>(seed, qopts);
   };

@@ -26,6 +26,7 @@ void register_all_experiments(Registry& r) {
   register_e19(r);
   register_e20(r);
   register_e21(r);
+  register_e22(r);
 }
 
 }  // namespace qols::bench

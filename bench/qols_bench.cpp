@@ -33,12 +33,15 @@ void print_usage(std::ostream& os) {
         "  --backend <id>     quantum backend: dense, structured, or auto\n"
         "                     (default auto: dense inside its ceiling,\n"
         "                     structured past it)\n"
+        "  --precision <p>    amplitude precision: double (default) or\n"
+        "                     float (dense SIMD fast mode; decisions and\n"
+        "                     accept counts are precision-invariant)\n"
         "  --json <path>      write machine-readable results to <path>\n"
         "  --quiet            suppress the human-readable tables\n"
         "  --help             this text\n"
         "\n"
-        "Environment: QOLS_TRIALS / QOLS_MAX_K / QOLS_BACKEND provide the\n"
-        "same overrides (flags win).\n";
+        "Environment: QOLS_TRIALS / QOLS_MAX_K / QOLS_BACKEND /\n"
+        "QOLS_PRECISION provide the same overrides (flags win).\n";
 }
 
 struct CliArgs {
@@ -48,6 +51,7 @@ struct CliArgs {
   std::optional<int> trials;
   std::optional<unsigned> max_k;
   std::optional<std::string> backend;
+  std::optional<bool> float_amplitudes;
   std::optional<std::string> json_path;
 };
 
@@ -113,6 +117,16 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       args.backend = std::string(id);
+    } else if (arg == "--precision") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      const std::string_view p(v);
+      if (p != "double" && p != "float") {
+        std::cerr << "qols_bench: --precision wants double or float, got '"
+                  << p << "'\n";
+        return std::nullopt;
+      }
+      args.float_amplitudes = (p == "float");
     } else {
       std::cerr << "qols_bench: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
@@ -158,6 +172,7 @@ int main(int argc, char** argv) {
   // an explicit auto policy that beats QOLS_BACKEND (an empty id would let
   // the environment override the flag).
   if (args->backend) cfg.backend = *args->backend;
+  if (args->float_amplitudes) cfg.float_amplitudes = *args->float_amplitudes;
 
   ConsoleReporter console(std::cout);
   JsonReporter json;
@@ -170,6 +185,8 @@ int main(int argc, char** argv) {
     if (cfg.trials) json.set_config("trials", *cfg.trials);
     if (cfg.max_k) json.set_config("max_k", *cfg.max_k);
     json.set_config("backend", cfg.backend.empty() ? "auto" : cfg.backend);
+    json.set_config("precision", std::string(qols::quantum::precision_name(
+                                     cfg.precision())));
     if (!args->filter.empty()) json.set_config("filter", args->filter);
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <iostream>
 
 #include "bench_common.hpp"
 #include "experiments.hpp"
@@ -20,6 +22,16 @@ RunConfig RunConfig::from_env() {
   }
   if (const auto& b = backend::env_backend_override()) {
     cfg.backend = *b;
+  }
+  if (const char* p = std::getenv("QOLS_PRECISION");
+      p != nullptr && *p != '\0') {
+    const std::string_view value(p);
+    if (value == "float") {
+      cfg.float_amplitudes = true;
+    } else if (value != "double") {
+      std::cerr << "qols: ignoring QOLS_PRECISION='" << value
+                << "' (expected double or float)\n";
+    }
   }
   return cfg;
 }

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "qols/quantum/state_vector.hpp"
 #include "reporter.hpp"
 
 namespace qols::bench {
@@ -24,6 +25,15 @@ struct RunConfig {
   std::optional<int> trials;      ///< Monte-Carlo trial override, >= 1
   /// Quantum-backend id ("dense", "structured", "auto"); empty = auto.
   std::string backend;
+  /// Amplitude precision for quantum runs (--precision / QOLS_PRECISION):
+  /// float selects the dense SIMD fast mode; decisions and accept counts
+  /// are precision-invariant, so rates must not move beyond sampling noise.
+  bool float_amplitudes = false;
+
+  quantum::Precision precision() const {
+    return float_amplitudes ? quantum::Precision::kSingle
+                            : quantum::Precision::kDouble;
+  }
 
   unsigned max_k_or(unsigned def) const { return max_k ? *max_k : def; }
   /// Same, additionally clamped to the dense-simulation envelope — for

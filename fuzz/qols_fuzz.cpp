@@ -3,7 +3,8 @@
 //   qols_fuzz                                # 10-second soak, seed 1
 //   qols_fuzz --budget-seconds 60 --seed 7   # time-boxed CI leg
 //   qols_fuzz --cases 100000                 # case-count budget
-//   qols_fuzz --replay qf1-...               # re-check one failure token
+//   qols_fuzz --replay qf2-...               # re-check one failure token
+//   qols_fuzz --float --budget-seconds 30    # float-amplitude quantum soak
 //
 // Every discrepancy prints both the as-found and the shrunk repro token;
 // --token-file additionally writes the shrunk token to a file (CI uploads
@@ -31,6 +32,7 @@ void print_usage(std::ostream& os) {
         "                        budget is given at all)\n"
         "  --max-failures <n>    stop after n discrepancies (default 4)\n"
         "  --no-shrink           report failures as found, unminimized\n"
+        "  --float               force float amplitudes on quantum cases\n"
         "  --token-file <path>   write the first shrunk repro token here\n"
         "  --replay <token>      re-check one case from its repro token\n"
         "  --quiet               only the final summary line\n"
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--no-shrink") {
       opts.shrink = false;
+    } else if (arg == "--float") {
+      opts.force_float = true;
     } else if (arg == "--seed") {
       const char* v = value();
       if (!v) return 2;

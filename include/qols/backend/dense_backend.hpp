@@ -3,24 +3,40 @@
 // Reference semantics for every other backend — the differential suite
 // (tests/test_backend_differential.cpp) pins StructuredBackend against it.
 //
+// The adapter is a template on the amplitude scalar, mirroring
+// quantum::StateVectorT: DenseBackend (double) is the reference; the float
+// instantiation is the opt-in fast mode selected through
+// quantum::Precision::kSingle at the factory (registry.hpp). Float-mode
+// decisions match double exactly under the precision contract
+// (docs/ARCHITECTURE.md); amplitudes carry per-gate-count rounding, which is
+// why dense_state() — the double-reference escape hatch — returns nullptr
+// for the float instantiation.
+//
 // Cost model: one-qubit gates and the diffusion are O(2^n); the A3 fast
-// paths are O(2^{n - index width}); memory is 16 bytes * 2^n, which caps the
-// feasible A3 depth at k ~ 10-14 (2k+2 <= 30 qubits).
+// paths are O(2^{n - index width}); memory is 16 bytes * 2^n for double and
+// 8 bytes * 2^n for float, which caps the feasible A3 depth at k ~ 10-14
+// (2k+2 <= 30 qubits).
 
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <type_traits>
 
 #include "qols/backend/quantum_backend.hpp"
 
 namespace qols::backend {
 
-class DenseBackend final : public QuantumBackend {
+template <typename Scalar>
+class DenseBackendT final : public QuantumBackend {
  public:
   /// |0...0> on `num_qubits` (1..30; StateVector validates).
-  explicit DenseBackend(unsigned num_qubits) : state_(num_qubits) {}
+  explicit DenseBackendT(unsigned num_qubits) : state_(num_qubits) {}
 
   std::string_view id() const noexcept override { return "dense"; }
+  quantum::Precision precision() const noexcept override {
+    return std::is_same_v<Scalar, float> ? quantum::Precision::kSingle
+                                         : quantum::Precision::kDouble;
+  }
   unsigned num_qubits() const noexcept override {
     return state_.num_qubits();
   }
@@ -79,11 +95,25 @@ class DenseBackend final : public QuantumBackend {
   double norm() const override { return state_.norm(); }
 
   const quantum::StateVector* dense_state() const noexcept override {
-    return &state_;
+    if constexpr (std::is_same_v<Scalar, double>) {
+      return &state_;
+    } else {
+      return nullptr;  // float register is not the double reference type
+    }
+  }
+
+  /// The typed register, for precision-aware consumers (tests).
+  const quantum::StateVectorT<Scalar>& typed_state() const noexcept {
+    return state_;
   }
 
  private:
-  quantum::StateVector state_;
+  quantum::StateVectorT<Scalar> state_;
 };
+
+/// The reference (double) adapter — the type the rest of the library names.
+using DenseBackend = DenseBackendT<double>;
+/// The opt-in float fast mode.
+using DenseBackendF = DenseBackendT<float>;
 
 }  // namespace qols::backend

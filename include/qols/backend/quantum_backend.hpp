@@ -57,6 +57,14 @@ class QuantumBackend {
   /// Registry id of the concrete backend ("dense", "structured").
   virtual std::string_view id() const noexcept = 0;
 
+  /// Amplitude precision this instance simulates with. kDouble unless the
+  /// backend was built with an explicit float request (dense only; the
+  /// structured backend is double-only and ignores the request — see
+  /// registry.cpp).
+  virtual quantum::Precision precision() const noexcept {
+    return quantum::Precision::kDouble;
+  }
+
   virtual unsigned num_qubits() const noexcept = 0;
 
   /// Back to |0...0>.
@@ -125,7 +133,9 @@ class QuantumBackend {
   virtual double norm() const = 0;
 
   /// Escape hatch for dense-only consumers (gate-level replay comparisons):
-  /// the underlying StateVector, or nullptr for non-dense backends.
+  /// the underlying double-precision StateVector, or nullptr for non-dense
+  /// backends AND for the float-precision dense backend (its register is not
+  /// the double reference type; probe it through amplitude()).
   virtual const quantum::StateVector* dense_state() const noexcept {
     return nullptr;
   }

@@ -24,7 +24,11 @@ inline constexpr std::string_view kAutoBackendId = "auto";
 inline constexpr std::string_view kDenseBackendId = "dense";
 inline constexpr std::string_view kStructuredBackendId = "structured";
 
-/// One registered backend: identity plus a constructor.
+/// One registered backend: identity plus a constructor. `precision` is the
+/// amplitude-scalar request (quantum::Precision): the dense factory honors
+/// it by instantiating the float register; the structured factory is
+/// double-only and ignores it (its per-class amplitudes are the exactness
+/// anchor past the dense wall, and float would buy no memory there).
 struct BackendFactory {
   std::string id;
   std::string description;
@@ -34,7 +38,8 @@ struct BackendFactory {
   /// 64-bit index arithmetic.
   unsigned hard_max_k;
   std::function<std::unique_ptr<QuantumBackend>(unsigned num_qubits,
-                                                unsigned index_width)>
+                                                unsigned index_width,
+                                                quantum::Precision precision)>
       create;
 };
 
@@ -58,9 +63,11 @@ class BackendRegistry {
 
 /// Constructs backend `id` from the global registry. Throws
 /// std::invalid_argument on an unknown id (including "auto": resolve first).
-std::unique_ptr<QuantumBackend> make_backend(std::string_view id,
-                                             unsigned num_qubits,
-                                             unsigned index_width);
+/// `precision` defaults to the double reference mode; see BackendFactory for
+/// which backends honor a float request.
+std::unique_ptr<QuantumBackend> make_backend(
+    std::string_view id, unsigned num_qubits, unsigned index_width,
+    quantum::Precision precision = quantum::Precision::kDouble);
 
 /// Backend selection for an A3 instance of depth k.
 ///   - explicit `requested` id: honored up to min(its caller ceiling, its

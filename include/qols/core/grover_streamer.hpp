@@ -59,6 +59,13 @@ class GroverStreamer {
     /// Largest k the structured backend is auto-selected for; past this the
     /// run is reported as not simulated.
     unsigned max_structured_k = 16;
+    /// Amplitude precision request, forwarded to the backend factory.
+    /// kSingle selects the dense float fast mode; the structured backend is
+    /// double-only and ignores it. Decisions, accept counts, and space
+    /// reports are precision-invariant (the contract tested by
+    /// tests/test_precision_differential.cpp); only amplitudes differ,
+    /// within the documented per-gate-count tolerance.
+    quantum::Precision precision = quantum::Precision::kDouble;
   };
 
   /// finish_output() value when the register could not be simulated (k

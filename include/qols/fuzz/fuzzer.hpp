@@ -21,6 +21,10 @@ struct FuzzOptions {
   bool shrink = true;            ///< minimize failures before reporting
   std::size_t shrink_attempts = 256;
   std::size_t max_failures = 4;  ///< stop the run after this many failures
+  /// Force every quantum case onto the float-amplitude fast path (instead of
+  /// the generator's ~50/50 draw). CI's sanitizer leg uses this to soak the
+  /// float kernels specifically; P6 still cross-checks against double.
+  bool force_float = false;
 };
 
 /// One property violation, with its replay tokens. `found` is the case as

@@ -24,6 +24,11 @@
 //                         interleaved with sessions-1 sibling sessions on
 //                         ragged per-session chunks — must produce verdicts
 //                         bit-identical to each session's single-stream run.
+//   P6 precision        : quantum cases re-run with double AND float
+//                         amplitudes on the same seed; decision, simulation
+//                         status and SpaceReport must match exactly (the
+//                         float mode's headline guarantee — amplitudes may
+//                         round, verdicts may not).
 
 #include <cstddef>
 #include <string>

@@ -3,13 +3,16 @@
 // serializes to one printable token that `qols_fuzz --replay <token>`
 // re-checks bit-identically on any machine.
 //
-// Format (version "qf1", lowercase hex fields joined by '-'):
+// Format (version "qf2", lowercase hex fields joined by '-'):
 //
-//   qf1-<seed>-<k>-<word>-<param>-<nwrap>{-<wkind>-<a>-<b>}*-<cut>
+//   qf2-<seed>-<k>-<word>-<param>-<nwrap>{-<wkind>-<a>-<b>}*-<cut>
 //      -<sched>-<chunk>-<sessions>-<rec>-<sbudget>-<bbits>-<bhashes>
+//      -<float>
 //
-// The field list is positional and versioned; decode rejects unknown
-// versions, malformed hex, out-of-range enums and wrong field counts with
+// qf2 appended the trailing <float> field (0/1: float-amplitude quantum
+// simulation, the PR 6 precision axis). The field list is positional and
+// versioned; decode rejects unknown versions (including qf1), malformed
+// hex, out-of-range enums and wrong field counts with
 // std::invalid_argument, so a token either replays the exact case or fails
 // loudly — never a silently different one.
 
@@ -23,7 +26,7 @@ namespace qols::fuzz {
 std::string encode_token(const FuzzCase& c);
 
 /// Parses a token back into the identical case. Throws std::invalid_argument
-/// on anything that is not a well-formed qf1 token.
+/// on anything that is not a well-formed qf2 token.
 FuzzCase decode_token(const std::string& token);
 
 }  // namespace qols::fuzz

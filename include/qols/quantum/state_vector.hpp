@@ -6,18 +6,34 @@
 // substitute for physical hardware: every amplitude evolves exactly per the
 // unitary postulate and measurement statistics are computed from |amp|^2.
 //
-// Performance notes (hpc): amplitudes live in one contiguous aligned buffer;
-// gate kernels are data-parallel loops dispatched over the project ThreadPool
-// with a grain chosen so registers below ~2^14 amplitudes run serially
-// (avoids task overhead for the small registers at small k). The streaming
-// oracles of procedure A3 (V_x, W_y, R_y driven by single input bits) fix the
-// whole index register, so they touch O(1) amplitudes; dedicated fast paths
-// are provided for them.
+// Performance notes (hpc): amplitudes are stored structure-of-arrays — one
+// contiguous `re[]` and one contiguous `im[]` buffer — so gate kernels are
+// straight-line loops over disjoint scalar arrays with no interleaved
+// real/imag access pattern. The hot kernels (H, X, Z, phase, reflect-zero,
+// MCZ, probability/measure) run as blocked contiguous-run loops with an
+// explicit AVX2 path selected by runtime dispatch (see SimdMode below); the
+// scalar fallback is always compiled and is the auto-vectorizable reference
+// form. Kernels are data-parallel over the project ThreadPool with a grain
+// chosen so registers below ~2^14 amplitudes run serially. The streaming
+// oracles of procedure A3 (V_x, W_y, R_y driven by single input bits) fix
+// the whole index register, so they touch O(1) amplitudes; dedicated fast
+// paths are provided for them.
+//
+// Precision: the simulator is a class template on the amplitude scalar.
+// `StateVector` (double) is the reference; `StateVectorF` (float) is the
+// opt-in fast mode — half the memory traffic, twice the SIMD lanes. The
+// probability/measurement pipeline accumulates in double in BOTH modes, so
+// measurement *decisions* remain seed-for-seed comparable even when float
+// amplitudes carry rounding (the precision/tolerance contract is spelled out
+// in docs/ARCHITECTURE.md and enforced by tests/test_precision_differential).
 
+#include <cassert>
 #include <complex>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "qols/util/rng.hpp"
@@ -26,6 +42,49 @@ namespace qols::quantum {
 
 using Amplitude = std::complex<double>;
 
+/// Amplitude scalar width of the dense simulator. Threaded from user-facing
+/// knobs (RecognizerSpec::float_amplitudes, qols_bench --precision) down to
+/// the backend factory; the structured backend is double-only and documents
+/// that it ignores the request.
+enum class Precision {
+  kDouble = 0,  ///< reference semantics; every differential baseline
+  kSingle = 1,  ///< opt-in fast mode: float amplitudes, double accumulation
+};
+
+/// "double" / "float".
+std::string_view precision_name(Precision p) noexcept;
+
+/// Kernel instruction-set dispatch. kAuto (the default) resolves to kAvx2
+/// when the CPU supports it and the QOLS_NO_AVX2 environment override is not
+/// set, else to kScalar. set_simd_mode(kScalar / kAvx2) forces a path at
+/// runtime (benchmark rows, dispatch-agreement tests).
+enum class SimdMode {
+  kAuto = 0,
+  kScalar = 1,
+  kAvx2 = 2,
+};
+
+/// True when this CPU can execute the AVX2 kernels.
+bool cpu_supports_avx2() noexcept;
+
+/// Forces the kernel path. Throws std::invalid_argument for kAvx2 on a CPU
+/// without AVX2. Process-global; intended for benchmarks and tests, not for
+/// concurrent mutation while kernels run.
+void set_simd_mode(SimdMode mode);
+
+/// The last value passed to set_simd_mode (kAuto initially).
+SimdMode requested_simd_mode() noexcept;
+
+/// The path kernels will actually take right now: kScalar or kAvx2, never
+/// kAuto.
+SimdMode active_simd_mode() noexcept;
+
+/// QOLS_NO_AVX2 parsing rule, exposed for tests: disabled when the value is
+/// non-null, non-empty and not "0". The environment is read once per
+/// process (CI's scalar-fallback leg sets it before launch); use
+/// set_simd_mode for in-process switching.
+bool simd_env_disabled(const char* value) noexcept;
+
 /// A control condition: `qubit` must be in basis state `value`.
 struct ControlTerm {
   unsigned qubit;
@@ -33,20 +92,42 @@ struct ControlTerm {
 };
 
 /// Exact n-qubit pure state, little-endian (qubit q is bit q of the basis
-/// index). Starts in |0...0>.
-class StateVector {
+/// index). Starts in |0...0>. `Scalar` is the amplitude component type;
+/// see the Precision notes above.
+template <typename Scalar>
+class StateVectorT {
+  static_assert(std::is_same_v<Scalar, double> || std::is_same_v<Scalar, float>,
+                "StateVectorT supports double and float amplitudes");
+
  public:
+  using scalar_type = Scalar;
+
   /// Constructs |0...0> on `num_qubits` qubits. Supports up to 30 qubits
-  /// (16 GiB of amplitudes); the library never needs more than ~24.
-  explicit StateVector(unsigned num_qubits);
+  /// (16 GiB of double amplitudes); the library never needs more than ~24.
+  explicit StateVectorT(unsigned num_qubits);
 
   unsigned num_qubits() const noexcept { return num_qubits_; }
-  std::size_t dim() const noexcept { return amps_.size(); }
+  std::size_t dim() const noexcept { return re_.size(); }
 
-  /// Read-only view of the amplitudes.
-  std::span<const Amplitude> amplitudes() const noexcept { return amps_; }
+  /// Read-only views of the structure-of-arrays storage.
+  std::span<const Scalar> re() const noexcept { return re_; }
+  std::span<const Scalar> im() const noexcept { return im_; }
 
-  Amplitude amplitude(std::size_t basis) const noexcept { return amps_[basis]; }
+  /// One amplitude, widened to the double-based Amplitude type.
+  Amplitude amplitude(std::size_t basis) const noexcept {
+    return Amplitude{static_cast<double>(re_[basis]),
+                     static_cast<double>(im_[basis])};
+  }
+
+  /// Materialized array-of-structs copy of the state (widened to double).
+  /// O(dim) allocation — a probe for tests and reference comparisons, not a
+  /// kernel input; kernels read the SoA spans.
+  std::vector<Amplitude> amplitudes() const {
+    std::vector<Amplitude> out;
+    out.reserve(dim());
+    for (std::size_t i = 0; i < dim(); ++i) out.push_back(amplitude(i));
+    return out;
+  }
 
   /// Resets to |0...0>.
   void reset();
@@ -111,31 +192,68 @@ class StateVector {
                          unsigned h, unsigned target);
 
   // --- measurement / inspection --------------------------------------------
-  /// P[measuring qubit q yields 1].
+  /// P[measuring qubit q yields 1]. Accumulated in double in both precision
+  /// modes (the decision-exactness half of the precision contract).
   double probability_one(unsigned q) const;
 
   /// Projective measurement of qubit q in the computational basis; collapses
-  /// and renormalizes the state. Returns the outcome.
+  /// and renormalizes the state. Draws exactly one uniform01() from `rng`.
+  /// Returns the outcome.
   bool measure(unsigned q, util::Rng& rng);
 
   /// Samples a full computational-basis measurement without collapsing.
   std::size_t sample_basis(util::Rng& rng) const;
 
   /// L2 norm of the state (should be 1 up to rounding; tested invariant).
+  /// Accumulated in double in both precision modes.
   double norm() const;
 
-  /// <this|other>; both states must have equal dimension.
-  Amplitude inner_product(const StateVector& other) const;
+  /// <this|other>; both states must have equal dimension. Mixed-precision
+  /// operands are explicitly supported: every term is widened to double
+  /// before multiply-accumulate, so <double|float> equals the inner product
+  /// with the float state's exactly-promoted double copy — no silent
+  /// float-precision contamination of the comparison itself.
+  template <typename OtherScalar>
+  Amplitude inner_product(const StateVectorT<OtherScalar>& other) const {
+    assert(dim() == other.dim());
+    const std::span<const OtherScalar> ore = other.re();
+    const std::span<const OtherScalar> oim = other.im();
+    double acc_r = 0.0;
+    double acc_i = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) {
+      const double xr = static_cast<double>(re_[i]);
+      const double xi = static_cast<double>(im_[i]);
+      const double yr = static_cast<double>(ore[i]);
+      const double yi = static_cast<double>(oim[i]);
+      acc_r += xr * yr + xi * yi;  // conj(this) * other
+      acc_i += xr * yi - xi * yr;
+    }
+    return Amplitude{acc_r, acc_i};
+  }
 
-  /// |<this|other>|^2 — global-phase-insensitive agreement measure.
-  double fidelity(const StateVector& other) const;
+  /// |<this|other>|^2 — global-phase-insensitive agreement measure. Same
+  /// mixed-precision contract as inner_product.
+  template <typename OtherScalar>
+  double fidelity(const StateVectorT<OtherScalar>& other) const {
+    return std::norm(inner_product(other));
+  }
 
  private:
-  template <typename Fn>
-  void for_pairs(unsigned q, Fn&& fn);
+  /// Negates every basis state i with (i & mask) == want: shared core of
+  /// MCZ and the reflect-zero fixup.
+  void negate_matching(std::size_t mask, std::size_t want);
 
   unsigned num_qubits_;
-  std::vector<Amplitude> amps_;
+  std::vector<Scalar> re_;
+  std::vector<Scalar> im_;
 };
+
+/// The reference (double) simulator — the type the rest of the library names.
+using StateVector = StateVectorT<double>;
+/// The opt-in float fast mode.
+using StateVectorF = StateVectorT<float>;
+
+extern template class StateVectorT<double>;
+extern template class StateVectorT<float>;
 
 }  // namespace qols::quantum

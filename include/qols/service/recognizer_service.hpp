@@ -59,6 +59,12 @@ struct RecognizerSpec {
   /// Quantum backend id ("dense", "structured", "auto"; empty = auto with
   /// QOLS_BACKEND override). Ignored by the classical kinds.
   std::string backend{};
+  /// Quantum precision knob: simulate with float amplitudes (the dense
+  /// backend's SIMD fast mode). Verdicts, accept counts, and SpaceReports
+  /// are precision-invariant (tests/test_precision_differential.cpp and
+  /// fuzz property P6 enforce this); ignored by the classical kinds and by
+  /// the double-only structured backend.
+  bool float_amplitudes = false;
   /// Per-repetition index budget of the sampling recognizer.
   std::uint64_t sampling_budget = 16;
   /// Filter geometry of the Bloom recognizer.

@@ -37,8 +37,13 @@ BackendRegistry& BackendRegistry::global() {
                "exact 2^n-amplitude StateVector (reference semantics)",
            // 2k+2 <= 30 qubits: the StateVector ceiling.
            .hard_max_k = 14,
-           .create = [](unsigned num_qubits, unsigned index_width) {
+           .create = [](unsigned num_qubits, unsigned index_width,
+                        quantum::Precision precision) {
              (void)index_width;  // dense keeps no register split
+             if (precision == quantum::Precision::kSingle) {
+               return std::unique_ptr<QuantumBackend>(
+                   std::make_unique<DenseBackendF>(num_qubits));
+             }
              return std::unique_ptr<QuantumBackend>(
                  std::make_unique<DenseBackend>(num_qubits));
            }});
@@ -48,7 +53,16 @@ BackendRegistry& BackendRegistry::global() {
                "operation",
            // Index register 2k <= 58 bits keeps 64-bit index arithmetic.
            .hard_max_k = 29,
-           .create = [](unsigned num_qubits, unsigned index_width) {
+           .create = [](unsigned num_qubits, unsigned index_width,
+                        quantum::Precision precision) {
+             // Double-only by design: the structured backend stores one
+             // amplitude per equivalence CLASS (O(k) of them), so float
+             // would save nothing while costing the exactness anchor past
+             // the dense wall. A float request degrades to double here,
+             // which the precision differential layer depends on: the auto
+             // policy must keep identical decisions across the dense ->
+             // structured switchover in both modes.
+             (void)precision;
              return std::unique_ptr<QuantumBackend>(
                  std::make_unique<StructuredBackend>(num_qubits,
                                                      index_width));
@@ -60,13 +74,14 @@ BackendRegistry& BackendRegistry::global() {
 
 std::unique_ptr<QuantumBackend> make_backend(std::string_view id,
                                              unsigned num_qubits,
-                                             unsigned index_width) {
+                                             unsigned index_width,
+                                             quantum::Precision precision) {
   const BackendFactory* f = BackendRegistry::global().find(id);
   if (f == nullptr) {
     throw std::invalid_argument("unknown quantum backend '" + std::string(id) +
                                 "' (registered: dense, structured)");
   }
-  return f->create(num_qubits, index_width);
+  return f->create(num_qubits, index_width, precision);
 }
 
 std::optional<std::string> resolve_backend_id(std::string_view requested,

@@ -55,7 +55,8 @@ void GroverStreamer::feed(Symbol s) {
       j_ = rng_.below(std::uint64_t{1} << k_);
       const unsigned data_qubits = 2 * k_ + 2;
       if (backend_id) {
-        backend_ = backend::make_backend(*backend_id, data_qubits, 2 * k_);
+        backend_ = backend::make_backend(*backend_id, data_qubits, 2 * k_,
+                                         opts_.precision);
         backend_->apply_h_range(0, 2 * k_);
       }
       if (opts_.gate_sink != nullptr) {

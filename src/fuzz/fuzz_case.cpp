@@ -190,6 +190,14 @@ FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
   c.schedule = static_cast<ScheduleKind>(pick_weighted(sm, {15, 55, 30}));
   c.chunk = sm.next();
   c.sessions = 1 + static_cast<unsigned>(sm.next() % kMaxSessions);
+
+  // Precision axis, quantum cases only: half the quantum corpus runs the
+  // float-amplitude fast path, so P6 (and the P2/P3/P5 pipeline) exercises
+  // it continuously. Drawn last so the seed->case mapping for every earlier
+  // field is unchanged from the qf1 generator.
+  if (c.spec.kind == service::RecognizerKind::kQuantum) {
+    c.spec.float_amplitudes = sm.next() % 2 == 1;
+  }
   return c;
 }
 
@@ -283,6 +291,7 @@ std::string describe(const FuzzCase& c) {
                     word_kind_name(c.word) +
                     " param=" + std::to_string(c.word_param) +
                     " rec=" + service::recognizer_kind_name(c.spec.kind);
+  if (c.spec.float_amplitudes) out += " float";
   if (!c.wrappers.empty()) {
     out += " wrappers=";
     for (const WrapperOp& op : c.wrappers) {

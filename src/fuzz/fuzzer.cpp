@@ -28,7 +28,11 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       break;
     }
 
-    const FuzzCase c = FuzzCase::from_seed(case_seeds.next());
+    FuzzCase c = FuzzCase::from_seed(case_seeds.next());
+    if (opts.force_float &&
+        c.spec.kind == service::RecognizerKind::kQuantum) {
+      c.spec.float_amplitudes = true;
+    }
     const CaseResult result = check_case(c);
     ++report.cases;
     ++report.by_word_kind[static_cast<unsigned>(c.word)];

@@ -250,6 +250,30 @@ void check_backends(const FuzzCase& c, const std::vector<Symbol>& word,
   }
 }
 
+void check_precision(const service::RecognizerSpec& pinned_spec,
+                     std::uint64_t seed, const std::vector<Symbol>& word,
+                     std::vector<Discrepancy>& issues) {
+  // Same seed, same word, whole-word schedule; the only variable is the
+  // amplitude scalar. RNG draws (measurement + A2 fingerprints) consume the
+  // stream identically in both precisions and accept/reject thresholds are
+  // accumulated in double either way, so the Outcome must be bit-identical —
+  // not merely close (the contract test_precision_differential.cpp pins at
+  // the backend layer, asserted here across the whole fuzz corpus).
+  service::RecognizerSpec dbl = pinned_spec;
+  dbl.float_amplitudes = false;
+  service::RecognizerSpec flt = pinned_spec;
+  flt.float_amplitudes = true;
+  const std::vector<std::size_t> whole =
+      word.empty() ? std::vector<std::size_t>{}
+                   : std::vector<std::size_t>{word.size()};
+  const Outcome a = run_scheduled(dbl, seed, word, whole);
+  const Outcome b = run_scheduled(flt, seed, word, whole);
+  if (!(a == b)) {
+    issues.push_back(
+        {"P6-precision-equality", "double vs float:" + outcome_diff(a, b)});
+  }
+}
+
 void check_service(const FuzzCase& c, const std::vector<Symbol>& word,
                    const Outcome& reference,
                    std::vector<Discrepancy>& issues) {
@@ -354,6 +378,11 @@ CaseResult check_case(const FuzzCase& c) {
   // P4: dense vs structured backend, quantum cases only.
   if (c.spec.kind == RecognizerKind::kQuantum) {
     check_backends(c, word, result.issues);
+  }
+
+  // P6: float vs double amplitudes, quantum cases only.
+  if (c.spec.kind == RecognizerKind::kQuantum) {
+    check_precision(pinned.spec, seed, word, result.issues);
   }
 
   // P5: the serving layer reproduces single-stream verdicts.

@@ -8,7 +8,10 @@ namespace qols::fuzz {
 
 namespace {
 
-constexpr std::string_view kVersion = "qf1";
+// qf2 appended the trailing float_amplitudes field (PR 6's precision axis);
+// qf1 tokens are rejected rather than silently defaulted, so a replay always
+// states the precision it checks.
+constexpr std::string_view kVersion = "qf2";
 
 void append_hex(std::string& out, std::uint64_t v) {
   char buf[17];
@@ -54,6 +57,7 @@ std::string encode_token(const FuzzCase& c) {
   append_hex(out, c.spec.sampling_budget);
   append_hex(out, c.spec.bloom_filter_bits);
   append_hex(out, c.spec.bloom_num_hashes);
+  append_hex(out, c.spec.float_amplitudes ? 1 : 0);
   return out;
 }
 
@@ -133,6 +137,9 @@ FuzzCase decode_token(const std::string& token) {
   const std::uint64_t hashes = r.next("bloom_num_hashes");
   if (hashes > 16) bad("bloom_num_hashes out of range");
   c.spec.bloom_num_hashes = static_cast<unsigned>(hashes);
+  const std::uint64_t float_amps = r.next("float_amplitudes");
+  if (float_amps > 1) bad("float_amplitudes out of range [0, 1]");
+  c.spec.float_amplitudes = float_amps == 1;
   if (!r.exhausted()) bad("trailing fields");
   return c;
 }

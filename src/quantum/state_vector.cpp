@@ -1,51 +1,675 @@
 #include "qols/quantum/state_vector.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
 #include <stdexcept>
 #include <string>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define QOLS_X86 1
+#include <immintrin.h>
+#else
+#define QOLS_X86 0
+#endif
+
 #include "qols/util/thread_pool.hpp"
 
 namespace qols::quantum {
+
+std::string_view precision_name(Precision p) noexcept {
+  return p == Precision::kSingle ? "float" : "double";
+}
+
+bool cpu_supports_avx2() noexcept {
+#if QOLS_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool simd_env_disabled(const char* value) noexcept {
+  return value != nullptr && *value != '\0' && std::string_view(value) != "0";
+}
+
+namespace {
+
+std::atomic<SimdMode> g_requested_simd{SimdMode::kAuto};
+
+// The env override is a process-level switch (CI's scalar-fallback leg sets
+// it before launch), so it is read once; set_simd_mode() is the in-process
+// knob.
+bool auto_avx2_enabled() {
+  static const bool enabled =
+      cpu_supports_avx2() && !simd_env_disabled(std::getenv("QOLS_NO_AVX2"));
+  return enabled;
+}
+
+}  // namespace
+
+void set_simd_mode(SimdMode mode) {
+  if (mode == SimdMode::kAvx2 && !cpu_supports_avx2()) {
+    throw std::invalid_argument(
+        "set_simd_mode: kAvx2 requested but this CPU has no AVX2; use kAuto "
+        "or kScalar");
+  }
+  g_requested_simd.store(mode, std::memory_order_relaxed);
+}
+
+SimdMode requested_simd_mode() noexcept {
+  return g_requested_simd.load(std::memory_order_relaxed);
+}
+
+SimdMode active_simd_mode() noexcept {
+  switch (g_requested_simd.load(std::memory_order_relaxed)) {
+    case SimdMode::kScalar:
+      return SimdMode::kScalar;
+    case SimdMode::kAvx2:
+      return SimdMode::kAvx2;
+    case SimdMode::kAuto:
+      break;
+  }
+  return auto_avx2_enabled() ? SimdMode::kAvx2 : SimdMode::kScalar;
+}
+
 namespace {
 
 // Below this many amplitudes, kernels run serially: thread dispatch would
 // dominate for the tiny registers of small k.
 constexpr std::size_t kParallelGrain = std::size_t{1} << 14;
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Run kernels. Every hot gate decomposes into maximal CONTIGUOUS runs of the
+// SoA arrays (see for_pair_runs below), so the kernels are straight-line
+// loops over up to four restrict-qualified scalar arrays. The scalar forms
+// are the always-compiled reference (and what gcc auto-vectorizes at the
+// baseline ISA); the *_avx2 overloads are the explicit 256-bit paths chosen
+// by active_simd_mode(). Element-wise kernels perform the same IEEE ops per
+// element on both paths, so their results are bit-identical; only the
+// probability reductions differ in summation order.
+// ---------------------------------------------------------------------------
 
-StateVector::StateVector(unsigned num_qubits) : num_qubits_(num_qubits) {
-  // Validate before the allocation: 2^31 amplitudes would already be a
-  // 32 GiB request, so a bad count must fail with a diagnosis, not an
-  // attempted multi-GiB allocation (or worse, a shift past 63 bits).
-  if (num_qubits == 0 || num_qubits > 30) {
-    throw std::invalid_argument(
-        "StateVector: num_qubits must be in [1, 30] (16 GiB of amplitudes "
-        "at 30), got " +
-        std::to_string(num_qubits) +
-        "; use the structured backend for larger index registers");
+template <typename S>
+void h_run_scalar(S* __restrict__ rlo, S* __restrict__ rhi,
+                  S* __restrict__ ilo, S* __restrict__ ihi, std::size_t n) {
+  const S c = static_cast<S>(std::numbers::sqrt2 / 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const S ra = rlo[i];
+    const S rb = rhi[i];
+    rlo[i] = (ra + rb) * c;
+    rhi[i] = (ra - rb) * c;
+    const S ia = ilo[i];
+    const S ib = ihi[i];
+    ilo[i] = (ia + ib) * c;
+    ihi[i] = (ia - ib) * c;
   }
-  amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
-  amps_[0] = Amplitude{1.0, 0.0};
 }
 
-void StateVector::reset() { set_basis_state(0); }
-
-void StateVector::set_basis_state(std::size_t basis) {
-  assert(basis < dim());
-  std::fill(amps_.begin(), amps_.end(), Amplitude{0.0, 0.0});
-  amps_[basis] = Amplitude{1.0, 0.0};
+// Fused H(q) then H(q+1) on one component array (H is real, so the re and
+// im planes transform independently). a/b/c/d are the four runs of a radix-4
+// group: base, base+2^q, base+2^(q+1), base+3*2^q. The intermediate rounding
+// matches two sequential single-qubit passes exactly, so fusion is bit-exact
+// with the unfused ladder — it only halves the memory traffic.
+template <typename S>
+inline void h2_group_scalar(S* __restrict__ a, S* __restrict__ b,
+                            S* __restrict__ c, S* __restrict__ d,
+                            std::size_t n) {
+  const S h = static_cast<S>(std::numbers::sqrt2 / 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const S t0 = (a[i] + b[i]) * h;
+    const S t1 = (a[i] - b[i]) * h;
+    const S t2 = (c[i] + d[i]) * h;
+    const S t3 = (c[i] - d[i]) * h;
+    a[i] = (t0 + t2) * h;
+    b[i] = (t1 + t3) * h;
+    c[i] = (t0 - t2) * h;
+    d[i] = (t1 - t3) * h;
+  }
 }
 
-// Iterates over all (i0, i1) pairs differing only in bit q; fn(i0, i1) is
-// applied in parallel chunks. g enumerates dim/2 pair indices; the pair's
-// low index interleaves g around bit q.
+// Fused H(q), H(q+1) over a contiguous span of len scalars holding
+// len / (4 * b1) radix-4 groups of stride b1 = 2^q. Group iteration lives
+// INSIDE the kernel: a pass over an L1 tile is one call, so the sub-lane
+// strides of the lowest qubits cost loop iterations, not function calls
+// (the profile killer of a per-group dispatch).
+template <typename S>
+void h2_span_scalar(S* __restrict__ p, std::size_t len, std::size_t b1) {
+  const S h = static_cast<S>(std::numbers::sqrt2 / 2.0);
+  if (b1 == 1) {
+    for (std::size_t g = 0; g < len; g += 4) {
+      const S t0 = (p[g] + p[g + 1]) * h;
+      const S t1 = (p[g] - p[g + 1]) * h;
+      const S t2 = (p[g + 2] + p[g + 3]) * h;
+      const S t3 = (p[g + 2] - p[g + 3]) * h;
+      p[g] = (t0 + t2) * h;
+      p[g + 1] = (t1 + t3) * h;
+      p[g + 2] = (t0 - t2) * h;
+      p[g + 3] = (t1 - t3) * h;
+    }
+    return;
+  }
+  for (std::size_t g = 0; g < len; g += 4 * b1) {
+    h2_group_scalar(p + g, p + g + b1, p + g + 2 * b1, p + g + 3 * b1, b1);
+  }
+}
+
+template <typename S>
+void swap_run_scalar(S* __restrict__ a, S* __restrict__ b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) std::swap(a[i], b[i]);
+}
+
+template <typename S>
+void neg_run_scalar(S* __restrict__ r, S* __restrict__ im, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = -r[i];
+    im[i] = -im[i];
+  }
+}
+
+template <typename S>
+void phase_run_scalar(S* __restrict__ r, S* __restrict__ im, std::size_t n,
+                      S pr, S pi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const S a = r[i];
+    const S b = im[i];
+    r[i] = a * pr - b * pi;
+    im[i] = a * pi + b * pr;
+  }
+}
+
+template <typename S>
+void scale_run_scalar(S* __restrict__ r, S* __restrict__ im, std::size_t n,
+                      S s) {
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] *= s;
+    im[i] *= s;
+  }
+}
+
+// Probability mass of a run; accumulates in double for BOTH scalar types
+// (the decision-exactness half of the precision contract).
+template <typename S>
+double prob_run_scalar(const S* __restrict__ r, const S* __restrict__ im,
+                       std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = static_cast<double>(r[i]);
+    const double b = static_cast<double>(im[i]);
+    acc += a * a + b * b;
+  }
+  return acc;
+}
+
+#if QOLS_X86
+
+__attribute__((target("avx2"))) void h_run_avx2(double* __restrict__ rlo,
+                                                double* __restrict__ rhi,
+                                                double* __restrict__ ilo,
+                                                double* __restrict__ ihi,
+                                                std::size_t n) {
+  const __m256d c = _mm256_set1_pd(std::numbers::sqrt2 / 2.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ra = _mm256_loadu_pd(rlo + i);
+    const __m256d rb = _mm256_loadu_pd(rhi + i);
+    _mm256_storeu_pd(rlo + i, _mm256_mul_pd(_mm256_add_pd(ra, rb), c));
+    _mm256_storeu_pd(rhi + i, _mm256_mul_pd(_mm256_sub_pd(ra, rb), c));
+    const __m256d ia = _mm256_loadu_pd(ilo + i);
+    const __m256d ib = _mm256_loadu_pd(ihi + i);
+    _mm256_storeu_pd(ilo + i, _mm256_mul_pd(_mm256_add_pd(ia, ib), c));
+    _mm256_storeu_pd(ihi + i, _mm256_mul_pd(_mm256_sub_pd(ia, ib), c));
+  }
+  h_run_scalar(rlo + i, rhi + i, ilo + i, ihi + i, n - i);
+}
+
+__attribute__((target("avx2"))) void h_run_avx2(float* __restrict__ rlo,
+                                                float* __restrict__ rhi,
+                                                float* __restrict__ ilo,
+                                                float* __restrict__ ihi,
+                                                std::size_t n) {
+  const __m256 c =
+      _mm256_set1_ps(static_cast<float>(std::numbers::sqrt2 / 2.0));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 ra = _mm256_loadu_ps(rlo + i);
+    const __m256 rb = _mm256_loadu_ps(rhi + i);
+    _mm256_storeu_ps(rlo + i, _mm256_mul_ps(_mm256_add_ps(ra, rb), c));
+    _mm256_storeu_ps(rhi + i, _mm256_mul_ps(_mm256_sub_ps(ra, rb), c));
+    const __m256 ia = _mm256_loadu_ps(ilo + i);
+    const __m256 ib = _mm256_loadu_ps(ihi + i);
+    _mm256_storeu_ps(ilo + i, _mm256_mul_ps(_mm256_add_ps(ia, ib), c));
+    _mm256_storeu_ps(ihi + i, _mm256_mul_ps(_mm256_sub_ps(ia, ib), c));
+  }
+  h_run_scalar(rlo + i, rhi + i, ilo + i, ihi + i, n - i);
+}
+
+// Span forms of the fused radix-4 pass. Strides below the vector width use
+// in-register shuffles — each lane still sees the exact scalar op sequence
+// (adds commute bit-exactly), so scalar and AVX2 paths stay bit-identical.
+__attribute__((target("avx2"))) void h2_span_avx2(double* __restrict__ p,
+                                                  std::size_t len,
+                                                  std::size_t b1) {
+  const __m256d h = _mm256_set1_pd(std::numbers::sqrt2 / 2.0);
+  if (b1 == 1) {
+    // One vector = one group [a b c d].
+    for (std::size_t g = 0; g < len; g += 4) {
+      const __m256d v = _mm256_loadu_pd(p + g);
+      const __m256d sw = _mm256_permute_pd(v, 0b0101);  // [b a d c]
+      // addsub then adjacent-swap yields [a+b, a-b, c+d, c-d].
+      const __m256d s1 = _mm256_mul_pd(
+          _mm256_permute_pd(_mm256_addsub_pd(v, sw), 0b0101), h);
+      const __m256d sw2 = _mm256_permute2f128_pd(s1, s1, 0x01);
+      const __m256d r = _mm256_blend_pd(_mm256_add_pd(s1, sw2),
+                                        _mm256_sub_pd(sw2, s1), 0b1100);
+      _mm256_storeu_pd(p + g, _mm256_mul_pd(r, h));
+    }
+    return;
+  }
+  if (b1 == 2) {
+    // Two vectors = one group: u = [a0 a1 b0 b1], w = [c0 c1 d0 d1].
+    for (std::size_t g = 0; g < len; g += 8) {
+      const __m256d u = _mm256_loadu_pd(p + g);
+      const __m256d w = _mm256_loadu_pd(p + g + 4);
+      const __m256d su = _mm256_permute2f128_pd(u, u, 0x01);
+      const __m256d sv = _mm256_permute2f128_pd(w, w, 0x01);
+      const __m256d s1u = _mm256_mul_pd(
+          _mm256_blend_pd(_mm256_add_pd(u, su), _mm256_sub_pd(su, u), 0b1100),
+          h);
+      const __m256d s1w = _mm256_mul_pd(
+          _mm256_blend_pd(_mm256_add_pd(w, sv), _mm256_sub_pd(sv, w), 0b1100),
+          h);
+      _mm256_storeu_pd(p + g, _mm256_mul_pd(_mm256_add_pd(s1u, s1w), h));
+      _mm256_storeu_pd(p + g + 4, _mm256_mul_pd(_mm256_sub_pd(s1u, s1w), h));
+    }
+    return;
+  }
+  // b1 >= 4 (a power of two): full-width butterflies, no tails.
+  for (std::size_t g = 0; g < len; g += 4 * b1) {
+    double* __restrict__ a = p + g;
+    double* __restrict__ b = a + b1;
+    double* __restrict__ c = b + b1;
+    double* __restrict__ d = c + b1;
+    for (std::size_t i = 0; i < b1; i += 4) {
+      const __m256d va = _mm256_loadu_pd(a + i);
+      const __m256d vb = _mm256_loadu_pd(b + i);
+      const __m256d vc = _mm256_loadu_pd(c + i);
+      const __m256d vd = _mm256_loadu_pd(d + i);
+      const __m256d t0 = _mm256_mul_pd(_mm256_add_pd(va, vb), h);
+      const __m256d t1 = _mm256_mul_pd(_mm256_sub_pd(va, vb), h);
+      const __m256d t2 = _mm256_mul_pd(_mm256_add_pd(vc, vd), h);
+      const __m256d t3 = _mm256_mul_pd(_mm256_sub_pd(vc, vd), h);
+      _mm256_storeu_pd(a + i, _mm256_mul_pd(_mm256_add_pd(t0, t2), h));
+      _mm256_storeu_pd(b + i, _mm256_mul_pd(_mm256_add_pd(t1, t3), h));
+      _mm256_storeu_pd(c + i, _mm256_mul_pd(_mm256_sub_pd(t0, t2), h));
+      _mm256_storeu_pd(d + i, _mm256_mul_pd(_mm256_sub_pd(t1, t3), h));
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void h2_span_avx2(float* __restrict__ p,
+                                                  std::size_t len,
+                                                  std::size_t b1) {
+  const __m256 h =
+      _mm256_set1_ps(static_cast<float>(std::numbers::sqrt2 / 2.0));
+  if (b1 == 1) {
+    // One vector = two groups [a b c d | a' b' c' d'].
+    for (std::size_t g = 0; g < len; g += 8) {
+      const __m256 v = _mm256_loadu_ps(p + g);
+      const __m256 sw = _mm256_permute_ps(v, 0b10110001);  // [b a d c]
+      const __m256 s1 = _mm256_mul_ps(
+          _mm256_permute_ps(_mm256_addsub_ps(v, sw), 0b10110001), h);
+      const __m256 sw2 = _mm256_permute_ps(s1, 0b01001110);  // [c d a b]
+      const __m256 r = _mm256_blend_ps(_mm256_add_ps(s1, sw2),
+                                       _mm256_sub_ps(sw2, s1), 0b11001100);
+      _mm256_storeu_ps(p + g, _mm256_mul_ps(r, h));
+    }
+    return;
+  }
+  if (b1 == 2) {
+    // One vector = one group [a0 a1 b0 b1 c0 c1 d0 d1].
+    for (std::size_t g = 0; g < len; g += 8) {
+      const __m256 v = _mm256_loadu_ps(p + g);
+      const __m256 sw = _mm256_permute_ps(v, 0b01001110);  // [b0 b1 a0 a1 ..]
+      const __m256 s1 = _mm256_mul_ps(
+          _mm256_blend_ps(_mm256_add_ps(v, sw), _mm256_sub_ps(sw, v),
+                          0b11001100),
+          h);
+      const __m256 sw2 = _mm256_permute2f128_ps(s1, s1, 0x01);
+      const __m256 r = _mm256_blend_ps(_mm256_add_ps(s1, sw2),
+                                       _mm256_sub_ps(sw2, s1), 0b11110000);
+      _mm256_storeu_ps(p + g, _mm256_mul_ps(r, h));
+    }
+    return;
+  }
+  if (b1 == 4) {
+    // Two vectors = one group: u = [a0..a3 b0..b3], w = [c0..c3 d0..d3].
+    for (std::size_t g = 0; g < len; g += 16) {
+      const __m256 u = _mm256_loadu_ps(p + g);
+      const __m256 w = _mm256_loadu_ps(p + g + 8);
+      const __m256 su = _mm256_permute2f128_ps(u, u, 0x01);
+      const __m256 sv = _mm256_permute2f128_ps(w, w, 0x01);
+      const __m256 s1u = _mm256_mul_ps(
+          _mm256_blend_ps(_mm256_add_ps(u, su), _mm256_sub_ps(su, u),
+                          0b11110000),
+          h);
+      const __m256 s1w = _mm256_mul_ps(
+          _mm256_blend_ps(_mm256_add_ps(w, sv), _mm256_sub_ps(sv, w),
+                          0b11110000),
+          h);
+      _mm256_storeu_ps(p + g, _mm256_mul_ps(_mm256_add_ps(s1u, s1w), h));
+      _mm256_storeu_ps(p + g + 8, _mm256_mul_ps(_mm256_sub_ps(s1u, s1w), h));
+    }
+    return;
+  }
+  // b1 >= 8 (a power of two): full-width butterflies, no tails.
+  for (std::size_t g = 0; g < len; g += 4 * b1) {
+    float* __restrict__ a = p + g;
+    float* __restrict__ b = a + b1;
+    float* __restrict__ c = b + b1;
+    float* __restrict__ d = c + b1;
+    for (std::size_t i = 0; i < b1; i += 8) {
+      const __m256 va = _mm256_loadu_ps(a + i);
+      const __m256 vb = _mm256_loadu_ps(b + i);
+      const __m256 vc = _mm256_loadu_ps(c + i);
+      const __m256 vd = _mm256_loadu_ps(d + i);
+      const __m256 t0 = _mm256_mul_ps(_mm256_add_ps(va, vb), h);
+      const __m256 t1 = _mm256_mul_ps(_mm256_sub_ps(va, vb), h);
+      const __m256 t2 = _mm256_mul_ps(_mm256_add_ps(vc, vd), h);
+      const __m256 t3 = _mm256_mul_ps(_mm256_sub_ps(vc, vd), h);
+      _mm256_storeu_ps(a + i, _mm256_mul_ps(_mm256_add_ps(t0, t2), h));
+      _mm256_storeu_ps(b + i, _mm256_mul_ps(_mm256_add_ps(t1, t3), h));
+      _mm256_storeu_ps(c + i, _mm256_mul_ps(_mm256_sub_ps(t0, t2), h));
+      _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_sub_ps(t1, t3), h));
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void swap_run_avx2(double* __restrict__ a,
+                                                   double* __restrict__ b,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    _mm256_storeu_pd(a + i, vb);
+    _mm256_storeu_pd(b + i, va);
+  }
+  swap_run_scalar(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void swap_run_avx2(float* __restrict__ a,
+                                                   float* __restrict__ b,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(a + i, vb);
+    _mm256_storeu_ps(b + i, va);
+  }
+  swap_run_scalar(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void neg_run_avx2(double* __restrict__ r,
+                                                  double* __restrict__ im,
+                                                  std::size_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(r + i, _mm256_xor_pd(_mm256_loadu_pd(r + i), sign));
+    _mm256_storeu_pd(im + i, _mm256_xor_pd(_mm256_loadu_pd(im + i), sign));
+  }
+  neg_run_scalar(r + i, im + i, n - i);
+}
+
+__attribute__((target("avx2"))) void neg_run_avx2(float* __restrict__ r,
+                                                  float* __restrict__ im,
+                                                  std::size_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(r + i, _mm256_xor_ps(_mm256_loadu_ps(r + i), sign));
+    _mm256_storeu_ps(im + i, _mm256_xor_ps(_mm256_loadu_ps(im + i), sign));
+  }
+  neg_run_scalar(r + i, im + i, n - i);
+}
+
+__attribute__((target("avx2"))) void phase_run_avx2(double* __restrict__ r,
+                                                    double* __restrict__ im,
+                                                    std::size_t n, double pr,
+                                                    double pi) {
+  const __m256d vpr = _mm256_set1_pd(pr);
+  const __m256d vpi = _mm256_set1_pd(pi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(r + i);
+    const __m256d b = _mm256_loadu_pd(im + i);
+    _mm256_storeu_pd(
+        r + i, _mm256_sub_pd(_mm256_mul_pd(a, vpr), _mm256_mul_pd(b, vpi)));
+    _mm256_storeu_pd(
+        im + i, _mm256_add_pd(_mm256_mul_pd(a, vpi), _mm256_mul_pd(b, vpr)));
+  }
+  phase_run_scalar(r + i, im + i, n - i, pr, pi);
+}
+
+__attribute__((target("avx2"))) void phase_run_avx2(float* __restrict__ r,
+                                                    float* __restrict__ im,
+                                                    std::size_t n, float pr,
+                                                    float pi) {
+  const __m256 vpr = _mm256_set1_ps(pr);
+  const __m256 vpi = _mm256_set1_ps(pi);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_loadu_ps(r + i);
+    const __m256 b = _mm256_loadu_ps(im + i);
+    _mm256_storeu_ps(
+        r + i, _mm256_sub_ps(_mm256_mul_ps(a, vpr), _mm256_mul_ps(b, vpi)));
+    _mm256_storeu_ps(
+        im + i, _mm256_add_ps(_mm256_mul_ps(a, vpi), _mm256_mul_ps(b, vpr)));
+  }
+  phase_run_scalar(r + i, im + i, n - i, pr, pi);
+}
+
+__attribute__((target("avx2"))) void scale_run_avx2(double* __restrict__ r,
+                                                    double* __restrict__ im,
+                                                    std::size_t n, double s) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(r + i, _mm256_mul_pd(_mm256_loadu_pd(r + i), vs));
+    _mm256_storeu_pd(im + i, _mm256_mul_pd(_mm256_loadu_pd(im + i), vs));
+  }
+  scale_run_scalar(r + i, im + i, n - i, s);
+}
+
+__attribute__((target("avx2"))) void scale_run_avx2(float* __restrict__ r,
+                                                    float* __restrict__ im,
+                                                    std::size_t n, float s) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(r + i, _mm256_mul_ps(_mm256_loadu_ps(r + i), vs));
+    _mm256_storeu_ps(im + i, _mm256_mul_ps(_mm256_loadu_ps(im + i), vs));
+  }
+  scale_run_scalar(r + i, im + i, n - i, s);
+}
+
+__attribute__((target("avx2"))) double prob_run_avx2(
+    const double* __restrict__ r, const double* __restrict__ im,
+    std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(r + i);
+    const __m256d b = _mm256_loadu_pd(im + i);
+    acc = _mm256_add_pd(
+        acc, _mm256_add_pd(_mm256_mul_pd(a, a), _mm256_mul_pd(b, b)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         prob_run_scalar(r + i, im + i, n - i);
+}
+
+__attribute__((target("avx2"))) double prob_run_avx2(
+    const float* __restrict__ r, const float* __restrict__ im, std::size_t n) {
+  // Squares and sums in DOUBLE: float amplitudes, double probability — the
+  // float mode's measurement pipeline loses no accumulation precision.
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_loadu_ps(r + i);
+    const __m256 b = _mm256_loadu_ps(im + i);
+    const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(a));
+    const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(a, 1));
+    const __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(b));
+    const __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(b, 1));
+    acc = _mm256_add_pd(acc, _mm256_add_pd(_mm256_mul_pd(a_lo, a_lo),
+                                           _mm256_mul_pd(b_lo, b_lo)));
+    acc = _mm256_add_pd(acc, _mm256_add_pd(_mm256_mul_pd(a_hi, a_hi),
+                                           _mm256_mul_pd(b_hi, b_hi)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         prob_run_scalar(r + i, im + i, n - i);
+}
+
+#endif  // QOLS_X86
+
+// Runtime-dispatch wrappers. `avx2` is hoisted out of the per-run loops by
+// the callers (one active_simd_mode() read per gate application).
+
+template <typename S>
+inline void h_run(S* rlo, S* rhi, S* ilo, S* ihi, std::size_t n, bool avx2) {
+#if QOLS_X86
+  if (avx2) {
+    h_run_avx2(rlo, rhi, ilo, ihi, n);
+    return;
+  }
+#else
+  (void)avx2;
+#endif
+  h_run_scalar(rlo, rhi, ilo, ihi, n);
+}
+
+template <typename S>
+inline void h2_span(S* p, std::size_t len, std::size_t b1, bool avx2) {
+#if QOLS_X86
+  if (avx2) {
+    h2_span_avx2(p, len, b1);
+    return;
+  }
+#else
+  (void)avx2;
+#endif
+  h2_span_scalar(p, len, b1);
+}
+
+template <typename S>
+inline void swap_run(S* a, S* b, std::size_t n, bool avx2) {
+#if QOLS_X86
+  if (avx2) {
+    swap_run_avx2(a, b, n);
+    return;
+  }
+#else
+  (void)avx2;
+#endif
+  swap_run_scalar(a, b, n);
+}
+
+template <typename S>
+inline void neg_run(S* r, S* im, std::size_t n, bool avx2) {
+#if QOLS_X86
+  if (avx2) {
+    neg_run_avx2(r, im, n);
+    return;
+  }
+#else
+  (void)avx2;
+#endif
+  neg_run_scalar(r, im, n);
+}
+
+template <typename S>
+inline void phase_run(S* r, S* im, std::size_t n, S pr, S pi, bool avx2) {
+#if QOLS_X86
+  if (avx2) {
+    phase_run_avx2(r, im, n, pr, pi);
+    return;
+  }
+#else
+  (void)avx2;
+#endif
+  phase_run_scalar(r, im, n, pr, pi);
+}
+
+template <typename S>
+inline void scale_run(S* r, S* im, std::size_t n, S s, bool avx2) {
+#if QOLS_X86
+  if (avx2) {
+    scale_run_avx2(r, im, n, s);
+    return;
+  }
+#else
+  (void)avx2;
+#endif
+  scale_run_scalar(r, im, n, s);
+}
+
+template <typename S>
+inline double prob_run(const S* r, const S* im, std::size_t n, bool avx2) {
+#if QOLS_X86
+  if (avx2) return prob_run_avx2(r, im, n);
+#else
+  (void)avx2;
+#endif
+  return prob_run_scalar(r, im, n);
+}
+
+// ---------------------------------------------------------------------------
+// Iteration helpers.
+// ---------------------------------------------------------------------------
+
+// Blocked pair iteration for qubit q: decomposes the dim/2 pair indices into
+// maximal CONTIGUOUS runs. fn(lo, n) receives a run where amplitudes
+// [lo, lo+n) pair with [lo+bit, lo+bit+n); n <= 2^q, so runs below q = lane
+// width degenerate to short segments the run kernels finish in their scalar
+// tails (the n = 1..4 edge cases of the SIMD tests). Runs are dispatched in
+// parallel chunks over the project ThreadPool above kParallelGrain pairs.
 template <typename Fn>
-void StateVector::for_pairs(unsigned q, Fn&& fn) {
-  const std::size_t half = dim() >> 1;
+void for_pair_runs(std::size_t dim, unsigned q, Fn&& fn) {
+  const std::size_t half = dim >> 1;
+  const std::size_t bit = std::size_t{1} << q;
+  const std::size_t low_mask = bit - 1;
+  auto body = [&](std::size_t glo, std::size_t ghi) {
+    std::size_t g = glo;
+    while (g < ghi) {
+      const std::size_t low = g & low_mask;
+      const std::size_t run = std::min(ghi - g, bit - low);
+      const std::size_t lo = ((g & ~low_mask) << 1) | low;
+      fn(lo, run);
+      g += run;
+    }
+  };
+  if (half <= kParallelGrain) {
+    body(0, half);
+  } else {
+    util::parallel_for(0, half, kParallelGrain, body);
+  }
+}
+
+// Element-wise pair iteration (i0, i1 = i0|bit) for the cold conditional
+// gates (CNOT, CZ, MCX, arbitrary single-qubit unitaries).
+template <typename Fn>
+void for_pairs(std::size_t dim, unsigned q, Fn&& fn) {
+  const std::size_t half = dim >> 1;
   const std::size_t low_mask = (std::size_t{1} << q) - 1;
   const std::size_t bit = std::size_t{1} << q;
   auto body = [&](std::size_t lo, std::size_t hi) {
@@ -61,87 +685,179 @@ void StateVector::for_pairs(unsigned q, Fn&& fn) {
   }
 }
 
-void StateVector::apply_h(unsigned q) {
+}  // namespace
+
+template <typename Scalar>
+StateVectorT<Scalar>::StateVectorT(unsigned num_qubits)
+    : num_qubits_(num_qubits) {
+  // Validate before the allocation: 2^31 amplitudes would already be a
+  // 32 GiB request, so a bad count must fail with a diagnosis, not an
+  // attempted multi-GiB allocation (or worse, a shift past 63 bits).
+  if (num_qubits == 0 || num_qubits > 30) {
+    throw std::invalid_argument(
+        "StateVector: num_qubits must be in [1, 30] (16 GiB of amplitudes "
+        "at 30), got " +
+        std::to_string(num_qubits) +
+        "; use the structured backend for larger index registers");
+  }
+  const std::size_t n = std::size_t{1} << num_qubits;
+  re_.assign(n, Scalar(0));
+  im_.assign(n, Scalar(0));
+  re_[0] = Scalar(1);
+}
+
+template <typename Scalar>
+void StateVectorT<Scalar>::reset() {
+  set_basis_state(0);
+}
+
+template <typename Scalar>
+void StateVectorT<Scalar>::set_basis_state(std::size_t basis) {
+  assert(basis < dim());
+  std::fill(re_.begin(), re_.end(), Scalar(0));
+  std::fill(im_.begin(), im_.end(), Scalar(0));
+  re_[basis] = Scalar(1);
+}
+
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_h(unsigned q) {
   assert(q < num_qubits_);
-  constexpr double inv_sqrt2 = std::numbers::sqrt2 / 2.0;
-  for_pairs(q, [&](std::size_t i0, std::size_t i1) {
-    const Amplitude a = amps_[i0];
-    const Amplitude b = amps_[i1];
-    amps_[i0] = (a + b) * inv_sqrt2;
-    amps_[i1] = (a - b) * inv_sqrt2;
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  const std::size_t bit = std::size_t{1} << q;
+  for_pair_runs(dim(), q, [=](std::size_t lo, std::size_t n) {
+    h_run(re + lo, re + lo + bit, im + lo, im + lo + bit, n, avx2);
   });
 }
 
-void StateVector::apply_x(unsigned q) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_x(unsigned q) {
   assert(q < num_qubits_);
-  for_pairs(q, [&](std::size_t i0, std::size_t i1) {
-    std::swap(amps_[i0], amps_[i1]);
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  const std::size_t bit = std::size_t{1} << q;
+  for_pair_runs(dim(), q, [=](std::size_t lo, std::size_t n) {
+    swap_run(re + lo, re + lo + bit, n, avx2);
+    swap_run(im + lo, im + lo + bit, n, avx2);
   });
 }
 
-void StateVector::apply_z(unsigned q) {
-  apply_phase(q, Amplitude{-1.0, 0.0});
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_z(unsigned q) {
+  assert(q < num_qubits_);
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  const std::size_t bit = std::size_t{1} << q;
+  for_pair_runs(dim(), q, [=](std::size_t lo, std::size_t n) {
+    neg_run(re + lo + bit, im + lo + bit, n, avx2);
+  });
 }
 
-void StateVector::apply_t(unsigned q) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_t(unsigned q) {
   constexpr double c = std::numbers::sqrt2 / 2.0;
   apply_phase(q, Amplitude{c, c});
 }
 
-void StateVector::apply_tdg(unsigned q) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_tdg(unsigned q) {
   constexpr double c = std::numbers::sqrt2 / 2.0;
   apply_phase(q, Amplitude{c, -c});
 }
 
-void StateVector::apply_s(unsigned q) { apply_phase(q, Amplitude{0.0, 1.0}); }
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_s(unsigned q) {
+  apply_phase(q, Amplitude{0.0, 1.0});
+}
 
-void StateVector::apply_sdg(unsigned q) { apply_phase(q, Amplitude{0.0, -1.0}); }
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_sdg(unsigned q) {
+  apply_phase(q, Amplitude{0.0, -1.0});
+}
 
-void StateVector::apply_phase(unsigned q, Amplitude phase) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_phase(unsigned q, Amplitude phase) {
   assert(q < num_qubits_);
-  for_pairs(q, [&](std::size_t /*i0*/, std::size_t i1) {
-    amps_[i1] *= phase;
+  if (phase == Amplitude{-1.0, 0.0}) {  // Z: a negation, not a rotation
+    apply_z(q);
+    return;
+  }
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  const std::size_t bit = std::size_t{1} << q;
+  const Scalar pr = static_cast<Scalar>(phase.real());
+  const Scalar pi = static_cast<Scalar>(phase.imag());
+  for_pair_runs(dim(), q, [=](std::size_t lo, std::size_t n) {
+    phase_run(re + lo + bit, im + lo + bit, n, pr, pi, avx2);
   });
 }
 
-void StateVector::apply_single(unsigned q, Amplitude u00, Amplitude u01,
-                               Amplitude u10, Amplitude u11) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_single(unsigned q, Amplitude u00,
+                                        Amplitude u01, Amplitude u10,
+                                        Amplitude u11) {
   assert(q < num_qubits_);
-  for_pairs(q, [&](std::size_t i0, std::size_t i1) {
-    const Amplitude a = amps_[i0];
-    const Amplitude b = amps_[i1];
-    amps_[i0] = u00 * a + u01 * b;
-    amps_[i1] = u10 * a + u11 * b;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  for_pairs(dim(), q, [=](std::size_t i0, std::size_t i1) {
+    const Amplitude a{static_cast<double>(re[i0]),
+                      static_cast<double>(im[i0])};
+    const Amplitude b{static_cast<double>(re[i1]),
+                      static_cast<double>(im[i1])};
+    const Amplitude r0 = u00 * a + u01 * b;
+    const Amplitude r1 = u10 * a + u11 * b;
+    re[i0] = static_cast<Scalar>(r0.real());
+    im[i0] = static_cast<Scalar>(r0.imag());
+    re[i1] = static_cast<Scalar>(r1.real());
+    im[i1] = static_cast<Scalar>(r1.imag());
   });
 }
 
-void StateVector::apply_cnot(unsigned control, unsigned target) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_cnot(unsigned control, unsigned target) {
   assert(control < num_qubits_ && target < num_qubits_);
   if (control == target) return;  // paper's a == b => identity convention
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
   const std::size_t cbit = std::size_t{1} << control;
-  for_pairs(target, [&](std::size_t i0, std::size_t i1) {
-    if (i0 & cbit) std::swap(amps_[i0], amps_[i1]);
+  for_pairs(dim(), target, [=](std::size_t i0, std::size_t i1) {
+    if (i0 & cbit) {
+      std::swap(re[i0], re[i1]);
+      std::swap(im[i0], im[i1]);
+    }
   });
 }
 
-void StateVector::apply_cz(unsigned a, unsigned b) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_cz(unsigned a, unsigned b) {
   assert(a < num_qubits_ && b < num_qubits_);
   if (a == b) return;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
   const std::size_t abit = std::size_t{1} << a;
-  for_pairs(b, [&](std::size_t /*i0*/, std::size_t i1) {
-    if (i1 & abit) amps_[i1] = -amps_[i1];
+  for_pairs(dim(), b, [=](std::size_t /*i0*/, std::size_t i1) {
+    if (i1 & abit) {
+      re[i1] = -re[i1];
+      im[i1] = -im[i1];
+    }
   });
 }
 
-void StateVector::apply_swap(unsigned a, unsigned b) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_swap(unsigned a, unsigned b) {
   if (a == b) return;
   apply_cnot(a, b);
   apply_cnot(b, a);
   apply_cnot(a, b);
 }
 
-void StateVector::apply_mcx(std::span<const ControlTerm> controls,
-                            unsigned target) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_mcx(std::span<const ControlTerm> controls,
+                                     unsigned target) {
   assert(target < num_qubits_);
   std::size_t mask = 0;
   std::size_t want = 0;
@@ -150,12 +866,45 @@ void StateVector::apply_mcx(std::span<const ControlTerm> controls,
     mask |= std::size_t{1} << c.qubit;
     if (c.value) want |= std::size_t{1} << c.qubit;
   }
-  for_pairs(target, [&](std::size_t i0, std::size_t i1) {
-    if ((i0 & mask) == want) std::swap(amps_[i0], amps_[i1]);
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  for_pairs(dim(), target, [=](std::size_t i0, std::size_t i1) {
+    if ((i0 & mask) == want) {
+      std::swap(re[i0], re[i1]);
+      std::swap(im[i0], im[i1]);
+    }
   });
 }
 
-void StateVector::apply_mcz(std::span<const ControlTerm> controls) {
+// Negates every basis state i with (i & mask) == want, touching ONLY the
+// matching amplitudes: the matching set decomposes into dim / 2^popcount(mask)
+// contiguous runs of length 2^(trailing free bits), enumerated with the
+// subset-iteration identity f' = (f - free_high) & free_high. Work is
+// proportional to the matching count, not to dim — the old full-scan kernel
+// paid O(dim) with a data-dependent branch per element.
+template <typename Scalar>
+void StateVectorT<Scalar>::negate_matching(std::size_t mask,
+                                           std::size_t want) {
+  assert((want & ~mask) == 0);
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  const std::size_t run = mask == 0
+                              ? dim()
+                              : std::size_t{1}
+                                    << std::countr_zero(mask);
+  const std::size_t free_high = (dim() - 1) & ~mask & ~(run - 1);
+  std::size_t f = 0;
+  while (true) {
+    const std::size_t base = f | want;
+    neg_run(re + base, im + base, run, avx2);
+    f = (f - free_high) & free_high;
+    if (f == 0) break;
+  }
+}
+
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_mcz(std::span<const ControlTerm> controls) {
   std::size_t mask = 0;
   std::size_t want = 0;
   for (const ControlTerm& c : controls) {
@@ -163,48 +912,119 @@ void StateVector::apply_mcz(std::span<const ControlTerm> controls) {
     mask |= std::size_t{1} << c.qubit;
     if (c.value) want |= std::size_t{1} << c.qubit;
   }
+  negate_matching(mask, want);
+}
+
+// The hot A3 ladder. A naive ladder streams the whole array once per qubit
+// — at the dense wall that is 2k full passes over a multi-GiB/s-bound
+// working set, and the ISA stops mattering. This version cuts the passes
+// two ways, both bit-exact with the sequential ladder (qubit order is
+// preserved and fusion keeps every intermediate rounding):
+//
+//   1. Cache tiles: every qubit whose 2^(q+1)-wide butterfly group fits in
+//      an L1-sized tile is applied while the tile is resident — ONE memory
+//      pass for the whole low sub-ladder.
+//   2. Radix-4 fusion: consecutive qubits (q, q+1) combine into one pass
+//      (h2_run), halving traffic for the high, streaming qubits too.
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_h_range(unsigned first, unsigned count) {
+  assert(first + count <= num_qubits_);
+  if (count == 0) return;
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
   const std::size_t n = dim();
-  auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if ((i & mask) == want) amps_[i] = -amps_[i];
+  const unsigned last = first + count;
+
+  // 2^12 doubles / 2^13 floats keep a tile's re+im working set at 64 KiB.
+  const unsigned block_log =
+      std::min<unsigned>(sizeof(Scalar) == 8 ? 12u : 13u, num_qubits_);
+  const std::size_t block = std::size_t{1} << block_log;
+  const unsigned low_end = std::min(last, block_log);
+
+  if (first < low_end) {
+    auto tile = [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t b0 = lo; b0 < hi; b0 += block) {
+        // Run each component array's whole sub-ladder back to back: the re
+        // and im planes are independent under H, so this reordering is
+        // bit-exact and keeps one 32 KiB plane L1-hot across all passes.
+        for (Scalar* arr : {re, im}) {
+          for (unsigned q = first; q + 1 < low_end; q += 2) {
+            h2_span(arr + b0, block, std::size_t{1} << q, avx2);
+          }
+        }
+        const unsigned q = first + ((low_end - first) & ~1u);
+        if (q < low_end) {
+          const std::size_t bit = std::size_t{1} << q;
+          for (std::size_t g = b0; g < b0 + block; g += 2 * bit) {
+            h_run(re + g, re + g + bit, im + g, im + g + bit, bit, avx2);
+          }
+        }
+      }
+    };
+    if (n <= kParallelGrain) {
+      tile(0, n);
+    } else {
+      util::parallel_for(0, n, std::max(block, kParallelGrain), tile);
     }
-  };
-  if (n <= kParallelGrain) {
-    body(0, n);
-  } else {
-    util::parallel_for(0, n, kParallelGrain, body);
   }
+
+  unsigned q = std::max(first, low_end);
+  for (; q + 1 < last; q += 2) {
+    const std::size_t b1 = std::size_t{1} << q;
+    const std::size_t group = 4 * b1;
+    auto body = [=](std::size_t lo, std::size_t hi) {
+      h2_span(re + lo, hi - lo, b1, avx2);
+      h2_span(im + lo, hi - lo, b1, avx2);
+    };
+    // Chunk boundaries must fall on group boundaries (both powers of two).
+    const std::size_t grain = std::max(group, kParallelGrain);
+    if (n <= grain) {
+      body(0, n);
+    } else {
+      util::parallel_for(0, n, grain, body);
+    }
+  }
+  if (q < last) apply_h(q);
 }
 
-void StateVector::apply_h_range(unsigned first, unsigned count) {
-  for (unsigned q = first; q < first + count; ++q) apply_h(q);
-}
-
-void StateVector::apply_reflect_zero(unsigned first, unsigned count) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_reflect_zero(unsigned first, unsigned count) {
   assert(first + count <= num_qubits_);
   const std::size_t mask = ((std::size_t{1} << count) - 1) << first;
+  // Branchless form of "negate every i with (i & mask) != 0": one streaming
+  // negate-all pass, then flip the 2^(n-count) survivors of the zero block
+  // back. The second pass costs dim / 2^count — negligible for A3's full
+  // index-register reflections.
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
   const std::size_t n = dim();
-  auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if ((i & mask) != 0) amps_[i] = -amps_[i];
-    }
+  auto body = [=](std::size_t lo, std::size_t hi) {
+    neg_run(re + lo, im + lo, hi - lo, avx2);
   };
   if (n <= kParallelGrain) {
     body(0, n);
   } else {
     util::parallel_for(0, n, kParallelGrain, body);
   }
+  negate_matching(mask, 0);
 }
 
-void StateVector::apply_phase_flip_set(std::span<const std::uint64_t> marked) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_phase_flip_set(
+    std::span<const std::uint64_t> marked) {
   for (std::uint64_t i : marked) {
     assert(i < dim());
-    amps_[i] = -amps_[i];
+    re_[i] = -re_[i];
+    im_[i] = -im_[i];
   }
 }
 
-void StateVector::apply_x_on_index(unsigned first, unsigned count,
-                                   std::uint64_t index, unsigned target) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_x_on_index(unsigned first, unsigned count,
+                                            std::uint64_t index,
+                                            unsigned target) {
   assert(first + count <= num_qubits_ && target < num_qubits_);
   assert(index < (std::uint64_t{1} << count));
   // Enumerate the free qubits (outside the index register and the target).
@@ -226,12 +1046,14 @@ void StateVector::apply_x_on_index(unsigned first, unsigned count,
       rem >>= 1;
     }
     const std::size_t i0 = base | index_bits;
-    std::swap(amps_[i0], amps_[i0 | tbit]);
+    std::swap(re_[i0], re_[i0 | tbit]);
+    std::swap(im_[i0], im_[i0 | tbit]);
   }
 }
 
-void StateVector::apply_z_on_index(unsigned first, unsigned count,
-                                   std::uint64_t index, unsigned h) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_z_on_index(unsigned first, unsigned count,
+                                            std::uint64_t index, unsigned h) {
   assert(first + count <= num_qubits_ && h < num_qubits_);
   const std::size_t index_bits = static_cast<std::size_t>(index) << first;
   const std::size_t hbit = std::size_t{1} << h;
@@ -249,13 +1071,15 @@ void StateVector::apply_z_on_index(unsigned first, unsigned count,
       rem >>= 1;
     }
     const std::size_t i = base | index_bits | hbit;
-    amps_[i] = -amps_[i];
+    re_[i] = -re_[i];
+    im_[i] = -im_[i];
   }
 }
 
-void StateVector::apply_cx_on_index(unsigned first, unsigned count,
-                                    std::uint64_t index, unsigned h,
-                                    unsigned target) {
+template <typename Scalar>
+void StateVectorT<Scalar>::apply_cx_on_index(unsigned first, unsigned count,
+                                             std::uint64_t index, unsigned h,
+                                             unsigned target) {
   assert(first + count <= num_qubits_);
   assert(h < num_qubits_ && target < num_qubits_ && h != target);
   const std::size_t index_bits = static_cast<std::size_t>(index) << first;
@@ -275,63 +1099,76 @@ void StateVector::apply_cx_on_index(unsigned first, unsigned count,
       rem >>= 1;
     }
     const std::size_t i0 = base | index_bits | hbit;
-    std::swap(amps_[i0], amps_[i0 | tbit]);
+    std::swap(re_[i0], re_[i0 | tbit]);
+    std::swap(im_[i0], im_[i0 | tbit]);
   }
 }
 
-double StateVector::probability_one(unsigned q) const {
+template <typename Scalar>
+double StateVectorT<Scalar>::probability_one(unsigned q) const {
   assert(q < num_qubits_);
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  const Scalar* re = re_.data();
+  const Scalar* im = im_.data();
+  const std::size_t half = dim() >> 1;
   const std::size_t bit = std::size_t{1} << q;
+  const std::size_t low_mask = bit - 1;
+  // Serial run walk (a double accumulator is not safely shareable across
+  // pool workers); the probe runs once per measurement, not per gate.
   double p = 0.0;
-  for (std::size_t i = 0; i < dim(); ++i) {
-    if (i & bit) p += std::norm(amps_[i]);
+  std::size_t g = 0;
+  while (g < half) {
+    const std::size_t low = g & low_mask;
+    const std::size_t run = std::min(half - g, bit - low);
+    const std::size_t hi = (((g & ~low_mask) << 1) | low) | bit;
+    p += prob_run(re + hi, im + hi, run, avx2);
+    g += run;
   }
   return p;
 }
 
-bool StateVector::measure(unsigned q, util::Rng& rng) {
+template <typename Scalar>
+bool StateVectorT<Scalar>::measure(unsigned q, util::Rng& rng) {
   const double p1 = probability_one(q);
   const bool outcome = rng.uniform01() < p1;
-  const std::size_t bit = std::size_t{1} << q;
   const double keep_p = outcome ? p1 : 1.0 - p1;
   const double scale = keep_p > 0.0 ? 1.0 / std::sqrt(keep_p) : 0.0;
-  for (std::size_t i = 0; i < dim(); ++i) {
-    const bool is_one = (i & bit) != 0;
-    if (is_one == outcome) {
-      amps_[i] *= scale;
-    } else {
-      amps_[i] = Amplitude{0.0, 0.0};
-    }
-  }
+  const Scalar s = static_cast<Scalar>(scale);
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  Scalar* re = re_.data();
+  Scalar* im = im_.data();
+  const std::size_t bit = std::size_t{1} << q;
+  for_pair_runs(dim(), q, [=](std::size_t lo, std::size_t n) {
+    Scalar* keep_re = outcome ? re + lo + bit : re + lo;
+    Scalar* keep_im = outcome ? im + lo + bit : im + lo;
+    Scalar* drop_re = outcome ? re + lo : re + lo + bit;
+    Scalar* drop_im = outcome ? im + lo : im + lo + bit;
+    scale_run(keep_re, keep_im, n, s, avx2);
+    std::fill(drop_re, drop_re + n, Scalar(0));
+    std::fill(drop_im, drop_im + n, Scalar(0));
+  });
   return outcome;
 }
 
-std::size_t StateVector::sample_basis(util::Rng& rng) const {
+template <typename Scalar>
+std::size_t StateVectorT<Scalar>::sample_basis(util::Rng& rng) const {
   double r = rng.uniform01();
   for (std::size_t i = 0; i < dim(); ++i) {
-    r -= std::norm(amps_[i]);
+    const double a = static_cast<double>(re_[i]);
+    const double b = static_cast<double>(im_[i]);
+    r -= a * a + b * b;
     if (r <= 0.0) return i;
   }
   return dim() - 1;  // numeric tail; total mass ~1
 }
 
-double StateVector::norm() const {
-  double s = 0.0;
-  for (const Amplitude& a : amps_) s += std::norm(a);
-  return std::sqrt(s);
+template <typename Scalar>
+double StateVectorT<Scalar>::norm() const {
+  const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
+  return std::sqrt(prob_run(re_.data(), im_.data(), dim(), avx2));
 }
 
-Amplitude StateVector::inner_product(const StateVector& other) const {
-  assert(dim() == other.dim());
-  Amplitude acc{0.0, 0.0};
-  for (std::size_t i = 0; i < dim(); ++i) {
-    acc += std::conj(amps_[i]) * other.amps_[i];
-  }
-  return acc;
-}
-
-double StateVector::fidelity(const StateVector& other) const {
-  return std::norm(inner_product(other));
-}
+template class StateVectorT<double>;
+template class StateVectorT<float>;
 
 }  // namespace qols::quantum

@@ -44,6 +44,8 @@ std::unique_ptr<machine::OnlineRecognizer> RecognizerSpec::make(
     case RecognizerKind::kQuantum: {
       core::QuantumOnlineRecognizer::Options opts;
       opts.a3.backend = backend;
+      opts.a3.precision = float_amplitudes ? quantum::Precision::kSingle
+                                           : quantum::Precision::kDouble;
       return std::make_unique<core::QuantumOnlineRecognizer>(seed, opts);
     }
   }

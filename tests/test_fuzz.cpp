@@ -45,6 +45,7 @@ TEST(FuzzCaseGen, DistributionCoversEveryFamilyAndRecognizer) {
   std::set<qols::service::RecognizerKind> recs;
   std::set<ScheduleKind> schedules;
   std::set<unsigned> sessions;
+  std::set<bool> quantum_precisions;
   bool saw_wrappers = false;
   for (std::uint64_t seed = 0; seed < 400; ++seed) {
     const FuzzCase c = FuzzCase::from_seed(seed);
@@ -55,11 +56,19 @@ TEST(FuzzCaseGen, DistributionCoversEveryFamilyAndRecognizer) {
     saw_wrappers = saw_wrappers || !c.wrappers.empty();
     EXPECT_GE(c.sessions, 1u);
     EXPECT_LE(c.sessions, kMaxSessions);
+    if (c.spec.kind == qols::service::RecognizerKind::kQuantum) {
+      quantum_precisions.insert(c.spec.float_amplitudes);
+    } else {
+      // The precision axis is quantum-only; classical machines have no
+      // amplitudes and their specs must stay at the double default.
+      EXPECT_FALSE(c.spec.float_amplitudes);
+    }
   }
   EXPECT_EQ(words.size(), kWordKindCount);
   EXPECT_EQ(recs.size(), 5u);
   EXPECT_EQ(schedules.size(), kScheduleKindCount);
   EXPECT_EQ(sessions.size(), kMaxSessions);  // every count in [1, 4] drawn
+  EXPECT_EQ(quantum_precisions.size(), 2u);  // both double and float drawn
   EXPECT_TRUE(saw_wrappers);
 }
 
@@ -101,20 +110,25 @@ TEST(ReproToken, RoundTripsShrunkFields) {
 TEST(ReproToken, RejectsMalformedTokens) {
   for (const std::string bad : {
            "",                       // empty
-           "qf2-1-2",                // unknown version
-           "qf1",                    // no fields at all
-           "qf1-zz-1",               // non-hex field
-           "qf1-1-2-3",              // far too few fields
-           "qf1-1--2",               // empty field
-           "qf1-1-0-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2",  // k = 0
-           "qf1-1-5-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2",  // k past the
-                                                              // generator max
-           "qf1-1-2-9-0-0-ffffffffffffffff-0-1-1-0-10-40-2",  // bad word kind
+           "qf1-1-2",                // old version: rejected, not defaulted
+           "qf3-1-2",                // unknown version
+           "qf2",                    // no fields at all
+           "qf2-zz-1",               // non-hex field
+           "qf2-1-2-3",              // far too few fields
+           "qf2-1--2",               // empty field
+           "qf2-1-0-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0",  // k = 0
+           "qf2-1-5-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0",  // k past the
+                                                                // generator
+                                                                // max
+           // bad word kind
+           "qf2-1-2-9-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0",
+           // float_amplitudes must be 0 or 1
+           "qf2-1-2-0-0-0-ffffffffffffffff-0-1-1-4-10-40-2-2",
            // DoS bounds: a gigabyte malformed word, a terabyte sampler, a
            // gigabit Bloom filter — all rejected at decode, never realized.
-           "qf1-1-1-3-77359400-0-ffffffffffffffff-0-0-1-0-10-40-2",
-           "qf1-1-2-0-0-0-ffffffffffffffff-0-1-1-2-10000000000-40-2",
-           "qf1-1-2-0-0-0-ffffffffffffffff-0-1-1-3-10-40000000-2",
+           "qf2-1-1-3-77359400-0-ffffffffffffffff-0-0-1-0-10-40-2-0",
+           "qf2-1-2-0-0-0-ffffffffffffffff-0-1-1-2-10000000000-40-2-0",
+           "qf2-1-2-0-0-0-ffffffffffffffff-0-1-1-3-10-40000000-2-0",
        }) {
     EXPECT_THROW(decode_token(bad), std::invalid_argument) << "'" << bad << "'";
   }
@@ -197,7 +211,7 @@ TEST(Properties, BackendCeilingGapIsNotADiscrepancy) {
   // be reported as a false P4-backend-equality discrepancy; both machines
   // reject the word, so the case must be clean.
   const FuzzCase c = decode_token(
-      "qf1-29ac8-1-3-14-0-ffffffffffffffff-0-0-1-4-10-40-2");
+      "qf2-29ac8-1-3-14-0-ffffffffffffffff-0-0-1-4-10-40-2-0");
   std::size_t ones = 0;
   const auto word = realize_word(c);
   while (ones < word.size() && word[ones] == Symbol::kOne) ++ones;
@@ -272,6 +286,21 @@ TEST(Fuzzer, BoundedRunIsCleanAndTallied) {
   EXPECT_EQ(kinds, report.cases);
   EXPECT_EQ(classes, report.cases);
   EXPECT_GT(report.cases_per_second(), 0.0);
+}
+
+TEST(Fuzzer, ForcedFloatSoakIsClean) {
+  // The CI sanitizer leg's configuration: every quantum case pinned to float
+  // amplitudes. P6 still cross-checks each one against the double run, so a
+  // clean report certifies precision-invariant verdicts on this corpus.
+  FuzzOptions opts;
+  opts.seed = 13;
+  opts.max_cases = 300;
+  opts.force_float = true;
+  const FuzzReport report = run_fuzz(opts);
+  EXPECT_EQ(report.cases, 300u);
+  EXPECT_TRUE(report.clean()) << report.failures.front().property << ": "
+                              << report.failures.front().detail << "\n  "
+                              << report.failures.front().minimized_token;
 }
 
 TEST(Fuzzer, RejectsUnboundedRuns) {

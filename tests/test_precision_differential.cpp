@@ -1,0 +1,305 @@
+// Precision differential suite: the dense backend in float-amplitude mode
+// (quantum::Precision::kSingle) against the double reference, driven through
+// identical streamed instances (same words, same seeds).
+//
+// The precision contract (docs/ARCHITECTURE.md):
+//   - DECISIONS ARE EXACT. Measurement outcomes, accept counts, finish
+//     outputs and SpaceReports match the double baseline seed-for-seed —
+//     probabilities and norms accumulate in double in both modes, and RNG
+//     consumption is identical.
+//   - AMPLITUDES ROUND. Each float amplitude agrees with the double
+//     reference within a per-gate-count tolerance: every gate pass over the
+//     register contributes O(2^-24) relative error, so a run with G
+//     register-wide passes stays within ~G * 2^-24 (a comfortable constant
+//     times that is asserted below).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "qols/core/grover_streamer.hpp"
+#include "qols/core/quantum_recognizer.hpp"
+#include "qols/core/trial_engine.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/quantum/state_vector.hpp"
+#include "qols/service/recognizer_service.hpp"
+#include "qols/stream/symbol_stream.hpp"
+#include "qols/util/rng.hpp"
+
+namespace {
+
+using qols::core::GroverStreamer;
+using qols::core::QuantumOnlineRecognizer;
+using qols::core::TrialEngine;
+using qols::lang::LDisjInstance;
+using qols::lang::make_mutant_stream;
+using qols::lang::MutantKind;
+using qols::quantum::Precision;
+using qols::util::Rng;
+
+GroverStreamer make_streamer(Precision precision, std::uint64_t seed) {
+  GroverStreamer::Options opts;
+  opts.backend = "dense";  // the only precision-aware backend
+  opts.max_sim_k = 10;
+  opts.precision = precision;
+  return GroverStreamer{Rng(seed), opts};
+}
+
+void stream_word(GroverStreamer& a3, const std::string& word) {
+  qols::stream::StringStream s(word);
+  while (auto sym = s.next()) a3.feed(*sym);
+}
+
+/// The documented amplitude tolerance for a finished A3 run: j Grover
+/// iterations (each two H-ranges, a reflection and O(1) oracle touches) plus
+/// the preparation H-range give roughly (2j + 3)(2k + 2) single-qubit gate
+/// passes; each pass contributes at most a few ulps of float relative error
+/// per amplitude. The constant 64 absorbs the per-pass ulp count with a wide
+/// margin while staying ~1e9 times tighter than "any float".
+double amplitude_tolerance(unsigned k, std::uint64_t j) {
+  const double passes =
+      (2.0 * static_cast<double>(j) + 3.0) * (2.0 * k + 2.0);
+  return 64.0 * passes * 0x1p-24;
+}
+
+/// Streams `word` through float- and double-precision dense runs with the
+/// same seed; asserts exact decision/space agreement and toleranced
+/// amplitude agreement.
+void expect_precisions_agree(const std::string& word, std::uint64_t seed,
+                             bool compare_amplitudes = true) {
+  GroverStreamer dbl = make_streamer(Precision::kDouble, seed);
+  GroverStreamer flt = make_streamer(Precision::kSingle, seed);
+  stream_word(dbl, word);
+  stream_word(flt, word);
+
+  // RNG consumption before the register even matters: the drawn j is part of
+  // the decision state and must be identical.
+  ASSERT_EQ(dbl.chosen_j(), flt.chosen_j()) << "seed " << seed;
+  ASSERT_EQ(dbl.qubits_used(), flt.qubits_used());
+  ASSERT_EQ(dbl.classical_bits_used(), flt.classical_bits_used());
+
+  const auto* backend_d = dbl.simulation_backend();
+  const auto* backend_f = flt.simulation_backend();
+  if (backend_d == nullptr || backend_f == nullptr) {
+    // Word so malformed the register never came up — both must agree.
+    ASSERT_EQ(backend_d, nullptr);
+    ASSERT_EQ(backend_f, nullptr);
+    return;
+  }
+  ASSERT_EQ(backend_d->precision(), Precision::kDouble);
+  ASSERT_EQ(backend_f->precision(), Precision::kSingle);
+
+  const unsigned k = static_cast<unsigned>((dbl.qubits_used() - 2) / 2);
+  const double tol = amplitude_tolerance(k, dbl.chosen_j().value_or(0));
+  if (compare_amplitudes) {
+    const std::uint64_t dim = std::uint64_t{1} << backend_d->num_qubits();
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+      const auto ad = backend_d->amplitude(basis);
+      const auto af = backend_f->amplitude(basis);
+      ASSERT_NEAR(ad.real(), af.real(), tol)
+          << "basis " << basis << " seed " << seed;
+      ASSERT_NEAR(ad.imag(), af.imag(), tol)
+          << "basis " << basis << " seed " << seed;
+    }
+  }
+  ASSERT_NEAR(dbl.probability_output_zero(), flt.probability_output_zero(),
+              tol);
+  // The decision itself: exact, not toleranced.
+  ASSERT_EQ(dbl.finish_output(), flt.finish_output()) << "seed " << seed;
+}
+
+TEST(PrecisionDifferential, FullStateAgreementSmallK) {
+  Rng rng(1);
+  for (unsigned k = 1; k <= 4; ++k) {
+    const std::uint64_t m = std::uint64_t{1} << (2 * k);
+    for (std::uint64_t t : {std::uint64_t{0}, std::uint64_t{1},
+                            std::uint64_t{2}, m / 2}) {
+      auto inst = t == 0 ? LDisjInstance::make_disjoint(k, rng)
+                         : LDisjInstance::make_with_intersections(k, t, rng);
+      const std::string word = inst.render();
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        expect_precisions_agree(word, seed);
+      }
+    }
+  }
+}
+
+TEST(PrecisionDifferential, MutantWordsAgree) {
+  // Mutants end runs in every intermediate machine state (mid-block, after
+  // truncation, post-measurement garbage); the float register must track the
+  // double one through all of them.
+  Rng rng(2);
+  for (unsigned k : {2u, 3u}) {
+    auto inst = LDisjInstance::make_disjoint(k, rng);
+    for (auto kind :
+         {MutantKind::kBadPrefix, MutantKind::kTrailingGarbage,
+          MutantKind::kXZMismatch, MutantKind::kYDrift, MutantKind::kTruncated,
+          MutantKind::kSepInsideBlock}) {
+      auto mutant = make_mutant_stream(inst, kind, rng);
+      const std::string word = qols::stream::materialize(*mutant);
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        expect_precisions_agree(word, seed);
+      }
+    }
+  }
+}
+
+TEST(PrecisionDifferential, AcceptCountsMatchExactlyThroughEngine) {
+  // The statistics layer: 64 trials per configuration, float vs double —
+  // identical accept counts, simulation status and space, trial for trial.
+  Rng rng(3);
+  const TrialEngine engine;
+  for (unsigned k : {2u, 3u}) {
+    for (std::uint64_t t : {std::uint64_t{0}, std::uint64_t{1}}) {
+      auto inst = t == 0 ? LDisjInstance::make_disjoint(k, rng)
+                         : LDisjInstance::make_with_intersections(k, t, rng);
+      auto measure = [&](Precision precision) {
+        QuantumOnlineRecognizer::Options opts;
+        opts.a3.backend = "dense";
+        opts.a3.precision = precision;
+        return engine.measure_acceptance(
+            [&] { return inst.stream(); },
+            [opts](std::uint64_t seed) {
+              return std::make_unique<QuantumOnlineRecognizer>(seed, opts);
+            },
+            {.trials = 64, .seed_base = 700 + 100 * k + t});
+      };
+      const auto dbl = measure(Precision::kDouble);
+      const auto flt = measure(Precision::kSingle);
+      ASSERT_EQ(dbl.accepts, flt.accepts) << "k=" << k << " t=" << t;
+      ASSERT_EQ(dbl.not_simulated, flt.not_simulated);
+      ASSERT_EQ(dbl.space.qubits, flt.space.qubits);
+      ASSERT_EQ(dbl.space.classical_bits, flt.space.classical_bits);
+      if (t == 0) {
+        ASSERT_EQ(flt.accepts, flt.trials);  // perfect completeness holds
+      }
+    }
+  }
+}
+
+TEST(PrecisionDifferential, ServiceVerdictsPrecisionInvariant) {
+  // The user-facing knob: RecognizerSpec::float_amplitudes. Same seed, same
+  // word, per-symbol feeding — the served Verdict fields must be identical.
+  Rng rng(4);
+  for (unsigned k : {1u, 2u}) {
+    for (std::uint64_t t : {std::uint64_t{0}, std::uint64_t{2}}) {
+      auto inst = t == 0 ? LDisjInstance::make_disjoint(k, rng)
+                         : LDisjInstance::make_with_intersections(k, t, rng);
+      const std::string word = inst.render();
+      for (std::uint64_t seed = 40; seed < 44; ++seed) {
+        auto run = [&](bool float_amplitudes) {
+          qols::service::RecognizerSpec spec;
+          spec.kind = qols::service::RecognizerKind::kQuantum;
+          spec.backend = "dense";
+          spec.float_amplitudes = float_amplitudes;
+          auto rec = spec.make(seed);
+          qols::stream::StringStream s(word);
+          while (auto sym = s.next()) rec->feed(*sym);
+          const bool accepted = rec->finish();
+          return std::tuple{accepted, rec->fully_simulated(),
+                            rec->space_used().classical_bits,
+                            rec->space_used().qubits};
+        };
+        ASSERT_EQ(run(false), run(true)) << "k=" << k << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(PrecisionDifferential, NormDriftBoundedAfterLongestRun) {
+  // k = 7: the longest float-mode register evolution in the tier-1 suite
+  // (up to 2^7 - 1 Grover iterations over 2^16 amplitudes). The float
+  // register's norm may drift, but only within the per-gate-count budget —
+  // and the decision must still match the double run exactly.
+  Rng rng(5);
+  auto inst = LDisjInstance::make_with_intersections(7, 1, rng);
+  const std::string word = inst.render();
+
+  GroverStreamer dbl = make_streamer(Precision::kDouble, 9);
+  GroverStreamer flt = make_streamer(Precision::kSingle, 9);
+  stream_word(dbl, word);
+  stream_word(flt, word);
+
+  ASSERT_TRUE(flt.chosen_j().has_value());
+  const std::uint64_t j = *flt.chosen_j();
+  ASSERT_NE(flt.simulation_backend(), nullptr);
+  ASSERT_EQ(flt.simulation_backend()->precision(), Precision::kSingle);
+
+  // Double stays at machine-epsilon scale; float within the gate budget.
+  EXPECT_NEAR(dbl.simulation_backend()->norm(), 1.0, 1e-9);
+  const double float_tol = amplitude_tolerance(7, j);
+  EXPECT_NEAR(flt.simulation_backend()->norm(), 1.0, float_tol);
+
+  ASSERT_NEAR(dbl.probability_output_zero(), flt.probability_output_zero(),
+              float_tol);
+  ASSERT_EQ(dbl.finish_output(), flt.finish_output());
+}
+
+TEST(PrecisionDifferential, MixedPrecisionInnerProductAndFidelity) {
+  // inner_product/fidelity accept operands of different scalar types and
+  // widen every term to double before accumulating: <double|float> must
+  // equal the inner product computed against the float state's exactly
+  // promoted double copy, making fidelity a sound cross-precision agreement
+  // probe (it measures the states' divergence, not the probe's).
+  using qols::quantum::StateVector;
+  using qols::quantum::StateVectorF;
+
+  StateVector d(4);
+  StateVectorF f(4);
+  for (unsigned q = 0; q < 4; ++q) {
+    d.apply_h(q);
+    f.apply_h(q);
+  }
+  d.apply_z(1);
+  f.apply_z(1);
+  d.apply_cnot(0, 2);
+  f.apply_cnot(0, 2);
+
+  // Recompute the probe from exactly-promoted amplitudes; the member must
+  // match it to the last bit (same double operations, same order).
+  const auto mixed = d.inner_product(f);
+  double acc_r = 0.0, acc_i = 0.0;
+  for (std::size_t i = 0; i < d.dim(); ++i) {
+    const auto a = d.amplitude(i);
+    const auto b = f.amplitude(i);  // widened float values, exact
+    acc_r += a.real() * b.real() + a.imag() * b.imag();
+    acc_i += a.real() * b.imag() - a.imag() * b.real();
+  }
+  EXPECT_DOUBLE_EQ(mixed.real(), acc_r);
+  EXPECT_DOUBLE_EQ(mixed.imag(), acc_i);
+
+  // Same circuit in both precisions: fidelity ~ 1 within float rounding...
+  EXPECT_NEAR(d.fidelity(f), 1.0, 1e-6);
+  EXPECT_NEAR(f.fidelity(d), 1.0, 1e-6);
+  // ...and sensitive to a real divergence.
+  f.apply_z(3);
+  EXPECT_LT(d.fidelity(f), 0.999);
+}
+
+TEST(PrecisionDifferential, StructuredBackendIgnoresFloatRequest) {
+  // The structured backend is double-only and documents that it ignores the
+  // precision request: asking for kSingle must not change its results or its
+  // reported precision.
+  Rng rng(6);
+  auto inst = LDisjInstance::make_with_intersections(3, 1, rng);
+  const std::string word = inst.render();
+
+  GroverStreamer::Options opts;
+  opts.backend = "structured";
+  opts.precision = Precision::kSingle;
+  GroverStreamer requested{Rng(21), opts};
+  opts.precision = Precision::kDouble;
+  GroverStreamer baseline{Rng(21), opts};
+  stream_word(requested, word);
+  stream_word(baseline, word);
+
+  ASSERT_NE(requested.simulation_backend(), nullptr);
+  EXPECT_EQ(requested.simulation_backend()->precision(), Precision::kDouble);
+  ASSERT_EQ(requested.chosen_j(), baseline.chosen_j());
+  ASSERT_EQ(requested.probability_output_zero(),
+            baseline.probability_output_zero());
+  ASSERT_EQ(requested.finish_output(), baseline.finish_output());
+}
+
+}  // namespace

@@ -63,7 +63,7 @@ Vec matvec(const Mat& m, const Vec& v) {
 }
 
 Vec state_of(const StateVector& sv) {
-  return Vec(sv.amplitudes().begin(), sv.amplitudes().end());
+  return sv.amplitudes();  // materialized AoS copy of the SoA storage
 }
 
 void expect_equal(const Vec& a, const Vec& b) {
