@@ -1,0 +1,313 @@
+// E23 — mapped ingestion: zero-copy mmap transport vs buffered file reads,
+// alone and under the serving layer with mid-stream eviction.
+//
+// E20 removed the per-symbol virtual-call tax; the transport that remained
+// (FileStream) still pays one read() copy into a char buffer plus a branchy
+// per-character conversion, then a second copy into the Symbol scratch that
+// feed_chunk consumes. MappedFileStream deletes all of it: the word is
+// mmap'd MAP_PRIVATE, characters are rewritten into Symbol values in place
+// (one table lookup per byte, once), and run_stream borrows the converted
+// pages directly through view_chunk — the recognizer reads the page cache.
+// Pages behind the cursor go back to the OS with MADV_DONTNEED, so a word
+// far larger than memory streams in a bounded resident set, exactly the
+// paper's "input too large to store" regime.
+//
+//   - block rows: the same multi-hundred-MB member word (k = 9 by default,
+//     ~4*10^8 symbols) through the classical block machine, buffered
+//     (FileStream) vs mapped (MappedFileStream). Decisions and space must
+//     agree exactly; the claim is mapped >= 1.5x buffered at k >= 8 in
+//     optimized builds.
+//   - service rows: 64 sessions over member/intersecting k = 6 words served
+//     round-robin, buffered (feed, copies into the session buffer) vs
+//     mapped (view_chunk -> feed_borrowed, zero copies). Half the sessions
+//     are evicted to disk mid-stream and revived transparently on their
+//     next chunk; every verdict must equal the session's single-stream
+//     run_stream outcome bit for bit.
+//
+// --max-k rescales the block word (claim enforced only at k >= 8, where the
+// word is large enough that transport dominates); --trials is unused (both
+// workloads are fixed-size, best-of-two timed passes).
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "experiments.hpp"
+#include "qols/core/classical_recognizers.hpp"
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/machine/online_recognizer.hpp"
+#include "qols/service/recognizer_service.hpp"
+#include "qols/stream/file_stream.hpp"
+#include "qols/util/rng.hpp"
+#include "qols/util/stopwatch.hpp"
+#include "qols/util/table.hpp"
+#include "registry.hpp"
+
+namespace qols::bench {
+namespace {
+
+using stream::Symbol;
+
+struct Pass {
+  bool accepted = false;
+  std::uint64_t classical_bits = 0;
+  double seconds = 0.0;
+};
+
+/// One full ingestion of the word file through a fresh block recognizer.
+/// Stream construction is timed: opening/mapping the file is part of what
+/// each transport costs.
+template <typename StreamT, typename... Args>
+Pass drive_file(std::uint64_t seed, const std::string& path, Args&&... args) {
+  util::Stopwatch watch;
+  StreamT s(path, std::forward<Args>(args)...);
+  core::ClassicalBlockRecognizer rec(seed);
+  Pass pass;
+  pass.accepted = machine::run_stream(s, rec);
+  pass.classical_bits = rec.space_used().classical_bits;
+  pass.seconds = watch.seconds();
+  return pass;
+}
+
+template <typename StreamT, typename... Args>
+Pass best_of_two(std::uint64_t seed, const std::string& path, Args&&... args) {
+  Pass a = drive_file<StreamT>(seed, path, args...);
+  const Pass b = drive_file<StreamT>(seed, path, args...);
+  // Decisions are seed-pure; a disagreement between passes is itself a bug,
+  // surfaced as NO in the agreement column via the caller's cross-check.
+  if (b.accepted != a.accepted) a.classical_bits = ~a.classical_bits;
+  a.seconds = std::min(a.seconds, b.seconds);
+  return a;
+}
+
+double rate_of(std::uint64_t symbols, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(symbols) / seconds : 0.0;
+}
+
+/// Serves `num_sessions` sessions round-robin from per-session streams over
+/// the two word files, evicting the first half mid-stream. `mapped` selects
+/// the zero-copy path (view_chunk + feed_borrowed) vs the buffered one
+/// (next_chunk into scratch + feed). Returns per-session verdicts.
+struct ServedRun {
+  std::vector<service::RecognizerService::Verdict> verdicts;
+  std::uint64_t symbols = 0;
+  double busy_seconds = 0.0;
+  std::size_t evictions = 0;
+};
+
+ServedRun serve_sessions(const std::string& member_path,
+                         const std::string& intersecting_path,
+                         std::size_t num_sessions, bool mapped) {
+  const std::size_t chunk = 4096;
+  service::RecognizerService svc(
+      {.spec = {.kind = service::RecognizerKind::kClassicalBlock}});
+  std::vector<service::RecognizerService::SessionId> ids;
+  std::vector<std::unique_ptr<stream::SymbolStream>> streams;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    ids.push_back(svc.open(23'000 + s));
+    const std::string& path =
+        s % 2 == 0 ? member_path : intersecting_path;
+    if (mapped) {
+      streams.push_back(std::make_unique<stream::MappedFileStream>(path));
+    } else {
+      streams.push_back(std::make_unique<stream::FileStream>(path, chunk));
+    }
+  }
+
+  ServedRun run;
+  std::vector<Symbol> scratch(chunk);
+  std::size_t lap = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      if (mapped) {
+        const auto view = streams[s]->view_chunk(chunk);
+        if (!view || view->empty()) continue;
+        svc.feed_borrowed(ids[s], *view);
+        run.symbols += view->size();
+      } else {
+        const std::size_t n = streams[s]->next_chunk(scratch);
+        if (n == 0) continue;
+        svc.feed(ids[s], std::span<const Symbol>(scratch.data(), n));
+        run.symbols += n;
+      }
+      progressed = true;
+    }
+    // Mid-stream spill: on one early lap, freeze the first half of the
+    // fleet to disk. Their next chunk revives them transparently, so the
+    // interleaving continues as if nothing happened — the verdict check
+    // below proves it.
+    if (++lap == 8) {
+      for (std::size_t s = 0; s < num_sessions / 2; ++s) {
+        svc.evict(ids[s]);
+        ++run.evictions;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    run.verdicts.push_back(svc.finish(ids[s]));
+  }
+  run.busy_seconds = svc.stats().busy_seconds;
+  return run;
+}
+
+int run(Reporter& rep, const RunConfig& cfg) {
+  bool all_hold = true;
+  util::Table table({"row", "k", "symbols", "transport", "wall s",
+                     "symbols/sec", "speedup", "ok?"});
+  const auto fmt_rate = [](double r) {
+    return util::fmt_g(static_cast<std::uint64_t>(r));
+  };
+
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   ("qols-e23-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(tmp);
+
+  // --- Block rows: one large word, buffered vs mapped. -------------------
+  const unsigned k = std::min(cfg.max_k_or(9), 10u);
+  const std::string big_path = (tmp / "big.word").string();
+  std::uint64_t n = 0;
+  {
+    util::Rng rng(23'000 + k);
+    const auto inst = lang::LDisjInstance::make_disjoint(k, rng);
+    auto s = inst.stream();
+    n = stream::write_stream_to_file(*s, big_path);
+  }
+
+  const Pass buffered =
+      best_of_two<stream::FileStream>(800 + k, big_path, std::size_t{1} << 16);
+  const Pass mapped = best_of_two<stream::MappedFileStream>(800 + k, big_path);
+  const bool agree = buffered.accepted && mapped.accepted &&
+                     buffered.classical_bits == mapped.classical_bits;
+  all_hold = all_hold && agree;
+  const double speedup =
+      mapped.seconds > 0.0 ? buffered.seconds / mapped.seconds : 0.0;
+
+  table.add_row({"block", std::to_string(k), util::fmt_g(n), "buffered",
+                 util::fmt_f(buffered.seconds, 3),
+                 fmt_rate(rate_of(n, buffered.seconds)), "1.00",
+                 agree ? "yes" : "NO"});
+  table.add_row({"block", std::to_string(k), util::fmt_g(n), "mapped",
+                 util::fmt_f(mapped.seconds, 3),
+                 fmt_rate(rate_of(n, mapped.seconds)),
+                 util::fmt_f(speedup, 2), agree ? "yes" : "NO"});
+
+  {
+    MetricRecord m;
+    m.label = "block k=" + std::to_string(k) + " buffered";
+    m.k = k;
+    m.wall_seconds = buffered.seconds;
+    m.extra.emplace_back("symbols_per_sec", rate_of(n, buffered.seconds));
+    rep.metric(m);
+  }
+  {
+    MetricRecord m;
+    m.label = "block k=" + std::to_string(k) + " mapped";
+    m.k = k;
+    m.wall_seconds = mapped.seconds;
+    m.extra.emplace_back("symbols_per_sec", rate_of(n, mapped.seconds));
+    m.extra.emplace_back("speedup_vs_buffered", speedup);
+    m.extra.emplace_back("transports_agree", agree ? 1.0 : 0.0);
+    rep.metric(m);
+  }
+#ifdef NDEBUG
+  // The headline claim is about optimized builds and transport-dominated
+  // word sizes; tiny words (k < 8) time the recognizer, not the transport.
+  if (k >= 8 && speedup < 1.5) {
+    rep.note("CLAIM FAILED: mapped/buffered speedup at k=" +
+             std::to_string(k) + " is " + util::fmt_f(speedup, 2) +
+             "x, expected >= 1.5x");
+    all_hold = false;
+  }
+#endif
+
+  // --- Service rows: 64 sessions, mid-stream evict/revive. ---------------
+  {
+    const unsigned sk = 6;
+    const std::size_t num_sessions = 64;
+    const std::string member_path = (tmp / "member.word").string();
+    const std::string intersecting_path = (tmp / "intersecting.word").string();
+    util::Rng rng(23'100);
+    const auto member = lang::LDisjInstance::make_disjoint(sk, rng);
+    const auto crossing =
+        lang::LDisjInstance::make_with_intersections(sk, 1, rng);
+    {
+      auto ms = member.stream();
+      stream::write_stream_to_file(*ms, member_path);
+      auto cs = crossing.stream();
+      stream::write_stream_to_file(*cs, intersecting_path);
+    }
+
+    // Single-stream references: every session must reproduce one of these
+    // outcomes exactly, eviction or not.
+    std::vector<Pass> refs;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      refs.push_back(drive_file<stream::MappedFileStream>(
+          23'000 + s, s % 2 == 0 ? member_path : intersecting_path));
+    }
+
+    for (const bool use_mapped : {false, true}) {
+      const ServedRun served = serve_sessions(member_path, intersecting_path,
+                                              num_sessions, use_mapped);
+      bool verdicts_ok = served.evictions >= num_sessions / 2;
+      for (std::size_t s = 0; s < num_sessions; ++s) {
+        if (served.verdicts[s].accepted != refs[s].accepted ||
+            served.verdicts[s].space.classical_bits !=
+                refs[s].classical_bits) {
+          verdicts_ok = false;
+        }
+      }
+      all_hold = all_hold && verdicts_ok;
+      const char* transport = use_mapped ? "mapped" : "buffered";
+      table.add_row({"service x" + std::to_string(num_sessions),
+                     std::to_string(sk), util::fmt_g(served.symbols),
+                     transport, util::fmt_f(served.busy_seconds, 3),
+                     fmt_rate(rate_of(served.symbols, served.busy_seconds)),
+                     "-", verdicts_ok ? "yes" : "NO"});
+      MetricRecord m;
+      m.label = std::string("service x64 ") + transport;
+      m.k = sk;
+      m.wall_seconds = served.busy_seconds;
+      m.extra.emplace_back("symbols_per_sec",
+                           rate_of(served.symbols, served.busy_seconds));
+      m.extra.emplace_back("sessions", static_cast<double>(num_sessions));
+      m.extra.emplace_back("evicted_sessions",
+                           static_cast<double>(served.evictions));
+      m.extra.emplace_back("verdicts_ok", verdicts_ok ? 1.0 : 0.0);
+      rep.metric(m);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
+
+  rep.table(table);
+  rep.note(
+      "\nReading: the mapped transport converts each byte once, in place, "
+      "and lends the recognizer the page cache itself — no read() copy, no "
+      "scratch buffer, and MADV_DONTNEED keeps the resident set bounded. "
+      "The service rows stream the same pages through feed_borrowed while "
+      "half the fleet is spilled to disk and revived mid-word; verdicts "
+      "stay bit-identical to single-stream runs.");
+  return all_hold ? 0 : 1;
+}
+
+}  // namespace
+
+void register_e23(Registry& r) {
+  r.add({.id = "e23",
+         .title = "mapped ingestion (zero-copy mmap + snapshot eviction)",
+         .claim = "Claim (engineering): mmap'd zero-copy ingestion is >= "
+                  "1.5x buffered file reads on the block machine at k >= 8 "
+                  "with bit-identical decisions, and the serving layer "
+                  "sustains it across 64 sessions with half the fleet "
+                  "evicted and revived mid-stream.",
+         .tags = {"throughput", "mmap", "zero-copy", "snapshot", "service"}},
+        run);
+}
+
+}  // namespace qols::bench

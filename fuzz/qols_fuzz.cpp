@@ -3,8 +3,9 @@
 //   qols_fuzz                                # 10-second soak, seed 1
 //   qols_fuzz --budget-seconds 60 --seed 7   # time-boxed CI leg
 //   qols_fuzz --cases 100000                 # case-count budget
-//   qols_fuzz --replay qf2-...               # re-check one failure token
+//   qols_fuzz --replay qf3-...               # re-check one failure token
 //   qols_fuzz --float --budget-seconds 30    # float-amplitude quantum soak
+//   qols_fuzz --snapshot --cases 100000      # snapshot/resume (P7) on every case
 //
 // Every discrepancy prints both the as-found and the shrunk repro token;
 // --token-file additionally writes the shrunk token to a file (CI uploads
@@ -33,6 +34,8 @@ void print_usage(std::ostream& os) {
         "  --max-failures <n>    stop after n discrepancies (default 4)\n"
         "  --no-shrink           report failures as found, unminimized\n"
         "  --float               force float amplitudes on quantum cases\n"
+        "  --snapshot            force the snapshot/resume property (P7) on\n"
+        "                        every case, not just the generator's half\n"
         "  --token-file <path>   write the first shrunk repro token here\n"
         "  --replay <token>      re-check one case from its repro token\n"
         "  --quiet               only the final summary line\n"
@@ -119,6 +122,8 @@ int main(int argc, char** argv) {
       opts.shrink = false;
     } else if (arg == "--float") {
       opts.force_float = true;
+    } else if (arg == "--snapshot") {
+      opts.force_snapshot = true;
     } else if (arg == "--seed") {
       const char* v = value();
       if (!v) return 2;

@@ -21,6 +21,7 @@
 #include <span>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 #include "qols/backend/quantum_backend.hpp"
 
@@ -83,6 +84,22 @@ class DenseBackendT final : public QuantumBackend {
     state_.apply_cx_on_index(first, count, index, h, target);
   }
 
+  void serialize_state(util::serde::ByteWriter& w) const override {
+    w.u32(state_.num_qubits());
+    for (const Scalar v : state_.re()) put_scalar(w, v);
+    for (const Scalar v : state_.im()) put_scalar(w, v);
+  }
+  void restore_state(util::serde::ByteReader& r) override {
+    if (r.u32() != state_.num_qubits()) {
+      throw util::serde::DecodeError("dense backend: qubit count mismatch");
+    }
+    std::vector<Scalar> re(state_.dim());
+    std::vector<Scalar> im(state_.dim());
+    for (Scalar& v : re) v = get_scalar(r);
+    for (Scalar& v : im) v = get_scalar(r);
+    state_.load(std::move(re), std::move(im));
+  }
+
   double probability_one(unsigned q) const override {
     return state_.probability_one(q);
   }
@@ -108,6 +125,24 @@ class DenseBackendT final : public QuantumBackend {
   }
 
  private:
+  // Scalars travel as their own IEEE width: a float snapshot restored into a
+  // float backend is bit-identical, and the width mismatch between modes is
+  // caught by the payload-length check, never silently converted.
+  static void put_scalar(util::serde::ByteWriter& w, Scalar v) {
+    if constexpr (std::is_same_v<Scalar, double>) {
+      w.f64(v);
+    } else {
+      w.f32(v);
+    }
+  }
+  static Scalar get_scalar(util::serde::ByteReader& r) {
+    if constexpr (std::is_same_v<Scalar, double>) {
+      return r.f64();
+    } else {
+      return r.f32();
+    }
+  }
+
   quantum::StateVectorT<Scalar> state_;
 };
 

@@ -31,6 +31,7 @@
 
 #include "qols/quantum/state_vector.hpp"
 #include "qols/util/rng.hpp"
+#include "qols/util/serde.hpp"
 
 namespace qols::backend {
 
@@ -115,6 +116,24 @@ class QuantumBackend {
   virtual void apply_cx_on_index(unsigned first, unsigned count,
                                  std::uint64_t index, unsigned h,
                                  unsigned target) = 0;
+
+  // --- snapshot / restore --------------------------------------------------
+  /// Serializes the register for recognizer snapshot/restore. The payload is
+  /// backend-specific; restore_state() on a freshly constructed backend of
+  /// the same type, geometry and (for dense) precision reads it back
+  /// bit-identically — amplitudes travel as raw IEEE bit patterns, never
+  /// re-rounded. The defaults are the honest refusal: a backend that cannot
+  /// round-trip its representation throws UnsupportedOperation instead of
+  /// producing a lossy snapshot.
+  virtual void serialize_state(util::serde::ByteWriter& w) const {
+    (void)w;
+    throw UnsupportedOperation("state serialization (" + std::string(id()) +
+                               ")");
+  }
+  virtual void restore_state(util::serde::ByteReader& r) {
+    (void)r;
+    throw UnsupportedOperation("state restore (" + std::string(id()) + ")");
+  }
 
   // --- measurement / probes ------------------------------------------------
   /// P[measuring qubit q yields 1].

@@ -80,6 +80,12 @@ class StructuredBackend final : public QuantumBackend {
   void apply_cx_on_index(unsigned first, unsigned count, std::uint64_t index,
                          unsigned h, unsigned target) override;
 
+  /// Class-list serialization: per class the shared sector vector, count,
+  /// rest flag and the member set (sorted, so snapshots of equal states are
+  /// byte-identical regardless of hash-set iteration order).
+  void serialize_state(util::serde::ByteWriter& w) const override;
+  void restore_state(util::serde::ByteReader& r) override;
+
   double probability_one(unsigned q) const override;
   bool measure(unsigned q, util::Rng& rng) override;
   Amplitude amplitude(std::uint64_t basis) const override;

@@ -41,6 +41,8 @@ class ClassicalBlockRecognizer final : public machine::OnlineRecognizer {
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "classical-block"; }
+  std::vector<std::uint8_t> snapshot() const override;
+  void restore(std::span<const std::uint8_t> bytes) override;
 
   bool intersection_found() const noexcept { return found_; }
 
@@ -78,6 +80,8 @@ class ClassicalFullRecognizer final : public machine::OnlineRecognizer {
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "classical-full"; }
+  std::vector<std::uint8_t> snapshot() const override;
+  void restore(std::span<const std::uint8_t> bytes) override;
 
  private:
   void on_own_symbol(stream::Symbol s);
@@ -113,6 +117,8 @@ class ClassicalSamplingRecognizer final : public machine::OnlineRecognizer {
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "classical-sample"; }
+  std::vector<std::uint8_t> snapshot() const override;
+  void restore(std::span<const std::uint8_t> bytes) override;
 
  private:
   void draw_indices();
@@ -161,6 +167,8 @@ class ClassicalBloomRecognizer final : public machine::OnlineRecognizer {
   void reset(std::uint64_t seed) override;
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "classical-bloom"; }
+  std::vector<std::uint8_t> snapshot() const override;
+  void restore(std::span<const std::uint8_t> bytes) override;
 
  private:
   std::uint64_t hash(std::uint64_t index, unsigned which) const noexcept;

@@ -123,6 +123,16 @@ class GroverStreamer {
   /// Total {H,T,CNOT} gates emitted (gate-level mode only).
   std::uint64_t gates_emitted() const noexcept;
 
+  /// Serializes the full streamer state — control fields, RNG, and the
+  /// backend register via QuantumBackend::serialize_state. Refuses (throws
+  /// backend::UnsupportedOperation) in gate-level mode: the external
+  /// GateSink's position cannot be captured here.
+  void snapshot_to(util::serde::ByteWriter& w) const;
+  /// Inverse of snapshot_to on a freshly constructed streamer; rebuilds the
+  /// backend from its recorded id/precision and restores its register
+  /// bit-identically. Refuses when this streamer has a gate sink configured.
+  void restore_from(util::serde::ByteReader& r);
+
   /// The simulating backend, or nullptr (not simulating / not yet active).
   const backend::QuantumBackend* simulation_backend() const noexcept {
     return backend_.get();

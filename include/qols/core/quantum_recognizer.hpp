@@ -55,6 +55,11 @@ class QuantumOnlineRecognizer final : public machine::OnlineRecognizer {
   machine::SpaceReport space_used() const override;
   std::string name() const override { return "quantum"; }
   bool fully_simulated() const override { return !a3_->not_simulated(); }
+  /// Serializes A1, A2 and A3 including the quantum register (via the
+  /// backend's serialize_state). Gate-level mode refuses
+  /// (machine::UnsupportedSnapshot): the external sink's tape cannot travel.
+  std::vector<std::uint8_t> snapshot() const override;
+  void restore(std::span<const std::uint8_t> bytes) override;
 
   /// The explicit three-valued decision; finish() maps kNotSimulated to
   /// reject (never claim membership on a word the machine could not run).

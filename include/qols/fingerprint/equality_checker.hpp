@@ -67,6 +67,11 @@ class EqualityChecker {
   /// block counter, once k is known.
   std::uint64_t classical_bits_used() const noexcept;
 
+  /// Serializes the full mid-stream state including the child RNG, so a
+  /// restored checker draws the identical future evaluation points.
+  void snapshot_to(util::serde::ByteWriter& w) const;
+  void restore_from(util::serde::ByteReader& r);
+
  private:
   util::Rng rng_;
   unsigned field_exponent_;

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "qols/util/modmath.hpp"
+#include "qols/util/serde.hpp"
 
 namespace qols::fingerprint {
 
@@ -128,6 +129,28 @@ class PolyFingerprint {
 
   std::uint64_t modulus() const noexcept { return p_; }
   std::uint64_t point() const noexcept { return t_; }
+
+  /// Snapshot: (p, t) plus the three streaming registers. The Montgomery
+  /// context is derived, so restored_from() rebuilds it through the
+  /// constructor and then overwrites the registers verbatim — a restored
+  /// fingerprint continues bit-identically.
+  void snapshot_to(util::serde::ByteWriter& w) const {
+    w.u64(p_);
+    w.u64(t_);
+    w.u64(tpow_);
+    w.u64(acc_);
+    w.u64(fed_);
+  }
+  static PolyFingerprint restored_from(util::serde::ByteReader& r) {
+    const std::uint64_t p = r.u64();
+    const std::uint64_t t = r.u64();
+    if (p == 0) throw util::serde::DecodeError("PolyFingerprint: modulus 0");
+    PolyFingerprint f(p, t);
+    f.tpow_ = r.u64();
+    f.acc_ = r.u64();
+    f.fed_ = r.u64();
+    return f;
+  }
 
  private:
   std::uint64_t p_;

@@ -62,6 +62,8 @@ inline constexpr std::size_t kMaxWrappers = 3;
 
 inline constexpr std::uint64_t kNoTruncate = ~std::uint64_t{0};
 inline constexpr unsigned kMaxSessions = 4;
+/// Sentinel for snapshot_cut: the case skips the snapshot/resume property.
+inline constexpr std::uint64_t kNoSnapshot = ~std::uint64_t{0};
 
 /// A fully explicit fuzz case. `seed` still matters at realization time: it
 /// drives the instance bits, mutation sites, malformed content, ragged
@@ -77,6 +79,9 @@ struct FuzzCase {
   std::uint64_t chunk = 1;               ///< raw; reduced at expansion
   unsigned sessions = 1;                 ///< [1, kMaxSessions]
   service::RecognizerSpec spec;          ///< kind + parameters; backend empty
+  /// Raw snapshot position for P7 (reduced mod word length + 1 at check
+  /// time); kNoSnapshot = the case does not exercise snapshot/resume.
+  std::uint64_t snapshot_cut = kNoSnapshot;
 
   /// Draws a full case from one seed (the generator's distribution: ~80%
   /// classical recognizers, quantum capped at k <= 3, most words small).

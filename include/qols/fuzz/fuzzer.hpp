@@ -25,6 +25,10 @@ struct FuzzOptions {
   /// the generator's ~50/50 draw). CI's sanitizer leg uses this to soak the
   /// float kernels specifically; P6 still cross-checks against double.
   bool force_float = false;
+  /// Force every case to run the snapshot/resume property P7 (instead of
+  /// the generator's ~50/50 draw), at the case's seeded cut position. CI's
+  /// sanitizer leg uses this to soak the snapshot codecs specifically.
+  bool force_snapshot = false;
 };
 
 /// One property violation, with its replay tokens. `found` is the case as

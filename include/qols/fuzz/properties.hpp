@@ -29,6 +29,16 @@
 //                         status and SpaceReport must match exactly (the
 //                         float mode's headline guarantee — amplitudes may
 //                         round, verdicts may not).
+//   P7 snapshot-resume  : the word is fed up to a seeded cut, the recognizer
+//                         is frozen with snapshot(), restored into a FRESH
+//                         instance built from a different seed, and fed the
+//                         rest; the outcome must equal the straight run bit
+//                         for bit (proving restore() overwrites every bit of
+//                         state, construction seed included — the contract
+//                         RecognizerService::evict/revive rides on).
+//                         UnsupportedSnapshot is an honest refusal only for
+//                         gate-level quantum modes, which the fuzzer never
+//                         generates, so here it is a failure.
 
 #include <cstddef>
 #include <string>

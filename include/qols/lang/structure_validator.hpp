@@ -14,6 +14,7 @@
 #include <span>
 
 #include "qols/stream/symbol_stream.hpp"
+#include "qols/util/serde.hpp"
 
 namespace qols::lang {
 
@@ -51,6 +52,11 @@ class StructureValidator {
   /// prefix/k counter + block counter (k+2 bits) + position counter (2k+1
   /// bits) + 2 control-state bits. Grows with k; callable any time.
   std::uint64_t classical_bits_used() const noexcept;
+
+  /// Serializes the full mid-stream state (recognizer snapshot/restore).
+  /// A restored validator is indistinguishable from the snapshotted one.
+  void snapshot_to(util::serde::ByteWriter& w) const;
+  void restore_from(util::serde::ByteReader& r);
 
  private:
   enum class Phase : std::uint8_t { kPrefix, kBlock, kFailed, kDone };

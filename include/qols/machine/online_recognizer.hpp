@@ -14,11 +14,24 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "qols/stream/symbol_stream.hpp"
+#include "qols/util/serde.hpp"
 
 namespace qols::machine {
+
+/// Thrown by snapshot()/restore() when a recognizer (or its configured mode,
+/// e.g. gate-level lowering into an external sink) cannot round-trip its
+/// state. The honest refusal: callers that need snapshots — session eviction,
+/// fuzz property P7 — surface it instead of silently re-running the prefix.
+class UnsupportedSnapshot : public std::logic_error {
+ public:
+  explicit UnsupportedSnapshot(const std::string& what)
+      : std::logic_error("recognizer: unsupported snapshot: " + what) {}
+};
 
 /// Work-memory footprint of a recognizer, split per the paper's model:
 /// classical work-tape bits and quantum register qubits.
@@ -67,7 +80,41 @@ class OnlineRecognizer {
   /// explicitly (ExperimentResult::not_simulated) instead of letting such
   /// trials pass as ordinary decisions.
   virtual bool fully_simulated() const { return true; }
+
+  /// Serializes the complete mid-stream state — control fields, RNG streams,
+  /// fingerprints, quantum registers — into a versioned byte buffer. The
+  /// contract (fuzz property P7): restore() into a *fresh* recognizer of the
+  /// same kind and configuration, then feed the remaining suffix; decision,
+  /// fully_simulated() and space_used() are exactly what an uninterrupted
+  /// run would have produced. Throws UnsupportedSnapshot when the state
+  /// cannot be captured (default, and e.g. gate-level quantum mode).
+  virtual std::vector<std::uint8_t> snapshot() const {
+    throw UnsupportedSnapshot("snapshot (" + name() + ")");
+  }
+
+  /// Loads a snapshot() buffer, replacing this recognizer's entire state —
+  /// including any construction-time seed. Throws util::serde::DecodeError
+  /// on malformed bytes, wrong recognizer kind, or mismatched geometry.
+  virtual void restore(std::span<const std::uint8_t> bytes) {
+    (void)bytes;
+    throw UnsupportedSnapshot("restore (" + name() + ")");
+  }
 };
+
+/// Snapshot wire format: "QS" magic, format version, then a recognizer-kind
+/// tag (1 = classical-block, 2 = classical-full, 3 = classical-sampling,
+/// 4 = classical-bloom, 5 = quantum) followed by the kind-specific payload.
+inline constexpr std::uint8_t kSnapshotMagic0 = 'Q';
+inline constexpr std::uint8_t kSnapshotMagic1 = 'S';
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Writes the common snapshot header.
+void snapshot_header(util::serde::ByteWriter& w, std::uint8_t kind_tag);
+
+/// Validates magic, version and kind tag; throws util::serde::DecodeError
+/// naming `who` on any mismatch.
+void check_snapshot_header(util::serde::ByteReader& r, std::uint8_t kind_tag,
+                           const char* who);
 
 /// Symbols moved per transport hop by run_stream: large enough to amortize
 /// the two virtual calls per hop, small enough to stay in L1 (4 KiB).

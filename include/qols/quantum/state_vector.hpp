@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -134,6 +135,18 @@ class StateVectorT {
 
   /// Sets the state to |basis>.
   void set_basis_state(std::size_t basis);
+
+  /// Overwrites the register with externally supplied SoA amplitudes
+  /// (snapshot restore). Both vectors must match dim() exactly; the bytes
+  /// are adopted verbatim, so a restored register is bit-identical to the
+  /// serialized one. Throws std::invalid_argument on a size mismatch.
+  void load(std::vector<Scalar> re, std::vector<Scalar> im) {
+    if (re.size() != dim() || im.size() != dim()) {
+      throw std::invalid_argument("StateVectorT::load: dimension mismatch");
+    }
+    re_ = std::move(re);
+    im_ = std::move(im);
+  }
 
   // --- one-qubit gates -----------------------------------------------------
   void apply_h(unsigned q);

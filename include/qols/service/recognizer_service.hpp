@@ -91,12 +91,16 @@ class RecognizerService {
 
   struct Config {
     RecognizerSpec spec;
-    /// Buffered symbols (summed over sessions) that trigger an automatic
-    /// flush across the pool. Lower = fresher sessions, higher = better
-    /// batching. 0 is legal: every feed() flushes immediately.
+    /// Buffered symbols *within one shard* that trigger an automatic flush
+    /// across the pool. Lower = fresher sessions, higher = better batching.
+    /// 0 is legal: every feed() flushes immediately.
     std::uint64_t flush_threshold = std::uint64_t{1} << 18;
     /// Pool to shard session work onto; nullptr = util::ThreadPool::global().
     util::ThreadPool* pool = nullptr;
+    /// Directory for evicted-session spill files; empty = a unique directory
+    /// under the system temp path, created lazily on first evict() and
+    /// removed (best effort) with the service.
+    std::string spill_dir{};
   };
 
   /// Aggregate throughput counters (monotonic over the service lifetime).
@@ -121,42 +125,94 @@ class RecognizerService {
   };
 
   explicit RecognizerService(Config config);
+  ~RecognizerService();
+
+  RecognizerService(const RecognizerService&) = delete;
+  RecognizerService& operator=(const RecognizerService&) = delete;
 
   /// Opens a session: constructs the recognizer from `seed` and returns its
-  /// handle. Ids are never reused within one service.
+  /// handle. Ids are never reused within one service. Each session is pinned
+  /// to the shard id % pool-size for its whole life, so flush work for
+  /// different shards never touches the same session state.
   SessionId open(std::uint64_t seed);
 
   /// Buffers a chunk for the session (copied; the caller's span may die).
-  /// Triggers a pooled flush when the buffered total crosses the threshold.
-  /// Throws std::out_of_range on an unknown or finished session.
+  /// Triggers a pooled flush when the session's shard crosses the threshold.
+  /// Transparently revives an evicted session first. Throws
+  /// std::out_of_range on an unknown or finished session.
   void feed(SessionId id, std::span<const stream::Symbol> chunk);
 
+  /// Zero-copy ingestion: drains the session's own buffer (order is
+  /// preserved), then feeds `chunk` straight into the recognizer on the
+  /// calling thread — nothing is copied into the session buffer, so spans
+  /// lent by MappedFileStream::view_chunk reach feed_chunk untouched.
+  /// Transparently revives an evicted session. Throws std::out_of_range on
+  /// an unknown or finished session.
+  void feed_borrowed(SessionId id, std::span<const stream::Symbol> chunk);
+
   /// Drains the session's remaining buffer, finishes the recognizer, and
-  /// retires the session. Sessions may finish in any order. Throws
-  /// std::out_of_range on an unknown or already-finished session.
+  /// retires the session (reviving it first if evicted; its spill file is
+  /// removed). Sessions may finish in any order. Throws std::out_of_range
+  /// on an unknown or already-finished session.
   Verdict finish(SessionId id);
 
-  /// Feeds every buffered session in parallel across the pool. Called
-  /// automatically by feed() at the threshold; call manually to drain.
+  /// Spills an idle session to disk: drains its buffer, serializes the
+  /// recognizer (OnlineRecognizer::snapshot) into a file under the spill
+  /// directory, and frees the in-memory recognizer. A later feed()/
+  /// feed_borrowed()/finish() restores it bit-identically. Evicting an
+  /// already-evicted session is a no-op; an unknown or finished session
+  /// throws std::out_of_range; a recognizer that cannot snapshot throws
+  /// machine::UnsupportedSnapshot and the session stays resident.
+  void evict(SessionId id);
+
+  /// Restores an evicted session into memory (no-op when resident). Throws
+  /// std::out_of_range on an unknown or finished session.
+  void revive(SessionId id);
+
+  /// True when the session is currently spilled to disk.
+  bool evicted(SessionId id);
+
+  /// Feeds every buffered session in parallel across the pool, one task per
+  /// shard. Called automatically by feed() at the threshold; call manually
+  /// to drain.
   void flush();
 
   std::size_t open_sessions() const noexcept { return sessions_.size(); }
-  std::uint64_t buffered_symbols() const noexcept { return buffered_; }
+  /// Total buffered symbols, summed over shards (not maintained globally on
+  /// the feed hot path).
+  std::uint64_t buffered_symbols() const noexcept;
   const Stats& stats() const noexcept { return stats_; }
   const Config& config() const noexcept { return config_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
 
  private:
   struct Session {
     std::unique_ptr<machine::OnlineRecognizer> recognizer;
     std::vector<stream::Symbol> pending;
+    std::size_t shard = 0;
+    bool evicted = false;
+  };
+
+  struct Shard {
+    /// Sessions with non-empty buffers, in first-buffered order.
+    std::vector<SessionId> ready;
+    std::uint64_t buffered = 0;
   };
 
   Session& session_or_throw(SessionId id);
+  /// Feeds the session's buffered symbols inline and removes it from its
+  /// shard's ready list. Precondition: session is resident.
+  void drain_inline(SessionId id, Session& session);
+  void revive_session(SessionId id, Session& session);
+  std::string spill_path(SessionId id);
 
   Config config_;
+  util::ThreadPool* pool_ = nullptr;
   SessionId next_id_ = 1;
   std::unordered_map<SessionId, Session> sessions_;
-  std::uint64_t buffered_ = 0;
+  std::vector<Shard> shards_;
+  std::string spill_dir_;        // resolved on first evict()
+  bool owns_spill_dir_ = false;  // we created it; remove it in the dtor
   Stats stats_;
 };
 

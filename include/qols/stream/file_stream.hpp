@@ -16,7 +16,9 @@ namespace qols::stream {
 /// terminate the stream and set bad(); a trailing newline is tolerated.
 class FileStream final : public SymbolStream {
  public:
-  /// Opens the file; throws std::runtime_error if it cannot be opened.
+  /// Opens the file; throws std::runtime_error if it cannot be opened and
+  /// std::invalid_argument when buffer_size is 0 (refill() could never make
+  /// progress).
   explicit FileStream(const std::string& path, std::size_t buffer_size = 1 << 16);
 
   std::optional<Symbol> next() override;
@@ -38,6 +40,54 @@ class FileStream final : public SymbolStream {
   std::size_t pos_ = 0;
   bool bad_ = false;
   bool done_ = false;
+};
+
+/// Zero-copy stream over the same file format, backed by a private mmap of
+/// the whole file instead of a read buffer. Symbols are converted from
+/// characters *in place* inside the mapping (copy-on-write pages; the file
+/// is never modified), so view_chunk() lends recognizers spans of the page
+/// cache itself — ingestion moves no bytes. Consumed pages are periodically
+/// returned to the OS (madvise), so resident memory stays bounded by the
+/// release window, not the file size.
+///
+/// Semantics match FileStream exactly: foreign characters terminate the
+/// stream and set bad(); one trailing newline at end of file is tolerated.
+class MappedFileStream final : public SymbolStream {
+ public:
+  /// Opens and maps the file; throws std::runtime_error when it cannot be
+  /// opened or mapped. An empty file maps nothing and streams nothing.
+  explicit MappedFileStream(const std::string& path);
+  ~MappedFileStream() override;
+
+  MappedFileStream(const MappedFileStream&) = delete;
+  MappedFileStream& operator=(const MappedFileStream&) = delete;
+
+  std::optional<Symbol> next() override;
+  std::size_t next_chunk(std::span<Symbol> out) override;
+  /// The zero-copy path: a borrowed span of up to `max` symbols inside the
+  /// mapping, valid until the next call on this stream.
+  std::optional<std::span<const Symbol>> view_chunk(std::size_t max) override;
+  std::optional<std::uint64_t> length_hint() const override;
+
+  /// True if a character outside the alphabet was encountered.
+  bool bad() const noexcept { return bad_; }
+
+ private:
+  /// Converts up to `max` raw characters at the cursor into Symbol bytes and
+  /// returns how many converted symbols are ready to consume.
+  std::size_t prepare(std::size_t max);
+  /// Returns fully consumed pages to the OS once a release window's worth
+  /// has accumulated behind the cursor.
+  void release_behind();
+
+  std::uint8_t* data_ = nullptr;  ///< mapping base (null for an empty file)
+  std::size_t map_len_ = 0;       ///< bytes mapped
+  std::size_t limit_ = 0;         ///< symbol end (shrinks at newline/foreign)
+  std::size_t cursor_ = 0;        ///< next unconsumed symbol
+  std::size_t converted_ = 0;     ///< bytes [0, converted_) are Symbol values
+  std::size_t released_ = 0;      ///< bytes [0, released_) returned to the OS
+  std::size_t page_size_ = 4096;
+  bool bad_ = false;
 };
 
 /// Writes a symbol stream to a file (plain text, no trailing newline).

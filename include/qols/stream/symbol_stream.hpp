@@ -62,6 +62,21 @@ class SymbolStream {
     }
     return filled;
   }
+  /// Zero-copy fast path: lends a read-only view of up to `max` symbols
+  /// backed by the stream's own storage, advancing the same cursor as
+  /// next()/next_chunk(). Three-way contract:
+  ///   - nullopt: this stream cannot lend views (the default); callers fall
+  ///     back to next_chunk() and need not ask again;
+  ///   - engaged empty span: end of input;
+  ///   - engaged non-empty span: borrowed symbols, valid only until the next
+  ///     call on this stream.
+  /// Only storage-backed streams (MappedFileStream) override this; wrappers
+  /// deliberately do not, so failure injection always goes through the
+  /// copying path it transforms.
+  virtual std::optional<std::span<const Symbol>> view_chunk(std::size_t max) {
+    (void)max;
+    return std::nullopt;
+  }
   /// Total length if known in advance (for reporting only; recognizers must
   /// not rely on it — the paper's machines never know |w| a priori).
   virtual std::optional<std::uint64_t> length_hint() const { return std::nullopt; }

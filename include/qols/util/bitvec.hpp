@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,14 @@ class BitVec {
   std::string to_string() const;
 
   bool operator==(const BitVec& other) const noexcept = default;
+
+  /// Raw packed words (ceil(size/64) of them), for snapshot serialization.
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Rebuilds a BitVec from its size and packed words (the inverse of
+  /// words()). Throws std::invalid_argument when the word count does not
+  /// match the size — a malformed snapshot, not a programming error path.
+  static BitVec from_words(std::size_t n, std::vector<std::uint64_t> words);
 
  private:
   std::size_t size_ = 0;

@@ -98,6 +98,14 @@ class Xoshiro256StarStar {
   /// Derives an independent child generator (seeded from this stream).
   Xoshiro256StarStar split() noexcept { return Xoshiro256StarStar(next()); }
 
+  /// The full 256-bit state, for recognizer snapshot/restore: a restored
+  /// generator continues the exact sequence the snapshotted one would have
+  /// produced. Not an entropy interface — do not derive seeds from it.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

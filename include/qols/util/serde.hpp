@@ -1,0 +1,116 @@
+#pragma once
+// Little-endian byte-buffer codec for recognizer snapshots.
+//
+// Every OnlineRecognizer::snapshot() payload is written through ByteWriter
+// and read back through ByteReader. The format is deliberately dumb: fixed
+// little-endian integer widths, IEEE-754 bit patterns for floating point
+// (exact round-trip — restore is bit-identical, never re-rounded), and
+// length-prefixed containers. No varints, no alignment, no versioning here;
+// the snapshot header (magic + format version + recognizer kind) lives in
+// machine/online_recognizer.hpp, where the recognizer contract is defined.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qols::util::serde {
+
+/// Thrown by ByteReader on truncated, oversized, or malformed input. Derives
+/// from std::invalid_argument so callers can treat "bad snapshot bytes" and
+/// "bad header" uniformly.
+class DecodeError : public std::invalid_argument {
+ public:
+  explicit DecodeError(const std::string& what)
+      : std::invalid_argument("snapshot decode: " + what) {}
+};
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// IEEE bit pattern — exact round-trip, including NaN payloads and -0.0.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+
+  void u64_vec(std::span<const std::uint64_t> v) {
+    u64(v.size());
+    for (const std::uint64_t x : v) u64(x);
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Matching decoder over a borrowed byte span. Every read is bounds-checked;
+/// underflow throws DecodeError instead of reading garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  bool b() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw DecodeError("bool field out of range");
+    return v != 0;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  float f32() { return std::bit_cast<float>(u32()); }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = u64();
+    // 8 bytes per element must still fit in what remains — rejects a forged
+    // length before the allocation, not after.
+    if (n > remaining() / 8) throw DecodeError("vector length exceeds payload");
+    std::vector<std::uint64_t> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
+    return v;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+  /// Restore must consume the payload exactly; trailing bytes mean the
+  /// snapshot and the code disagree about the format.
+  void expect_exhausted() const {
+    if (!exhausted()) throw DecodeError("trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) throw DecodeError("payload truncated");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qols::util::serde

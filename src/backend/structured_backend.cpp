@@ -482,4 +482,84 @@ double StructuredBackend::norm() const {
   return std::sqrt(total);
 }
 
+void StructuredBackend::serialize_state(util::serde::ByteWriter& w) const {
+  w.u32(num_qubits_);
+  w.u32(index_width_);
+  w.u64(peak_classes_);
+  w.u64(classes_.size());
+  for (const AmpClass& c : classes_) {
+    w.b(c.is_rest);
+    w.u64(c.count);
+    for (const Amplitude& a : c.amp) {
+      w.f64(a.real());
+      w.f64(a.imag());
+    }
+    // Sorted membership: equal states serialize to equal bytes no matter
+    // what insertion order the unordered_set saw.
+    std::vector<std::uint64_t> members(c.members.begin(), c.members.end());
+    std::sort(members.begin(), members.end());
+    w.u64_vec(members);
+  }
+}
+
+void StructuredBackend::restore_state(util::serde::ByteReader& r) {
+  if (r.u32() != num_qubits_ || r.u32() != index_width_) {
+    throw util::serde::DecodeError("structured backend: geometry mismatch");
+  }
+  const std::uint64_t peak = r.u64();
+  const std::uint64_t n_classes = r.u64();
+  // Each class carries at least sectors_ amplitudes (16 bytes apiece); cap
+  // the claimed count before allocating.
+  if (n_classes == 0 || n_classes > r.remaining() / (sectors_ * 16)) {
+    throw util::serde::DecodeError("structured backend: bad class count");
+  }
+  std::vector<AmpClass> classes;
+  classes.reserve(static_cast<std::size_t>(n_classes));
+  std::uint64_t total_count = 0;
+  std::size_t rest_classes = 0;
+  for (std::uint64_t ci = 0; ci < n_classes; ++ci) {
+    AmpClass c;
+    c.is_rest = r.b();
+    c.count = r.u64();
+    c.amp.reserve(sectors_);
+    for (std::size_t s = 0; s < sectors_; ++s) {
+      const double re = r.f64();
+      const double im = r.f64();
+      c.amp.emplace_back(re, im);
+    }
+    const std::vector<std::uint64_t> members = r.u64_vec();
+    if (c.is_rest) {
+      if (!members.empty()) {
+        throw util::serde::DecodeError("structured backend: rest with members");
+      }
+      ++rest_classes;
+    } else {
+      if (members.size() != c.count) {
+        throw util::serde::DecodeError(
+            "structured backend: member count mismatch");
+      }
+      for (const std::uint64_t m : members) {
+        if (m >= index_size_) {
+          throw util::serde::DecodeError(
+              "structured backend: member out of range");
+        }
+        c.members.insert(m);
+      }
+      if (c.members.size() != members.size()) {
+        throw util::serde::DecodeError("structured backend: duplicate member");
+      }
+    }
+    total_count += c.count;
+    classes.push_back(std::move(c));
+  }
+  // Invariant I1 before committing anything: exactly one rest class and a
+  // full partition of the index range.
+  if (rest_classes != 1 || total_count != index_size_) {
+    throw util::serde::DecodeError("structured backend: broken partition");
+  }
+  classes_ = std::move(classes);
+  peak_classes_ = std::max<std::size_t>(static_cast<std::size_t>(peak),
+                                        classes_.size());
+}
+
 }  // namespace qols::backend

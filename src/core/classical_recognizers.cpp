@@ -1,6 +1,7 @@
 #include "qols/core/classical_recognizers.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
 
@@ -54,6 +55,28 @@ void drive_chunk(std::span<const Symbol> chunk, const bool& in_prefix,
     const std::size_t j = stream::find_sep(chunk.data(), i + 1, n);
     on_body_run(chunk.data() + i, j - i);
     i = j;
+  }
+}
+
+// Snapshot kind tags (see machine/online_recognizer.hpp).
+constexpr std::uint8_t kTagBlock = 1;
+constexpr std::uint8_t kTagFull = 2;
+constexpr std::uint8_t kTagSampling = 3;
+constexpr std::uint8_t kTagBloom = 4;
+
+void put_bitvec(util::serde::ByteWriter& w, const util::BitVec& v) {
+  w.u64(v.size());
+  w.u64_vec(v.words());
+}
+
+util::BitVec get_bitvec(util::serde::ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<std::uint64_t> words = r.u64_vec();
+  try {
+    return util::BitVec::from_words(static_cast<std::size_t>(n),
+                                    std::move(words));
+  } catch (const std::invalid_argument& e) {
+    throw util::serde::DecodeError(e.what());
   }
 }
 
@@ -182,6 +205,42 @@ machine::SpaceReport ClassicalBlockRecognizer::space_used() const {
   return r;
 }
 
+std::vector<std::uint8_t> ClassicalBlockRecognizer::snapshot() const {
+  util::serde::ByteWriter w;
+  machine::snapshot_header(w, kTagBlock);
+  a1_.snapshot_to(w);
+  a2_->snapshot_to(w);
+  w.b(in_prefix_);
+  w.u32(k_);
+  w.b(active_);
+  w.u64(m_);
+  w.u64(block_len_);
+  w.u64(rep_);
+  w.u32(block_);
+  w.u64(off_);
+  put_bitvec(w, buffer_);
+  w.b(found_);
+  return w.take();
+}
+
+void ClassicalBlockRecognizer::restore(std::span<const std::uint8_t> bytes) {
+  util::serde::ByteReader r(bytes);
+  machine::check_snapshot_header(r, kTagBlock, "classical-block");
+  a1_.restore_from(r);
+  a2_->restore_from(r);
+  in_prefix_ = r.b();
+  k_ = r.u32();
+  active_ = r.b();
+  m_ = r.u64();
+  block_len_ = r.u64();
+  rep_ = r.u64();
+  block_ = r.u32();
+  off_ = r.u64();
+  buffer_ = get_bitvec(r);
+  found_ = r.b();
+  r.expect_exhausted();
+}
+
 // ---------------------------------------------------------------------------
 // ClassicalFullRecognizer
 // ---------------------------------------------------------------------------
@@ -285,6 +344,40 @@ machine::SpaceReport ClassicalFullRecognizer::space_used() const {
                      x_.size() + (2ULL * k_ + 1) + 4;
   r.qubits = 0;
   return r;
+}
+
+std::vector<std::uint8_t> ClassicalFullRecognizer::snapshot() const {
+  util::serde::ByteWriter w;
+  machine::snapshot_header(w, kTagFull);
+  a1_.snapshot_to(w);
+  a2_->snapshot_to(w);
+  w.b(in_prefix_);
+  w.u32(k_);
+  w.b(active_);
+  w.u64(m_);
+  w.u64(rep_);
+  w.u32(block_);
+  w.u64(off_);
+  put_bitvec(w, x_);
+  w.b(found_);
+  return w.take();
+}
+
+void ClassicalFullRecognizer::restore(std::span<const std::uint8_t> bytes) {
+  util::serde::ByteReader r(bytes);
+  machine::check_snapshot_header(r, kTagFull, "classical-full");
+  a1_.restore_from(r);
+  a2_->restore_from(r);
+  in_prefix_ = r.b();
+  k_ = r.u32();
+  active_ = r.b();
+  m_ = r.u64();
+  rep_ = r.u64();
+  block_ = r.u32();
+  off_ = r.u64();
+  x_ = get_bitvec(r);
+  found_ = r.b();
+  r.expect_exhausted();
 }
 
 // ---------------------------------------------------------------------------
@@ -423,6 +516,63 @@ machine::SpaceReport ClassicalSamplingRecognizer::space_used() const {
                      budget_ * per_sample + (2ULL * k_ + 1) + 4;
   r.qubits = 0;
   return r;
+}
+
+std::vector<std::uint8_t> ClassicalSamplingRecognizer::snapshot() const {
+  util::serde::ByteWriter w;
+  machine::snapshot_header(w, kTagSampling);
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+  w.u64(budget_);
+  a1_.snapshot_to(w);
+  a2_->snapshot_to(w);
+  w.b(in_prefix_);
+  w.u32(k_);
+  w.b(active_);
+  w.u64(m_);
+  w.u64(rep_);
+  w.u32(block_);
+  w.u64(off_);
+  w.u64_vec(indices_);
+  w.u64(xbits_.size());
+  for (const bool bit : xbits_) w.b(bit);
+  w.u64(cursor_);
+  w.b(found_);
+  return w.take();
+}
+
+void ClassicalSamplingRecognizer::restore(std::span<const std::uint8_t> bytes) {
+  util::serde::ByteReader r(bytes);
+  machine::check_snapshot_header(r, kTagSampling, "classical-sample");
+  std::array<std::uint64_t, 4> state;
+  for (auto& s : state) s = r.u64();
+  rng_.set_state(state);
+  // budget is construction-time configuration; a snapshot from a
+  // differently-budgeted recognizer is a caller error, not a state to adopt.
+  if (r.u64() != budget_) {
+    throw util::serde::DecodeError("classical-sample: budget mismatch");
+  }
+  a1_.restore_from(r);
+  a2_->restore_from(r);
+  in_prefix_ = r.b();
+  k_ = r.u32();
+  active_ = r.b();
+  m_ = r.u64();
+  rep_ = r.u64();
+  block_ = r.u32();
+  off_ = r.u64();
+  indices_ = r.u64_vec();
+  const std::uint64_t nbits = r.u64();
+  if (nbits != indices_.size()) {
+    throw util::serde::DecodeError("classical-sample: sample size mismatch");
+  }
+  xbits_.assign(static_cast<std::size_t>(nbits), false);
+  for (std::size_t i = 0; i < xbits_.size(); ++i) xbits_[i] = r.b();
+  cursor_ = r.u64();
+  if (cursor_ > indices_.size()) {
+    throw util::serde::DecodeError("classical-sample: cursor out of range");
+  }
+  found_ = r.b();
+  r.expect_exhausted();
 }
 
 // ---------------------------------------------------------------------------
@@ -566,6 +716,50 @@ machine::SpaceReport ClassicalBloomRecognizer::space_used() const {
                      filter_.size() + (2ULL * k_ + 1) + 4;
   r.qubits = 0;
   return r;
+}
+
+std::vector<std::uint8_t> ClassicalBloomRecognizer::snapshot() const {
+  util::serde::ByteWriter w;
+  machine::snapshot_header(w, kTagBloom);
+  w.u64(seed_);
+  w.u64(filter_bits_);
+  w.u32(num_hashes_);
+  a1_.snapshot_to(w);
+  a2_->snapshot_to(w);
+  w.b(in_prefix_);
+  w.u32(k_);
+  w.b(active_);
+  w.u64(m_);
+  w.u64(rep_);
+  w.u32(block_);
+  w.u64(off_);
+  put_bitvec(w, filter_);
+  w.b(hit_);
+  return w.take();
+}
+
+void ClassicalBloomRecognizer::restore(std::span<const std::uint8_t> bytes) {
+  util::serde::ByteReader r(bytes);
+  machine::check_snapshot_header(r, kTagBloom, "classical-bloom");
+  // seed_ travels with the snapshot (the filter's contents hash under it);
+  // the filter geometry is construction-time configuration and must match.
+  const std::uint64_t seed = r.u64();
+  if (r.u64() != filter_bits_ || r.u32() != num_hashes_) {
+    throw util::serde::DecodeError("classical-bloom: filter geometry mismatch");
+  }
+  seed_ = seed;
+  a1_.restore_from(r);
+  a2_->restore_from(r);
+  in_prefix_ = r.b();
+  k_ = r.u32();
+  active_ = r.b();
+  m_ = r.u64();
+  rep_ = r.u64();
+  block_ = r.u32();
+  off_ = r.u64();
+  filter_ = get_bitvec(r);
+  hit_ = r.b();
+  r.expect_exhausted();
 }
 
 }  // namespace qols::core

@@ -1,8 +1,10 @@
 #include "qols/core/grover_streamer.hpp"
 
+#include <array>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "qols/backend/registry.hpp"
@@ -232,6 +234,67 @@ std::uint64_t GroverStreamer::classical_bits_used() const noexcept {
 
 std::uint64_t GroverStreamer::gates_emitted() const noexcept {
   return builder_ ? builder_->gates_emitted() : 0;
+}
+
+void GroverStreamer::snapshot_to(util::serde::ByteWriter& w) const {
+  if (builder_ != nullptr || opts_.gate_sink != nullptr) {
+    // The emitted-gate tape lives in the caller's sink; a snapshot that
+    // silently dropped it would replay the stream with half the output
+    // missing.
+    throw backend::UnsupportedOperation("snapshot in gate-level mode");
+  }
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+  w.b(in_prefix_);
+  w.u32(k_);
+  w.b(active_);
+  w.b(overflow_);
+  w.u64(m_);
+  w.u64(j_);
+  w.u64(rep_);
+  w.u32(block_);
+  w.u64(off_);
+  w.b(done_);
+  w.b(backend_ != nullptr);
+  if (backend_) {
+    const std::string_view id = backend_->id();
+    w.u8(static_cast<std::uint8_t>(id.size()));
+    for (const char c : id) w.u8(static_cast<std::uint8_t>(c));
+    w.u8(static_cast<std::uint8_t>(backend_->precision()));
+    backend_->serialize_state(w);
+  }
+}
+
+void GroverStreamer::restore_from(util::serde::ByteReader& r) {
+  if (opts_.gate_sink != nullptr) {
+    throw backend::UnsupportedOperation("restore into gate-level mode");
+  }
+  std::array<std::uint64_t, 4> state;
+  for (auto& s : state) s = r.u64();
+  rng_.set_state(state);
+  in_prefix_ = r.b();
+  k_ = r.u32();
+  active_ = r.b();
+  overflow_ = r.b();
+  m_ = r.u64();
+  j_ = r.u64();
+  rep_ = r.u64();
+  block_ = r.u32();
+  off_ = r.u64();
+  done_ = r.b();
+  backend_.reset();
+  builder_.reset();
+  if (r.b()) {
+    std::string id(r.u8(), '\0');
+    for (char& c : id) c = static_cast<char>(r.u8());
+    const auto precision = static_cast<quantum::Precision>(r.u8());
+    if (k_ == 0 || k_ > 29) {
+      throw util::serde::DecodeError("grover streamer: bad k for backend");
+    }
+    // make_backend validates the id and geometry; a corrupt id string
+    // surfaces as invalid_argument, not undefined behavior.
+    backend_ = backend::make_backend(id, 2 * k_ + 2, 2 * k_, precision);
+    backend_->restore_state(r);
+  }
 }
 
 }  // namespace qols::core

@@ -64,4 +64,34 @@ machine::SpaceReport QuantumOnlineRecognizer::space_used() const {
   return r;
 }
 
+std::vector<std::uint8_t> QuantumOnlineRecognizer::snapshot() const {
+  util::serde::ByteWriter w;
+  machine::snapshot_header(w, /*kind_tag=*/5);
+  try {
+    a1_.snapshot_to(w);
+    a2_->snapshot_to(w);
+    a3_->snapshot_to(w);
+  } catch (const backend::UnsupportedOperation& e) {
+    // Translate the backend-layer refusal (gate-level mode, or a backend
+    // without state serialization) into the recognizer-layer contract.
+    throw machine::UnsupportedSnapshot(e.what());
+  }
+  w.b(finished_);
+  return w.take();
+}
+
+void QuantumOnlineRecognizer::restore(std::span<const std::uint8_t> bytes) {
+  util::serde::ByteReader r(bytes);
+  machine::check_snapshot_header(r, /*kind_tag=*/5, "quantum");
+  a1_.restore_from(r);
+  a2_->restore_from(r);
+  try {
+    a3_->restore_from(r);
+  } catch (const backend::UnsupportedOperation& e) {
+    throw machine::UnsupportedSnapshot(e.what());
+  }
+  finished_ = r.b();
+  r.expect_exhausted();
+}
+
 }  // namespace qols::core

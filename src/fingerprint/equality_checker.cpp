@@ -1,5 +1,7 @@
 #include "qols/fingerprint/equality_checker.hpp"
 
+#include <array>
+
 namespace qols::fingerprint {
 
 using stream::Symbol;
@@ -85,6 +87,63 @@ void EqualityChecker::on_block_end() {
   }
   ++block_index_;
   current_->reset();
+}
+
+namespace {
+
+void put_opt_u64(util::serde::ByteWriter& w,
+                 const std::optional<std::uint64_t>& v) {
+  w.b(v.has_value());
+  w.u64(v.value_or(0));
+}
+
+std::optional<std::uint64_t> get_opt_u64(util::serde::ByteReader& r) {
+  const bool has = r.b();
+  const std::uint64_t v = r.u64();
+  return has ? std::optional<std::uint64_t>(v) : std::nullopt;
+}
+
+}  // namespace
+
+void EqualityChecker::snapshot_to(util::serde::ByteWriter& w) const {
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+  w.u32(field_exponent_);
+  w.b(failed_);
+  w.b(in_prefix_);
+  w.u32(k_);
+  w.b(active_);
+  w.u64(p_);
+  w.u64(t_);
+  w.b(current_.has_value());
+  if (current_) current_->snapshot_to(w);
+  w.u64(block_index_);
+  put_opt_u64(w, cur_x_);
+  put_opt_u64(w, cur_y_);
+  put_opt_u64(w, prev_x_);
+  put_opt_u64(w, prev_y_);
+}
+
+void EqualityChecker::restore_from(util::serde::ByteReader& r) {
+  std::array<std::uint64_t, 4> state;
+  for (auto& s : state) s = r.u64();
+  rng_.set_state(state);
+  field_exponent_ = r.u32();
+  failed_ = r.b();
+  in_prefix_ = r.b();
+  k_ = r.u32();
+  active_ = r.b();
+  p_ = r.u64();
+  t_ = r.u64();
+  if (r.b()) {
+    current_ = PolyFingerprint::restored_from(r);
+  } else {
+    current_.reset();
+  }
+  block_index_ = r.u64();
+  cur_x_ = get_opt_u64(r);
+  cur_y_ = get_opt_u64(r);
+  prev_x_ = get_opt_u64(r);
+  prev_y_ = get_opt_u64(r);
 }
 
 std::uint64_t EqualityChecker::classical_bits_used() const noexcept {

@@ -198,6 +198,13 @@ FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
   if (c.spec.kind == service::RecognizerKind::kQuantum) {
     c.spec.float_amplitudes = sm.next() % 2 == 1;
   }
+
+  // Snapshot axis (P7), half the corpus: freeze mid-word, restore into a
+  // fresh recognizer, finish. Both draws are unconditional so the seed->field
+  // mapping of everything above is unchanged from the qf2 generator.
+  const std::uint64_t snap_roll = sm.next();
+  const std::uint64_t snap_pos = sm.next();
+  c.snapshot_cut = snap_roll % 2 == 1 ? snap_pos : kNoSnapshot;
   return c;
 }
 
@@ -302,6 +309,9 @@ std::string describe(const FuzzCase& c) {
   }
   if (c.truncate_len != kNoTruncate) {
     out += " cut=" + std::to_string(c.truncate_len);
+  }
+  if (c.snapshot_cut != kNoSnapshot) {
+    out += " snapcut=" + std::to_string(c.snapshot_cut);
   }
   out += " schedule=";
   out += c.schedule == ScheduleKind::kWhole   ? "whole"

@@ -33,6 +33,11 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         c.spec.kind == service::RecognizerKind::kQuantum) {
       c.spec.float_amplitudes = true;
     }
+    if (opts.force_snapshot && c.snapshot_cut == kNoSnapshot) {
+      // Promote the skipped half of the corpus into P7; the case seed keeps
+      // the cut deterministic (it is reduced mod word length at check time).
+      c.snapshot_cut = c.seed;
+    }
     const CaseResult result = check_case(c);
     ++report.cases;
     ++report.by_word_kind[static_cast<unsigned>(c.word)];

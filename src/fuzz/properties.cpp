@@ -274,6 +274,42 @@ void check_precision(const service::RecognizerSpec& pinned_spec,
   }
 }
 
+void check_snapshot_resume(const FuzzCase& c,
+                           const service::RecognizerSpec& pinned_spec,
+                           const std::vector<Symbol>& word,
+                           const Outcome& reference,
+                           std::vector<Discrepancy>& issues) {
+  const std::size_t cut =
+      static_cast<std::size_t>(c.snapshot_cut % (word.size() + 1));
+  const std::uint64_t seed = recognizer_seed(c, 0);
+  try {
+    auto first = pinned_spec.make(seed);
+    first->feed_chunk(std::span<const Symbol>(word.data(), cut));
+    const std::vector<std::uint8_t> bytes = first->snapshot();
+    // The resumed half runs in a recognizer built from a DIFFERENT seed:
+    // equality below proves restore() overwrites the constructed state
+    // entirely, rng included, rather than merely patching counters.
+    auto second = pinned_spec.make(seed ^ 0x5eed'5eed'5eed'5eedULL);
+    second->restore(bytes);
+    second->feed_chunk(
+        std::span<const Symbol>(word.data() + cut, word.size() - cut));
+    const Outcome resumed = finish_outcome(*second);
+    if (!(resumed == reference)) {
+      issues.push_back({"P7-snapshot-resume",
+                        "straight vs snapshot at " + std::to_string(cut) +
+                            "/" + std::to_string(word.size()) + ":" +
+                            outcome_diff(reference, resumed)});
+    }
+  } catch (const std::exception& e) {
+    // Every recognizer the generator can draw promises a working snapshot;
+    // an UnsupportedSnapshot or DecodeError here is a real defect.
+    issues.push_back({"P7-snapshot-resume",
+                      "snapshot at " + std::to_string(cut) + "/" +
+                          std::to_string(word.size()) + " threw: " +
+                          e.what()});
+  }
+}
+
 void check_service(const FuzzCase& c, const std::vector<Symbol>& word,
                    const Outcome& reference,
                    std::vector<Discrepancy>& issues) {
@@ -383,6 +419,11 @@ CaseResult check_case(const FuzzCase& c) {
   // P6: float vs double amplitudes, quantum cases only.
   if (c.spec.kind == RecognizerKind::kQuantum) {
     check_precision(pinned.spec, seed, word, result.issues);
+  }
+
+  // P7: snapshot mid-word, restore into a fresh recognizer, same outcome.
+  if (c.snapshot_cut != kNoSnapshot) {
+    check_snapshot_resume(c, pinned.spec, word, reference, result.issues);
   }
 
   // P5: the serving layer reproduces single-stream verdicts.

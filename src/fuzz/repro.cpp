@@ -8,10 +8,10 @@ namespace qols::fuzz {
 
 namespace {
 
-// qf2 appended the trailing float_amplitudes field (PR 6's precision axis);
-// qf1 tokens are rejected rather than silently defaulted, so a replay always
-// states the precision it checks.
-constexpr std::string_view kVersion = "qf2";
+// qf3 appended the trailing snapshot_cut field (PR 7's snapshot/resume
+// axis); qf2 added float_amplitudes (PR 6). Older tokens are rejected rather
+// than silently defaulted, so a replay always states every axis it checks.
+constexpr std::string_view kVersion = "qf3";
 
 void append_hex(std::string& out, std::uint64_t v) {
   char buf[17];
@@ -58,6 +58,7 @@ std::string encode_token(const FuzzCase& c) {
   append_hex(out, c.spec.bloom_filter_bits);
   append_hex(out, c.spec.bloom_num_hashes);
   append_hex(out, c.spec.float_amplitudes ? 1 : 0);
+  append_hex(out, c.snapshot_cut);
   return out;
 }
 
@@ -140,6 +141,9 @@ FuzzCase decode_token(const std::string& token) {
   const std::uint64_t float_amps = r.next("float_amplitudes");
   if (float_amps > 1) bad("float_amplitudes out of range [0, 1]");
   c.spec.float_amplitudes = float_amps == 1;
+  // Any value is legal: it is reduced modulo the word length at check time,
+  // and kNoSnapshot (all ones) means "skip P7".
+  c.snapshot_cut = r.next("snapshot_cut");
   if (!r.exhausted()) bad("trailing fields");
   return c;
 }

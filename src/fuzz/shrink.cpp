@@ -64,6 +64,14 @@ ShrinkOutcome shrink(const FuzzCase& failing,
       progressed = try_candidate(candidate) || progressed;
     }
 
+    // Drop the snapshot axis: a failure that isn't about P7 replays without
+    // the mid-word freeze/restore detour (still_fails keeps it when it is).
+    if (out.best.snapshot_cut != kNoSnapshot) {
+      FuzzCase candidate = out.best;
+      candidate.snapshot_cut = kNoSnapshot;
+      progressed = try_candidate(candidate) || progressed;
+    }
+
     // Smaller instance scale.
     while (out.best.k > 1) {
       FuzzCase candidate = out.best;

@@ -85,6 +85,32 @@ bool StructureValidator::finish() {
   return phase_ == Phase::kDone;
 }
 
+void StructureValidator::snapshot_to(util::serde::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.b(failed_);
+  w.b(k_known_);
+  w.u32(k_);
+  w.u64(m_);
+  w.u64(total_blocks_);
+  w.u64(blocks_done_);
+  w.u64(pos_in_block_);
+}
+
+void StructureValidator::restore_from(util::serde::ByteReader& r) {
+  const std::uint8_t phase = r.u8();
+  if (phase > static_cast<std::uint8_t>(Phase::kDone)) {
+    throw util::serde::DecodeError("StructureValidator: bad phase");
+  }
+  phase_ = static_cast<Phase>(phase);
+  failed_ = r.b();
+  k_known_ = r.b();
+  k_ = r.u32();
+  m_ = r.u64();
+  total_blocks_ = r.u64();
+  blocks_done_ = r.u64();
+  pos_in_block_ = r.u64();
+}
+
 std::uint64_t StructureValidator::classical_bits_used() const noexcept {
   // Conceptual OPTM work-tape footprint. Before k is known only the prefix
   // counter exists; afterwards the three counters sized by k.

@@ -5,7 +5,23 @@
 
 namespace qols::machine {
 
+/// View size for the zero-copy fast path: large enough that mapped input
+/// reaches feed_chunk in page-cache-sized runs, bounded so a recognizer
+/// never sees a span larger than 1 MiB of symbols at once.
+inline constexpr std::size_t kRunStreamViewChunk = std::size_t{1} << 20;
+
 bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec) {
+  // Zero-copy fast path: streams that can lend a view of their own storage
+  // (MappedFileStream) skip the transport buffer entirely. The first nullopt
+  // means "unsupported" and drops us to the copying loop for good.
+  if (auto view = input.view_chunk(kRunStreamViewChunk)) {
+    while (!view->empty()) {
+      rec.feed_chunk(*view);
+      view = input.view_chunk(kRunStreamViewChunk);
+      if (!view) break;  // stream revoked view support mid-run: fall back
+    }
+    if (view) return rec.finish();
+  }
   std::array<stream::Symbol, kRunStreamChunk> buffer;
   while (true) {
     const std::size_t n = input.next_chunk(buffer);
@@ -13,6 +29,28 @@ bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec) {
     rec.feed_chunk(std::span<const stream::Symbol>(buffer.data(), n));
   }
   return rec.finish();
+}
+
+void snapshot_header(util::serde::ByteWriter& w, std::uint8_t kind_tag) {
+  w.u8(kSnapshotMagic0);
+  w.u8(kSnapshotMagic1);
+  w.u8(kSnapshotVersion);
+  w.u8(kind_tag);
+}
+
+void check_snapshot_header(util::serde::ByteReader& r, std::uint8_t kind_tag,
+                           const char* who) {
+  const std::string prefix(who);
+  if (r.u8() != kSnapshotMagic0 || r.u8() != kSnapshotMagic1) {
+    throw util::serde::DecodeError(prefix + ": not a recognizer snapshot");
+  }
+  if (r.u8() != kSnapshotVersion) {
+    throw util::serde::DecodeError(prefix + ": unknown snapshot version");
+  }
+  if (r.u8() != kind_tag) {
+    throw util::serde::DecodeError(prefix +
+                                   ": snapshot is for a different recognizer");
+  }
 }
 
 double log2_configuration_bound(double n, double s, double alphabet,

@@ -1,6 +1,12 @@
 #include "qols/service/recognizer_service.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 #include "qols/core/classical_recognizers.hpp"
@@ -58,6 +64,19 @@ RecognizerService::RecognizerService(Config config)
   // Surface a bad backend id at service construction, not first open():
   // the spec is the service's contract with every future session.
   config_.spec.make(0);
+  pool_ = config_.pool != nullptr ? config_.pool : &util::ThreadPool::global();
+  const std::size_t n = pool_->thread_count();
+  shards_.resize(n > 0 ? n : 1);
+}
+
+RecognizerService::~RecognizerService() {
+  // Best-effort spill cleanup: remove the spill file of every still-evicted
+  // session, and the directory itself when this service created it.
+  std::error_code ec;
+  for (const auto& [id, session] : sessions_) {
+    if (session.evicted) std::filesystem::remove(spill_path(id), ec);
+  }
+  if (owns_spill_dir_) std::filesystem::remove(spill_dir_, ec);
 }
 
 RecognizerService::Session& RecognizerService::session_or_throw(SessionId id) {
@@ -71,7 +90,8 @@ RecognizerService::Session& RecognizerService::session_or_throw(SessionId id) {
 
 RecognizerService::SessionId RecognizerService::open(std::uint64_t seed) {
   const SessionId id = next_id_++;
-  sessions_.emplace(id, Session{config_.spec.make(seed), {}});
+  Session session{config_.spec.make(seed), {}, id % shards_.size(), false};
+  sessions_.emplace(id, std::move(session));
   ++stats_.sessions_opened;
   return id;
 }
@@ -79,46 +99,68 @@ RecognizerService::SessionId RecognizerService::open(std::uint64_t seed) {
 void RecognizerService::feed(SessionId id,
                              std::span<const stream::Symbol> chunk) {
   Session& session = session_or_throw(id);
+  if (session.evicted) revive_session(id, session);
+  Shard& shard = shards_[session.shard];
+  if (session.pending.empty() && !chunk.empty()) shard.ready.push_back(id);
   session.pending.insert(session.pending.end(), chunk.begin(), chunk.end());
-  buffered_ += chunk.size();
+  shard.buffered += chunk.size();
   stats_.symbols_ingested += chunk.size();
-  if (buffered_ >= config_.flush_threshold) flush();
+  if (shard.buffered >= config_.flush_threshold) flush();
+}
+
+void RecognizerService::feed_borrowed(SessionId id,
+                                      std::span<const stream::Symbol> chunk) {
+  Session& session = session_or_throw(id);
+  if (session.evicted) revive_session(id, session);
+  util::Stopwatch watch;
+  // Order within the session must hold: anything already buffered goes
+  // first, then the borrowed span — which is consumed before returning, so
+  // the caller's view (e.g. a MappedFileStream page) may be invalidated or
+  // released afterwards.
+  if (!session.pending.empty()) drain_inline(id, session);
+  session.recognizer->feed_chunk(chunk);
+  stats_.symbols_ingested += chunk.size();
+  stats_.busy_seconds += watch.seconds();
+}
+
+void RecognizerService::drain_inline(SessionId id, Session& session) {
+  Shard& shard = shards_[session.shard];
+  shard.buffered -= session.pending.size();
+  session.recognizer->feed_chunk(session.pending);
+  session.pending.clear();
+  std::erase(shard.ready, id);
 }
 
 void RecognizerService::flush() {
-  if (buffered_ == 0) return;
-  std::vector<Session*> ready;
-  ready.reserve(sessions_.size());
-  for (auto& [id, session] : sessions_) {
-    if (!session.pending.empty()) ready.push_back(&session);
-  }
+  bool any = false;
+  for (const Shard& shard : shards_) any = any || shard.buffered > 0;
+  if (!any) return;
   util::Stopwatch watch;
-  util::ThreadPool& pool =
-      config_.pool != nullptr ? *config_.pool : util::ThreadPool::global();
-  // One task slot per session: a session is only ever advanced by a single
-  // worker at a time, so its symbols stay in order (the determinism
-  // contract). Independent sessions run concurrently.
-  util::parallel_for(pool, 0, ready.size(), 1,
-                     [&ready](std::size_t lo, std::size_t hi) {
-                       for (std::size_t i = lo; i < hi; ++i) {
-                         Session& s = *ready[i];
-                         s.recognizer->feed_chunk(s.pending);
-                         s.pending.clear();
-                       }
-                     });
+  // One task per shard: a session is pinned to its shard for life, so no
+  // two workers ever advance the same session, and symbols within a session
+  // stay in order (the determinism contract). Shards drain concurrently.
+  util::parallel_for(
+      *pool_, 0, shards_.size(), 1, [this](std::size_t lo, std::size_t hi) {
+        for (std::size_t si = lo; si < hi; ++si) {
+          Shard& shard = shards_[si];
+          for (const SessionId id : shard.ready) {
+            Session& s = sessions_.find(id)->second;
+            s.recognizer->feed_chunk(s.pending);
+            s.pending.clear();
+          }
+          shard.ready.clear();
+          shard.buffered = 0;
+        }
+      });
   stats_.busy_seconds += watch.seconds();
   ++stats_.flushes;
-  buffered_ = 0;
 }
 
 RecognizerService::Verdict RecognizerService::finish(SessionId id) {
   Session& session = session_or_throw(id);
+  if (session.evicted) revive_session(id, session);
   util::Stopwatch watch;
-  if (!session.pending.empty()) {
-    buffered_ -= session.pending.size();
-    session.recognizer->feed_chunk(session.pending);
-    session.pending.clear();
-  }
+  if (!session.pending.empty()) drain_inline(id, session);
   Verdict verdict;
   verdict.accepted = session.recognizer->finish();
   verdict.fully_simulated = session.recognizer->fully_simulated();
@@ -127,6 +169,87 @@ RecognizerService::Verdict RecognizerService::finish(SessionId id) {
   ++stats_.sessions_finished;
   sessions_.erase(id);
   return verdict;
+}
+
+std::uint64_t RecognizerService::buffered_symbols() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.buffered;
+  return total;
+}
+
+std::string RecognizerService::spill_path(SessionId id) {
+  if (spill_dir_.empty()) {
+    if (!config_.spill_dir.empty()) {
+      spill_dir_ = config_.spill_dir;
+      std::filesystem::create_directories(spill_dir_);
+    } else {
+      // Unique per service instance: two services in one process (or across
+      // processes) never collide on session ids.
+      auto dir = std::filesystem::temp_directory_path() /
+                 ("qols-spill-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+      std::filesystem::create_directories(dir);
+      spill_dir_ = dir.string();
+      owns_spill_dir_ = true;
+    }
+  }
+  return (std::filesystem::path(spill_dir_) /
+          ("qols-session-" + std::to_string(id) + ".snap"))
+      .string();
+}
+
+void RecognizerService::evict(SessionId id) {
+  Session& session = session_or_throw(id);
+  if (session.evicted) return;  // double-evict is a no-op
+  // The buffer must reach the recognizer before the state is frozen —
+  // snapshotting around unconsumed symbols would replay them out of order.
+  if (!session.pending.empty()) drain_inline(id, session);
+  const std::vector<std::uint8_t> bytes = session.recognizer->snapshot();
+  const std::string path = spill_path(id);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw std::runtime_error("RecognizerService: cannot spill session " +
+                             std::to_string(id) + " to " + path);
+  }
+  out.close();
+  session.recognizer.reset();  // the point of evicting: free the memory
+  session.evicted = true;
+}
+
+void RecognizerService::revive_session(SessionId id, Session& session) {
+  const std::string path = spill_path(id);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    throw std::runtime_error("RecognizerService: missing spill file " + path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in.good()) {
+    throw std::runtime_error("RecognizerService: cannot read spill file " +
+                             path);
+  }
+  // The restore overwrites every bit of recognizer state, seed included, so
+  // the construction seed here is immaterial.
+  session.recognizer = config_.spec.make(0);
+  session.recognizer->restore(bytes);
+  session.evicted = false;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+void RecognizerService::revive(SessionId id) {
+  Session& session = session_or_throw(id);
+  if (session.evicted) revive_session(id, session);
+}
+
+bool RecognizerService::evicted(SessionId id) {
+  return session_or_throw(id).evicted;
 }
 
 }  // namespace qols::service

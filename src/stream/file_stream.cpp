@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace qols::stream {
 
 FileStream::FileStream(const std::string& path, std::size_t buffer_size)
     : file_(path, std::ios::binary), buffer_cap_(buffer_size) {
+  if (buffer_cap_ == 0) {
+    // refill() with a 0-capacity buffer reads nothing and reports EOF on a
+    // non-empty file — reject the configuration instead of truncating input.
+    throw std::invalid_argument("FileStream: buffer_size must be >= 1");
+  }
   if (!file_.is_open()) {
     throw std::runtime_error("FileStream: cannot open " + path);
   }
@@ -80,18 +86,18 @@ std::uint64_t write_stream_to_file(SymbolStream& stream,
   if (!out.is_open()) {
     throw std::runtime_error("write_stream_to_file: cannot open " + path);
   }
-  std::string buffer;
-  buffer.reserve(1 << 16);
+  // Chunked drain: the source produces in bulk (no per-symbol virtual call)
+  // and both scratch buffers are reused across iterations.
+  std::vector<Symbol> symbols(1 << 16);
+  std::string chars(symbols.size(), '\0');
   std::uint64_t written = 0;
-  while (auto s = stream.next()) {
-    buffer.push_back(symbol_to_char(*s));
-    ++written;
-    if (buffer.size() == buffer.capacity()) {
-      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-      buffer.clear();
-    }
+  while (true) {
+    const std::size_t n = stream.next_chunk(symbols);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) chars[i] = symbol_to_char(symbols[i]);
+    out.write(chars.data(), static_cast<std::streamsize>(n));
+    written += n;
   }
-  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   if (!out.good()) {
     throw std::runtime_error("write_stream_to_file: write failure on " + path);
   }

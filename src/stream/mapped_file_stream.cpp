@@ -1,0 +1,141 @@
+// MappedFileStream: zero-copy disk ingestion.
+//
+// The file is mapped MAP_PRIVATE with PROT_READ|PROT_WRITE — legal on a
+// read-only descriptor — so characters can be rewritten into Symbol byte
+// values in place. The kernel gives the touched pages copy-on-write copies;
+// the file on disk is never modified, and pages the cursor has fully passed
+// are handed back with MADV_DONTNEED so a multi-hundred-MB word costs a
+// bounded resident set, not its full size.
+//
+// Conversion is lazy and single-pass: prepare() advances a high-water mark
+// (converted_) over the raw bytes just ahead of the consumer cursor, which
+// is exactly the span view_chunk() is about to lend. After conversion the
+// mapping itself *is* the symbol array — next_chunk() degenerates to one
+// memcpy, and view_chunk() to pointer arithmetic.
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "qols/stream/file_stream.hpp"
+
+namespace qols::stream {
+
+namespace {
+
+// Raw char -> Symbol byte value; 0xff marks everything outside the alphabet
+// (including '\n', which gets its own end-of-file check).
+constexpr std::array<std::uint8_t, 256> make_symbol_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = 0xff;
+  t[static_cast<unsigned char>('0')] = 0;
+  t[static_cast<unsigned char>('1')] = 1;
+  t[static_cast<unsigned char>('#')] = 2;
+  return t;
+}
+constexpr std::array<std::uint8_t, 256> kSymbolTable = make_symbol_table();
+
+/// Dirty pages behind the cursor accumulate up to this many bytes before a
+/// release; large enough that madvise cost is amortized over ~16k pages.
+constexpr std::size_t kReleaseWindow = std::size_t{64} << 20;
+
+}  // namespace
+
+MappedFileStream::MappedFileStream(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("MappedFileStream: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedFileStream: cannot stat " + path);
+  }
+  map_len_ = static_cast<std::size_t>(st.st_size);
+  if (map_len_ > 0) {
+    void* p = ::mmap(nullptr, map_len_, PROT_READ | PROT_WRITE, MAP_PRIVATE,
+                     fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      throw std::runtime_error("MappedFileStream: cannot map " + path);
+    }
+    data_ = static_cast<std::uint8_t*>(p);
+    // Read-ahead hint: the consumer is strictly one-way.
+    ::madvise(data_, map_len_, MADV_SEQUENTIAL);
+  }
+  ::close(fd);  // the mapping keeps the file alive
+  limit_ = map_len_;
+  const long ps = ::sysconf(_SC_PAGESIZE);
+  if (ps > 0) page_size_ = static_cast<std::size_t>(ps);
+}
+
+MappedFileStream::~MappedFileStream() {
+  if (data_ != nullptr) ::munmap(data_, map_len_);
+}
+
+std::size_t MappedFileStream::prepare(std::size_t max) {
+  std::size_t n = limit_ - cursor_ < max ? limit_ - cursor_ : max;
+  const std::size_t end = cursor_ + n;
+  while (converted_ < end) {
+    const std::uint8_t t = kSymbolTable[data_[converted_]];
+    if (t > 2) {
+      if (data_[converted_] == '\n' && converted_ + 1 == map_len_) {
+        limit_ = converted_;  // tolerate one trailing newline at EOF
+      } else {
+        bad_ = true;  // foreign character: stream ends here
+        limit_ = converted_;
+      }
+      break;
+    }
+    data_[converted_++] = t;
+  }
+  // The limit may have moved under us; re-clamp to what is actually
+  // converted and consumable.
+  n = limit_ - cursor_ < n ? limit_ - cursor_ : n;
+  return n;
+}
+
+void MappedFileStream::release_behind() {
+  const std::size_t floor = cursor_ & ~(page_size_ - 1);
+  if (floor - released_ >= kReleaseWindow) {
+    ::madvise(data_ + released_, floor - released_, MADV_DONTNEED);
+    released_ = floor;
+  }
+}
+
+std::optional<Symbol> MappedFileStream::next() {
+  if (prepare(1) == 0) return std::nullopt;
+  return static_cast<Symbol>(data_[cursor_++]);
+}
+
+std::size_t MappedFileStream::next_chunk(std::span<Symbol> out) {
+  const std::size_t n = prepare(out.size());
+  if (n == 0) return 0;
+  std::memcpy(out.data(), data_ + cursor_, n);
+  cursor_ += n;
+  release_behind();
+  return n;
+}
+
+std::optional<std::span<const Symbol>> MappedFileStream::view_chunk(
+    std::size_t max) {
+  // Releasing first keeps the pages of the span we are about to lend
+  // untouched: only bytes strictly behind the cursor (the previous,
+  // now-invalidated view) go back to the OS.
+  release_behind();
+  const std::size_t n = prepare(max);
+  const auto* base = reinterpret_cast<const Symbol*>(data_ + cursor_);
+  cursor_ += n;
+  return std::span<const Symbol>(base, n);
+}
+
+std::optional<std::uint64_t> MappedFileStream::length_hint() const {
+  return map_len_;
+}
+
+}  // namespace qols::stream

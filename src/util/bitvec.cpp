@@ -33,6 +33,20 @@ BitVec BitVec::random(std::size_t n, Rng& rng) {
   return v;
 }
 
+BitVec BitVec::from_words(std::size_t n, std::vector<std::uint64_t> words) {
+  if (words.size() != (n + 63) / 64) {
+    throw std::invalid_argument("BitVec::from_words: word count mismatch");
+  }
+  if ((n & 63) != 0 && !words.empty() &&
+      (words.back() & ~((1ULL << (n & 63)) - 1)) != 0) {
+    throw std::invalid_argument("BitVec::from_words: nonzero tail bits");
+  }
+  BitVec v;
+  v.size_ = n;
+  v.words_ = std::move(words);
+  return v;
+}
+
 std::size_t BitVec::popcount() const noexcept {
   std::size_t total = 0;
   for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));

@@ -3,8 +3,11 @@
 // determinism contract (service verdicts == single-stream run_stream).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -263,6 +266,190 @@ TEST(RecognizerService, VerdictsAreDeterministicUnderThePool) {
   EXPECT_EQ(serve(4, 50), reference);
   EXPECT_EQ(serve(4, 1 << 20), reference);  // one big drain at finish
   EXPECT_EQ(serve(2, 0), reference);        // flush on every feed
+}
+
+TEST(RecognizerService, EvictThenFeedRevivesTransparently) {
+  // Every kind with a snapshot codec: evict mid-word, keep feeding, and the
+  // verdict must equal the uninterrupted single-stream run exactly.
+  qols::util::Rng rng(70);
+  const auto inst = LDisjInstance::make_disjoint(2, rng);
+  const auto word = word_of(inst);
+  const std::size_t cut = word.size() / 2;
+  for (const RecognizerKind kind :
+       {RecognizerKind::kClassicalBlock, RecognizerKind::kClassicalFull,
+        RecognizerKind::kClassicalSampling, RecognizerKind::kClassicalBloom,
+        RecognizerKind::kQuantum}) {
+    RecognizerService svc({.spec = {.kind = kind}});
+    const auto id = svc.open(17);
+    svc.feed(id, std::span<const Symbol>(word.data(), cut));
+    svc.evict(id);
+    EXPECT_TRUE(svc.evicted(id));
+    svc.evict(id);  // double-evict is a no-op
+    EXPECT_TRUE(svc.evicted(id));
+    svc.feed(id, std::span<const Symbol>(word.data() + cut,
+                                         word.size() - cut));
+    EXPECT_FALSE(svc.evicted(id));  // the feed revived it
+    const auto verdict = svc.finish(id);
+
+    RecognizerSpec spec;
+    spec.kind = kind;
+    auto reference = spec.make(17);
+    reference->feed_chunk(word);
+    EXPECT_EQ(verdict.accepted, reference->finish())
+        << qols::service::recognizer_kind_name(kind);
+    EXPECT_EQ(verdict.space.classical_bits,
+              reference->space_used().classical_bits);
+    EXPECT_EQ(verdict.space.qubits, reference->space_used().qubits);
+  }
+}
+
+TEST(RecognizerService, ExplicitReviveAndFinishWhileEvicted) {
+  qols::util::Rng rng(71);
+  const auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  const auto word = word_of(inst);
+  RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+  const auto a = svc.open(1);
+  const auto b = svc.open(2);
+  svc.feed(a, word);
+  svc.feed(b, word);
+  svc.evict(a);
+  svc.evict(b);
+  svc.revive(a);
+  EXPECT_FALSE(svc.evicted(a));
+  svc.revive(a);  // revive when resident is a no-op
+  // finish() revives on its own; both paths give the single-stream verdict.
+  RecognizerSpec spec;
+  auto ref = spec.make(1);
+  ref->feed_chunk(word);
+  const bool expect = ref->finish();
+  EXPECT_EQ(svc.finish(a).accepted, expect);
+  EXPECT_EQ(svc.finish(b).accepted, expect);
+}
+
+TEST(RecognizerService, EvictUnknownOrFinishedThrows) {
+  RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+  EXPECT_THROW(svc.evict(42), std::out_of_range);
+  EXPECT_THROW(svc.revive(42), std::out_of_range);
+  EXPECT_THROW(svc.evicted(42), std::out_of_range);
+  const auto id = svc.open(1);
+  svc.finish(id);
+  EXPECT_THROW(svc.evict(id), std::out_of_range);
+  EXPECT_THROW(svc.revive(id), std::out_of_range);
+}
+
+TEST(RecognizerService, SpillFilesAreCleanedUp) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() /
+                   ("qols-test-spill-" + std::to_string(::getpid()));
+  qols::util::Rng rng(72);
+  const auto inst = LDisjInstance::make_disjoint(1, rng);
+  const auto word = word_of(inst);
+  {
+    RecognizerService::Config cfg;
+    cfg.spec.kind = RecognizerKind::kClassicalBlock;
+    cfg.spill_dir = dir.string();
+    RecognizerService svc(cfg);
+    const auto a = svc.open(1);
+    const auto b = svc.open(2);
+    svc.feed(a, word);
+    svc.feed(b, word);
+    svc.evict(a);
+    svc.evict(b);
+    EXPECT_EQ(std::distance(fs::directory_iterator(dir),
+                            fs::directory_iterator()), 2);
+    // finish() removes the revived session's spill file...
+    svc.finish(a);
+    EXPECT_EQ(std::distance(fs::directory_iterator(dir),
+                            fs::directory_iterator()), 1);
+    // ...and the destructor sweeps whatever was still evicted.
+  }
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir),
+                          fs::directory_iterator()), 0);
+  fs::remove_all(dir);
+}
+
+TEST(RecognizerService, VerdictsSurviveEvictionSchedulesAndPoolSizes) {
+  // The determinism contract extended to eviction: any evict/revive schedule
+  // on any pool size yields verdict vectors bit-identical to the plain run.
+  qols::util::Rng rng(73);
+  const auto inst = LDisjInstance::make_with_intersections(2, 1, rng);
+  const auto word = word_of(inst);
+  const std::size_t num_sessions = 6;
+
+  const auto serve = [&](std::size_t pool_threads, unsigned evict_stride) {
+    qols::util::ThreadPool pool(pool_threads);
+    RecognizerService::Config cfg;
+    cfg.spec.kind = RecognizerKind::kQuantum;
+    cfg.pool = &pool;
+    cfg.flush_threshold = 128;
+    RecognizerService svc(cfg);
+    std::vector<RecognizerService::SessionId> ids;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      ids.push_back(svc.open(300 + s));
+    }
+    std::vector<std::size_t> cursors(num_sessions, 0);
+    unsigned lap = 0;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t s = 0; s < num_sessions; ++s) {
+        if (cursors[s] >= word.size()) continue;
+        const std::size_t n =
+            std::min<std::size_t>(53 + 7 * s, word.size() - cursors[s]);
+        svc.feed(ids[s],
+                 std::span<const Symbol>(word.data() + cursors[s], n));
+        cursors[s] += n;
+        progressed = true;
+      }
+      if (evict_stride != 0 && ++lap % evict_stride == 0) {
+        for (std::size_t s = 0; s < num_sessions; s += 2) {
+          svc.evict(ids[s]);
+        }
+      }
+    }
+    std::vector<bool> verdicts;
+    for (const auto id : ids) verdicts.push_back(svc.finish(id).accepted);
+    return verdicts;
+  };
+
+  const auto reference = serve(1, 0);  // no eviction at all
+  EXPECT_EQ(serve(1, 1), reference);   // evict half the fleet every lap
+  EXPECT_EQ(serve(4, 1), reference);
+  EXPECT_EQ(serve(4, 3), reference);
+  EXPECT_EQ(serve(2, 2), reference);
+}
+
+TEST(RecognizerService, FeedBorrowedMatchesFeed) {
+  // The zero-copy path interleaved with the buffering one, mid-session:
+  // order within the session must hold and the verdict must be unchanged.
+  qols::util::Rng rng(74);
+  const auto inst = LDisjInstance::make_disjoint(2, rng);
+  const auto word = word_of(inst);
+  for (const RecognizerKind kind :
+       {RecognizerKind::kClassicalBlock, RecognizerKind::kQuantum}) {
+    RecognizerService svc({.spec = {.kind = kind}});
+    const auto id = svc.open(21);
+    std::size_t done = 0;
+    bool borrow = true;
+    while (done < word.size()) {
+      const std::size_t n = std::min<std::size_t>(97, word.size() - done);
+      const std::span<const Symbol> chunk(word.data() + done, n);
+      if (borrow) {
+        svc.feed_borrowed(id, chunk);
+      } else {
+        svc.feed(id, chunk);
+      }
+      borrow = !borrow;
+      done += n;
+    }
+    const auto verdict = svc.finish(id);
+    RecognizerSpec spec;
+    spec.kind = kind;
+    auto reference = spec.make(21);
+    reference->feed_chunk(word);
+    EXPECT_EQ(verdict.accepted, reference->finish())
+        << qols::service::recognizer_kind_name(kind);
+  }
 }
 
 TEST(RecognizerService, StatsCountFlushesAndThroughput) {

@@ -165,4 +165,175 @@ TEST_F(FileStreamTest, ChunkedReadStopsAtForeignCharacters) {
   EXPECT_FALSE(f.next().has_value());  // stays ended
 }
 
+TEST_F(FileStreamTest, ZeroBufferSizeIsRejected) {
+  // Regression: a 0-capacity buffer used to make refill() report EOF on a
+  // non-empty file, silently truncating the word to nothing.
+  {
+    std::ofstream out(path_);
+    out << "0101#";
+  }
+  EXPECT_THROW(FileStream(path_, /*buffer_size=*/0), std::invalid_argument);
+}
+
+TEST_F(FileStreamTest, ExactlyBufferSizedFile) {
+  // EOF lands precisely on a refill boundary: the next refill must read
+  // zero bytes and end the stream, not spin or duplicate the last buffer.
+  const std::string word = "01#10#01";  // 8 symbols
+  {
+    StringStream s(word);
+    write_stream_to_file(s, path_);
+  }
+  FileStream f(path_, /*buffer_size=*/8);
+  EXPECT_EQ(materialize(f), word);
+  EXPECT_FALSE(f.bad());
+}
+
+TEST_F(FileStreamTest, TrailingNewlineAtChunkBoundary) {
+  // The '\n' is the first byte of its own refill AND arrives when the
+  // caller's chunk is already full — both hand-offs at once.
+  const std::string word = "0101#01#";  // 8 symbols, buffer-sized
+  {
+    std::ofstream out(path_);
+    out << word << "\n";
+  }
+  FileStream f(path_, /*buffer_size=*/8);
+  EXPECT_EQ(drain_chunked(f, 8), word);
+  EXPECT_FALSE(f.bad());
+}
+
+TEST_F(FileStreamTest, WriteStreamRoundTripsChunkProducers) {
+  // write_stream_to_file drains via next_chunk now; a bulk producer
+  // (LDisjInstance::stream) must land on disk byte-for-byte.
+  qols::util::Rng rng(11);
+  auto inst = qols::lang::LDisjInstance::make_disjoint(2, rng);
+  {
+    auto s = inst.stream();
+    EXPECT_EQ(write_stream_to_file(*s, path_), inst.word_length());
+  }
+  FileStream f(path_, /*buffer_size=*/13);
+  EXPECT_EQ(materialize(f), inst.render());
+}
+
+// -- MappedFileStream: the zero-copy transport. -----------------------------
+
+using qols::stream::MappedFileStream;
+using qols::stream::Symbol;
+
+TEST_F(FileStreamTest, MappedMatchesBufferedStream) {
+  qols::util::Rng rng(7);
+  auto inst = qols::lang::LDisjInstance::make_disjoint(3, rng);
+  {
+    auto s = inst.stream();
+    write_stream_to_file(*s, path_);
+  }
+  MappedFileStream m(path_);
+  EXPECT_EQ(materialize(m), inst.render());
+  EXPECT_FALSE(m.bad());
+  ASSERT_TRUE(m.length_hint().has_value());
+  EXPECT_EQ(*m.length_hint(), inst.word_length());
+}
+
+TEST_F(FileStreamTest, MappedChunkedReadMatchesNext) {
+  const std::string word = "1#0101#1100#0101#0101#1100#0101#";
+  {
+    StringStream s(word);
+    write_stream_to_file(s, path_);
+  }
+  for (const std::size_t chunk : {1u, 5u, 11u, 64u}) {
+    MappedFileStream m(path_);
+    EXPECT_EQ(drain_chunked(m, chunk), word) << "chunk=" << chunk;
+    EXPECT_FALSE(m.bad());
+  }
+}
+
+TEST_F(FileStreamTest, MappedViewChunkLendsTheWholeWord) {
+  const std::string word = "1#0101#1100#0101#0101#1100#0101#";
+  {
+    StringStream s(word);
+    write_stream_to_file(s, path_);
+  }
+  MappedFileStream m(path_);
+  std::string seen;
+  while (true) {
+    const auto view = m.view_chunk(7);
+    ASSERT_TRUE(view.has_value());  // mapped streams always support views
+    if (view->empty()) break;       // engaged-but-empty = EOF
+    for (const Symbol sym : *view) {
+      seen.push_back(qols::stream::symbol_to_char(sym));
+    }
+  }
+  EXPECT_EQ(seen, word);
+  // EOF is sticky across every access style.
+  EXPECT_FALSE(m.next().has_value());
+  EXPECT_TRUE(m.view_chunk(7)->empty());
+}
+
+TEST_F(FileStreamTest, MappedViewAndCopyInterleave) {
+  // Mixing view_chunk with next()/next_chunk must hand off the cursor
+  // exactly; the lent span reflects the in-place converted bytes.
+  const std::string word = "0101#1100#0101#";
+  {
+    StringStream s(word);
+    write_stream_to_file(s, path_);
+  }
+  MappedFileStream m(path_);
+  ASSERT_TRUE(m.next().has_value());  // consumes '0'
+  const auto view = m.view_chunk(4);  // lends "101#"
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->size(), 4u);
+  EXPECT_EQ((*view)[0], Symbol::kOne);
+  EXPECT_EQ((*view)[3], Symbol::kSep);
+  EXPECT_EQ(drain_chunked(m, 64), word.substr(5));
+}
+
+TEST_F(FileStreamTest, MappedToleratesTrailingNewline) {
+  {
+    std::ofstream out(path_);
+    out << "0101#\n";
+  }
+  MappedFileStream m(path_);
+  EXPECT_EQ(materialize(m), "0101#");
+  EXPECT_FALSE(m.bad());
+}
+
+TEST_F(FileStreamTest, MappedFlagsForeignCharacters) {
+  {
+    std::ofstream out(path_);
+    out << "01x01";
+  }
+  MappedFileStream m(path_);
+  EXPECT_EQ(materialize(m), "01");
+  EXPECT_TRUE(m.bad());
+  EXPECT_FALSE(m.next().has_value());  // stays ended
+}
+
+TEST_F(FileStreamTest, MappedEmptyFileIsEmptyStream) {
+  {
+    std::ofstream out(path_);
+  }
+  MappedFileStream m(path_);
+  EXPECT_FALSE(m.next().has_value());
+  ASSERT_TRUE(m.view_chunk(16).has_value());
+  EXPECT_TRUE(m.view_chunk(16)->empty());
+  EXPECT_FALSE(m.bad());
+}
+
+TEST_F(FileStreamTest, MappedMissingFileThrows) {
+  EXPECT_THROW(MappedFileStream("/nonexistent/definitely/missing.txt"),
+               std::runtime_error);
+}
+
+TEST_F(FileStreamTest, DefaultStreamsDeclineViewChunk) {
+  // Wrappers and in-memory streams deliberately keep the base-class
+  // nullopt: run_stream must fall back to the copying loop for them.
+  StringStream s("0101#");
+  EXPECT_FALSE(s.view_chunk(16).has_value());
+  {
+    StringStream src("0101#");
+    write_stream_to_file(src, path_);
+  }
+  FileStream f(path_);
+  EXPECT_FALSE(f.view_chunk(16).has_value());
+}
+
 }  // namespace
