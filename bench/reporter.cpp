@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "qols/telemetry/registry.hpp"
 #include "qols/util/stats.hpp"
 
 namespace qols::bench {
@@ -103,10 +104,15 @@ Value JsonReporter::document() const {
   // Schema history: /1 = PR 2 (engine + registry + JSON results);
   // /2 adds config.backend and per-metric extra.not_simulated;
   // /3 adds e20's throughput extras (symbols_per_sec, sessions_per_sec,
-  // speedup_vs_per_symbol).
-  doc.set("schema", "qols-bench/3");
+  // speedup_vs_per_symbol);
+  // /4 adds the top-level extra.telemetry block (the MetricsRegistry
+  // snapshot taken as the document is assembled).
+  doc.set("schema", "qols-bench/4");
   doc.set("config", config_);
   doc.set("experiments", experiments_);
+  auto extra = Value::object();
+  extra.set("telemetry", telemetry::snapshot());
+  doc.set("extra", std::move(extra));
   return doc;
 }
 

@@ -20,6 +20,7 @@
 
 #include "qols/fuzz/fuzzer.hpp"
 #include "qols/fuzz/repro.hpp"
+#include "qols/telemetry/instruments.hpp"
 
 namespace {
 
@@ -38,6 +39,9 @@ void print_usage(std::ostream& os) {
         "                        every case, not just the generator's half\n"
         "  --token-file <path>   write the first shrunk repro token here\n"
         "  --replay <token>      re-check one case from its repro token\n"
+        "  --no-telemetry        runtime-disable telemetry recording (the\n"
+        "                        soak itself is telemetry-invariant either\n"
+        "                        way; this removes the recording overhead)\n"
         "  --quiet               only the final summary line\n"
         "  --help                this text\n";
 }
@@ -124,6 +128,8 @@ int main(int argc, char** argv) {
       opts.force_float = true;
     } else if (arg == "--snapshot") {
       opts.force_snapshot = true;
+    } else if (arg == "--no-telemetry") {
+      qols::telemetry::set_enabled(false);
     } else if (arg == "--seed") {
       const char* v = value();
       if (!v) return 2;

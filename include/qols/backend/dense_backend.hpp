@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "qols/backend/quantum_backend.hpp"
+#include "qols/telemetry/registry.hpp"
 
 namespace qols::backend {
 
@@ -62,6 +63,9 @@ class DenseBackendT final : public QuantumBackend {
     state_.apply_reflect_zero(first, count);
   }
   void apply_grover_diffusion(unsigned first, unsigned count) override {
+    static telemetry::SpanSite site =
+        telemetry::SpanSite::resolve("quantum.diffusion");
+    telemetry::TraceSpan span(site);
     // U_k S_k U_k expanded exactly as GroverStreamer historically applied
     // it, so dense results stay bit-identical to the pre-backend code.
     state_.apply_h_range(first, count);

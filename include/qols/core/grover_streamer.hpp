@@ -123,6 +123,11 @@ class GroverStreamer {
   /// Total {H,T,CNOT} gates emitted (gate-level mode only).
   std::uint64_t gates_emitted() const noexcept;
 
+  /// Backend operations applied to the register this run (H-range prep,
+  /// per-bit V/W gates, diffusions). Plain tally for telemetry attribution;
+  /// NOT part of the snapshot wire format — a revived session restarts it.
+  std::uint64_t gates_applied() const noexcept { return gates_applied_; }
+
   /// Serializes the full streamer state — control fields, RNG, and the
   /// backend register via QuantumBackend::serialize_state. Refuses (throws
   /// backend::UnsupportedOperation) in gate-level mode: the external
@@ -163,6 +168,7 @@ class GroverStreamer {
   unsigned block_ = 0;      // 0 = x, 1 = y, 2 = z
   std::uint64_t off_ = 0;   // offset within the current block
   bool done_ = false;       // step 4 finished; ignore the rest
+  std::uint64_t gates_applied_ = 0;  // telemetry only; never serialized
 
   std::unique_ptr<backend::QuantumBackend> backend_;
   std::unique_ptr<gates::CircuitBuilder> builder_;

@@ -32,8 +32,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "qols/machine/online_recognizer.hpp"
 #include "qols/stream/symbol_stream.hpp"
+#include "qols/telemetry/registry.hpp"
 #include "qols/util/thread_pool.hpp"
 
 namespace qols::service {
@@ -103,7 +106,11 @@ class RecognizerService {
     std::string spill_dir{};
   };
 
-  /// Aggregate throughput counters (monotonic over the service lifetime).
+  /// Aggregate throughput counters (monotonic since construction or the
+  /// last reset_stats()). This is a VALUE snapshot: stats() materializes it
+  /// from the service's internal atomic cells, so a copy taken mid-drain is
+  /// torn-free — every field is a plausible point-in-time reading even
+  /// while pool workers are accumulating.
   struct Stats {
     std::uint64_t sessions_opened = 0;
     std::uint64_t sessions_finished = 0;
@@ -111,6 +118,15 @@ class RecognizerService {
     std::uint64_t flushes = 0;
     /// Wall-clock spent inside flush drains (the recognizer work).
     double busy_seconds = 0.0;
+    std::uint64_t evictions = 0;
+    std::uint64_t revives = 0;
+    /// Spill-file bytes written by evict() / read back by revive.
+    std::uint64_t spill_bytes_written = 0;
+    std::uint64_t spill_bytes_read = 0;
+
+    /// Zeroes this snapshot (benchmark warmup discards of a held copy; use
+    /// RecognizerService::reset_stats() to zero the live accumulators).
+    void reset() noexcept { *this = Stats{}; }
 
     double symbols_per_second() const noexcept {
       return busy_seconds > 0.0
@@ -181,7 +197,11 @@ class RecognizerService {
   /// Total buffered symbols, summed over shards (not maintained globally on
   /// the feed hot path).
   std::uint64_t buffered_symbols() const noexcept;
-  const Stats& stats() const noexcept { return stats_; }
+  /// Torn-free value snapshot of the internal atomic accumulators (safe to
+  /// call while a flush is draining on the pool).
+  Stats stats() const noexcept;
+  /// Zeroes the live accumulators (benchmark warmup discard).
+  void reset_stats() noexcept;
   const Config& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
@@ -199,6 +219,40 @@ class RecognizerService {
     std::uint64_t buffered = 0;
   };
 
+  /// The live accumulators behind stats(). Plain relaxed atomics — NOT
+  /// telemetry instruments — because Stats is functional accounting the
+  /// tests rely on: it must keep counting with telemetry runtime-disabled
+  /// or compiled out. The registry-backed instruments below mirror a subset
+  /// for export and add what Stats never had (latency tails, queue depths).
+  struct StatCells {
+    std::atomic<std::uint64_t> sessions_opened{0};
+    std::atomic<std::uint64_t> sessions_finished{0};
+    std::atomic<std::uint64_t> symbols_ingested{0};
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> revives{0};
+    std::atomic<std::uint64_t> spill_bytes_written{0};
+    std::atomic<std::uint64_t> spill_bytes_read{0};
+  };
+
+  /// Registry-backed instruments, resolved once at construction (references
+  /// stay valid forever; recording is lock-free and gated by
+  /// telemetry::enabled()).
+  struct Instruments {
+    telemetry::Gauge& sessions_open;
+    telemetry::Counter& symbols_ingested;
+    telemetry::Counter& borrowed_chunks;
+    telemetry::Counter& evictions;
+    telemetry::Counter& revives;
+    telemetry::Counter& spill_bytes_written;
+    telemetry::Counter& spill_bytes_read;
+    telemetry::LatencyHistogram& flush_ns;
+    telemetry::LatencyHistogram& finish_ns;
+
+    Instruments();
+  };
+
   Session& session_or_throw(SessionId id);
   /// Feeds the session's buffered symbols inline and removes it from its
   /// shard's ready list. Precondition: session is resident.
@@ -211,9 +265,14 @@ class RecognizerService {
   SessionId next_id_ = 1;
   std::unordered_map<SessionId, Session> sessions_;
   std::vector<Shard> shards_;
+  /// One queue-depth gauge per shard ("service.shard_queue_depth.<i>"),
+  /// written with absolute set()s so toggling telemetry at runtime can
+  /// never leave a gauge out of sync with the shard.
+  std::vector<telemetry::Gauge*> shard_depth_;
   std::string spill_dir_;        // resolved on first evict()
   bool owns_spill_dir_ = false;  // we created it; remove it in the dtor
-  Stats stats_;
+  StatCells cells_;
+  Instruments telem_;
 };
 
 }  // namespace qols::service

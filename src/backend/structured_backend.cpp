@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "qols/telemetry/registry.hpp"
+
 namespace qols::backend {
 
 namespace {
@@ -336,6 +338,12 @@ void StructuredBackend::apply_reflect_zero(unsigned first, unsigned count) {
 
 void StructuredBackend::apply_grover_diffusion(unsigned first,
                                                unsigned count) {
+  // Same site as the dense adapter: "quantum.diffusion" aggregates the
+  // kernel across backends (the backend id is fixed per service/run, so
+  // attribution is unambiguous in practice).
+  static telemetry::SpanSite site =
+      telemetry::SpanSite::resolve("quantum.diffusion");
+  telemetry::TraceSpan span(site);
   require_full_index_range(first, count, "Grover diffusion");
   // 2|u><u| - I acts sector-wise: within each tail sector s the index
   // amplitudes reflect about their mean, amp -> 2*mean_s - amp.

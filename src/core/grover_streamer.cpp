@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "qols/backend/registry.hpp"
+#include "qols/telemetry/registry.hpp"
 
 namespace qols::core {
 
@@ -60,6 +61,7 @@ void GroverStreamer::feed(Symbol s) {
         backend_ = backend::make_backend(*backend_id, data_qubits, 2 * k_,
                                          opts_.precision);
         backend_->apply_h_range(0, 2 * k_);
+        ++gates_applied_;
       }
       if (opts_.gate_sink != nullptr) {
         // mcz_pattern over 2k+1 terms needs 2k ancillas.
@@ -126,6 +128,7 @@ void GroverStreamer::on_bit(bool bit) {
 
   if (grover_phase) {
     // V_x / W_y / V_z, one streamed bit at a time.
+    if (backend_) ++gates_applied_;
     if (block_ == 0 || block_ == 2) {
       if (backend_) backend_->apply_x_on_index(0, 2 * k_, idx, h);
       if (builder_) {
@@ -151,6 +154,7 @@ void GroverStreamer::on_bit(bool bit) {
     return;
   }
   // Step 4 (repetition j+1): V_x on the x-block, R_y on the y-block.
+  if (backend_ && block_ != 2) ++gates_applied_;
   if (block_ == 0) {
     if (backend_) backend_->apply_x_on_index(0, 2 * k_, idx, h);
     if (builder_) {
@@ -196,7 +200,10 @@ void GroverStreamer::on_sep() {
 }
 
 void GroverStreamer::apply_diffusion() {
-  if (backend_) backend_->apply_grover_diffusion(0, 2 * k_);
+  if (backend_) {
+    backend_->apply_grover_diffusion(0, 2 * k_);
+    ++gates_applied_;
+  }
   if (builder_) {
     builder_->h_range(0, 2 * k_);
     builder_->reflect_zero(0, 2 * k_);  // -S_k; global phase, unobservable
@@ -210,6 +217,11 @@ double GroverStreamer::probability_output_zero() const {
 }
 
 int GroverStreamer::finish_output() {
+  // Flush this run's gate tally into the process-wide counter. Observability
+  // only: the measurement below is taken before/independently of the add.
+  static telemetry::Counter& gates_total =
+      telemetry::MetricsRegistry::global().counter("quantum.gates_total");
+  gates_total.add(gates_applied_);
   if (overflow_) return kNotSimulated;  // no backend covered k
   if (!active_ || !backend_) return 1;  // simulation not requested: inert
   const bool b = backend_->measure(2 * k_ + 1, rng_);

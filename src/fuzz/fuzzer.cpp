@@ -4,6 +4,7 @@
 
 #include "qols/fuzz/repro.hpp"
 #include "qols/fuzz/shrink.hpp"
+#include "qols/telemetry/registry.hpp"
 #include "qols/util/rng.hpp"
 #include "qols/util/stopwatch.hpp"
 
@@ -18,6 +19,11 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   FuzzReport report;
   util::Stopwatch watch;
   util::SplitMix64 case_seeds(opts.seed);
+  auto& registry = telemetry::MetricsRegistry::global();
+  static telemetry::Counter& cases_counter = registry.counter("fuzz.cases");
+  static telemetry::Counter& failures_counter =
+      registry.counter("fuzz.failures");
+  static telemetry::Gauge& cases_per_sec = registry.gauge("fuzz.cases_per_sec");
 
   while (true) {
     if (opts.max_cases != 0 && report.cases >= opts.max_cases) break;
@@ -40,6 +46,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     }
     const CaseResult result = check_case(c);
     ++report.cases;
+    cases_counter.add();
     ++report.by_word_kind[static_cast<unsigned>(c.word)];
     ++report.by_word_class[static_cast<unsigned>(result.cls)];
 
@@ -69,10 +76,15 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       }
       failure.minimized_token = encode_token(failure.minimized);
       report.failures.push_back(std::move(failure));
+      failures_counter.add();
       if (report.failures.size() >= opts.max_failures) break;
     }
   }
   report.seconds = watch.seconds();
+  if (report.seconds > 0.0) {
+    cases_per_sec.set(static_cast<std::int64_t>(
+        static_cast<double>(report.cases) / report.seconds));
+  }
   return report;
 }
 

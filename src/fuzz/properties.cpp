@@ -6,6 +6,7 @@
 
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
+#include "qols/telemetry/registry.hpp"
 #include "qols/util/rng.hpp"
 
 namespace qols::fuzz {
@@ -369,11 +370,33 @@ void check_service(const FuzzCase& c, const std::vector<Symbol>& word,
 }  // namespace
 
 CaseResult check_case(const FuzzCase& c) {
+  // One counter per property, counting CHECKS EXECUTED (not failures):
+  // after a soak, "fuzz.checks.p4" == the number of cases that actually
+  // exercised the backend-equality axis, not just the corpus size.
+  struct CheckCounters {
+    telemetry::Counter& p1;
+    telemetry::Counter& p2;
+    telemetry::Counter& p3;
+    telemetry::Counter& p4;
+    telemetry::Counter& p5;
+    telemetry::Counter& p6;
+    telemetry::Counter& p7;
+  };
+  static CheckCounters checks{
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p1"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p2"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p3"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p4"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p5"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p6"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p7")};
+
   CaseResult result;
   const std::vector<Symbol> word = realize_word(c);
   result.word_len = word.size();
 
   // P1: the stream stack itself is transport-invariant.
+  checks.p1.add();
   check_stream_transport(c, word, result.issues);
 
   // An empty backend id would defer to the QOLS_BACKEND environment
@@ -387,6 +410,7 @@ CaseResult check_case(const FuzzCase& c) {
   }
 
   // P2: chunk schedule vs per-symbol feeding, bit for bit.
+  checks.p2.add();
   const std::uint64_t seed = recognizer_seed(c, 0);
   const Outcome reference = run_per_symbol(pinned.spec, seed, word);
   const Outcome chunked =
@@ -399,6 +423,7 @@ CaseResult check_case(const FuzzCase& c) {
 
   // P3: exact-oracle agreement (plus the classifier's own cross-check
   // against the repo's reference oracle).
+  checks.p3.add();
   result.cls = classify_word(word);
   std::string text;
   text.reserve(word.size());
@@ -413,20 +438,24 @@ CaseResult check_case(const FuzzCase& c) {
 
   // P4: dense vs structured backend, quantum cases only.
   if (c.spec.kind == RecognizerKind::kQuantum) {
+    checks.p4.add();
     check_backends(c, word, result.issues);
   }
 
   // P6: float vs double amplitudes, quantum cases only.
   if (c.spec.kind == RecognizerKind::kQuantum) {
+    checks.p6.add();
     check_precision(pinned.spec, seed, word, result.issues);
   }
 
   // P7: snapshot mid-word, restore into a fresh recognizer, same outcome.
   if (c.snapshot_cut != kNoSnapshot) {
+    checks.p7.add();
     check_snapshot_resume(c, pinned.spec, word, reference, result.issues);
   }
 
   // P5: the serving layer reproduces single-stream verdicts.
+  checks.p5.add();
   check_service(pinned, word, reference, result.issues);
 
   return result;

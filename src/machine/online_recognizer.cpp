@@ -3,6 +3,8 @@
 #include <array>
 #include <cmath>
 
+#include "qols/telemetry/registry.hpp"
+
 namespace qols::machine {
 
 /// View size for the zero-copy fast path: large enough that mapped input
@@ -10,12 +12,38 @@ namespace qols::machine {
 /// never sees a span larger than 1 MiB of symbols at once.
 inline constexpr std::size_t kRunStreamViewChunk = std::size_t{1} << 20;
 
+namespace {
+
+/// Transport-path accounting: which of run_stream's two delivery paths
+/// carried how many symbols. Resolved once; recording is per-CHUNK, so the
+/// overhead is amortized over up to 2^20 symbols per op.
+struct StreamTelemetry {
+  telemetry::Counter& borrowed_chunks;
+  telemetry::Counter& borrowed_symbols;
+  telemetry::Counter& copied_chunks;
+  telemetry::Counter& copied_symbols;
+
+  static StreamTelemetry& site() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static StreamTelemetry t{reg.counter("stream.borrowed_chunks"),
+                             reg.counter("stream.borrowed_symbols"),
+                             reg.counter("stream.copied_chunks"),
+                             reg.counter("stream.copied_symbols")};
+    return t;
+  }
+};
+
+}  // namespace
+
 bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec) {
+  StreamTelemetry& telem = StreamTelemetry::site();
   // Zero-copy fast path: streams that can lend a view of their own storage
   // (MappedFileStream) skip the transport buffer entirely. The first nullopt
   // means "unsupported" and drops us to the copying loop for good.
   if (auto view = input.view_chunk(kRunStreamViewChunk)) {
     while (!view->empty()) {
+      telem.borrowed_chunks.add();
+      telem.borrowed_symbols.add(view->size());
       rec.feed_chunk(*view);
       view = input.view_chunk(kRunStreamViewChunk);
       if (!view) break;  // stream revoked view support mid-run: fall back
@@ -26,6 +54,8 @@ bool run_stream(stream::SymbolStream& input, OnlineRecognizer& rec) {
   while (true) {
     const std::size_t n = input.next_chunk(buffer);
     if (n == 0) break;
+    telem.copied_chunks.add();
+    telem.copied_symbols.add(n);
     rec.feed_chunk(std::span<const stream::Symbol>(buffer.data(), n));
   }
   return rec.finish();

@@ -17,6 +17,7 @@
 #define QOLS_X86 0
 #endif
 
+#include "qols/telemetry/registry.hpp"
 #include "qols/util/thread_pool.hpp"
 
 namespace qols::quantum {
@@ -930,6 +931,11 @@ template <typename Scalar>
 void StateVectorT<Scalar>::apply_h_range(unsigned first, unsigned count) {
   assert(first + count <= num_qubits_);
   if (count == 0) return;
+  // Per-kernel profiling hook: both scalar instantiations resolve the same
+  // site, so "quantum.h_range.{calls,ns}" aggregates float and double work.
+  static telemetry::SpanSite site = telemetry::SpanSite::resolve(
+      "quantum.h_range");
+  telemetry::TraceSpan span(site);
   const bool avx2 = active_simd_mode() == SimdMode::kAvx2;
   Scalar* re = re_.data();
   Scalar* im = im_.data();

@@ -15,6 +15,34 @@
 
 namespace qols::service {
 
+namespace {
+
+std::uint64_t to_ns(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
+}
+
+}  // namespace
+
+RecognizerService::Instruments::Instruments()
+    : sessions_open(
+          telemetry::MetricsRegistry::global().gauge("service.sessions_open")),
+      symbols_ingested(telemetry::MetricsRegistry::global().counter(
+          "service.symbols_ingested")),
+      borrowed_chunks(telemetry::MetricsRegistry::global().counter(
+          "service.borrowed_chunks")),
+      evictions(
+          telemetry::MetricsRegistry::global().counter("service.evictions")),
+      revives(telemetry::MetricsRegistry::global().counter("service.revives")),
+      spill_bytes_written(telemetry::MetricsRegistry::global().counter(
+          "service.spill_bytes_written")),
+      spill_bytes_read(telemetry::MetricsRegistry::global().counter(
+          "service.spill_bytes_read")),
+      flush_ns(
+          telemetry::MetricsRegistry::global().histogram("service.flush_ns")),
+      finish_ns(
+          telemetry::MetricsRegistry::global().histogram("service.finish_ns")) {
+}
+
 std::string recognizer_kind_name(RecognizerKind kind) {
   switch (kind) {
     case RecognizerKind::kClassicalBlock:
@@ -67,6 +95,12 @@ RecognizerService::RecognizerService(Config config)
   pool_ = config_.pool != nullptr ? config_.pool : &util::ThreadPool::global();
   const std::size_t n = pool_->thread_count();
   shards_.resize(n > 0 ? n : 1);
+  shard_depth_.reserve(shards_.size());
+  auto& registry = telemetry::MetricsRegistry::global();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_depth_.push_back(
+        &registry.gauge("service.shard_queue_depth." + std::to_string(i)));
+  }
 }
 
 RecognizerService::~RecognizerService() {
@@ -92,7 +126,8 @@ RecognizerService::SessionId RecognizerService::open(std::uint64_t seed) {
   const SessionId id = next_id_++;
   Session session{config_.spec.make(seed), {}, id % shards_.size(), false};
   sessions_.emplace(id, std::move(session));
-  ++stats_.sessions_opened;
+  cells_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  telem_.sessions_open.set(static_cast<std::int64_t>(sessions_.size()));
   return id;
 }
 
@@ -104,7 +139,9 @@ void RecognizerService::feed(SessionId id,
   if (session.pending.empty() && !chunk.empty()) shard.ready.push_back(id);
   session.pending.insert(session.pending.end(), chunk.begin(), chunk.end());
   shard.buffered += chunk.size();
-  stats_.symbols_ingested += chunk.size();
+  cells_.symbols_ingested.fetch_add(chunk.size(), std::memory_order_relaxed);
+  telem_.symbols_ingested.add(chunk.size());
+  shard_depth_[session.shard]->set(static_cast<std::int64_t>(shard.buffered));
   if (shard.buffered >= config_.flush_threshold) flush();
 }
 
@@ -119,8 +156,10 @@ void RecognizerService::feed_borrowed(SessionId id,
   // released afterwards.
   if (!session.pending.empty()) drain_inline(id, session);
   session.recognizer->feed_chunk(chunk);
-  stats_.symbols_ingested += chunk.size();
-  stats_.busy_seconds += watch.seconds();
+  cells_.symbols_ingested.fetch_add(chunk.size(), std::memory_order_relaxed);
+  cells_.busy_ns.fetch_add(to_ns(watch.seconds()), std::memory_order_relaxed);
+  telem_.symbols_ingested.add(chunk.size());
+  telem_.borrowed_chunks.add();
 }
 
 void RecognizerService::drain_inline(SessionId id, Session& session) {
@@ -129,6 +168,7 @@ void RecognizerService::drain_inline(SessionId id, Session& session) {
   session.recognizer->feed_chunk(session.pending);
   session.pending.clear();
   std::erase(shard.ready, id);
+  shard_depth_[session.shard]->set(static_cast<std::int64_t>(shard.buffered));
 }
 
 void RecognizerService::flush() {
@@ -150,10 +190,13 @@ void RecognizerService::flush() {
           }
           shard.ready.clear();
           shard.buffered = 0;
+          shard_depth_[si]->set(0);
         }
       });
-  stats_.busy_seconds += watch.seconds();
-  ++stats_.flushes;
+  const std::uint64_t ns = to_ns(watch.seconds());
+  cells_.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  cells_.flushes.fetch_add(1, std::memory_order_relaxed);
+  telem_.flush_ns.record(ns);
 }
 
 RecognizerService::Verdict RecognizerService::finish(SessionId id) {
@@ -165,9 +208,12 @@ RecognizerService::Verdict RecognizerService::finish(SessionId id) {
   verdict.accepted = session.recognizer->finish();
   verdict.fully_simulated = session.recognizer->fully_simulated();
   verdict.space = session.recognizer->space_used();
-  stats_.busy_seconds += watch.seconds();
-  ++stats_.sessions_finished;
+  const std::uint64_t ns = to_ns(watch.seconds());
+  cells_.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  cells_.sessions_finished.fetch_add(1, std::memory_order_relaxed);
   sessions_.erase(id);
+  telem_.finish_ns.record(ns);
+  telem_.sessions_open.set(static_cast<std::int64_t>(sessions_.size()));
   return verdict;
 }
 
@@ -180,15 +226,27 @@ std::uint64_t RecognizerService::buffered_symbols() const noexcept {
 std::string RecognizerService::spill_path(SessionId id) {
   if (spill_dir_.empty()) {
     if (!config_.spill_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.spill_dir, ec);
+      if (ec) {
+        throw std::runtime_error(
+            "RecognizerService: cannot create spill directory " +
+            config_.spill_dir + ": " + ec.message());
+      }
       spill_dir_ = config_.spill_dir;
-      std::filesystem::create_directories(spill_dir_);
     } else {
       // Unique per service instance: two services in one process (or across
       // processes) never collide on session ids.
       auto dir = std::filesystem::temp_directory_path() /
                  ("qols-spill-" + std::to_string(::getpid()) + "-" +
                   std::to_string(reinterpret_cast<std::uintptr_t>(this)));
-      std::filesystem::create_directories(dir);
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        throw std::runtime_error(
+            "RecognizerService: cannot create spill directory " +
+            dir.string() + ": " + ec.message());
+      }
       spill_dir_ = dir.string();
       owns_spill_dir_ = true;
     }
@@ -213,11 +271,18 @@ void RecognizerService::evict(SessionId id) {
     std::error_code ec;
     std::filesystem::remove(path, ec);
     throw std::runtime_error("RecognizerService: cannot spill session " +
-                             std::to_string(id) + " to " + path);
+                             std::to_string(id) + " (" +
+                             std::to_string(bytes.size()) + " bytes) to " +
+                             path);
   }
   out.close();
   session.recognizer.reset();  // the point of evicting: free the memory
   session.evicted = true;
+  cells_.evictions.fetch_add(1, std::memory_order_relaxed);
+  cells_.spill_bytes_written.fetch_add(bytes.size(),
+                                       std::memory_order_relaxed);
+  telem_.evictions.add();
+  telem_.spill_bytes_written.add(bytes.size());
 }
 
 void RecognizerService::revive_session(SessionId id, Session& session) {
@@ -232,7 +297,8 @@ void RecognizerService::revive_session(SessionId id, Session& session) {
           static_cast<std::streamsize>(bytes.size()));
   if (!in.good()) {
     throw std::runtime_error("RecognizerService: cannot read spill file " +
-                             path);
+                             path + " (" + std::to_string(bytes.size()) +
+                             " bytes expected)");
   }
   // The restore overwrites every bit of recognizer state, seed included, so
   // the construction seed here is immaterial.
@@ -241,6 +307,10 @@ void RecognizerService::revive_session(SessionId id, Session& session) {
   session.evicted = false;
   std::error_code ec;
   std::filesystem::remove(path, ec);
+  cells_.revives.fetch_add(1, std::memory_order_relaxed);
+  cells_.spill_bytes_read.fetch_add(bytes.size(), std::memory_order_relaxed);
+  telem_.revives.add();
+  telem_.spill_bytes_read.add(bytes.size());
 }
 
 void RecognizerService::revive(SessionId id) {
@@ -250,6 +320,36 @@ void RecognizerService::revive(SessionId id) {
 
 bool RecognizerService::evicted(SessionId id) {
   return session_or_throw(id).evicted;
+}
+
+RecognizerService::Stats RecognizerService::stats() const noexcept {
+  Stats s;
+  s.sessions_opened = cells_.sessions_opened.load(std::memory_order_relaxed);
+  s.sessions_finished =
+      cells_.sessions_finished.load(std::memory_order_relaxed);
+  s.symbols_ingested = cells_.symbols_ingested.load(std::memory_order_relaxed);
+  s.flushes = cells_.flushes.load(std::memory_order_relaxed);
+  s.busy_seconds =
+      static_cast<double>(cells_.busy_ns.load(std::memory_order_relaxed)) /
+      1e9;
+  s.evictions = cells_.evictions.load(std::memory_order_relaxed);
+  s.revives = cells_.revives.load(std::memory_order_relaxed);
+  s.spill_bytes_written =
+      cells_.spill_bytes_written.load(std::memory_order_relaxed);
+  s.spill_bytes_read = cells_.spill_bytes_read.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RecognizerService::reset_stats() noexcept {
+  cells_.sessions_opened.store(0, std::memory_order_relaxed);
+  cells_.sessions_finished.store(0, std::memory_order_relaxed);
+  cells_.symbols_ingested.store(0, std::memory_order_relaxed);
+  cells_.flushes.store(0, std::memory_order_relaxed);
+  cells_.busy_ns.store(0, std::memory_order_relaxed);
+  cells_.evictions.store(0, std::memory_order_relaxed);
+  cells_.revives.store(0, std::memory_order_relaxed);
+  cells_.spill_bytes_written.store(0, std::memory_order_relaxed);
+  cells_.spill_bytes_read.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace qols::service

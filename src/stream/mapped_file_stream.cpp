@@ -23,6 +23,7 @@
 #include <stdexcept>
 
 #include "qols/stream/file_stream.hpp"
+#include "qols/telemetry/registry.hpp"
 
 namespace qols::stream {
 
@@ -72,6 +73,13 @@ MappedFileStream::MappedFileStream(const std::string& path) {
   limit_ = map_len_;
   const long ps = ::sysconf(_SC_PAGESIZE);
   if (ps > 0) page_size_ = static_cast<std::size_t>(ps);
+  {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static telemetry::Counter& files = reg.counter("stream.mapped_files");
+    static telemetry::Counter& bytes = reg.counter("stream.bytes_mapped");
+    files.add();
+    bytes.add(map_len_);
+  }
 }
 
 MappedFileStream::~MappedFileStream() {

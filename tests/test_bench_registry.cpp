@@ -14,9 +14,9 @@ namespace {
 
 using namespace qols::bench;
 
-TEST(Registry, AllTwentyThreeExperimentsRegisteredWithUniqueIds) {
+TEST(Registry, AllTwentyFourExperimentsRegisteredWithUniqueIds) {
   const auto& all = Registry::global().experiments();
-  ASSERT_EQ(all.size(), 23u);
+  ASSERT_EQ(all.size(), 24u);
   std::set<std::string> ids;
   for (const auto& e : all) {
     EXPECT_FALSE(e.info.title.empty());
@@ -24,8 +24,8 @@ TEST(Registry, AllTwentyThreeExperimentsRegisteredWithUniqueIds) {
     EXPECT_FALSE(e.info.tags.empty());
     ids.insert(e.info.id);
   }
-  EXPECT_EQ(ids.size(), 23u);
-  for (int i = 1; i <= 23; ++i) {
+  EXPECT_EQ(ids.size(), 24u);
+  for (int i = 1; i <= 24; ++i) {
     std::string id = "e";
     id += std::to_string(i);
     EXPECT_NE(Registry::global().find(id), nullptr);
@@ -41,14 +41,14 @@ TEST(Registry, FindIsExact) {
 
 TEST(Registry, MatchFiltersOverIdTitleAndTags) {
   const auto& reg = Registry::global();
-  EXPECT_EQ(reg.match("").size(), 23u);  // empty filter selects everything
+  EXPECT_EQ(reg.match("").size(), 24u);  // empty filter selects everything
   // An exact id match wins outright: "e1" is only e1, never e10..e18.
   const auto exact = reg.match("e1");
   ASSERT_EQ(exact.size(), 1u);
   EXPECT_EQ(exact[0]->info.id, "e1");
   EXPECT_EQ(reg.match("E1").size(), 1u);  // exact match is case-insensitive
   // Non-id substrings still fan out.
-  EXPECT_EQ(reg.match("e").size(), 23u);
+  EXPECT_EQ(reg.match("e").size(), 24u);
   // Tag match, case-insensitive.
   const auto ablations = reg.match("ABLATION");
   EXPECT_GE(ablations.size(), 4u);
@@ -99,9 +99,12 @@ TEST(Runner, E18ProducesConsoleTablesAndJsonMetrics) {
   EXPECT_NE(text.find("D1(DISJ)"), std::string::npos);
   EXPECT_NE(text.find("[ok]"), std::string::npos);
 
-  // JSON sink: schema, the experiment record, per-row metrics.
+  // JSON sink: schema, the experiment record, per-row metrics, and the
+  // process-wide telemetry block appended to every document.
   const std::string doc = json.document().dump(2);
-  EXPECT_NE(doc.find("\"schema\": \"qols-bench/3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"qols-bench/4\""), std::string::npos);
+  EXPECT_NE(doc.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(doc.find("\"compiled\""), std::string::npos);
   EXPECT_NE(doc.find("\"id\": \"e18\""), std::string::npos);
   EXPECT_NE(doc.find("\"status\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"wall_seconds\""), std::string::npos);
