@@ -3,9 +3,10 @@
 //   qols_fuzz                                # 10-second soak, seed 1
 //   qols_fuzz --budget-seconds 60 --seed 7   # time-boxed CI leg
 //   qols_fuzz --cases 100000                 # case-count budget
-//   qols_fuzz --replay qf3-...               # re-check one failure token
+//   qols_fuzz --replay qf4-...               # re-check one failure token
 //   qols_fuzz --float --budget-seconds 30    # float-amplitude quantum soak
 //   qols_fuzz --snapshot --cases 100000      # snapshot/resume (P7) on every case
+//   qols_fuzz --wire --cases 100000          # frame-level wire (P8) on every case
 //
 // Every discrepancy prints both the as-found and the shrunk repro token;
 // --token-file additionally writes the shrunk token to a file (CI uploads
@@ -36,6 +37,8 @@ void print_usage(std::ostream& os) {
         "  --no-shrink           report failures as found, unminimized\n"
         "  --float               force float amplitudes on quantum cases\n"
         "  --snapshot            force the snapshot/resume property (P7) on\n"
+        "                        every case, not just the generator's half\n"
+        "  --wire                force the frame-level wire property (P8) on\n"
         "                        every case, not just the generator's half\n"
         "  --token-file <path>   write the first shrunk repro token here\n"
         "  --replay <token>      re-check one case from its repro token\n"
@@ -128,6 +131,8 @@ int main(int argc, char** argv) {
       opts.force_float = true;
     } else if (arg == "--snapshot") {
       opts.force_snapshot = true;
+    } else if (arg == "--wire") {
+      opts.force_wire = true;
     } else if (arg == "--no-telemetry") {
       qols::telemetry::set_enabled(false);
     } else if (arg == "--seed") {

@@ -64,6 +64,8 @@ inline constexpr std::uint64_t kNoTruncate = ~std::uint64_t{0};
 inline constexpr unsigned kMaxSessions = 4;
 /// Sentinel for snapshot_cut: the case skips the snapshot/resume property.
 inline constexpr std::uint64_t kNoSnapshot = ~std::uint64_t{0};
+/// Sentinel for wire_split: the case skips the frame-level wire property.
+inline constexpr std::uint64_t kNoWire = ~std::uint64_t{0};
 
 /// A fully explicit fuzz case. `seed` still matters at realization time: it
 /// drives the instance bits, mutation sites, malformed content, ragged
@@ -82,6 +84,10 @@ struct FuzzCase {
   /// Raw snapshot position for P7 (reduced mod word length + 1 at check
   /// time); kNoSnapshot = the case does not exercise snapshot/resume.
   std::uint64_t snapshot_cut = kNoSnapshot;
+  /// Raw seed for P8, the frame-level wire differential: drives the ragged
+  /// wire-byte split points and selects the corrupt-frame submodes (mod 8).
+  /// kNoWire = the case does not exercise the server protocol layer.
+  std::uint64_t wire_split = kNoWire;
 
   /// Draws a full case from one seed (the generator's distribution: ~80%
   /// classical recognizers, quantum capped at k <= 3, most words small).

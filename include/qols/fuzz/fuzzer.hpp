@@ -29,6 +29,10 @@ struct FuzzOptions {
   /// the generator's ~50/50 draw), at the case's seeded cut position. CI's
   /// sanitizer leg uses this to soak the snapshot codecs specifically.
   bool force_snapshot = false;
+  /// Force every case to run the frame-level wire property P8 (instead of
+  /// the generator's ~50/50 draw), seeded from the case. CI's sanitizer leg
+  /// uses this to soak the server frame decoder and broker specifically.
+  bool force_wire = false;
 };
 
 /// One property violation, with its replay tokens. `found` is the case as

@@ -39,6 +39,15 @@
 //                         UnsupportedSnapshot is an honest refusal only for
 //                         gate-level quantum modes, which the fuzzer never
 //                         generates, so here it is a failure.
+//   P8 wire-identity    : the P5 session script is encoded into wire frames
+//                         (HELLO / OPEN / ragged interleaved FEEDs / STATS /
+//                         FINISH), delivered to the server's FrameDecoder +
+//                         SessionBroker at fuzzer-chosen ragged byte splits,
+//                         and every verdict must equal the session's direct
+//                         single-stream run bit for bit. Two corrupt
+//                         submodes smash a length prefix or a FEED symbol
+//                         byte and demand a typed kMalformedFrame error and
+//                         a closed connection — never a crash.
 
 #include <cstddef>
 #include <string>

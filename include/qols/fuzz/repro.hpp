@@ -3,18 +3,18 @@
 // serializes to one printable token that `qols_fuzz --replay <token>`
 // re-checks bit-identically on any machine.
 //
-// Format (version "qf2", lowercase hex fields joined by '-'):
+// Format (version "qf4", lowercase hex fields joined by '-'):
 //
-//   qf2-<seed>-<k>-<word>-<param>-<nwrap>{-<wkind>-<a>-<b>}*-<cut>
+//   qf4-<seed>-<k>-<word>-<param>-<nwrap>{-<wkind>-<a>-<b>}*-<cut>
 //      -<sched>-<chunk>-<sessions>-<rec>-<sbudget>-<bbits>-<bhashes>
-//      -<float>
+//      -<float>-<snapcut>-<wire>
 //
-// qf2 appended the trailing <float> field (0/1: float-amplitude quantum
-// simulation, the PR 6 precision axis). The field list is positional and
-// versioned; decode rejects unknown versions (including qf1), malformed
-// hex, out-of-range enums and wrong field counts with
-// std::invalid_argument, so a token either replays the exact case or fails
-// loudly — never a silently different one.
+// qf4 appended the trailing <wire> field (the PR 9 frame-level server axis,
+// P8); qf3 added <snapcut> (snapshot/resume, P7), qf2 <float> (precision,
+// P6). The field list is positional and versioned; decode rejects unknown
+// versions (including qf1..qf3), malformed hex, out-of-range enums and
+// wrong field counts with std::invalid_argument, so a token either replays
+// the exact case or fails loudly — never a silently different one.
 
 #include <string>
 
@@ -26,7 +26,7 @@ namespace qols::fuzz {
 std::string encode_token(const FuzzCase& c);
 
 /// Parses a token back into the identical case. Throws std::invalid_argument
-/// on anything that is not a well-formed qf2 token.
+/// on anything that is not a well-formed qf4 token.
 FuzzCase decode_token(const std::string& token);
 
 }  // namespace qols::fuzz

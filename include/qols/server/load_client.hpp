@@ -1,0 +1,93 @@
+#pragma once
+// Multi-connection load generator for qols_server.
+//
+// run_load() opens N TCP connections, drives `sessions` concurrent wire
+// sessions through OPEN -> ragged FEEDs -> FINISH, and reports achieved
+// sessions/sec, symbols/sec, and p50/p99 finish latency. Phases are
+// barrier-synchronized across connections: every session is OPEN before the
+// first FINISH is sent, so `sessions` genuinely coexist on the server.
+//
+// Each session streams one of two deterministic words (an L_disj member and
+// an intersecting non-member, alternating by session index) under a
+// recognizer seed drawn from a small cycled pool — which is what lets a
+// verifier (bench E25, or --verify in qols_load) reproduce every expected
+// verdict with a handful of direct RecognizerService runs and compare the
+// wire results bit for bit.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qols/server/wire.hpp"
+#include "qols/stream/symbol_stream.hpp"
+
+namespace qols::server {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned connections = 8;
+  /// Total sessions across all connections; all open concurrently.
+  std::uint64_t sessions = 10'000;
+  /// L_disj scale: word length grows like 2^k * (2 * 4^k + 3).
+  unsigned k = 3;
+  /// Ragged FEED chunk bounds (symbols per frame), drawn per chunk.
+  std::size_t min_chunk = 16;
+  std::size_t max_chunk = 512;
+  /// Seeds the words, the chunk-size draws, and the recognizer seed pool.
+  std::uint64_t seed = 1;
+  /// Recognizer seeds cycle through this many distinct values.
+  unsigned distinct_seeds = 256;
+  /// Outstanding FINISH frames per connection (latency honesty: small
+  /// windows measure the server, huge ones measure the socket buffer).
+  std::size_t finish_window = 64;
+  /// Record per-session outcomes (verdict + latency) in the report.
+  bool collect_outcomes = false;
+  /// HELLO kind negotiation; wire::kAnyKind accepts whatever is served.
+  std::uint8_t kind_tag = wire::kAnyKind;
+};
+
+/// The two deterministic words every session draws from.
+struct LoadWords {
+  std::vector<stream::Symbol> member;    ///< DISJ = 1: accepted
+  std::vector<stream::Symbol> crossing;  ///< one intersection: rejected
+};
+
+LoadWords make_load_words(unsigned k, std::uint64_t seed);
+
+/// Session `index` streams words.member on even indices, words.crossing on
+/// odd ones.
+const std::vector<stream::Symbol>& word_for_session(const LoadWords& words,
+                                                    std::uint64_t index);
+
+/// The recognizer seed session `index` opens with.
+std::uint64_t seed_for_session(const LoadOptions& opts, std::uint64_t index);
+
+struct SessionOutcome {
+  std::uint64_t session_index = 0;  ///< wire id is session_index + 1
+  wire::WireVerdict verdict;
+  double finish_latency_ms = 0.0;
+};
+
+struct LoadReport {
+  std::uint64_t sessions = 0;  ///< sessions that returned a verdict
+  std::uint64_t symbols = 0;   ///< symbols fed across all sessions
+  std::uint64_t errors = 0;    ///< ERROR frames received
+  /// Sessions held open simultaneously (== LoadOptions::sessions: the open
+  /// phase completes on every connection before any FINISH is sent).
+  std::uint64_t max_concurrent_sessions = 0;
+  double wall_seconds = 0.0;
+  double sessions_per_second = 0.0;
+  double symbols_per_second = 0.0;
+  double p50_finish_ms = 0.0;
+  double p99_finish_ms = 0.0;
+  /// Populated when LoadOptions::collect_outcomes.
+  std::vector<SessionOutcome> outcomes;
+};
+
+/// Runs the load. Throws std::runtime_error / std::system_error on
+/// connection failure or protocol violations by the server.
+LoadReport run_load(const LoadOptions& opts);
+
+}  // namespace qols::server

@@ -1,0 +1,130 @@
+#pragma once
+// Per-connection protocol engine: wire bytes in, wire bytes out.
+//
+// SessionBroker owns no sockets — the epoll transport (server.hpp), the
+// fuzz harness (property P8), and the unit tests all drive the same code:
+// ingest() buffers raw bytes, pump() decodes complete frames and handles
+// them against the shared RecognizerService, appending response frames to
+// the caller's output buffer.
+//
+// Contract: hostile input NEVER throws out of pump(). Malformed bytes
+// (oversized length prefix, undecodable payload, invalid symbol byte,
+// frames out of order) produce a typed ERROR frame and PumpResult::kClose;
+// recoverable conditions (unknown session, duplicate OPEN, over-limit,
+// draining) produce an ERROR frame and the connection lives on.
+//
+// Determinism: a session's verdict depends only on its seed and the symbol
+// bytes fed to it, in order — never on how those bytes were split across
+// FEED frames or ingest() calls (fuzz property P8 enforces this against
+// direct RecognizerService runs).
+//
+// Wire session ids ARE service session ids (RecognizerService::open_at), so
+// there is no translation table; the broker tracks which ids this
+// connection owns and refuses to touch another connection's sessions.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "qols/server/wire.hpp"
+#include "qols/service/recognizer_service.hpp"
+#include "qols/telemetry/registry.hpp"
+
+namespace qols::server {
+
+/// State shared by every broker of one server: the service, the limits, and
+/// the drain flag. Single-threaded like the service's acceptor contract.
+struct BrokerShared {
+  struct Options {
+    /// Sessions across ALL connections (the service-wide cap).
+    std::uint64_t max_sessions = std::uint64_t{1} << 17;
+    /// Feed through RecognizerService::feed_borrowed (zero-copy, inline on
+    /// the calling thread) instead of feed() (copied, batched across the
+    /// pool by flush_threshold). Verdicts are bit-identical either way.
+    bool borrowed_feeds = false;
+  };
+
+  explicit BrokerShared(service::RecognizerService& service, Options options);
+
+  service::RecognizerService& svc;
+  Options opts;
+  /// Set by the server on SIGTERM/shutdown(): OPEN is refused with
+  /// kDraining; FEED/FINISH keep working so in-flight sessions complete.
+  bool draining = false;
+  /// Optional transport hook: called with the STATS document so the server
+  /// can append its own section (connections, backpressure pauses, ...).
+  std::function<void(util::json::Value&)> stats_hook;
+
+  /// Frame-grain instruments, resolved once for the whole server.
+  telemetry::Counter& frames_in;
+  telemetry::Counter& frames_out;
+  telemetry::Counter& errors_sent;
+  telemetry::Counter& malformed;
+  telemetry::LatencyHistogram& feed_frame_ns;
+  telemetry::LatencyHistogram& finish_frame_ns;
+};
+
+class SessionBroker {
+ public:
+  enum class PumpResult : std::uint8_t {
+    kIdle,       ///< no complete frame buffered; feed more bytes
+    kOutBudget,  ///< stopped early: output grew past the budget (backpressure)
+    kClose,      ///< fatal: flush `out`, then close the connection
+  };
+
+  explicit SessionBroker(BrokerShared& shared);
+  /// Abandons (finishes and discards) any sessions still open.
+  ~SessionBroker();
+
+  SessionBroker(const SessionBroker&) = delete;
+  SessionBroker& operator=(const SessionBroker&) = delete;
+
+  /// Buffers raw wire bytes; frames are handled by the next pump().
+  void ingest(std::span<const std::uint8_t> bytes);
+
+  /// Decodes and handles buffered frames in order, appending responses to
+  /// `out`, until no complete frame remains or out.size() reaches
+  /// `out_budget` (the transport's write-buffer cap — remaining frames stay
+  /// buffered for the next pump, which is what "stop reading under
+  /// backpressure" hangs off). `now_ms` stamps session activity for idle
+  /// eviction; any monotonic milli-clock works, 0 is fine for tests.
+  PumpResult pump(std::vector<std::uint8_t>& out, std::size_t out_budget,
+                  std::uint64_t now_ms = 0);
+
+  /// A complete frame is buffered and unprocessed (pump stopped on budget).
+  bool has_buffered_frames() const noexcept;
+  std::size_t buffered_bytes() const noexcept;
+
+  /// Evicts sessions (RecognizerService::evict) whose last activity is at
+  /// or before `cutoff_ms`. Returns how many were spilled. A session whose
+  /// recognizer cannot snapshot is skipped and not retried until its next
+  /// activity refreshes the stamp.
+  std::size_t evict_idle(std::uint64_t cutoff_ms);
+
+  std::size_t open_sessions() const noexcept { return sessions_.size(); }
+  bool hello_done() const noexcept { return hello_done_; }
+  bool closed() const noexcept { return closed_; }
+
+  /// Finishes and discards every session this connection still owns (peer
+  /// went away). Returns how many were abandoned.
+  std::size_t abandon_sessions() noexcept;
+
+ private:
+  /// Handles one frame; returns false when the connection must close.
+  bool handle(const wire::Frame& frame, std::vector<std::uint8_t>& out,
+              std::uint64_t now_ms);
+  bool fail(std::vector<std::uint8_t>& out, wire::ErrorCode code,
+            std::uint64_t session, std::string message);
+
+  BrokerShared& shared_;
+  wire::FrameDecoder decoder_;
+  /// Wire/service session id -> last-activity stamp (ms, caller's clock).
+  std::unordered_map<std::uint64_t, std::uint64_t> sessions_;
+  bool hello_done_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace qols::server

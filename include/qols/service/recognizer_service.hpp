@@ -124,9 +124,12 @@ class RecognizerService {
     std::uint64_t spill_bytes_written = 0;
     std::uint64_t spill_bytes_read = 0;
 
-    /// Zeroes this snapshot (benchmark warmup discards of a held copy; use
-    /// RecognizerService::reset_stats() to zero the live accumulators).
-    void reset() noexcept { *this = Stats{}; }
+    // NOTE: there is deliberately no reset() here. This struct is a VALUE
+    // snapshot — a whole-struct `*this = Stats{}` on anything shared with a
+    // running service would be a torn write racing the pool workers. The
+    // live accumulators are zeroed with RecognizerService::reset_stats(),
+    // which stores each atomic cell individually (TSan-verified concurrent
+    // with flush drains); a held copy is reset by plain reassignment.
 
     double symbols_per_second() const noexcept {
       return busy_seconds > 0.0
@@ -147,10 +150,19 @@ class RecognizerService {
   RecognizerService& operator=(const RecognizerService&) = delete;
 
   /// Opens a session: constructs the recognizer from `seed` and returns its
-  /// handle. Ids are never reused within one service. Each session is pinned
-  /// to the shard id % pool-size for its whole life, so flush work for
-  /// different shards never touches the same session state.
+  /// handle. Auto-assigned ids are monotonic and skip any id currently held
+  /// open (e.g. one claimed by open_at), so open() never collides. Each
+  /// session is pinned to the shard id % pool-size for its whole life, so
+  /// flush work for different shards never touches the same session state.
   SessionId open(std::uint64_t seed);
+
+  /// Opens a session under a caller-chosen id — the network server maps
+  /// wire session ids straight onto service ids with no translation table.
+  /// Throws std::invalid_argument when `id` is currently open (resident OR
+  /// evicted). The id-reuse rule: an id becomes reusable the moment
+  /// finish() retires it (its spill file, if any, is removed by then), and
+  /// never before. Returns `id`.
+  SessionId open_at(SessionId id, std::uint64_t seed);
 
   /// Buffers a chunk for the session (copied; the caller's span may die).
   /// Triggers a pooled flush when the session's shard crosses the threshold.

@@ -205,6 +205,13 @@ FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
   const std::uint64_t snap_roll = sm.next();
   const std::uint64_t snap_pos = sm.next();
   c.snapshot_cut = snap_roll % 2 == 1 ? snap_pos : kNoSnapshot;
+
+  // Wire axis (P8), half the corpus: replay the sessions over the server's
+  // frame decoder + session broker and compare verdicts. Unconditional draws
+  // again, so the qf3 seed->field mapping above survives intact.
+  const std::uint64_t wire_roll = sm.next();
+  const std::uint64_t wire_val = sm.next();
+  c.wire_split = wire_roll % 2 == 1 ? wire_val : kNoWire;
   return c;
 }
 
@@ -312,6 +319,9 @@ std::string describe(const FuzzCase& c) {
   }
   if (c.snapshot_cut != kNoSnapshot) {
     out += " snapcut=" + std::to_string(c.snapshot_cut);
+  }
+  if (c.wire_split != kNoWire) {
+    out += " wire=" + std::to_string(c.wire_split);
   }
   out += " schedule=";
   out += c.schedule == ScheduleKind::kWhole   ? "whole"

@@ -44,6 +44,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       // the cut deterministic (it is reduced mod word length at check time).
       c.snapshot_cut = c.seed;
     }
+    if (opts.force_wire && c.wire_split == kNoWire) {
+      // Same promotion for P8: the seed picks the submode and byte splits.
+      c.wire_split = c.seed;
+    }
     const CaseResult result = check_case(c);
     ++report.cases;
     cases_counter.add();

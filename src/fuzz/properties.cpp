@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "qols/lang/ldisj_instance.hpp"
 #include "qols/machine/online_recognizer.hpp"
+#include "qols/server/session_broker.hpp"
 #include "qols/telemetry/registry.hpp"
 #include "qols/util/rng.hpp"
 
@@ -367,6 +369,209 @@ void check_service(const FuzzCase& c, const std::vector<Symbol>& word,
   }
 }
 
+void check_wire(const FuzzCase& c, const std::vector<Symbol>& word,
+                const Outcome& reference,
+                std::vector<Discrepancy>& issues) {
+  // P8: encode the P5 session script into wire frames, deliver the byte
+  // stream to the server's FrameDecoder + SessionBroker at fuzzer-chosen
+  // ragged split points, and demand verdicts bit-identical to direct
+  // single-stream runs. wire_split % 8 picks a submode: 7 smashes a length
+  // prefix (oversized frame), 5 smashes a FEED symbol byte (invalid
+  // symbol); both must die with a typed kMalformedFrame error and a closed
+  // connection — never a crash or UB.
+  namespace wire = server::wire;
+  using server::SessionBroker;
+
+  service::RecognizerService::Config cfg;
+  cfg.spec = c.spec;
+  // Same threshold rotation as P5, keyed off the wire axis so the pooled
+  // and inline feed paths both serve framed bytes across the corpus.
+  static constexpr std::uint64_t kThresholds[3] = {0, 256,
+                                                   std::uint64_t{1} << 18};
+  cfg.flush_threshold = kThresholds[c.wire_split % 3];
+  service::RecognizerService svc(cfg);
+  server::BrokerShared shared(svc, {});
+  SessionBroker broker(shared);
+
+  // The client script: HELLO, OPEN each session at wire id s+1, ragged
+  // round-robin FEED interleave (the P5 adversarial schedule, reframed),
+  // one STATS probe, FINISH in reverse order. Frame start offsets and the
+  // first FEED symbol offset feed the corrupt submodes.
+  std::vector<std::uint8_t> script;
+  std::vector<std::size_t> frame_starts;
+  std::size_t first_feed_symbol = 0;  // 0 = the script has no FEED frames
+  frame_starts.push_back(script.size());
+  wire::append_hello(script, {});
+  for (unsigned s = 0; s < c.sessions; ++s) {
+    frame_starts.push_back(script.size());
+    wire::append_open(script, {s + 1, recognizer_seed(c, s)});
+  }
+  util::SplitMix64 sm(c.wire_split ^ 0xf4a3'0000'00c0'ffeeULL);
+  std::vector<std::size_t> cursors(c.sessions, 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (unsigned s = 0; s < c.sessions; ++s) {
+      if (cursors[s] >= word.size()) continue;
+      const std::size_t n = std::min<std::size_t>(
+          1 + sm.next() % 83, word.size() - cursors[s]);
+      frame_starts.push_back(script.size());
+      if (first_feed_symbol == 0) {
+        first_feed_symbol = script.size() + wire::kFrameHeaderSize + 8;
+      }
+      wire::append_feed(script, s + 1,
+                        std::span<const Symbol>(word.data() + cursors[s], n));
+      cursors[s] += n;
+      progressed = true;
+    }
+  }
+  frame_starts.push_back(script.size());
+  wire::append_frame(script, wire::FrameType::kStats, {});
+  for (unsigned s = c.sessions; s-- > 0;) {
+    frame_starts.push_back(script.size());
+    wire::append_finish(script, {s + 1});
+  }
+
+  bool expect_close = false;
+  const unsigned mode = static_cast<unsigned>(c.wire_split % 8);
+  if (mode == 7) {
+    // High byte of a length prefix -> 0xff: a >16 MiB frame the decoder
+    // must refuse before buffering, losing framing for good.
+    const std::size_t at = frame_starts[sm.next() % frame_starts.size()];
+    script[at + 3] = 0xff;
+    expect_close = true;
+  } else if (mode == 5 && first_feed_symbol != 0) {
+    script[first_feed_symbol] = 0x07;  // not a Symbol; read_feed must throw
+    expect_close = true;
+  }
+
+  // Deliver at ragged, seeded byte boundaries — deliberately not frame
+  // boundaries — pumping after every arrival like the epoll loop does.
+  std::vector<std::uint8_t> out;
+  constexpr std::size_t kBudget = std::size_t{1} << 26;
+  auto result = SessionBroker::PumpResult::kIdle;
+  util::SplitMix64 split_sm(c.wire_split ^ 0x5eed'f4a3'5eed'f4a3ULL);
+  std::size_t done = 0;
+  while (done < script.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + split_sm.next() % 251,
+                                                script.size() - done);
+    broker.ingest(
+        std::span<const std::uint8_t>(script.data() + done, n));
+    done += n;
+    result = broker.pump(out, kBudget);
+    if (result == SessionBroker::PumpResult::kClose) break;
+  }
+
+  // Decode the server's responses with the same incremental decoder.
+  bool hello_ok = false;
+  bool stats_seen = false;
+  unsigned open_oks = 0;
+  std::vector<bool> have_verdict(c.sessions, false);
+  std::vector<Outcome> verdicts(c.sessions);
+  std::optional<wire::Error> last_error;
+  wire::FrameDecoder client;
+  client.append(out);
+  try {
+    while (auto f = client.next()) {
+      switch (f->type) {
+        case wire::FrameType::kHelloOk:
+          hello_ok = true;
+          break;
+        case wire::FrameType::kOpenOk:
+          ++open_oks;
+          break;
+        case wire::FrameType::kVerdict: {
+          const auto v = wire::read_verdict(f->payload);
+          if (v.session >= 1 && v.session <= c.sessions) {
+            have_verdict[v.session - 1] = true;
+            verdicts[v.session - 1] = {v.accepted, v.fully_simulated,
+                                       v.classical_bits, v.qubits};
+          } else {
+            issues.push_back({"P8-wire-identity",
+                              "verdict for unknown wire session " +
+                                  std::to_string(v.session)});
+          }
+          break;
+        }
+        case wire::FrameType::kStatsText:
+          stats_seen = true;
+          break;
+        case wire::FrameType::kError:
+          last_error = wire::read_error(f->payload);
+          break;
+        default:
+          issues.push_back(
+              {"P8-wire-identity",
+               std::string("unexpected response frame ") +
+                   wire::frame_type_name(f->type)});
+      }
+    }
+  } catch (const util::serde::DecodeError& e) {
+    issues.push_back({"P8-wire-identity",
+                      std::string("server response undecodable: ") +
+                          e.what()});
+    return;
+  }
+  if (client.buffered_bytes() != 0) {
+    issues.push_back({"P8-wire-identity",
+                      "trailing bytes after the last response frame"});
+  }
+
+  if (expect_close) {
+    // The corrupted script must produce a typed malformed-frame error and a
+    // closed connection; anything the broker served before the corruption
+    // point is legitimate and unasserted.
+    if (result != SessionBroker::PumpResult::kClose || !broker.closed()) {
+      issues.push_back({"P8-wire-identity",
+                        "corrupt frame (mode " + std::to_string(mode) +
+                            ") did not close the connection"});
+    }
+    if (!last_error ||
+        last_error->code != wire::ErrorCode::kMalformedFrame) {
+      issues.push_back(
+          {"P8-wire-identity",
+           "corrupt frame (mode " + std::to_string(mode) +
+               ") did not produce a kMalformedFrame error frame"});
+    }
+    return;
+  }
+
+  if (result == SessionBroker::PumpResult::kClose || broker.closed()) {
+    issues.push_back({"P8-wire-identity",
+                      std::string("clean script closed the connection: ") +
+                          (last_error ? last_error->message : "no error")});
+    return;
+  }
+  if (!hello_ok || open_oks != c.sessions || !stats_seen) {
+    issues.push_back({"P8-wire-identity",
+                      "missing responses: hello_ok=" +
+                          std::to_string(hello_ok) + " open_oks=" +
+                          std::to_string(open_oks) + "/" +
+                          std::to_string(c.sessions) + " stats=" +
+                          std::to_string(stats_seen)});
+    return;
+  }
+  const std::vector<std::size_t> whole =
+      word.empty() ? std::vector<std::size_t>{}
+                   : std::vector<std::size_t>{word.size()};
+  for (unsigned s = 0; s < c.sessions; ++s) {
+    if (!have_verdict[s]) {
+      issues.push_back({"P8-wire-identity",
+                        "no verdict for session " + std::to_string(s)});
+      continue;
+    }
+    const Outcome single =
+        s == 0 ? reference
+               : run_scheduled(c.spec, recognizer_seed(c, s), word, whole);
+    if (!(verdicts[s] == single)) {
+      issues.push_back({"P8-wire-identity",
+                        "session " + std::to_string(s) + " of " +
+                            std::to_string(c.sessions) + ":" +
+                            outcome_diff(verdicts[s], single)});
+    }
+  }
+}
+
 }  // namespace
 
 CaseResult check_case(const FuzzCase& c) {
@@ -381,6 +586,7 @@ CaseResult check_case(const FuzzCase& c) {
     telemetry::Counter& p5;
     telemetry::Counter& p6;
     telemetry::Counter& p7;
+    telemetry::Counter& p8;
   };
   static CheckCounters checks{
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p1"),
@@ -389,7 +595,8 @@ CaseResult check_case(const FuzzCase& c) {
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p4"),
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p5"),
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p6"),
-      telemetry::MetricsRegistry::global().counter("fuzz.checks.p7")};
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p7"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p8")};
 
   CaseResult result;
   const std::vector<Symbol> word = realize_word(c);
@@ -457,6 +664,13 @@ CaseResult check_case(const FuzzCase& c) {
   // P5: the serving layer reproduces single-stream verdicts.
   checks.p5.add();
   check_service(pinned, word, reference, result.issues);
+
+  // P8: the wire protocol layer reproduces them too, at any framing, and
+  // dies typed (not crashed) on corrupted frames.
+  if (c.wire_split != kNoWire) {
+    checks.p8.add();
+    check_wire(pinned, word, reference, result.issues);
+  }
 
   return result;
 }

@@ -8,10 +8,11 @@ namespace qols::fuzz {
 
 namespace {
 
-// qf3 appended the trailing snapshot_cut field (PR 7's snapshot/resume
-// axis); qf2 added float_amplitudes (PR 6). Older tokens are rejected rather
-// than silently defaulted, so a replay always states every axis it checks.
-constexpr std::string_view kVersion = "qf3";
+// qf4 appended the trailing wire_split field (PR 9's frame-level server
+// axis); qf3 added snapshot_cut (PR 7), qf2 float_amplitudes (PR 6). Older
+// tokens are rejected rather than silently defaulted, so a replay always
+// states every axis it checks.
+constexpr std::string_view kVersion = "qf4";
 
 void append_hex(std::string& out, std::uint64_t v) {
   char buf[17];
@@ -59,6 +60,7 @@ std::string encode_token(const FuzzCase& c) {
   append_hex(out, c.spec.bloom_num_hashes);
   append_hex(out, c.spec.float_amplitudes ? 1 : 0);
   append_hex(out, c.snapshot_cut);
+  append_hex(out, c.wire_split);
   return out;
 }
 
@@ -144,6 +146,9 @@ FuzzCase decode_token(const std::string& token) {
   // Any value is legal: it is reduced modulo the word length at check time,
   // and kNoSnapshot (all ones) means "skip P7".
   c.snapshot_cut = r.next("snapshot_cut");
+  // Likewise: reduced mod 8 (submode) and used as a split seed; kNoWire
+  // (all ones) means "skip P8".
+  c.wire_split = r.next("wire_split");
   if (!r.exhausted()) bad("trailing fields");
   return c;
 }

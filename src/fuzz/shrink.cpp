@@ -72,6 +72,14 @@ ShrinkOutcome shrink(const FuzzCase& failing,
       progressed = try_candidate(candidate) || progressed;
     }
 
+    // Drop the wire axis the same way: a non-P8 failure replays without the
+    // frame-level server detour.
+    if (out.best.wire_split != kNoWire) {
+      FuzzCase candidate = out.best;
+      candidate.wire_split = kNoWire;
+      progressed = try_candidate(candidate) || progressed;
+    }
+
     // Smaller instance scale.
     while (out.best.k > 1) {
       FuzzCase candidate = out.best;

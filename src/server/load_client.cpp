@@ -1,0 +1,399 @@
+#include "qols/server/load_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <barrier>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "qols/lang/ldisj_instance.hpp"
+#include "qols/util/rng.hpp"
+
+namespace qols::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// One nonblocking TCP connection with an outgoing byte queue and an
+/// incoming frame decoder.
+struct NetConn {
+  int fd = -1;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+  wire::FrameDecoder dec;
+
+  ~NetConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void connect(const std::string& host, std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      errno = EINVAL;
+      throw_errno("inet_pton (IPv4 address expected)");
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      throw_errno("connect");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      throw_errno("fcntl(O_NONBLOCK)");
+    }
+  }
+
+  std::size_t pending() const noexcept { return out.size() - out_pos; }
+
+  bool send_some() {
+    bool progress = false;
+    while (pending() > 0) {
+      const ssize_t n = ::send(fd, out.data() + out_pos, pending(),
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        out_pos += static_cast<std::size_t>(n);
+        progress = true;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    if (out_pos == out.size()) {
+      out.clear();
+      out_pos = 0;
+    }
+    return progress;
+  }
+
+  /// Reads everything available; returns false on orderly EOF.
+  bool recv_some(bool& progress) {
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        dec.append({buf, static_cast<std::size_t>(n)});
+        progress = true;
+        continue;
+      }
+      if (n == 0) return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+  }
+
+  void wait_io(int timeout_ms) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (pending() > 0) p.events |= POLLOUT;
+    ::poll(&p, 1, timeout_ms);
+  }
+};
+
+/// Per-connection driver: runs the phases for its slice of sessions.
+struct Driver {
+  const LoadOptions& opts;
+  const LoadWords& words;
+  NetConn conn;
+  util::SplitMix64 chunk_rng;
+
+  bool hello_ok = false;
+  std::uint64_t opens_acked = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t errors = 0;
+  std::size_t outstanding = 0;
+  std::unordered_map<std::uint64_t, Clock::time_point> finish_stamp;
+  std::vector<SessionOutcome> outcomes;
+  std::vector<double> latencies_ms;
+  std::uint64_t symbols_fed = 0;
+
+  Driver(const LoadOptions& o, const LoadWords& w, std::uint64_t conn_index)
+      : opts(o),
+        words(w),
+        chunk_rng(o.seed ^ (conn_index * 0x9e3779b97f4a7c15ULL) ^
+                  0xfeedULL) {}
+
+  void on_frame(const wire::Frame& f) {
+    switch (f.type) {
+      case wire::FrameType::kHelloOk: {
+        const auto ok = wire::read_hello_ok(f.payload);
+        if (ok.version != wire::kProtocolVersion) {
+          throw std::runtime_error("qols_load: server protocol version " +
+                                   std::to_string(ok.version));
+        }
+        hello_ok = true;
+        return;
+      }
+      case wire::FrameType::kOpenOk:
+        ++opens_acked;
+        return;
+      case wire::FrameType::kVerdict: {
+        const auto v = wire::read_verdict(f.payload);
+        const auto it = finish_stamp.find(v.session);
+        double ms = 0.0;
+        if (it != finish_stamp.end()) {
+          ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         it->second)
+                   .count();
+          finish_stamp.erase(it);
+        }
+        latencies_ms.push_back(ms);
+        if (opts.collect_outcomes) {
+          outcomes.push_back({v.session - 1, v, ms});
+        }
+        ++finished;
+        if (outstanding > 0) --outstanding;
+        return;
+      }
+      case wire::FrameType::kError: {
+        const auto e = wire::read_error(f.payload);
+        ++errors;
+        if (wire::error_is_fatal(e.code)) {
+          throw std::runtime_error(std::string("qols_load: fatal server error ") +
+                                   wire::error_code_name(e.code) + ": " +
+                                   e.message);
+        }
+        return;
+      }
+      default:
+        return;  // STATS/METRICS text — not requested here, ignore
+    }
+  }
+
+  /// Drives IO until `done()` holds. Throws after 30 s without progress.
+  template <typename Pred>
+  void pump_until(Pred done) {
+    auto last_progress = Clock::now();
+    while (!done()) {
+      bool progress = conn.send_some();
+      if (!conn.recv_some(progress)) {
+        if (done()) return;
+        throw std::runtime_error("qols_load: server closed the connection");
+      }
+      while (auto f = conn.dec.next()) {
+        on_frame(*f);
+        progress = true;
+      }
+      if (done()) return;
+      if (progress) {
+        last_progress = Clock::now();
+        continue;
+      }
+      conn.wait_io(200);
+      if (Clock::now() - last_progress > std::chrono::seconds(30)) {
+        throw std::runtime_error("qols_load: no progress for 30s");
+      }
+    }
+  }
+
+  /// Keeps the outgoing queue bounded while a phase floods frames.
+  void drain_below(std::size_t cap) {
+    pump_until([&] { return conn.pending() <= cap; });
+  }
+
+  std::size_t chunk_size() {
+    const std::size_t lo = std::max<std::size_t>(1, opts.min_chunk);
+    const std::size_t hi = std::max(lo, opts.max_chunk);
+    return lo + static_cast<std::size_t>(chunk_rng.next() % (hi - lo + 1));
+  }
+
+  void run(std::uint64_t first, std::uint64_t count) {
+    // HELLO / HELLO_OK
+    wire::append_hello(conn.out, {wire::kProtocolVersion, opts.kind_tag});
+    pump_until([&] { return hello_ok; });
+
+    // OPEN all sessions (wire id = global index + 1).
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t index = first + i;
+      wire::append_open(conn.out,
+                        {index + 1, seed_for_session(opts, index)});
+      if (conn.pending() > (std::size_t{1} << 16)) {
+        drain_below(std::size_t{1} << 12);
+      }
+    }
+    pump_until([&] { return opens_acked == count && conn.pending() == 0; });
+  }
+
+  void feed_phase(std::uint64_t first, std::uint64_t count) {
+    std::vector<std::size_t> cursors(count, 0);
+    bool remaining = count > 0;
+    while (remaining) {
+      remaining = false;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto& word = word_for_session(words, first + i);
+        if (cursors[i] >= word.size()) continue;
+        const std::size_t n =
+            std::min(chunk_size(), word.size() - cursors[i]);
+        wire::append_feed(
+            conn.out, first + i + 1,
+            std::span<const stream::Symbol>(word.data() + cursors[i], n));
+        cursors[i] += n;
+        symbols_fed += n;
+        if (cursors[i] < word.size()) remaining = true;
+        if (conn.pending() > (std::size_t{1} << 18)) {
+          drain_below(std::size_t{1} << 14);
+        }
+      }
+    }
+    pump_until([&] { return conn.pending() == 0; });
+  }
+
+  void finish_phase(std::uint64_t first, std::uint64_t count) {
+    const std::size_t window = std::max<std::size_t>(1, opts.finish_window);
+    std::uint64_t next = 0;
+    while (finished < count) {
+      while (outstanding < window && next < count) {
+        const std::uint64_t id = first + next + 1;
+        finish_stamp.emplace(id, Clock::now());
+        wire::append_finish(conn.out, {id});
+        ++outstanding;
+        ++next;
+      }
+      const std::uint64_t target =
+          std::min<std::uint64_t>(count, finished + 1);
+      pump_until([&] { return finished >= target; });
+    }
+  }
+};
+
+}  // namespace
+
+LoadWords make_load_words(unsigned k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  LoadWords w;
+  const auto member = lang::LDisjInstance::make_disjoint(k, rng);
+  const auto crossing =
+      lang::LDisjInstance::make_with_intersections(k, 1, rng);
+  const auto materialize = [](const lang::LDisjInstance& inst) {
+    std::vector<stream::Symbol> out;
+    auto s = inst.stream();
+    while (auto sym = s->next()) out.push_back(*sym);
+    return out;
+  };
+  w.member = materialize(member);
+  w.crossing = materialize(crossing);
+  return w;
+}
+
+const std::vector<stream::Symbol>& word_for_session(const LoadWords& words,
+                                                    std::uint64_t index) {
+  return index % 2 == 0 ? words.member : words.crossing;
+}
+
+std::uint64_t seed_for_session(const LoadOptions& opts, std::uint64_t index) {
+  const unsigned pool = opts.distinct_seeds > 0 ? opts.distinct_seeds : 1;
+  return 1000 + index % pool;
+}
+
+LoadReport run_load(const LoadOptions& opts) {
+  const unsigned conns = std::max(1u, opts.connections);
+  const LoadWords words = make_load_words(opts.k, opts.seed);
+
+  // Contiguous session-index slices per connection.
+  std::vector<std::uint64_t> firsts(conns), counts(conns);
+  {
+    const std::uint64_t base = opts.sessions / conns;
+    const std::uint64_t extra = opts.sessions % conns;
+    std::uint64_t at = 0;
+    for (unsigned c = 0; c < conns; ++c) {
+      firsts[c] = at;
+      counts[c] = base + (c < extra ? 1 : 0);
+      at += counts[c];
+    }
+  }
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(conns));
+  std::mutex mu;
+  LoadReport report;
+  std::vector<double> all_latencies;
+  std::exception_ptr first_error;
+  Clock::time_point t_start = Clock::time_point::max();
+  Clock::time_point t_end = Clock::time_point::min();
+
+  auto worker = [&](unsigned c) {
+    Driver d(opts, words, c);
+    try {
+      d.conn.connect(opts.host, opts.port);
+      d.run(firsts[c], counts[c]);  // HELLO + OPENs
+      sync.arrive_and_wait();       // every session everywhere is open
+      const auto start = Clock::now();
+      d.feed_phase(firsts[c], counts[c]);
+      sync.arrive_and_wait();  // all feeds flushed before the first FINISH
+      d.finish_phase(firsts[c], counts[c]);
+      const auto end = Clock::now();
+      std::lock_guard<std::mutex> lock(mu);
+      t_start = std::min(t_start, start);
+      t_end = std::max(t_end, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+      sync.arrive_and_drop();  // unblock the surviving connections
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    report.sessions += d.finished;
+    report.symbols += d.symbols_fed;
+    report.errors += d.errors;
+    all_latencies.insert(all_latencies.end(), d.latencies_ms.begin(),
+                         d.latencies_ms.end());
+    report.outcomes.insert(report.outcomes.end(), d.outcomes.begin(),
+                           d.outcomes.end());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (unsigned c = 0; c < conns; ++c) threads.emplace_back(worker, c);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  report.max_concurrent_sessions = opts.sessions;
+  report.wall_seconds =
+      t_end > t_start
+          ? std::chrono::duration<double>(t_end - t_start).count()
+          : 0.0;
+  if (report.wall_seconds > 0.0) {
+    report.sessions_per_second =
+        static_cast<double>(report.sessions) / report.wall_seconds;
+    report.symbols_per_second =
+        static_cast<double>(report.symbols) / report.wall_seconds;
+  }
+  if (!all_latencies.empty()) {
+    std::sort(all_latencies.begin(), all_latencies.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(all_latencies.size() - 1));
+      return all_latencies[idx];
+    };
+    report.p50_finish_ms = at(0.50);
+    report.p99_finish_ms = at(0.99);
+  }
+  return report;
+}
+
+}  // namespace qols::server

@@ -1,0 +1,136 @@
+// qols_load: multi-connection load generator for qols_server.
+//
+//   qols_load --port 41234 --connections 8 --sessions 10000
+//
+// Opens every session before finishing any (true concurrency), feeds each
+// word in ragged chunks, and prints key=value lines (sessions_per_sec,
+// symbols_per_sec, p50/p99 finish latency) that scripts can parse. With
+// --verify, every wire verdict is checked bit-for-bit against a direct
+// RecognizerService run; any mismatch exits nonzero.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "qols/server/load_client.hpp"
+#include "qols/service/recognizer_service.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: qols_load [options]\n"
+      "  --host H           server address (default 127.0.0.1)\n"
+      "  --port P           server port (required)\n"
+      "  --connections N    concurrent TCP connections (default 8)\n"
+      "  --sessions N       total concurrent sessions (default 10000)\n"
+      "  --k K              L_disj scale (default 3)\n"
+      "  --min-chunk N      smallest FEED chunk, symbols (default 16)\n"
+      "  --max-chunk N      largest FEED chunk, symbols (default 512)\n"
+      "  --seed S           word/chunk/seed-pool seed (default 1)\n"
+      "  --finish-window N  outstanding FINISHes per connection (default 64)\n"
+      "  --verify           check verdicts against a direct service run\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qols::server::LoadOptions opts;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opts.host = value();
+    } else if (arg == "--port") {
+      opts.port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--connections") {
+      opts.connections = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--sessions") {
+      opts.sessions = std::stoull(value());
+    } else if (arg == "--k") {
+      opts.k = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--min-chunk") {
+      opts.min_chunk = std::stoul(value());
+    } else if (arg == "--max-chunk") {
+      opts.max_chunk = std::stoul(value());
+    } else if (arg == "--seed") {
+      opts.seed = std::stoull(value());
+    } else if (arg == "--finish-window") {
+      opts.finish_window = std::stoul(value());
+    } else if (arg == "--verify") {
+      verify = true;
+      opts.collect_outcomes = true;
+    } else {
+      usage();
+    }
+  }
+  if (opts.port == 0) usage();
+
+  try {
+    const auto report = qols::server::run_load(opts);
+    std::printf("sessions=%llu\n",
+                static_cast<unsigned long long>(report.sessions));
+    std::printf("symbols=%llu\n",
+                static_cast<unsigned long long>(report.symbols));
+    std::printf("errors=%llu\n",
+                static_cast<unsigned long long>(report.errors));
+    std::printf("max_concurrent_sessions=%llu\n",
+                static_cast<unsigned long long>(
+                    report.max_concurrent_sessions));
+    std::printf("wall_seconds=%.6f\n", report.wall_seconds);
+    std::printf("sessions_per_sec=%.1f\n", report.sessions_per_second);
+    std::printf("symbols_per_sec=%.1f\n", report.symbols_per_second);
+    std::printf("p50_finish_ms=%.3f\n", report.p50_finish_ms);
+    std::printf("p99_finish_ms=%.3f\n", report.p99_finish_ms);
+
+    bool ok = report.errors == 0 && report.sessions == opts.sessions;
+    if (verify && ok) {
+      // One direct RecognizerService run per distinct (word, seed) pair —
+      // the reference the wire verdicts must match bit for bit.
+      using qols::service::RecognizerService;
+      RecognizerService svc({});  // default spec == server default
+      std::map<std::pair<std::uint64_t, std::uint64_t>,
+               RecognizerService::Verdict>
+          reference;
+      const auto words = qols::server::make_load_words(opts.k, opts.seed);
+      std::uint64_t mismatches = 0;
+      for (const auto& o : report.outcomes) {
+        const std::uint64_t word_ix = o.session_index % 2;
+        const std::uint64_t seed =
+            qols::server::seed_for_session(opts, o.session_index);
+        const auto key = std::make_pair(word_ix, seed);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          const auto id = svc.open(seed);
+          svc.feed(id, qols::server::word_for_session(words,
+                                                      o.session_index));
+          it = reference.emplace(key, svc.finish(id)).first;
+        }
+        const auto& ref = it->second;
+        if (o.verdict.accepted != ref.accepted ||
+            o.verdict.fully_simulated != ref.fully_simulated ||
+            o.verdict.classical_bits != ref.space.classical_bits ||
+            o.verdict.qubits != ref.space.qubits) {
+          ++mismatches;
+        }
+      }
+      std::printf("verdict_mismatches=%llu\n",
+                  static_cast<unsigned long long>(mismatches));
+      ok = mismatches == 0;
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qols_load: %s\n", e.what());
+    return 1;
+  }
+}

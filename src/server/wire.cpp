@@ -1,0 +1,298 @@
+#include "qols/server/wire.hpp"
+
+#include <cstring>
+
+namespace qols::server::wire {
+
+namespace serde = util::serde;
+
+bool error_is_fatal(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadVersion:
+    case ErrorCode::kSpecMismatch:
+    case ErrorCode::kMalformedFrame:
+    case ErrorCode::kProtocolError:
+      return true;
+    case ErrorCode::kUnknownSession:
+    case ErrorCode::kSessionExists:
+    case ErrorCode::kOverLimit:
+    case ErrorCode::kDraining:
+      return false;
+  }
+  return true;
+}
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kOpen: return "OPEN";
+    case FrameType::kFeed: return "FEED";
+    case FrameType::kFinish: return "FINISH";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kMetrics: return "METRICS";
+    case FrameType::kHelloOk: return "HELLO_OK";
+    case FrameType::kOpenOk: return "OPEN_OK";
+    case FrameType::kVerdict: return "VERDICT";
+    case FrameType::kStatsText: return "STATS_TEXT";
+    case FrameType::kMetricsText: return "METRICS_TEXT";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kSpecMismatch: return "spec-mismatch";
+    case ErrorCode::kMalformedFrame: return "malformed-frame";
+    case ErrorCode::kProtocolError: return "protocol-error";
+    case ErrorCode::kUnknownSession: return "unknown-session";
+    case ErrorCode::kSessionExists: return "session-exists";
+    case ErrorCode::kOverLimit: return "over-limit";
+    case ErrorCode::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+namespace {
+
+void append_header(std::vector<std::uint8_t>& out, FrameType type,
+                   std::size_t payload_len) {
+  const auto len = static_cast<std::uint32_t>(payload_len);
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(type));
+}
+
+void append_payload_frame(std::vector<std::uint8_t>& out, FrameType type,
+                          const serde::ByteWriter& w) {
+  append_header(out, type, w.size());
+  out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload) {
+  append_header(out, type, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_hello(std::vector<std::uint8_t>& out, const Hello& h) {
+  serde::ByteWriter w;
+  w.u32(h.version);
+  w.u8(h.kind_tag);
+  append_payload_frame(out, FrameType::kHello, w);
+}
+
+void append_hello_ok(std::vector<std::uint8_t>& out, const HelloOk& h) {
+  serde::ByteWriter w;
+  w.u32(h.version);
+  w.u8(h.kind);
+  w.b(h.float_amplitudes);
+  w.u64(h.max_sessions);
+  append_payload_frame(out, FrameType::kHelloOk, w);
+}
+
+void append_open(std::vector<std::uint8_t>& out, const Open& o) {
+  serde::ByteWriter w;
+  w.u64(o.session);
+  w.u64(o.seed);
+  append_payload_frame(out, FrameType::kOpen, w);
+}
+
+void append_open_ok(std::vector<std::uint8_t>& out, const OpenOk& o) {
+  serde::ByteWriter w;
+  w.u64(o.session);
+  append_payload_frame(out, FrameType::kOpenOk, w);
+}
+
+void append_feed(std::vector<std::uint8_t>& out, std::uint64_t session,
+                 std::span<const stream::Symbol> symbols) {
+  append_header(out, FrameType::kFeed, 8 + symbols.size());
+  serde::ByteWriter w;
+  w.u64(session);
+  out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(symbols.data());
+  out.insert(out.end(), raw, raw + symbols.size());
+}
+
+void append_finish(std::vector<std::uint8_t>& out, const Finish& f) {
+  serde::ByteWriter w;
+  w.u64(f.session);
+  append_payload_frame(out, FrameType::kFinish, w);
+}
+
+void append_verdict(std::vector<std::uint8_t>& out, const WireVerdict& v) {
+  serde::ByteWriter w;
+  w.u64(v.session);
+  w.b(v.accepted);
+  w.b(v.fully_simulated);
+  w.u64(v.classical_bits);
+  w.u64(v.qubits);
+  append_payload_frame(out, FrameType::kVerdict, w);
+}
+
+void append_text(std::vector<std::uint8_t>& out, FrameType type,
+                 std::string_view text) {
+  append_header(out, type, text.size());
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(text.data());
+  out.insert(out.end(), raw, raw + text.size());
+}
+
+void append_error(std::vector<std::uint8_t>& out, const Error& e) {
+  serde::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(e.code));
+  w.u64(e.session);
+  append_header(out, FrameType::kError, w.size() + e.message.size());
+  out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(e.message.data());
+  out.insert(out.end(), raw, raw + e.message.size());
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+Hello read_hello(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  Hello h;
+  h.version = r.u32();
+  h.kind_tag = r.u8();
+  r.expect_exhausted();
+  return h;
+}
+
+HelloOk read_hello_ok(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  HelloOk h;
+  h.version = r.u32();
+  h.kind = r.u8();
+  h.float_amplitudes = r.b();
+  h.max_sessions = r.u64();
+  r.expect_exhausted();
+  return h;
+}
+
+Open read_open(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  Open o;
+  o.session = r.u64();
+  o.seed = r.u64();
+  r.expect_exhausted();
+  return o;
+}
+
+OpenOk read_open_ok(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  OpenOk o;
+  o.session = r.u64();
+  r.expect_exhausted();
+  return o;
+}
+
+FeedView read_feed(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  FeedView f;
+  f.session = r.u64();
+  const std::span<const std::uint8_t> raw = payload.subspan(8);
+  for (const std::uint8_t b : raw) {
+    if (b > static_cast<std::uint8_t>(stream::Symbol::kSep)) {
+      throw serde::DecodeError("feed symbol byte out of range");
+    }
+  }
+  // Symbol has uint8_t underlying type and every byte was range-checked, so
+  // the payload bytes ARE the symbols — borrowed, never copied.
+  f.symbols = {reinterpret_cast<const stream::Symbol*>(raw.data()),
+               raw.size()};
+  return f;
+}
+
+Finish read_finish(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  Finish f;
+  f.session = r.u64();
+  r.expect_exhausted();
+  return f;
+}
+
+WireVerdict read_verdict(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  WireVerdict v;
+  v.session = r.u64();
+  v.accepted = r.b();
+  v.fully_simulated = r.b();
+  v.classical_bits = r.u64();
+  v.qubits = r.u64();
+  r.expect_exhausted();
+  return v;
+}
+
+std::string read_text(std::span<const std::uint8_t> payload) {
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+Error read_error(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  Error e;
+  const std::uint8_t code = r.u8();
+  if (code < static_cast<std::uint8_t>(ErrorCode::kBadVersion) ||
+      code > static_cast<std::uint8_t>(ErrorCode::kDraining)) {
+    throw serde::DecodeError("unknown error code");
+  }
+  e.code = static_cast<ErrorCode>(code);
+  e.session = r.u64();
+  e.message.assign(reinterpret_cast<const char*>(payload.data()) + 9,
+                   payload.size() - 9);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder
+
+void FrameDecoder::append(std::span<const std::uint8_t> bytes) {
+  // Compact consumed bytes before growing — spans handed out by next() are
+  // documented to die here.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+                            (std::uint32_t{p[2]} << 16) |
+                            (std::uint32_t{p[3]} << 24);
+  if (len > kMaxFramePayload) {
+    throw serde::DecodeError("frame payload length exceeds limit");
+  }
+  if (avail < kFrameHeaderSize + len) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(p[4]);
+  f.payload = {buf_.data() + pos_ + kFrameHeaderSize, len};
+  pos_ += kFrameHeaderSize + len;
+  return f;
+}
+
+bool FrameDecoder::frame_available() const noexcept {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return false;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+                            (std::uint32_t{p[2]} << 16) |
+                            (std::uint32_t{p[3]} << 24);
+  if (len > kMaxFramePayload) return true;  // next() will throw
+  return avail >= kFrameHeaderSize + len;
+}
+
+}  // namespace qols::server::wire

@@ -123,7 +123,17 @@ RecognizerService::Session& RecognizerService::session_or_throw(SessionId id) {
 }
 
 RecognizerService::SessionId RecognizerService::open(std::uint64_t seed) {
-  const SessionId id = next_id_++;
+  // Skip over ids claimed by open_at so auto-assignment never collides.
+  while (sessions_.contains(next_id_)) ++next_id_;
+  return open_at(next_id_++, seed);
+}
+
+RecognizerService::SessionId RecognizerService::open_at(SessionId id,
+                                                        std::uint64_t seed) {
+  if (sessions_.contains(id)) {
+    throw std::invalid_argument("RecognizerService: session id " +
+                                std::to_string(id) + " is already open");
+  }
   Session session{config_.spec.make(seed), {}, id % shards_.size(), false};
   sessions_.emplace(id, std::move(session));
   cells_.sessions_opened.fetch_add(1, std::memory_order_relaxed);

@@ -47,6 +47,7 @@ TEST(FuzzCaseGen, DistributionCoversEveryFamilyAndRecognizer) {
   std::set<unsigned> sessions;
   std::set<bool> quantum_precisions;
   std::set<bool> snapshot_axis;
+  std::set<bool> wire_axis;
   bool saw_wrappers = false;
   for (std::uint64_t seed = 0; seed < 400; ++seed) {
     const FuzzCase c = FuzzCase::from_seed(seed);
@@ -55,6 +56,7 @@ TEST(FuzzCaseGen, DistributionCoversEveryFamilyAndRecognizer) {
     schedules.insert(c.schedule);
     sessions.insert(c.sessions);
     snapshot_axis.insert(c.snapshot_cut != kNoSnapshot);
+    wire_axis.insert(c.wire_split != kNoWire);
     saw_wrappers = saw_wrappers || !c.wrappers.empty();
     EXPECT_GE(c.sessions, 1u);
     EXPECT_LE(c.sessions, kMaxSessions);
@@ -72,6 +74,7 @@ TEST(FuzzCaseGen, DistributionCoversEveryFamilyAndRecognizer) {
   EXPECT_EQ(sessions.size(), kMaxSessions);  // every count in [1, 4] drawn
   EXPECT_EQ(quantum_precisions.size(), 2u);  // both double and float drawn
   EXPECT_EQ(snapshot_axis.size(), 2u);  // P7 drawn on roughly half the corpus
+  EXPECT_EQ(wire_axis.size(), 2u);  // P8 drawn on roughly half the corpus
   EXPECT_TRUE(saw_wrappers);
 }
 
@@ -117,24 +120,27 @@ TEST(ReproToken, RejectsMalformedTokens) {
            // qf2 (the pre-snapshot format) is an old version now, even a
            // well-formed token: replays must state the snapshot axis.
            "qf2-29ac8-1-3-14-0-ffffffffffffffff-0-0-1-4-10-40-2-0",
-           "qf4-1-2",                // unknown version
-           "qf3",                    // no fields at all
-           "qf3-zz-1",               // non-hex field
-           "qf3-1-2-3",              // far too few fields
-           "qf3-1--2",               // empty field
+           // qf3 (pre-wire) likewise: replays must state the wire axis.
+           "qf3-29ac8-1-3-14-0-ffffffffffffffff-0-0-1-4-10-40-2-0-"
+           "ffffffffffffffff",
+           "qf5-1-2",                // unknown future version
+           "qf4",                    // no fields at all
+           "qf4-zz-1",               // non-hex field
+           "qf4-1-2-3",              // far too few fields
+           "qf4-1--2",               // empty field
            // k = 0
-           "qf3-1-0-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0-ffffffffffffffff",
+           "qf4-1-0-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0-ffffffffffffffff-ffffffffffffffff",
            // k past the generator max
-           "qf3-1-5-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0-ffffffffffffffff",
+           "qf4-1-5-0-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0-ffffffffffffffff-ffffffffffffffff",
            // bad word kind
-           "qf3-1-2-9-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0-ffffffffffffffff",
+           "qf4-1-2-9-0-0-ffffffffffffffff-0-1-1-0-10-40-2-0-ffffffffffffffff-ffffffffffffffff",
            // float_amplitudes must be 0 or 1
-           "qf3-1-2-0-0-0-ffffffffffffffff-0-1-1-4-10-40-2-2-ffffffffffffffff",
+           "qf4-1-2-0-0-0-ffffffffffffffff-0-1-1-4-10-40-2-2-ffffffffffffffff-ffffffffffffffff",
            // DoS bounds: a gigabyte malformed word, a terabyte sampler, a
            // gigabit Bloom filter — all rejected at decode, never realized.
-           "qf3-1-1-3-77359400-0-ffffffffffffffff-0-0-1-0-10-40-2-0-ffffffffffffffff",
-           "qf3-1-2-0-0-0-ffffffffffffffff-0-1-1-2-10000000000-40-2-0-ffffffffffffffff",
-           "qf3-1-2-0-0-0-ffffffffffffffff-0-1-1-3-10-40000000-2-0-ffffffffffffffff",
+           "qf4-1-1-3-77359400-0-ffffffffffffffff-0-0-1-0-10-40-2-0-ffffffffffffffff-ffffffffffffffff",
+           "qf4-1-2-0-0-0-ffffffffffffffff-0-1-1-2-10000000000-40-2-0-ffffffffffffffff-ffffffffffffffff",
+           "qf4-1-2-0-0-0-ffffffffffffffff-0-1-1-3-10-40000000-2-0-ffffffffffffffff-ffffffffffffffff",
        }) {
     EXPECT_THROW(decode_token(bad), std::invalid_argument) << "'" << bad << "'";
   }
@@ -217,8 +223,8 @@ TEST(Properties, BackendCeilingGapIsNotADiscrepancy) {
   // be reported as a false P4-backend-equality discrepancy; both machines
   // reject the word, so the case must be clean.
   const FuzzCase c = decode_token(
-      "qf3-29ac8-1-3-14-0-ffffffffffffffff-0-0-1-4-10-40-2-0-"
-      "ffffffffffffffff");
+      "qf4-29ac8-1-3-14-0-ffffffffffffffff-0-0-1-4-10-40-2-0-"
+      "ffffffffffffffff-ffffffffffffffff");
   std::size_t ones = 0;
   const auto word = realize_word(c);
   while (ones < word.size() && word[ones] == Symbol::kOne) ++ones;
@@ -318,6 +324,21 @@ TEST(Fuzzer, ForcedSnapshotSoakIsClean) {
   opts.seed = 17;
   opts.max_cases = 300;
   opts.force_snapshot = true;
+  const FuzzReport report = run_fuzz(opts);
+  EXPECT_EQ(report.cases, 300u);
+  EXPECT_TRUE(report.clean()) << report.failures.front().property << ": "
+                              << report.failures.front().detail << "\n  "
+                              << report.failures.front().minimized_token;
+}
+
+TEST(Fuzzer, ForcedWireSoakIsClean) {
+  // The CI sanitizer leg's wire configuration: every case replays its
+  // session script through the server's frame decoder + broker (P8),
+  // including the corrupt-frame submodes, not just the generator's ~50%.
+  FuzzOptions opts;
+  opts.seed = 19;
+  opts.max_cases = 300;
+  opts.force_wire = true;
   const FuzzReport report = run_fuzz(opts);
   EXPECT_EQ(report.cases, 300u);
   EXPECT_TRUE(report.clean()) << report.failures.front().property << ": "

@@ -6,12 +6,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qols/lang/ldisj_instance.hpp"
@@ -470,6 +472,83 @@ TEST(RecognizerService, StatsCountFlushesAndThroughput) {
   EXPECT_EQ(svc.stats().symbols_ingested, word.size());
   EXPECT_GT(svc.stats().symbols_per_second(), 0.0);
   EXPECT_GT(svc.stats().sessions_per_second(), 0.0);
+}
+
+TEST(RecognizerService, OpenAtClaimsCallerChosenIdsAndAutoOpenSkipsThem) {
+  RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+  // Claim the ids the auto-assigner would hand out next; open() must step
+  // over every one of them instead of colliding.
+  const auto a = svc.open_at(1, 10);
+  const auto b = svc.open_at(2, 11);
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  const auto c = svc.open(12);
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+  EXPECT_EQ(svc.open_sessions(), 3u);
+  svc.finish(a);
+  svc.finish(b);
+  svc.finish(c);
+}
+
+TEST(RecognizerService, OpenAtRejectsResidentAndEvictedIdsUntilFinish) {
+  RecognizerService svc({.spec = {.kind = RecognizerKind::kClassicalBlock}});
+  qols::util::Rng rng(55);
+  const auto word = word_of(LDisjInstance::make_disjoint(2, rng));
+
+  svc.open_at(7, 21);
+  EXPECT_THROW(svc.open_at(7, 99), std::invalid_argument);  // resident
+
+  svc.feed(7, std::span<const Symbol>(word.data(), word.size() / 2));
+  svc.evict(7);
+  ASSERT_TRUE(svc.evicted(7));
+  // Evicted is still open: the id names live (spilled) session state.
+  EXPECT_THROW(svc.open_at(7, 99), std::invalid_argument);
+
+  svc.feed(7, std::span<const Symbol>(word.data() + word.size() / 2,
+                                      word.size() - word.size() / 2));
+  const auto first = svc.finish(7);
+
+  // The id-reuse rule: reusable the moment finish() retires it. The reused
+  // session is a fresh recognizer — same seed, same word, same verdict.
+  const auto id = svc.open_at(7, 21);
+  EXPECT_EQ(id, 7u);
+  svc.feed(7, word);
+  EXPECT_EQ(svc.finish(7).accepted, first.accepted);
+}
+
+TEST(RecognizerService, StatsSnapshotsAndResetRaceFreeWithFeeds) {
+  // stats() and reset_stats() are documented safe against a running feed
+  // path (per-field atomics, no torn whole-struct writes). Hammer them from
+  // a second thread while sessions churn; TSan (the ThreadSanitizer CI job
+  // runs this binary) is the real assertion — the checks below just keep
+  // the compiler honest about using the snapshots.
+  RecognizerService::Config cfg;
+  cfg.spec.kind = RecognizerKind::kClassicalBlock;
+  cfg.flush_threshold = 32;  // force pool flushes mid-feed
+  RecognizerService svc(cfg);
+  qols::util::Rng rng(66);
+  const auto word = word_of(LDisjInstance::make_disjoint(2, rng));
+
+  std::atomic<bool> done{false};
+  std::uint64_t observed = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto snap = svc.stats();
+      observed = std::max(observed, snap.symbols_ingested);
+      svc.reset_stats();
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const auto id = svc.open(static_cast<std::uint64_t>(round));
+    feed_all(svc, id, word, 48);
+    svc.finish(id);
+  }
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  // Post-join reads are ordinary: whatever survived the resets is sane.
+  EXPECT_LE(svc.stats().symbols_ingested, 50 * word.size());
+  EXPECT_LE(observed, 50 * word.size());
 }
 
 }  // namespace
