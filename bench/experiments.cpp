@@ -30,6 +30,7 @@ void register_all_experiments(Registry& r) {
   register_e23(r);
   register_e24(r);
   register_e25(r);
+  register_e26(r);
 }
 
 }  // namespace qols::bench

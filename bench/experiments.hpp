@@ -33,6 +33,7 @@ void register_e22(Registry& r);
 void register_e23(Registry& r);
 void register_e24(Registry& r);
 void register_e25(Registry& r);
+void register_e26(Registry& r);
 
 /// Registers every experiment, in id order.
 void register_all_experiments(Registry& r);

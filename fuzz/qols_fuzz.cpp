@@ -3,10 +3,11 @@
 //   qols_fuzz                                # 10-second soak, seed 1
 //   qols_fuzz --budget-seconds 60 --seed 7   # time-boxed CI leg
 //   qols_fuzz --cases 100000                 # case-count budget
-//   qols_fuzz --replay qf4-...               # re-check one failure token
+//   qols_fuzz --replay qf5-...               # re-check one failure token
 //   qols_fuzz --float --budget-seconds 30    # float-amplitude quantum soak
 //   qols_fuzz --snapshot --cases 100000      # snapshot/resume (P7) on every case
 //   qols_fuzz --wire --cases 100000          # frame-level wire (P8) on every case
+//   qols_fuzz --crash --budget-seconds 60    # crash/recovery (P9) on every case
 //
 // Every discrepancy prints both the as-found and the shrunk repro token;
 // --token-file additionally writes the shrunk token to a file (CI uploads
@@ -39,6 +40,8 @@ void print_usage(std::ostream& os) {
         "  --snapshot            force the snapshot/resume property (P7) on\n"
         "                        every case, not just the generator's half\n"
         "  --wire                force the frame-level wire property (P8) on\n"
+        "                        every case, not just the generator's half\n"
+        "  --crash               force the crash/recovery property (P9) on\n"
         "                        every case, not just the generator's half\n"
         "  --token-file <path>   write the first shrunk repro token here\n"
         "  --replay <token>      re-check one case from its repro token\n"
@@ -133,6 +136,8 @@ int main(int argc, char** argv) {
       opts.force_snapshot = true;
     } else if (arg == "--wire") {
       opts.force_wire = true;
+    } else if (arg == "--crash") {
+      opts.force_crash = true;
     } else if (arg == "--no-telemetry") {
       qols::telemetry::set_enabled(false);
     } else if (arg == "--seed") {

@@ -66,6 +66,11 @@ inline constexpr unsigned kMaxSessions = 4;
 inline constexpr std::uint64_t kNoSnapshot = ~std::uint64_t{0};
 /// Sentinel for wire_split: the case skips the frame-level wire property.
 inline constexpr std::uint64_t kNoWire = ~std::uint64_t{0};
+/// Sentinel for crash_point: the case skips the crash/recovery property.
+inline constexpr std::uint64_t kNoCrash = ~std::uint64_t{0};
+/// Sentinel for migrate_step: the crash case (if any) skips the migration
+/// detour before the checkpoint.
+inline constexpr std::uint64_t kNoMigrate = ~std::uint64_t{0};
 
 /// A fully explicit fuzz case. `seed` still matters at realization time: it
 /// drives the instance bits, mutation sites, malformed content, ragged
@@ -88,6 +93,15 @@ struct FuzzCase {
   /// wire-byte split points and selects the corrupt-frame submodes (mod 8).
   /// kNoWire = the case does not exercise the server protocol layer.
   std::uint64_t wire_split = kNoWire;
+  /// Raw crash position for P9 (reduced mod word length + 1 at check time):
+  /// the word is fed to a DURABLE service up to the cut, the service
+  /// checkpoints with persist() and dies, a fresh service recover()s from
+  /// the manifest and finishes the word. kNoCrash = skip P9.
+  std::uint64_t crash_point = kNoCrash;
+  /// Raw cross-shard migration target for P9 (reduced mod shard count): the
+  /// session is migrate()d right before the checkpoint, so recovery also
+  /// proves migrated placement survives a restart. kNoMigrate = no detour.
+  std::uint64_t migrate_step = kNoMigrate;
 
   /// Draws a full case from one seed (the generator's distribution: ~80%
   /// classical recognizers, quantum capped at k <= 3, most words small).

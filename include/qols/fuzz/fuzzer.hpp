@@ -33,6 +33,10 @@ struct FuzzOptions {
   /// the generator's ~50/50 draw), seeded from the case. CI's sanitizer leg
   /// uses this to soak the server frame decoder and broker specifically.
   bool force_wire = false;
+  /// Force every case to run the crash/recovery property P9 (instead of the
+  /// generator's ~50/50 draw), at the case's seeded cut. CI's restart leg
+  /// uses this to soak the durable session table specifically.
+  bool force_crash = false;
 };
 
 /// One property violation, with its replay tokens. `found` is the case as

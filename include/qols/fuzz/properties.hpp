@@ -48,6 +48,16 @@
 //                         submodes smash a length prefix or a FEED symbol
 //                         byte and demand a typed kMalformedFrame error and
 //                         a closed connection — never a crash.
+//   P9 crash-recovery   : the word is fed to a DURABLE RecognizerService up
+//                         to a seeded cut (optionally migrate()d across
+//                         shards first), the service checkpoints with
+//                         persist() and is destroyed — the crash — and a
+//                         fresh service recover()s the session from the
+//                         manifest + spill in the same directory, feeds the
+//                         rest and finishes. The interrupted run's verdict
+//                         must equal the straight-through single-stream run
+//                         bit for bit (the restart-resume contract the
+//                         durable session table promises).
 
 #include <cstddef>
 #include <string>

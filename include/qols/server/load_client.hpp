@@ -24,6 +24,19 @@
 
 namespace qols::server {
 
+/// Which slice of each session's lifecycle this invocation drives. The
+/// split phases are the restart-smoke harness: kOpenFeed against a durable
+/// server, SIGTERM (the server persists), restart, then kResumeFinish
+/// against the new process — verdicts must match an uninterrupted kFull run
+/// bit for bit.
+enum class Phase : std::uint8_t {
+  kFull,          ///< OPEN -> feed the whole word -> FINISH (default)
+  kOpenFeed,      ///< OPEN -> feed a deterministic prefix (half the word),
+                  ///< then disconnect WITHOUT finishing
+  kResumeFinish,  ///< RESUME (wire v2) -> feed the remaining suffix ->
+                  ///< FINISH; expects a prior kOpenFeed run's sessions
+};
+
 struct LoadOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
@@ -46,6 +59,10 @@ struct LoadOptions {
   bool collect_outcomes = false;
   /// HELLO kind negotiation; wire::kAnyKind accepts whatever is served.
   std::uint8_t kind_tag = wire::kAnyKind;
+  /// Lifecycle slice to drive (see Phase). The prefix/suffix split point is
+  /// word.size() / 2, derived from (k, seed) alone, so the two half-runs
+  /// agree without sharing state.
+  Phase phase = Phase::kFull;
 };
 
 /// The two deterministic words every session draws from.
@@ -71,7 +88,9 @@ struct SessionOutcome {
 };
 
 struct LoadReport {
-  std::uint64_t sessions = 0;  ///< sessions that returned a verdict
+  /// Sessions that returned a verdict (Phase::kOpenFeed: sessions whose
+  /// OPEN the server acknowledged — that phase never finishes).
+  std::uint64_t sessions = 0;
   std::uint64_t symbols = 0;   ///< symbols fed across all sessions
   std::uint64_t errors = 0;    ///< ERROR frames received
   /// Sessions held open simultaneously (== LoadOptions::sessions: the open

@@ -75,6 +75,16 @@ class Server {
     int so_sndbuf = 0;
     /// RecognizerService spill directory ("" = unique temp dir).
     std::string spill_dir{};
+    /// Durable server: the service journals session lifecycle into a
+    /// manifest under spill_dir (required non-empty), the constructor
+    /// recover()s any prior manifest it finds there, and disconnected
+    /// clients' sessions are preserved for the v2 RESUME frame instead of
+    /// abandoned.
+    bool durable = false;
+    /// With durable: shutdown() persists every open session (spill +
+    /// manifest compaction) instead of finishing it — the restart-resume
+    /// path. In-flight responses still flush before the loop exits.
+    bool persist_on_shutdown = false;
     /// Pool for service flushes; nullptr = ThreadPool::global().
     util::ThreadPool* pool = nullptr;
   };
@@ -114,6 +124,10 @@ class Server {
     std::uint64_t idle_evictions = 0;
     std::uint64_t bytes_in = 0;
     std::uint64_t bytes_out = 0;
+    /// Sessions re-adopted from a prior manifest by the durable ctor.
+    std::uint64_t sessions_recovered = 0;
+    /// Sessions persisted by the shutdown checkpoint.
+    std::uint64_t sessions_persisted = 0;
   };
   const Counters& counters() const noexcept { return counters_; }
 

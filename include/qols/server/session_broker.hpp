@@ -27,6 +27,7 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "qols/server/wire.hpp"
@@ -45,6 +46,11 @@ struct BrokerShared {
     /// the calling thread) instead of feed() (copied, batched across the
     /// pool by flush_threshold). Verdicts are bit-identical either way.
     bool borrowed_feeds = false;
+    /// On disconnect, RELEASE sessions (leave them open in the service for
+    /// a later RESUME — the durable-server mode) instead of finishing and
+    /// discarding them. Orphaned sessions still count against max_sessions
+    /// and are reaped only by persist()/restart or an adopting RESUME.
+    bool preserve_on_disconnect = false;
   };
 
   explicit BrokerShared(service::RecognizerService& service, Options options);
@@ -57,12 +63,17 @@ struct BrokerShared {
   /// Optional transport hook: called with the STATS document so the server
   /// can append its own section (connections, backpressure pauses, ...).
   std::function<void(util::json::Value&)> stats_hook;
+  /// Session ids owned by SOME live connection of this server. RESUME may
+  /// only adopt a session no live connection owns — two connections driving
+  /// one recognizer would interleave their symbols nondeterministically.
+  std::unordered_set<std::uint64_t> owned;
 
   /// Frame-grain instruments, resolved once for the whole server.
   telemetry::Counter& frames_in;
   telemetry::Counter& frames_out;
   telemetry::Counter& errors_sent;
   telemetry::Counter& malformed;
+  telemetry::Counter& resumes;
   telemetry::LatencyHistogram& feed_frame_ns;
   telemetry::LatencyHistogram& finish_frame_ns;
 };
@@ -76,7 +87,8 @@ class SessionBroker {
   };
 
   explicit SessionBroker(BrokerShared& shared);
-  /// Abandons (finishes and discards) any sessions still open.
+  /// Abandons (finishes and discards) any sessions still open — or, with
+  /// Options::preserve_on_disconnect, releases them for a later RESUME.
   ~SessionBroker();
 
   SessionBroker(const SessionBroker&) = delete;
@@ -107,10 +119,18 @@ class SessionBroker {
   std::size_t open_sessions() const noexcept { return sessions_.size(); }
   bool hello_done() const noexcept { return hello_done_; }
   bool closed() const noexcept { return closed_; }
+  /// Protocol version negotiated by HELLO (0 before HELLO).
+  std::uint32_t negotiated_version() const noexcept { return version_; }
 
-  /// Finishes and discards every session this connection still owns (peer
-  /// went away). Returns how many were abandoned.
+  /// Peer went away: with preserve_on_disconnect, release_sessions();
+  /// otherwise finishes and discards every session this connection still
+  /// owns. Returns how many sessions were handled either way.
   std::size_t abandon_sessions() noexcept;
+
+  /// Detaches every session from this connection WITHOUT finishing it — the
+  /// sessions stay open (and adoptable via RESUME) in the service. Returns
+  /// how many were released.
+  std::size_t release_sessions() noexcept;
 
  private:
   /// Handles one frame; returns false when the connection must close.
@@ -125,6 +145,7 @@ class SessionBroker {
   std::unordered_map<std::uint64_t, std::uint64_t> sessions_;
   bool hello_done_ = false;
   bool closed_ = false;
+  std::uint32_t version_ = 0;  ///< negotiated by HELLO
 };
 
 }  // namespace qols::server

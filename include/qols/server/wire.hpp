@@ -19,8 +19,17 @@
 //   OPEN{session, seed}           ->  OPEN_OK{session}           | ERROR
 //   FEED{session, symbol bytes}   ->  (no response; errors only)
 //   FINISH{session}               ->  VERDICT{session, ...}      | ERROR
+//   RESUME{session}               ->  RESUME_OK{session}         | ERROR  (v2)
 //   STATS{}                       ->  STATS_TEXT{json}
 //   METRICS{}                     ->  METRICS_TEXT{prometheus}
+//
+// RESUME (protocol v2) re-attaches a connection to a session that survived a
+// server restart (or a dropped connection on a durable server): the server
+// looks the id up in its recovered RecognizerService table and, when it is
+// present and unowned, adopts it onto this connection so FEED/FINISH
+// continue exactly where the session left off. Refusals are recoverable:
+// kNotResumable (owned by a live connection, or the server is not durable),
+// kUnknownSession (the id is not in the table).
 //
 // FEED payloads carry raw symbol bytes (one byte per stream::Symbol, values
 // 0/1/2) after the u64 session id, so a chunk's bytes pass from the receive
@@ -45,8 +54,12 @@
 namespace qols::server::wire {
 
 /// Bumped on any incompatible frame or payload change. HELLO carries the
-/// client's version; the server refuses mismatches with kBadVersion.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// client's version; the server accepts [kMinProtocolVersion,
+/// kProtocolVersion] (v2 added RESUME without touching the v1 frames), echoes
+/// the client's version in HELLO_OK, and refuses anything else with
+/// kBadVersion. RESUME is only legal on a v2 conversation.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Hard ceiling on a single frame's payload. A length prefix above this is
 /// rejected before any allocation. Large feeds simply span several frames —
@@ -67,12 +80,14 @@ enum class FrameType : std::uint8_t {
   kFinish = 0x04,
   kStats = 0x05,
   kMetrics = 0x06,
+  kResume = 0x07,  ///< protocol v2
   // server -> client
   kHelloOk = 0x81,
   kOpenOk = 0x82,
   kVerdict = 0x83,
   kStatsText = 0x84,
   kMetricsText = 0x85,
+  kResumeOk = 0x87,  ///< protocol v2
   kError = 0xee,
 };
 
@@ -85,6 +100,7 @@ enum class ErrorCode : std::uint8_t {
   kSessionExists = 6,  ///< recoverable: OPEN of an id already in use
   kOverLimit = 7,      ///< recoverable: session limit reached
   kDraining = 8,       ///< recoverable: server draining, no new sessions
+  kNotResumable = 9,   ///< recoverable: RESUME refused (owned / not durable)
 };
 
 /// True when the server closes the connection after flushing this error.
@@ -130,6 +146,15 @@ struct Finish {
   std::uint64_t session = 0;
 };
 
+/// RESUME (v2): adopt a recovered/released session onto this connection.
+struct Resume {
+  std::uint64_t session = 0;
+};
+
+struct ResumeOk {
+  std::uint64_t session = 0;
+};
+
 struct WireVerdict {
   std::uint64_t session = 0;
   bool accepted = false;
@@ -157,6 +182,8 @@ void append_open_ok(std::vector<std::uint8_t>& out, const OpenOk& o);
 void append_feed(std::vector<std::uint8_t>& out, std::uint64_t session,
                  std::span<const stream::Symbol> symbols);
 void append_finish(std::vector<std::uint8_t>& out, const Finish& f);
+void append_resume(std::vector<std::uint8_t>& out, const Resume& r);
+void append_resume_ok(std::vector<std::uint8_t>& out, const ResumeOk& r);
 void append_verdict(std::vector<std::uint8_t>& out, const WireVerdict& v);
 /// STATS_TEXT / METRICS_TEXT: the payload is the raw UTF-8 text.
 void append_text(std::vector<std::uint8_t>& out, FrameType type,
@@ -175,6 +202,8 @@ OpenOk read_open_ok(std::span<const std::uint8_t> payload);
 /// Validates every symbol byte (<= kSep) and returns a borrowed view.
 FeedView read_feed(std::span<const std::uint8_t> payload);
 Finish read_finish(std::span<const std::uint8_t> payload);
+Resume read_resume(std::span<const std::uint8_t> payload);
+ResumeOk read_resume_ok(std::span<const std::uint8_t> payload);
 WireVerdict read_verdict(std::span<const std::uint8_t> payload);
 std::string read_text(std::span<const std::uint8_t> payload);
 Error read_error(std::span<const std::uint8_t> payload);

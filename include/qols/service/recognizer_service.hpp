@@ -22,11 +22,15 @@
 //   Verdict va = svc.finish(a);   // sessions finish in any order
 //
 // The public API is meant to be driven from one thread (the "acceptor");
-// parallelism happens inside flush(), across sessions.
+// parallelism happens inside flush(), across sessions. Exception: evict(),
+// revive(), evicted(), feed(), and stats() may race a flush() draining on
+// the pool — they synchronize on per-shard slot locks. Map-shape operations
+// (open/open_at/finish) remain acceptor-only.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -35,6 +39,7 @@
 #include <atomic>
 
 #include "qols/machine/online_recognizer.hpp"
+#include "qols/service/session_table.hpp"
 #include "qols/stream/symbol_stream.hpp"
 #include "qols/telemetry/registry.hpp"
 #include "qols/util/thread_pool.hpp"
@@ -102,8 +107,19 @@ class RecognizerService {
     util::ThreadPool* pool = nullptr;
     /// Directory for evicted-session spill files; empty = a unique directory
     /// under the system temp path, created lazily on first evict() and
-    /// removed (best effort) with the service.
+    /// removed (best effort) with the service. Durable services (below) keep
+    /// their spill directory across restarts instead.
     std::string spill_dir{};
+    /// Durable mode: journal every open/evict/revive/finish/migrate into the
+    /// session manifest (SessionTable) under spill_dir, so persist() +
+    /// recover() carry live sessions across a process restart. Requires a
+    /// non-empty spill_dir (the directory IS the durable identity; the ctor
+    /// throws std::invalid_argument otherwise). The destructor of a durable
+    /// service leaves spill files and the manifest in place.
+    bool durable = false;
+    /// Manifest fsync batching (SessionTable::Options::sync_every). Evict
+    /// records and compaction always force a sync regardless.
+    std::uint64_t manifest_sync_every = 32;
   };
 
   /// Aggregate throughput counters (monotonic since construction or the
@@ -123,6 +139,11 @@ class RecognizerService {
     /// Spill-file bytes written by evict() / read back by revive.
     std::uint64_t spill_bytes_written = 0;
     std::uint64_t spill_bytes_read = 0;
+    /// Cross-shard migrations completed (resident-path migrations also bump
+    /// evictions/revives — the move is literally an evict→revive).
+    std::uint64_t migrations = 0;
+    /// Sessions re-adopted from the manifest by recover().
+    std::uint64_t recovered_sessions = 0;
 
     // NOTE: there is deliberately no reset() here. This struct is a VALUE
     // snapshot — a whole-struct `*this = Stats{}` on anything shared with a
@@ -205,6 +226,63 @@ class RecognizerService {
   /// to drain.
   void flush();
 
+  /// Moves a session to `target_shard`. A resident session is spilled on its
+  /// old shard and revived on the new one (evict→revive, exactly the hot-
+  /// shard shedding path); an evicted one just changes its recorded shard.
+  /// Migrating to the session's current shard is a no-op (counters
+  /// untouched). Throws std::out_of_range on an unknown/finished id and
+  /// std::invalid_argument when target_shard >= shard_count().
+  void migrate(SessionId id, std::size_t target_shard);
+
+  /// Greedy rebalancing policy hook: while the fullest shard holds at least
+  /// two sessions more than the emptiest, migrate one across (preferring
+  /// evicted sessions — moving those is a pure bookkeeping write). Stops
+  /// after `max_moves`. Returns the number of migrations performed.
+  std::size_t rebalance(std::size_t max_moves = SIZE_MAX);
+
+  /// The shard a session is currently pinned to. Throws std::out_of_range
+  /// on an unknown/finished id.
+  std::size_t shard_of(SessionId id);
+
+  /// What recover() rebuilt from the manifest.
+  struct RecoveryReport {
+    /// Sessions re-adopted (all evicted; they revive lazily on first feed).
+    std::uint64_t sessions_recovered = 0;
+    /// Sessions the manifest shows resident at the crash: their state died
+    /// with the process (only evict() makes state durable), so they cannot
+    /// be resumed. Reported, not silently dropped.
+    std::vector<SessionId> lost;
+    std::uint64_t records_replayed = 0;
+  };
+
+  /// Durable-mode checkpoint: evicts every resident session (spilling its
+  /// recognizer, journaling kEvict) and compacts the manifest, leaving a
+  /// directory from which a fresh process can recover(). Returns the number
+  /// of sessions persisted. Throws std::logic_error when not durable.
+  std::size_t persist();
+
+  /// Rebuilds the session table from the manifest in this service's (durable)
+  /// spill_dir. Must run before any session operation when the directory
+  /// holds a prior manifest — journaled operations throw std::logic_error
+  /// until then. Verifies every claimed spill file exists with the recorded
+  /// size (else SpillMissing) and that no unclaimed qols-session-*.snap
+  /// remains (else OrphanSpill); torn/corrupt manifests raise the
+  /// SessionTable typed errors. Never fabricates a verdict: recovered
+  /// sessions resume bit-identically or recovery fails loudly.
+  RecoveryReport recover();
+
+  /// True when the durable ctor found a prior manifest and recover() has not
+  /// run yet.
+  bool pending_recovery() const noexcept { return pending_recovery_; }
+
+  /// Test-only (the kill-point matrix): crash the manifest after n more
+  /// journaled operations — see SessionTable::abort_after. No-op unless
+  /// durable.
+  void persist_abort_after(std::uint64_t n) noexcept;
+
+  /// Manifest records appended so far (0 when not durable).
+  std::uint64_t manifest_records() const noexcept;
+
   std::size_t open_sessions() const noexcept { return sessions_.size(); }
   /// Total buffered symbols, summed over shards (not maintained globally on
   /// the feed hot path).
@@ -223,6 +301,12 @@ class RecognizerService {
     std::vector<stream::Symbol> pending;
     std::size_t shard = 0;
     bool evicted = false;
+    /// Construction seed — recorded so the manifest can be compacted to
+    /// kOpen records that rebuild the session faithfully.
+    std::uint64_t seed = 0;
+    /// Spill-file size while evicted (0 when resident); recover() checks it
+    /// against the file on disk.
+    std::uint64_t spill_bytes = 0;
   };
 
   struct Shard {
@@ -246,6 +330,8 @@ class RecognizerService {
     std::atomic<std::uint64_t> revives{0};
     std::atomic<std::uint64_t> spill_bytes_written{0};
     std::atomic<std::uint64_t> spill_bytes_read{0};
+    std::atomic<std::uint64_t> migrations{0};
+    std::atomic<std::uint64_t> recovered_sessions{0};
   };
 
   /// Registry-backed instruments, resolved once at construction (references
@@ -259,6 +345,10 @@ class RecognizerService {
     telemetry::Counter& revives;
     telemetry::Counter& spill_bytes_written;
     telemetry::Counter& spill_bytes_read;
+    telemetry::Counter& migrations;
+    telemetry::Counter& recovered_sessions;
+    telemetry::Counter& manifest_records;
+    telemetry::Counter& compactions;
     telemetry::LatencyHistogram& flush_ns;
     telemetry::LatencyHistogram& finish_ns;
 
@@ -266,23 +356,40 @@ class RecognizerService {
   };
 
   Session& session_or_throw(SessionId id);
-  /// Feeds the session's buffered symbols inline and removes it from its
-  /// shard's ready list. Precondition: session is resident.
+  /// Locks the session's shard, then drains. Safe against a concurrent
+  /// flush() on the pool.
   void drain_inline(SessionId id, Session& session);
+  /// Feeds the session's buffered symbols inline and removes it from its
+  /// shard's ready list. Preconditions: session is resident AND the caller
+  /// holds that session's shard mutex.
+  void drain_locked(SessionId id, Session& session);
   void revive_session(SessionId id, Session& session);
   std::string spill_path(SessionId id);
+  /// The durable journal, or nullptr outside durable mode. Throws
+  /// std::logic_error while a prior manifest awaits recover().
+  SessionTable* journal();
+  /// sessions_ as the manifest's live-session view (compaction input).
+  std::map<SessionId, SessionTable::LiveSession> live_view() const;
 
   Config config_;
   util::ThreadPool* pool_ = nullptr;
   SessionId next_id_ = 1;
   std::unordered_map<SessionId, Session> sessions_;
   std::vector<Shard> shards_;
+  /// Per-shard slot locks. A flush worker owns its shard's mutex for the
+  /// whole drain; evict/evicted/revive/feed/drain take the same lock, so
+  /// spilling or probing a session mid-flush no longer races the pool (the
+  /// documented PR 7 gap). Separate array because std::mutex is immovable
+  /// and Shard must stay movable.
+  std::unique_ptr<std::mutex[]> shard_mu_;
   /// One queue-depth gauge per shard ("service.shard_queue_depth.<i>"),
   /// written with absolute set()s so toggling telemetry at runtime can
   /// never leave a gauge out of sync with the shard.
   std::vector<telemetry::Gauge*> shard_depth_;
   std::string spill_dir_;        // resolved on first evict()
   bool owns_spill_dir_ = false;  // we created it; remove it in the dtor
+  std::unique_ptr<SessionTable> table_;  // durable mode only
+  bool pending_recovery_ = false;
   StatCells cells_;
   Instruments telem_;
 };

@@ -1,0 +1,44 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame check
+// behind the session manifest's record framing. Table-driven, one byte per
+// step; the table is computed at compile time so the header stays
+// self-contained (no generated source, no init-order concerns).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace qols::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xedb8'8320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `data`. `seed` chains multi-buffer checksums: crc32(ab) ==
+/// crc32(b, crc32(a)). The empty-input CRC is 0 (with the default seed).
+constexpr std::uint32_t crc32(std::span<const std::uint8_t> data,
+                              std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ detail::kCrc32Table[(crc ^ byte) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace qols::util

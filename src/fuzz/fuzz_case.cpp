@@ -212,6 +212,20 @@ FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
   const std::uint64_t wire_roll = sm.next();
   const std::uint64_t wire_val = sm.next();
   c.wire_split = wire_roll % 2 == 1 ? wire_val : kNoWire;
+
+  // Crash/recovery axis (P9), half the corpus: feed a durable service to a
+  // seeded cut, persist() + die, recover() in a fresh service, finish, and
+  // demand the straight-through verdict. Half the crashing cases also take a
+  // cross-shard migrate() detour before the checkpoint. All four draws are
+  // unconditional so the qf4 seed->field mapping above survives intact.
+  const std::uint64_t crash_roll = sm.next();
+  const std::uint64_t crash_pos = sm.next();
+  const std::uint64_t migrate_roll = sm.next();
+  const std::uint64_t migrate_val = sm.next();
+  c.crash_point = crash_roll % 2 == 1 ? crash_pos : kNoCrash;
+  c.migrate_step = c.crash_point != kNoCrash && migrate_roll % 2 == 1
+                       ? migrate_val
+                       : kNoMigrate;
   return c;
 }
 
@@ -322,6 +336,12 @@ std::string describe(const FuzzCase& c) {
   }
   if (c.wire_split != kNoWire) {
     out += " wire=" + std::to_string(c.wire_split);
+  }
+  if (c.crash_point != kNoCrash) {
+    out += " crashcut=" + std::to_string(c.crash_point);
+    if (c.migrate_step != kNoMigrate) {
+      out += " migrate=" + std::to_string(c.migrate_step);
+    }
   }
   out += " schedule=";
   out += c.schedule == ScheduleKind::kWhole   ? "whole"

@@ -48,6 +48,11 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       // Same promotion for P8: the seed picks the submode and byte splits.
       c.wire_split = c.seed;
     }
+    if (opts.force_crash && c.crash_point == kNoCrash) {
+      // Same promotion for P9: the seed fixes the persist/crash cut (it is
+      // reduced mod word length + 1 at check time).
+      c.crash_point = c.seed;
+    }
     const CaseResult result = check_case(c);
     ++report.cases;
     cases_counter.add();

@@ -1,6 +1,10 @@
 #include "qols/fuzz/properties.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -572,6 +576,88 @@ void check_wire(const FuzzCase& c, const std::vector<Symbol>& word,
   }
 }
 
+void check_crash(const FuzzCase& c,
+                 const service::RecognizerSpec& pinned_spec,
+                 const std::vector<Symbol>& word, const Outcome& reference,
+                 std::vector<Discrepancy>& issues) {
+  // P9: interrupted-recover-resume vs straight-through. A durable service
+  // feeds the word to a seeded cut, checkpoints with persist() and dies; a
+  // fresh service over the same directory recover()s the session from the
+  // manifest + spill, feeds the rest and finishes. The verdict (and
+  // SpaceReport) must be bit-identical to the uninterrupted run — the
+  // restart-resume contract of the durable session table, asserted across
+  // the whole fuzz corpus instead of just the unit-test scripts.
+  namespace fs = std::filesystem;
+  static std::atomic<std::uint64_t> sequence{0};
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("qols-fuzz-crash-" + std::to_string(::getpid()) + "-" +
+       std::to_string(sequence.fetch_add(1)));
+  const std::size_t cut =
+      static_cast<std::size_t>(c.crash_point % (word.size() + 1));
+  const std::uint64_t seed = recognizer_seed(c, 0);
+
+  const auto fail = [&](const std::string& detail) {
+    issues.push_back({"P9-crash-recovery",
+                      "crash at " + std::to_string(cut) + "/" +
+                          std::to_string(word.size()) + ": " + detail});
+  };
+  try {
+    fs::create_directories(dir);
+    service::RecognizerService::Config cfg;
+    cfg.spec = pinned_spec;
+    cfg.spill_dir = dir.string();
+    cfg.durable = true;
+    service::RecognizerService::SessionId id = 0;
+    {
+      service::RecognizerService svc(cfg);
+      id = svc.open(seed);
+      if (cut > 0) {
+        svc.feed(id, std::span<const Symbol>(word.data(), cut));
+      }
+      if (c.migrate_step != kNoMigrate) {
+        // The detour: move the session across shards right before the
+        // checkpoint, so recovery also proves migrated placement persists.
+        svc.migrate(id, static_cast<std::size_t>(
+                            c.migrate_step % svc.shard_count()));
+      }
+      if (svc.persist() != 1) fail("persist() did not checkpoint 1 session");
+    }  // the crash: the first incarnation dies here
+
+    service::RecognizerService svc(cfg);
+    if (!svc.pending_recovery()) {
+      fail("restarted service found no manifest to recover");
+    } else {
+      const auto report = svc.recover();
+      if (report.sessions_recovered != 1 || !report.lost.empty()) {
+        fail("recover() reported " +
+             std::to_string(report.sessions_recovered) + " recovered, " +
+             std::to_string(report.lost.size()) + " lost (want 1, 0)");
+      } else {
+        if (cut < word.size()) {
+          svc.feed(id, std::span<const Symbol>(word.data() + cut,
+                                               word.size() - cut));
+        }
+        const auto verdict = svc.finish(id);
+        const Outcome resumed{verdict.accepted, verdict.fully_simulated,
+                              verdict.space.classical_bits,
+                              verdict.space.qubits};
+        if (!(resumed == reference)) {
+          fail("straight vs interrupted:" +
+               outcome_diff(reference, resumed));
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // Every step above is a promised-to-work path: persist of a live
+    // session, recovery of a clean checkpoint, resume of an adopted
+    // session. Any throw is a real defect.
+    fail(std::string("threw: ") + e.what());
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // best effort; the dir is per-case unique
+}
+
 }  // namespace
 
 CaseResult check_case(const FuzzCase& c) {
@@ -587,6 +673,7 @@ CaseResult check_case(const FuzzCase& c) {
     telemetry::Counter& p6;
     telemetry::Counter& p7;
     telemetry::Counter& p8;
+    telemetry::Counter& p9;
   };
   static CheckCounters checks{
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p1"),
@@ -596,7 +683,8 @@ CaseResult check_case(const FuzzCase& c) {
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p5"),
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p6"),
       telemetry::MetricsRegistry::global().counter("fuzz.checks.p7"),
-      telemetry::MetricsRegistry::global().counter("fuzz.checks.p8")};
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p8"),
+      telemetry::MetricsRegistry::global().counter("fuzz.checks.p9")};
 
   CaseResult result;
   const std::vector<Symbol> word = realize_word(c);
@@ -670,6 +758,13 @@ CaseResult check_case(const FuzzCase& c) {
   if (c.wire_split != kNoWire) {
     checks.p8.add();
     check_wire(pinned, word, reference, result.issues);
+  }
+
+  // P9: a crash after a persist() checkpoint loses nothing — the recovered
+  // run's verdict equals the straight-through run's.
+  if (c.crash_point != kNoCrash) {
+    checks.p9.add();
+    check_crash(c, pinned.spec, word, reference, result.issues);
   }
 
   return result;

@@ -19,6 +19,7 @@
 #include <system_error>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qols/lang/ldisj_instance.hpp"
@@ -126,6 +127,8 @@ struct Driver {
 
   bool hello_ok = false;
   std::uint64_t opens_acked = 0;
+  std::uint64_t resumes_acked = 0;
+  std::uint64_t stats_seen = 0;
   std::uint64_t finished = 0;
   std::uint64_t errors = 0;
   std::size_t outstanding = 0;
@@ -153,6 +156,12 @@ struct Driver {
       }
       case wire::FrameType::kOpenOk:
         ++opens_acked;
+        return;
+      case wire::FrameType::kResumeOk:
+        ++resumes_acked;
+        return;
+      case wire::FrameType::kStatsText:
+        ++stats_seen;
         return;
       case wire::FrameType::kVerdict: {
         const auto v = wire::read_verdict(f.payload);
@@ -224,10 +233,40 @@ struct Driver {
     return lo + static_cast<std::size_t>(chunk_rng.next() % (hi - lo + 1));
   }
 
+  /// [begin, end) slice of session `index`'s word this phase feeds. The cut
+  /// at word.size() / 2 depends only on (k, seed), so a kOpenFeed run and a
+  /// later kResumeFinish run against a restarted server agree on the split
+  /// without sharing any state.
+  std::pair<std::size_t, std::size_t> feed_range(std::uint64_t index) const {
+    const std::size_t n = word_for_session(words, index).size();
+    switch (opts.phase) {
+      case Phase::kOpenFeed:
+        return {0, n / 2};
+      case Phase::kResumeFinish:
+        return {n / 2, n};
+      case Phase::kFull:
+        break;
+    }
+    return {0, n};
+  }
+
   void run(std::uint64_t first, std::uint64_t count) {
     // HELLO / HELLO_OK
     wire::append_hello(conn.out, {wire::kProtocolVersion, opts.kind_tag});
     pump_until([&] { return hello_ok; });
+
+    if (opts.phase == Phase::kResumeFinish) {
+      // RESUME the sessions a prior kOpenFeed run left on the server.
+      for (std::uint64_t i = 0; i < count; ++i) {
+        wire::append_resume(conn.out, {first + i + 1});
+        if (conn.pending() > (std::size_t{1} << 16)) {
+          drain_below(std::size_t{1} << 12);
+        }
+      }
+      pump_until(
+          [&] { return resumes_acked == count && conn.pending() == 0; });
+      return;
+    }
 
     // OPEN all sessions (wire id = global index + 1).
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -243,26 +282,41 @@ struct Driver {
 
   void feed_phase(std::uint64_t first, std::uint64_t count) {
     std::vector<std::size_t> cursors(count, 0);
-    bool remaining = count > 0;
+    std::vector<std::size_t> ends(count, 0);
+    bool remaining = false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto [begin, end] = feed_range(first + i);
+      cursors[i] = begin;
+      ends[i] = end;
+      remaining = remaining || begin < end;
+    }
     while (remaining) {
       remaining = false;
       for (std::uint64_t i = 0; i < count; ++i) {
         const auto& word = word_for_session(words, first + i);
-        if (cursors[i] >= word.size()) continue;
-        const std::size_t n =
-            std::min(chunk_size(), word.size() - cursors[i]);
+        if (cursors[i] >= ends[i]) continue;
+        const std::size_t n = std::min(chunk_size(), ends[i] - cursors[i]);
         wire::append_feed(
             conn.out, first + i + 1,
             std::span<const stream::Symbol>(word.data() + cursors[i], n));
         cursors[i] += n;
         symbols_fed += n;
-        if (cursors[i] < word.size()) remaining = true;
+        if (cursors[i] < ends[i]) remaining = true;
         if (conn.pending() > (std::size_t{1} << 18)) {
           drain_below(std::size_t{1} << 14);
         }
       }
     }
     pump_until([&] { return conn.pending() == 0; });
+  }
+
+  /// FEED has no ack; a STATS round-trip proves every prior frame reached
+  /// the service (frames are handled strictly in order) before a kOpenFeed
+  /// run disconnects mid-lifecycle.
+  void settle() {
+    wire::append_frame(conn.out, wire::FrameType::kStats, {});
+    const auto want = stats_seen + 1;
+    pump_until([&] { return stats_seen >= want; });
   }
 
   void finish_phase(std::uint64_t first, std::uint64_t count) {
@@ -341,12 +395,16 @@ LoadReport run_load(const LoadOptions& opts) {
     Driver d(opts, words, c);
     try {
       d.conn.connect(opts.host, opts.port);
-      d.run(firsts[c], counts[c]);  // HELLO + OPENs
+      d.run(firsts[c], counts[c]);  // HELLO + OPENs (or RESUMEs)
       sync.arrive_and_wait();       // every session everywhere is open
       const auto start = Clock::now();
       d.feed_phase(firsts[c], counts[c]);
       sync.arrive_and_wait();  // all feeds flushed before the first FINISH
-      d.finish_phase(firsts[c], counts[c]);
+      if (opts.phase == Phase::kOpenFeed) {
+        d.settle();  // every FEED is in the service before we disconnect
+      } else {
+        d.finish_phase(firsts[c], counts[c]);
+      }
       const auto end = Clock::now();
       std::lock_guard<std::mutex> lock(mu);
       t_start = std::min(t_start, start);
@@ -357,7 +415,10 @@ LoadReport run_load(const LoadOptions& opts) {
       sync.arrive_and_drop();  // unblock the surviving connections
     }
     std::lock_guard<std::mutex> lock(mu);
-    report.sessions += d.finished;
+    // kOpenFeed never finishes, so "sessions" counts what it did complete:
+    // the opens the server acknowledged.
+    report.sessions +=
+        opts.phase == Phase::kOpenFeed ? d.opens_acked : d.finished;
     report.symbols += d.symbols_fed;
     report.errors += d.errors;
     all_latencies.insert(all_latencies.end(), d.latencies_ms.begin(),

@@ -34,7 +34,20 @@ void usage() {
       "  --max-chunk N      largest FEED chunk, symbols (default 512)\n"
       "  --seed S           word/chunk/seed-pool seed (default 1)\n"
       "  --finish-window N  outstanding FINISHes per connection (default 64)\n"
-      "  --verify           check verdicts against a direct service run\n");
+      "  --verify           check verdicts against a direct service run\n"
+      "  --phase P          full|open-feed|resume-finish (default full);\n"
+      "                     open-feed feeds half of each word and leaves the\n"
+      "                     sessions open (restart-smoke first half),\n"
+      "                     resume-finish RESUMEs them and feeds the rest\n");
+  std::exit(2);
+}
+
+qols::server::Phase parse_phase(const std::string& name) {
+  using qols::server::Phase;
+  if (name == "full") return Phase::kFull;
+  if (name == "open-feed") return Phase::kOpenFeed;
+  if (name == "resume-finish") return Phase::kResumeFinish;
+  std::fprintf(stderr, "qols_load: unknown phase '%s'\n", name.c_str());
   std::exit(2);
 }
 
@@ -70,6 +83,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--verify") {
       verify = true;
       opts.collect_outcomes = true;
+    } else if (arg == "--phase") {
+      opts.phase = parse_phase(value());
     } else {
       usage();
     }

@@ -52,7 +52,13 @@ void usage() {
       "  --idle-evict-ms N  spill sessions idle N ms (default 0 = never)\n"
       "  --drain-timeout-ms N  drain hard ceiling (default 30000)\n"
       "  --borrowed-feeds   zero-copy inline feeds (no pooled batching)\n"
-      "  --spill-dir D      eviction spill directory\n");
+      "  --spill-dir D      eviction spill directory\n"
+      "  --durable          journal sessions into a manifest under\n"
+      "                     --spill-dir (required); recover any prior\n"
+      "                     manifest at startup; preserve sessions of\n"
+      "                     dropped connections for RESUME\n"
+      "  --persist-on-shutdown  with --durable: SIGTERM checkpoints every\n"
+      "                     open session instead of finishing it\n");
   std::exit(2);
 }
 
@@ -88,6 +94,10 @@ int main(int argc, char** argv) {
       cfg.borrowed_feeds = true;
     } else if (arg == "--spill-dir") {
       cfg.spill_dir = value();
+    } else if (arg == "--durable") {
+      cfg.durable = true;
+    } else if (arg == "--persist-on-shutdown") {
+      cfg.persist_on_shutdown = true;
     } else {
       usage();
     }
@@ -99,16 +109,23 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
     std::signal(SIGPIPE, SIG_IGN);
+    if (server.counters().sessions_recovered > 0) {
+      std::printf("qols_server: recovered %llu sessions from %s\n",
+                  static_cast<unsigned long long>(
+                      server.counters().sessions_recovered),
+                  cfg.spill_dir.c_str());
+    }
     std::printf("qols_server: listening on %s:%u\n", cfg.bind_address.c_str(),
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
     server.run();
     const auto& c = server.counters();
     std::printf("qols_server: drained (accepted=%llu closed=%llu "
-                "abandoned=%llu)\n",
+                "abandoned=%llu persisted=%llu)\n",
                 static_cast<unsigned long long>(c.connections_accepted),
                 static_cast<unsigned long long>(c.connections_closed),
-                static_cast<unsigned long long>(c.sessions_abandoned));
+                static_cast<unsigned long long>(c.sessions_abandoned),
+                static_cast<unsigned long long>(c.sessions_persisted));
     g_server = nullptr;
     return 0;
   } catch (const std::exception& e) {

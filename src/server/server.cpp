@@ -59,11 +59,20 @@ Server::Server(const Config& config) : config_(config) {
   svc_cfg.flush_threshold = config_.flush_threshold;
   svc_cfg.pool = config_.pool;
   svc_cfg.spill_dir = config_.spill_dir;
+  svc_cfg.durable = config_.durable;
   svc_ = std::make_unique<service::RecognizerService>(std::move(svc_cfg));
+  if (svc_->pending_recovery()) {
+    // A prior incarnation left a manifest in spill_dir: adopt its sessions
+    // before the first connection arrives. Typed recovery errors propagate —
+    // a damaged directory must refuse to serve, never mis-serve.
+    const auto report = svc_->recover();
+    counters_.sessions_recovered = report.sessions_recovered;
+  }
 
   BrokerShared::Options opts;
   opts.max_sessions = config_.max_sessions;
   opts.borrowed_feeds = config_.borrowed_feeds;
+  opts.preserve_on_disconnect = config_.durable;
   shared_ = std::make_unique<BrokerShared>(*svc_, opts);
   shared_->stats_hook = [this](util::json::Value& doc) {
     auto& srv = doc.set("server", util::json::Value::object());
@@ -77,6 +86,8 @@ Server::Server(const Config& config) : config_(config) {
     srv.set("idle_evictions", counters_.idle_evictions);
     srv.set("bytes_in", counters_.bytes_in);
     srv.set("bytes_out", counters_.bytes_out);
+    srv.set("sessions_recovered", counters_.sessions_recovered);
+    srv.set("sessions_persisted", counters_.sessions_persisted);
     srv.set("draining", draining_);
   };
 
@@ -320,11 +331,16 @@ void Server::sweep(std::uint64_t now) {
   }
   if (!draining_) return;
   const bool expired = now >= drain_deadline_ms_;
+  // A persisting shutdown does not wait for verdicts: once a connection's
+  // ingested frames are processed and its responses flushed, it closes (the
+  // broker releases its sessions for the post-drain persist()).
+  const bool persisting = config_.durable && config_.persist_on_shutdown;
   std::vector<int> doomed;
   for (const auto& [fd, conn] : connections_) {
-    const bool done = conn->broker.open_sessions() == 0 &&
-                      !conn->broker.has_buffered_frames() &&
-                      conn->pending_out() == 0;
+    const bool quiesced = !conn->broker.has_buffered_frames() &&
+                          conn->pending_out() == 0;
+    const bool done =
+        quiesced && (persisting || conn->broker.open_sessions() == 0);
     if (done || expired) doomed.push_back(fd);
   }
   for (const int fd : doomed) close_connection(fd);
@@ -363,6 +379,11 @@ void Server::run() {
       begin_drain(now_ms());
     }
     sweep(now_ms());
+  }
+  if (config_.durable && config_.persist_on_shutdown) {
+    // Every connection is gone (their brokers released, not finished, their
+    // sessions): checkpoint the lot for the next incarnation to recover().
+    counters_.sessions_persisted = svc_->persist();
   }
 }
 

@@ -24,6 +24,7 @@ BrokerShared::BrokerShared(service::RecognizerService& service,
       frames_out(reg().counter("server.frames_out")),
       errors_sent(reg().counter("server.errors_sent")),
       malformed(reg().counter("server.malformed_frames")),
+      resumes(reg().counter("server.sessions_resumed")),
       feed_frame_ns(reg().histogram("server.feed_frame_ns")),
       finish_frame_ns(reg().histogram("server.finish_frame_ns")) {}
 
@@ -89,15 +90,27 @@ std::size_t SessionBroker::evict_idle(std::uint64_t cutoff_ms) {
 }
 
 std::size_t SessionBroker::abandon_sessions() noexcept {
+  if (shared_.opts.preserve_on_disconnect) return release_sessions();
   std::size_t n = 0;
   for (const auto& [id, stamp] : sessions_) {
     (void)stamp;
+    shared_.owned.erase(id);
     try {
       shared_.svc.finish(id);
       ++n;
     } catch (const std::exception&) {
       // Session already gone; nothing to reclaim.
     }
+  }
+  sessions_.clear();
+  return n;
+}
+
+std::size_t SessionBroker::release_sessions() noexcept {
+  const std::size_t n = sessions_.size();
+  for (const auto& [id, stamp] : sessions_) {
+    (void)stamp;
+    shared_.owned.erase(id);
   }
   sessions_.clear();
   return n;
@@ -134,9 +147,11 @@ bool SessionBroker::handle(const wire::Frame& frame,
         shared_.malformed.add();
         return fail(out, ErrorCode::kMalformedFrame, 0, e.what());
       }
-      if (hello.version != wire::kProtocolVersion) {
+      if (hello.version < wire::kMinProtocolVersion ||
+          hello.version > wire::kProtocolVersion) {
         return fail(out, ErrorCode::kBadVersion, 0,
-                    "server speaks protocol version " +
+                    "server speaks protocol versions " +
+                        std::to_string(wire::kMinProtocolVersion) + ".." +
                         std::to_string(wire::kProtocolVersion));
       }
       const auto kind = static_cast<std::uint8_t>(
@@ -148,8 +163,11 @@ bool SessionBroker::handle(const wire::Frame& frame,
                             shared_.svc.config().spec.kind));
       }
       hello_done_ = true;
+      version_ = hello.version;
       wire::HelloOk ok;
-      ok.version = wire::kProtocolVersion;
+      // Echo the client's version: the conversation proceeds at the LOWER
+      // of the two, so a v1 client never sees a v2-only frame.
+      ok.version = hello.version;
       ok.kind = kind;
       ok.float_amplitudes = shared_.svc.config().spec.float_amplitudes;
       ok.max_sessions = shared_.opts.max_sessions;
@@ -181,7 +199,43 @@ bool SessionBroker::handle(const wire::Frame& frame,
                     "session id already open");
       }
       sessions_[open.session] = now_ms;
+      shared_.owned.insert(open.session);
       wire::append_open_ok(out, {open.session});
+      shared_.frames_out.add();
+      return true;
+    }
+
+    case FrameType::kResume: {
+      if (version_ < 2) {
+        return fail(out, ErrorCode::kProtocolError, 0,
+                    "RESUME requires protocol version 2");
+      }
+      wire::Resume resume;
+      try {
+        resume = wire::read_resume(frame.payload);
+      } catch (const DecodeError& e) {
+        shared_.malformed.add();
+        return fail(out, ErrorCode::kMalformedFrame, 0, e.what());
+      }
+      if (sessions_.contains(resume.session)) {
+        return fail(out, ErrorCode::kNotResumable, resume.session,
+                    "session already attached to this connection");
+      }
+      if (shared_.owned.contains(resume.session)) {
+        return fail(out, ErrorCode::kNotResumable, resume.session,
+                    "session owned by a live connection");
+      }
+      try {
+        // Probe only — the session revives lazily on its first FEED/FINISH.
+        shared_.svc.evicted(resume.session);
+      } catch (const std::out_of_range&) {
+        return fail(out, ErrorCode::kUnknownSession, resume.session,
+                    "no such session to resume");
+      }
+      sessions_[resume.session] = now_ms;
+      shared_.owned.insert(resume.session);
+      shared_.resumes.add();
+      wire::append_resume_ok(out, {resume.session});
       shared_.frames_out.add();
       return true;
     }
@@ -230,6 +284,7 @@ bool SessionBroker::handle(const wire::Frame& frame,
         verdict = shared_.svc.finish(fin.session);
       }
       sessions_.erase(it);
+      shared_.owned.erase(fin.session);
       wire::WireVerdict wv;
       wv.session = fin.session;
       wv.accepted = verdict.accepted;
@@ -262,6 +317,8 @@ bool SessionBroker::handle(const wire::Frame& frame,
       svc.set("revives", stats.revives);
       svc.set("spill_bytes_written", stats.spill_bytes_written);
       svc.set("spill_bytes_read", stats.spill_bytes_read);
+      svc.set("migrations", stats.migrations);
+      svc.set("recovered_sessions", stats.recovered_sessions);
       auto& conn = doc.set("connection", json::Value::object());
       conn.set("open_sessions",
                static_cast<std::uint64_t>(sessions_.size()));
@@ -290,6 +347,7 @@ bool SessionBroker::handle(const wire::Frame& frame,
     case FrameType::kVerdict:
     case FrameType::kStatsText:
     case FrameType::kMetricsText:
+    case FrameType::kResumeOk:
     case FrameType::kError:
       return fail(out, ErrorCode::kProtocolError, 0,
                   "server-to-client frame sent by client");

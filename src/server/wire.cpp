@@ -17,6 +17,7 @@ bool error_is_fatal(ErrorCode code) noexcept {
     case ErrorCode::kSessionExists:
     case ErrorCode::kOverLimit:
     case ErrorCode::kDraining:
+    case ErrorCode::kNotResumable:
       return false;
   }
   return true;
@@ -30,6 +31,8 @@ const char* frame_type_name(FrameType type) noexcept {
     case FrameType::kFinish: return "FINISH";
     case FrameType::kStats: return "STATS";
     case FrameType::kMetrics: return "METRICS";
+    case FrameType::kResume: return "RESUME";
+    case FrameType::kResumeOk: return "RESUME_OK";
     case FrameType::kHelloOk: return "HELLO_OK";
     case FrameType::kOpenOk: return "OPEN_OK";
     case FrameType::kVerdict: return "VERDICT";
@@ -50,6 +53,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kSessionExists: return "session-exists";
     case ErrorCode::kOverLimit: return "over-limit";
     case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kNotResumable: return "not-resumable";
   }
   return "unknown";
 }
@@ -126,6 +130,18 @@ void append_finish(std::vector<std::uint8_t>& out, const Finish& f) {
   serde::ByteWriter w;
   w.u64(f.session);
   append_payload_frame(out, FrameType::kFinish, w);
+}
+
+void append_resume(std::vector<std::uint8_t>& out, const Resume& r) {
+  serde::ByteWriter w;
+  w.u64(r.session);
+  append_payload_frame(out, FrameType::kResume, w);
+}
+
+void append_resume_ok(std::vector<std::uint8_t>& out, const ResumeOk& r) {
+  serde::ByteWriter w;
+  w.u64(r.session);
+  append_payload_frame(out, FrameType::kResumeOk, w);
 }
 
 void append_verdict(std::vector<std::uint8_t>& out, const WireVerdict& v) {
@@ -220,6 +236,22 @@ Finish read_finish(std::span<const std::uint8_t> payload) {
   return f;
 }
 
+Resume read_resume(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  Resume res;
+  res.session = r.u64();
+  r.expect_exhausted();
+  return res;
+}
+
+ResumeOk read_resume_ok(std::span<const std::uint8_t> payload) {
+  serde::ByteReader r(payload);
+  ResumeOk res;
+  res.session = r.u64();
+  r.expect_exhausted();
+  return res;
+}
+
 WireVerdict read_verdict(std::span<const std::uint8_t> payload) {
   serde::ByteReader r(payload);
   WireVerdict v;
@@ -242,7 +274,7 @@ Error read_error(std::span<const std::uint8_t> payload) {
   Error e;
   const std::uint8_t code = r.u8();
   if (code < static_cast<std::uint8_t>(ErrorCode::kBadVersion) ||
-      code > static_cast<std::uint8_t>(ErrorCode::kDraining)) {
+      code > static_cast<std::uint8_t>(ErrorCode::kNotResumable)) {
     throw serde::DecodeError("unknown error code");
   }
   e.code = static_cast<ErrorCode>(code);

@@ -14,9 +14,9 @@ namespace {
 
 using namespace qols::bench;
 
-TEST(Registry, AllTwentyFiveExperimentsRegisteredWithUniqueIds) {
+TEST(Registry, AllTwentySixExperimentsRegisteredWithUniqueIds) {
   const auto& all = Registry::global().experiments();
-  ASSERT_EQ(all.size(), 25u);
+  ASSERT_EQ(all.size(), 26u);
   std::set<std::string> ids;
   for (const auto& e : all) {
     EXPECT_FALSE(e.info.title.empty());
@@ -24,8 +24,8 @@ TEST(Registry, AllTwentyFiveExperimentsRegisteredWithUniqueIds) {
     EXPECT_FALSE(e.info.tags.empty());
     ids.insert(e.info.id);
   }
-  EXPECT_EQ(ids.size(), 25u);
-  for (int i = 1; i <= 25; ++i) {
+  EXPECT_EQ(ids.size(), 26u);
+  for (int i = 1; i <= 26; ++i) {
     std::string id = "e";
     id += std::to_string(i);
     EXPECT_NE(Registry::global().find(id), nullptr);
@@ -41,14 +41,14 @@ TEST(Registry, FindIsExact) {
 
 TEST(Registry, MatchFiltersOverIdTitleAndTags) {
   const auto& reg = Registry::global();
-  EXPECT_EQ(reg.match("").size(), 25u);  // empty filter selects everything
+  EXPECT_EQ(reg.match("").size(), 26u);  // empty filter selects everything
   // An exact id match wins outright: "e1" is only e1, never e10..e18.
   const auto exact = reg.match("e1");
   ASSERT_EQ(exact.size(), 1u);
   EXPECT_EQ(exact[0]->info.id, "e1");
   EXPECT_EQ(reg.match("E1").size(), 1u);  // exact match is case-insensitive
   // Non-id substrings still fan out.
-  EXPECT_EQ(reg.match("e").size(), 25u);
+  EXPECT_EQ(reg.match("e").size(), 26u);
   // Tag match, case-insensitive.
   const auto ablations = reg.match("ABLATION");
   EXPECT_GE(ablations.size(), 4u);

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -613,6 +614,138 @@ TEST(SessionBroker, OutputBudgetParksFramesForTheNextPump) {
 // ---------------------------------------------------------------------------
 // Loopback end-to-end against a live Server.
 
+// ---------------------------------------------------------------------------
+// RESUME (wire v2): adopting sessions a dropped connection left behind.
+
+TEST(SessionBroker, HelloEchoesClientVersionAndV1StillServes) {
+  BrokerFixture fx;
+  std::vector<std::uint8_t> bytes;
+  wire::append_hello(bytes, {1, wire::kAnyKind});  // a v1 client
+  ASSERT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  auto frames = fx.drain_responses();
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].first, wire::FrameType::kHelloOk);
+  // The server echoes the CLIENT's version: the conversation proceeds at
+  // the lower of the two, and the client needs no version table.
+  EXPECT_EQ(wire::read_hello_ok(frames[0].second).version, 1u);
+  EXPECT_EQ(fx.broker.negotiated_version(), 1u);
+
+  // The v1 lifecycle is untouched.
+  bytes.clear();
+  wire::append_open(bytes, {1, 3});
+  wire::append_finish(bytes, {1});
+  ASSERT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  frames = fx.drain_responses();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].first, wire::FrameType::kOpenOk);
+  EXPECT_EQ(frames[1].first, wire::FrameType::kVerdict);
+}
+
+TEST(SessionBroker, ResumeRequiresNegotiatedV2) {
+  BrokerFixture fx;
+  std::vector<std::uint8_t> bytes;
+  wire::append_hello(bytes, {1, wire::kAnyKind});
+  ASSERT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  fx.drain_responses();
+  bytes.clear();
+  wire::append_resume(bytes, {1});
+  EXPECT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kClose);
+  expect_error(fx, wire::ErrorCode::kProtocolError);
+}
+
+TEST(SessionBroker, ResumeUnknownSessionIsRecoverable) {
+  BrokerFixture fx;
+  fx.do_hello();
+  std::vector<std::uint8_t> bytes;
+  wire::append_resume(bytes, {42});
+  EXPECT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  expect_error(fx, wire::ErrorCode::kUnknownSession);
+  EXPECT_FALSE(fx.broker.closed());
+}
+
+TEST(SessionBroker, ResumeOfOwnedSessionsIsNotResumable) {
+  BrokerShared::Options opts;
+  opts.preserve_on_disconnect = true;
+  BrokerFixture fx(opts);
+  fx.do_hello();
+  std::vector<std::uint8_t> bytes;
+  wire::append_open(bytes, {1, 7});
+  ASSERT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  fx.drain_responses();
+
+  // Resuming a session THIS connection already drives is refused...
+  bytes.clear();
+  wire::append_resume(bytes, {1});
+  EXPECT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  expect_error(fx, wire::ErrorCode::kNotResumable);
+
+  // ...and so is one owned by ANOTHER live connection: two connections
+  // driving one recognizer would interleave nondeterministically.
+  SessionBroker other(fx.shared);
+  std::vector<std::uint8_t> other_out;
+  bytes.clear();
+  wire::append_hello(bytes, {});
+  wire::append_resume(bytes, {1});
+  other.ingest(bytes);
+  EXPECT_EQ(other.pump(other_out, std::size_t{1} << 24),
+            SessionBroker::PumpResult::kIdle);
+  wire::FrameDecoder dec;
+  dec.append(other_out);
+  auto hello_ok = dec.next();
+  ASSERT_TRUE(hello_ok && hello_ok->type == wire::FrameType::kHelloOk);
+  auto err = dec.next();
+  ASSERT_TRUE(err && err->type == wire::FrameType::kError);
+  EXPECT_EQ(wire::read_error(err->payload).code,
+            wire::ErrorCode::kNotResumable);
+
+  // The refused RESUME left the owner untouched: it still finishes.
+  bytes.clear();
+  wire::append_finish(bytes, {1});
+  ASSERT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  const auto frames = fx.drain_responses();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, wire::FrameType::kVerdict);
+}
+
+TEST(SessionBroker, ResumeAdoptsAReleasedSessionWithExactVerdict) {
+  qols::util::Rng rng(55);
+  const auto word = word_of(LDisjInstance::make_disjoint(1, rng));
+  const std::size_t half = word.size() / 2;
+
+  BrokerShared::Options opts;
+  opts.preserve_on_disconnect = true;
+  BrokerFixture fx(opts);
+  {
+    // The first connection: open, feed half, vanish without finishing.
+    SessionBroker first(fx.shared);
+    std::vector<std::uint8_t> bytes, out;
+    wire::append_hello(bytes, {});
+    wire::append_open(bytes, {1, 9});
+    wire::append_feed(bytes, 1, std::span<const Symbol>(word.data(), half));
+    first.ingest(bytes);
+    ASSERT_EQ(first.pump(out, std::size_t{1} << 24),
+              SessionBroker::PumpResult::kIdle);
+  }  // dtor releases (not finishes) the session for a later RESUME
+
+  fx.do_hello();
+  std::vector<std::uint8_t> bytes;
+  wire::append_resume(bytes, {1});
+  wire::append_feed(bytes, 1,
+                    std::span<const Symbol>(word.data() + half,
+                                            word.size() - half));
+  wire::append_finish(bytes, {1});
+  ASSERT_EQ(fx.feed_bytes(bytes), SessionBroker::PumpResult::kIdle);
+  const auto frames = fx.drain_responses();
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].first, wire::FrameType::kResumeOk);
+  EXPECT_EQ(wire::read_resume_ok(frames[0].second).session, 1u);
+  ASSERT_EQ(frames[1].first, wire::FrameType::kVerdict);
+  expect_verdict_matches(wire::read_verdict(frames[1].second),
+                         direct_run(BrokerFixture::service_config().spec, 9,
+                                    word),
+                         "resumed session");
+}
+
 TEST(ServerLoopback, RaggedByteSplitsReproduceRunStream) {
   qols::util::Rng rng(17);
   const auto member = LDisjInstance::make_disjoint(2, rng);
@@ -831,6 +964,90 @@ TEST(ServerLoopback, NewConnectionsAreRefusedWhileDraining) {
     holder.close();
   }
   loop.join();
+}
+
+TEST(ServerLoopback, DurableRestartResumesWithExactVerdicts) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("qols-test-server-restart-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  qols::util::Rng rng(7);
+  const std::vector<Symbol> words[2] = {
+      word_of(LDisjInstance::make_disjoint(2, rng)),
+      word_of(LDisjInstance::make_with_intersections(2, 1, rng)),
+  };
+
+  Server::Config cfg;
+  cfg.spec.kind = RecognizerKind::kClassicalBlock;
+  cfg.spill_dir = dir.string();
+  cfg.durable = true;
+  cfg.persist_on_shutdown = true;
+
+  {
+    // Incarnation one: open two sessions, feed half of each, then shut down
+    // mid-word. persist_on_shutdown checkpoints them instead of finishing.
+    Server server(cfg);
+    std::thread loop([&] { server.run(); });
+    TestClient client(server.port());
+    client.hello();
+    std::vector<std::uint8_t> bytes;
+    for (std::uint64_t s = 0; s < 2; ++s) {
+      client.open(s + 1, 100 + s);
+      bytes.clear();
+      wire::append_feed(bytes, s + 1,
+                        std::span<const Symbol>(words[s].data(),
+                                                words[s].size() / 2));
+      client.send_all(bytes);
+    }
+    // A STATS round trip proves both FEEDs reached the service before the
+    // drain starts (frames are handled strictly in order).
+    bytes.clear();
+    wire::append_frame(bytes, wire::FrameType::kStats, {});
+    client.send_all(bytes);
+    ASSERT_EQ(client.next_frame().type, wire::FrameType::kStatsText);
+
+    client.close();
+    server.shutdown();
+    loop.join();
+    EXPECT_EQ(server.counters().sessions_persisted, 2u);
+  }
+
+  {
+    // Incarnation two over the same spill_dir: the constructor replays the
+    // manifest, RESUME re-adopts each session, and the finished verdicts
+    // are bit-identical to uninterrupted single-process runs.
+    Server server(cfg);
+    EXPECT_EQ(server.counters().sessions_recovered, 2u);
+    std::thread loop([&] { server.run(); });
+    TestClient client(server.port());
+    client.hello();
+    for (std::uint64_t s = 0; s < 2; ++s) {
+      std::vector<std::uint8_t> bytes;
+      wire::append_resume(bytes, {s + 1});
+      client.send_all(bytes);
+      const auto f = client.next_frame();
+      ASSERT_EQ(f.type, wire::FrameType::kResumeOk);
+      EXPECT_EQ(wire::read_resume_ok(f.payload).session, s + 1);
+      bytes.clear();
+      const std::size_t half = words[s].size() / 2;
+      wire::append_feed(bytes, s + 1,
+                        std::span<const Symbol>(words[s].data() + half,
+                                                words[s].size() - half));
+      client.send_all(bytes);
+      const auto v = client.finish(s + 1);
+      expect_verdict_matches(v, direct_run(cfg.spec, 100 + s, words[s]),
+                             s == 0 ? "resumed member" : "resumed crossing");
+    }
+    client.close();
+    server.shutdown();
+    loop.join();
+    // Everything finished this time: nothing is left to persist.
+    EXPECT_EQ(server.counters().sessions_persisted, 0u);
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

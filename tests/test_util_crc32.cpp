@@ -1,0 +1,58 @@
+// Unit tests: the CRC-32 (IEEE, reflected) used to frame session-manifest
+// records. The check value and the chaining identity are what the manifest
+// format (session_table.hpp) relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "qols/util/crc32.hpp"
+
+namespace {
+
+using qols::util::crc32;
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  // The universal CRC-32/ISO-HDLC check vector.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, IsComputableAtCompileTime) {
+  static constexpr std::uint8_t data[] = {'a', 'b', 'c'};
+  constexpr std::uint32_t c = crc32(std::span<const std::uint8_t>(data, 3));
+  EXPECT_EQ(c, 0x352441C2u);  // crc32("abc")
+}
+
+TEST(Crc32, ChainsAcrossSplits) {
+  const std::string_view whole = "the session manifest journal";
+  const std::uint32_t full = crc32(bytes_of(whole));
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    const std::uint32_t chained =
+        crc32(bytes_of(whole.substr(cut)), crc32(bytes_of(whole.substr(0, cut))));
+    EXPECT_EQ(chained, full) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0x5A);
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 7) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc32(data), clean) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
